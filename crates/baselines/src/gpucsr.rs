@@ -1,0 +1,204 @@
+//! The `GPUCSR` baseline: state-of-the-art GPU traversal on **uncompressed
+//! CSR**, on the same simulator and cost model as GCGT.
+//!
+//! The BFS expansion follows Merrill, Garland & Grimshaw's scan-based
+//! gathering: frontier nodes' adjacency ranges are read from the row-offset
+//! array, long ranges are expanded by the whole warp (warp-cooperative
+//! gathering), and the remainder is packed through an exclusive scan —
+//! structurally the same cooperative schedule as GCGT's interval expansion,
+//! but reading raw 32-bit column indices with **no decode steps at all**.
+//! CC and BC reuse the generic apps of `gcgt-core` (Soman hooking /
+//! Brandes passes) over this expander, exactly as the paper pairs
+//! Merrill-BFS with Soman-CC and Sriram-BC under the `GPUCSR` label.
+
+use gcgt_core::kernels::Sink;
+use gcgt_core::{memory, Expander};
+use gcgt_graph::{Csr, NodeId};
+use gcgt_simt::{Device, DeviceConfig, OomError, OpClass, Space, WarpSim};
+
+/// A CSR-resident traversal engine on the simulated device.
+pub struct GpuCsrEngine<'g> {
+    graph: &'g Csr,
+    device_config: DeviceConfig,
+}
+
+impl<'g> GpuCsrEngine<'g> {
+    /// Binds the engine; fails when CSR plus traversal buffers exceed the
+    /// device capacity.
+    pub fn new(graph: &'g Csr, device_config: DeviceConfig) -> Result<Self, OomError> {
+        let mut probe = Device::new(device_config);
+        probe.alloc(memory::csr_footprint(graph))?;
+        Ok(Self {
+            graph,
+            device_config,
+        })
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Csr {
+        self.graph
+    }
+}
+
+impl Expander for GpuCsrEngine<'_> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
+    fn footprint(&self) -> usize {
+        memory::csr_footprint(self.graph)
+    }
+
+    fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
+        expand_csr_chunk(self.graph, warp, chunk, sink);
+    }
+}
+
+/// Merrill-style expansion of one warp's frontier chunk over CSR. Shared
+/// with the Gunrock-style baseline.
+pub(crate) fn expand_csr_chunk<S: Sink>(
+    graph: &Csr,
+    warp: &mut WarpSim,
+    chunk: &[NodeId],
+    sink: &mut S,
+) {
+    let k = chunk.len();
+    let width = warp.width();
+    // Frontier read (coalesced) + row-offset gather (two offsets per lane,
+    // scattered by node id).
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        (0..k as u64).map(|i| Space::Frontier.addr(4 * i)),
+    );
+    warp.access(
+        chunk
+            .iter()
+            .flat_map(|&u| [u64::from(u), u64::from(u) + 1])
+            .map(|o| Space::Offsets.addr(4 * o)),
+    );
+
+    // Per-lane gather state: (source, col-array index, remaining).
+    let mut lanes: Vec<(NodeId, usize, usize)> = chunk
+        .iter()
+        .map(|&u| {
+            let start = graph.row_offsets()[u as usize];
+            (u, start, graph.degree(u))
+        })
+        .collect();
+
+    // Stage 1: warp-cooperative gathering of long adjacency ranges.
+    loop {
+        let preds: Vec<bool> = lanes.iter().map(|&(_, _, rem)| rem >= width).collect();
+        if !warp.sync_any(&preds) {
+            break;
+        }
+        let winner = preds.iter().rposition(|&p| p).unwrap();
+        let _ = warp.shfl(&vec![0u32; lanes.len()], winner);
+        let (u, start, rem) = lanes[winner];
+        // Coalesced read of `width` consecutive column indices.
+        warp.access((0..width as u64).map(|i| Space::Graph.addr(4 * (start as u64 + i))));
+        let items: Vec<(NodeId, NodeId)> = graph.col_indices()[start..start + width]
+            .iter()
+            .map(|&v| (u, v))
+            .collect();
+        sink.handle(warp, &items);
+        lanes[winner] = (u, start + width, rem - width);
+    }
+
+    // Stage 2: scan-based gathering of the remainder.
+    let rems: Vec<u32> = lanes.iter().map(|&(_, _, rem)| rem as u32).collect();
+    let (_, total) = warp.exclusive_scan(&rems);
+    if total == 0 {
+        return;
+    }
+    let mut flat: Vec<(NodeId, usize)> = Vec::with_capacity(total as usize);
+    for &(u, start, rem) in &lanes {
+        for j in 0..rem {
+            flat.push((u, start + j));
+        }
+    }
+    for pack in flat.chunks(width) {
+        warp.access(
+            pack.iter()
+                .map(|&(_, idx)| Space::Graph.addr(4 * idx as u64)),
+        );
+        let items: Vec<(NodeId, NodeId)> = pack
+            .iter()
+            .map(|&(u, idx)| (u, graph.col_indices()[idx]))
+            .collect();
+        sink.handle(warp, &items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::{social_graph, toys, web_graph, SocialParams, WebParams};
+    use gcgt_graph::refalgo;
+
+    fn engine(graph: &Csr) -> GpuCsrEngine<'_> {
+        GpuCsrEngine::new(graph, DeviceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bfs_matches_oracle() {
+        let g = web_graph(&WebParams::uk2002_like(800), 3);
+        let e = engine(&g);
+        let got = gcgt_core::bfs(&e, 0);
+        assert_eq!(got.depth, refalgo::bfs(&g, 0).depth);
+    }
+
+    #[test]
+    fn bfs_matches_oracle_on_skewed_graph() {
+        let g = social_graph(&SocialParams::twitter_like(700), 9);
+        let e = engine(&g);
+        let got = gcgt_core::bfs(&e, 1);
+        assert_eq!(got.depth, refalgo::bfs(&g, 1).depth);
+    }
+
+    #[test]
+    fn cc_matches_oracle() {
+        let g = toys::grid(10, 10);
+        let e = engine(&g);
+        let got = gcgt_core::cc(&e);
+        let want = refalgo::connected_components(&g);
+        assert_eq!(got.component, want.component);
+    }
+
+    #[test]
+    fn bc_matches_oracle() {
+        let g = web_graph(&WebParams::uk2002_like(400), 5);
+        let e = engine(&g);
+        let got = gcgt_core::bc(&e, 0);
+        let want = refalgo::betweenness_from_source(&g, 0);
+        assert_eq!(got.sigma, want.sigma);
+    }
+
+    #[test]
+    fn issues_no_decode_steps() {
+        let g = web_graph(&WebParams::uk2002_like(300), 2);
+        let mut warp = WarpSim::new(32, 64);
+        let mut sink = gcgt_core::kernels::CollectSink::default();
+        let frontier: Vec<NodeId> = (0..32).collect();
+        expand_csr_chunk(&g, &mut warp, &frontier, &mut sink);
+        let t = warp.tally();
+        assert_eq!(t.issues[OpClass::ItvDecode as usize], 0);
+        assert_eq!(t.issues[OpClass::ResDecode as usize], 0);
+        assert_eq!(t.issues[OpClass::ParDecode as usize], 0);
+    }
+
+    #[test]
+    fn oom_on_tiny_device() {
+        let g = web_graph(&WebParams::uk2002_like(2000), 1);
+        let dc = DeviceConfig {
+            mem_capacity: 1000,
+            ..DeviceConfig::default()
+        };
+        assert!(GpuCsrEngine::new(&g, dc).is_err());
+    }
+}

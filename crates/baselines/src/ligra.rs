@@ -1,0 +1,232 @@
+//! A Ligra-style shared-memory graph engine (Shun & Blelloch, PPoPP'13).
+//!
+//! Ligra's `edgeMap` switches between a *sparse* (push) traversal over the
+//! frontier's out-edges and a *dense* (pull) traversal over all unvisited
+//! nodes' in-edges, whichever touches less data — the direction-optimizing
+//! BFS of Beamer et al. Parallelism comes from chunking nodes over host
+//! threads (crossbeam) with atomic claim of discovered nodes.
+//!
+//! This is the paper's `Ligra` baseline: real multi-core wall-clock, the
+//! fastest CPU contender of Figure 8.
+
+use crate::naive::Timed;
+use gcgt_graph::{Csr, NodeId, UNREACHED};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Workers scale with the graph: thread spawn/join per BFS level costs more
+/// than it saves below ~100k edges per worker.
+fn worker_count(edges: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    available.min(1 + edges / 100_000).max(1)
+}
+
+/// A graph prepared for direction-optimizing traversal.
+pub struct LigraGraph {
+    fwd: Csr,
+    rev: Csr,
+    threads: usize,
+}
+
+impl LigraGraph {
+    /// Builds the forward/backward structures.
+    pub fn new(graph: &Csr) -> Self {
+        Self {
+            fwd: graph.clone(),
+            rev: graph.transpose(),
+            threads: worker_count(graph.num_edges()),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.fwd.num_nodes()
+    }
+
+    /// Memory footprint (both directions, 32-bit CSR).
+    pub fn size_bytes(&self) -> usize {
+        self.fwd.csr_bytes() + self.rev.csr_bytes()
+    }
+
+    /// Direction-optimizing parallel BFS; returns depths identical to the
+    /// serial oracle.
+    pub fn bfs(&self, source: NodeId) -> Timed<Vec<u32>> {
+        let start = Instant::now();
+        let n = self.num_nodes();
+        let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+        depth[source as usize].store(0, Ordering::Relaxed);
+        let mut frontier: Vec<NodeId> = vec![source];
+        let mut level = 0u32;
+        // Ligra's density threshold: switch to pull when the frontier's
+        // out-edge count exceeds |E| / 20.
+        let dense_threshold = self.fwd.num_edges() / 20;
+
+        while !frontier.is_empty() {
+            let frontier_edges: usize = frontier.iter().map(|&u| self.fwd.degree(u)).sum();
+            let next: Vec<NodeId> = if frontier_edges > dense_threshold {
+                self.dense_step(&depth, level)
+            } else {
+                self.sparse_step(&frontier, &depth, level)
+            };
+            level += 1;
+            frontier = next;
+        }
+        Timed {
+            result: depth.into_iter().map(|d| d.into_inner()).collect(),
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Push step: frontier chunks over threads, each claiming unvisited
+    /// targets with a CAS. Small frontiers run inline — spawning threads
+    /// for a handful of edges costs more than the scan (Ligra's granularity
+    /// control).
+    fn sparse_step(&self, frontier: &[NodeId], depth: &[AtomicU32], level: u32) -> Vec<NodeId> {
+        let frontier_edges: usize = frontier.iter().map(|&u| self.fwd.degree(u)).sum();
+        if frontier_edges < 8192 || self.threads == 1 {
+            let mut next = Vec::new();
+            for &u in frontier {
+                for &v in self.fwd.neighbors(u) {
+                    if depth[v as usize]
+                        .compare_exchange(UNREACHED, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        next.push(v);
+                    }
+                }
+            }
+            next.sort_unstable();
+            return next;
+        }
+        let chunk = frontier.len().div_ceil(self.threads).max(1);
+        let mut locals: Vec<Vec<NodeId>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &u in part {
+                            for &v in self.fwd.neighbors(u) {
+                                if depth[v as usize]
+                                    .compare_exchange(
+                                        UNREACHED,
+                                        level + 1,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                                {
+                                    local.push(v);
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("ligra worker panicked"));
+            }
+        })
+        .expect("ligra scope");
+        let mut next: Vec<NodeId> = locals.into_iter().flatten().collect();
+        next.sort_unstable();
+        next
+    }
+
+    /// Pull step: every unvisited node scans its in-neighbours for a
+    /// frontier member.
+    fn dense_step(&self, depth: &[AtomicU32], level: u32) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        if n < 4096 || self.threads == 1 {
+            let mut next = Vec::new();
+            for v in 0..n as NodeId {
+                if depth[v as usize].load(Ordering::Relaxed) != UNREACHED {
+                    continue;
+                }
+                for &u in self.rev.neighbors(v) {
+                    if depth[u as usize].load(Ordering::Relaxed) == level {
+                        depth[v as usize].store(level + 1, Ordering::Relaxed);
+                        next.push(v);
+                        break;
+                    }
+                }
+            }
+            return next;
+        }
+        let chunk = n.div_ceil(self.threads).max(1);
+        let mut locals: Vec<Vec<NodeId>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|t| {
+                    let lo = (t * chunk).min(n);
+                    let hi = ((t + 1) * chunk).min(n);
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for v in lo as NodeId..hi as NodeId {
+                            if depth[v as usize].load(Ordering::Relaxed) != UNREACHED {
+                                continue;
+                            }
+                            for &u in self.rev.neighbors(v) {
+                                if depth[u as usize].load(Ordering::Relaxed) == level {
+                                    depth[v as usize].store(level + 1, Ordering::Relaxed);
+                                    local.push(v);
+                                    break;
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("ligra worker panicked"));
+            }
+        })
+        .expect("ligra scope");
+        locals.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::{social_graph, toys, web_graph, SocialParams, WebParams};
+    use gcgt_graph::refalgo;
+
+    #[test]
+    fn matches_oracle_on_figure1() {
+        let g = toys::figure1();
+        let l = LigraGraph::new(&g);
+        assert_eq!(l.bfs(0).result, refalgo::bfs(&g, 0).depth);
+    }
+
+    #[test]
+    fn matches_oracle_on_web_graph() {
+        let g = web_graph(&WebParams::uk2002_like(2000), 3);
+        let l = LigraGraph::new(&g);
+        for src in [0, 7, 100] {
+            assert_eq!(l.bfs(src).result, refalgo::bfs(&g, src).depth, "src {src}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_skewed_graph_exercising_dense_mode() {
+        // Super-hubs force the frontier over the dense threshold.
+        let g = social_graph(&SocialParams::twitter_like(2000), 2);
+        let l = LigraGraph::new(&g);
+        assert_eq!(l.bfs(0).result, refalgo::bfs(&g, 0).depth);
+    }
+
+    #[test]
+    fn disconnected_nodes_unreached() {
+        let g = Csr::from_edges(5, &[(0, 1)]);
+        let l = LigraGraph::new(&g);
+        let d = l.bfs(0).result;
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], UNREACHED);
+    }
+}

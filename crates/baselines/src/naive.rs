@@ -1,0 +1,56 @@
+//! The "Naïve" baseline: single-threaded CPU traversals with wall-clock
+//! timing. Provides the basic reference point of Figure 8 (594 ms on
+//! uk-2002 in the paper, against ~10 ms GPU runs).
+
+use gcgt_graph::refalgo;
+use gcgt_graph::{Csr, NodeId};
+use std::time::Instant;
+
+/// A timed result: the algorithm output plus measured milliseconds.
+#[derive(Clone, Debug)]
+pub struct Timed<T> {
+    /// Algorithm output.
+    pub result: T,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: f64,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let result = f();
+    Timed {
+        result,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Sequential BFS.
+pub fn bfs(graph: &Csr, source: NodeId) -> Timed<refalgo::BfsResult> {
+    timed(|| refalgo::bfs(graph, source))
+}
+
+/// Sequential connected components (union-find).
+pub fn cc(graph: &Csr) -> Timed<refalgo::CcResult> {
+    timed(|| refalgo::connected_components(graph))
+}
+
+/// Sequential single-source betweenness centrality.
+pub fn bc(graph: &Csr, source: NodeId) -> Timed<refalgo::BcResult> {
+    timed(|| refalgo::betweenness_from_source(graph, source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::toys;
+
+    #[test]
+    fn timed_results_match_oracles() {
+        let g = toys::figure1();
+        let t = bfs(&g, 0);
+        assert_eq!(t.result.depth, refalgo::bfs(&g, 0).depth);
+        assert!(t.elapsed_ms >= 0.0);
+        assert_eq!(cc(&g).result.count, 1);
+        assert_eq!(bc(&g, 0).result.sigma[0], 1.0);
+    }
+}

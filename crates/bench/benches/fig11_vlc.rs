@@ -1,0 +1,34 @@
+//! Figure 11 bench: prints the VLC sweep, then times CGR encoding under
+//! γ-code and ζ3-code on the web dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcgt_bench::datasets::{DatasetId, Scale};
+use gcgt_bench::experiments::{fig11, ExperimentContext};
+use gcgt_bits::Code;
+use gcgt_cgr::{CgrConfig, CgrGraph};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(Scale::BENCH, 1);
+    println!("{}", fig11::run(&ctx).render());
+
+    let ds = ctx
+        .datasets
+        .iter()
+        .find(|d| d.id == DatasetId::Uk2002)
+        .unwrap();
+    let mut group = c.benchmark_group("fig11_encode");
+    group.sample_size(10);
+    for code in [Code::Gamma, Code::Zeta(3)] {
+        let cfg = CgrConfig {
+            code,
+            ..CgrConfig::paper_default()
+        };
+        group.bench_function(code.name(), |b| {
+            b.iter(|| CgrGraph::encode(&ds.graph, &cfg).bits().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 12 bench: prints the minimum-interval-length sweep, then times
+//! encoding at the sweep's extremes on the brain dataset (which depends on
+//! intervals the most).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcgt_bench::datasets::{DatasetId, Scale};
+use gcgt_bench::experiments::{fig12, ExperimentContext};
+use gcgt_cgr::{CgrConfig, CgrGraph};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(Scale::BENCH, 1);
+    println!("{}", fig12::run(&ctx).render());
+
+    let ds = ctx
+        .datasets
+        .iter()
+        .find(|d| d.id == DatasetId::Brain)
+        .unwrap();
+    let mut group = c.benchmark_group("fig12_encode_brain");
+    group.sample_size(10);
+    for (label, min_itv) in [("min2", Some(2u32)), ("min4", Some(4)), ("inf", None)] {
+        let cfg = CgrConfig {
+            min_interval_len: min_itv,
+            ..CgrConfig::paper_default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| CgrGraph::encode(&ds.graph, &cfg).bits().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 13 bench: prints the reordering sweep, then times the ordering
+//! algorithms themselves on the uk-2002 analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcgt_bench::datasets::{DatasetId, Scale};
+use gcgt_bench::experiments::{fig13, ExperimentContext};
+use gcgt_graph::Reordering;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(Scale::BENCH, 1);
+    println!("{}", fig13::run(&ctx).render());
+
+    let ds = ctx
+        .datasets
+        .iter()
+        .find(|d| d.id == DatasetId::Uk2002)
+        .unwrap();
+    let mut group = c.benchmark_group("fig13_ordering");
+    group.sample_size(10);
+    for method in Reordering::figure13_sweep() {
+        group.bench_function(method.name(), |b| b.iter(|| method.compute(&ds.base).len()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks of the VLC substrate: encode/decode throughput per code.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcgt_bits::{BitReader, BitWriter, ByteCodeReader, ByteCodeWriter, Code};
+
+fn bench(c: &mut Criterion) {
+    let values: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 5000 + 1).collect();
+
+    let mut group = c.benchmark_group("codes");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for code in [Code::Gamma, Code::Delta, Code::Zeta(3)] {
+        group.bench_function(format!("encode/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut w = BitWriter::with_capacity(values.len() * 16);
+                for &v in &values {
+                    code.encode(&mut w, v);
+                }
+                w.len()
+            })
+        });
+        let mut w = BitWriter::new();
+        for &v in &values {
+            code.encode(&mut w, v);
+        }
+        let bits = w.into_bitvec();
+        group.bench_function(format!("decode/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut r = BitReader::new(&bits);
+                let mut acc = 0u64;
+                for _ in 0..values.len() {
+                    acc = acc.wrapping_add(code.decode(&mut r).unwrap());
+                }
+                acc
+            })
+        });
+    }
+    // Byte-RLE (the Ligra+ code) for comparison.
+    group.bench_function("encode/byte-rle", |b| {
+        b.iter(|| {
+            let mut w = ByteCodeWriter::new();
+            for &v in &values {
+                w.push(v as u32);
+            }
+            w.finish().len()
+        })
+    });
+    let mut w = ByteCodeWriter::new();
+    for &v in &values {
+        w.push(v as u32);
+    }
+    let bytes = w.finish();
+    group.bench_function("decode/byte-rle", |b| {
+        b.iter(|| ByteCodeReader::new(&bytes).map(u64::from).sum::<u64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1/3 bench: prints the dataset statistics and the Table 3
+//! codewords, then times dataset generation and preprocessing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcgt_bench::datasets::{Dataset, DatasetId, Scale};
+use gcgt_bench::experiments::{table1, table3, ExperimentContext};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(Scale::BENCH, 1);
+    println!("{}", table1::run(&ctx).render());
+    println!("{}", table3::run().render());
+
+    let mut group = c.benchmark_group("table1_build");
+    group.sample_size(10);
+    group.bench_function("uk2002_generate_preprocess", |b| {
+        b.iter(|| Dataset::build(DatasetId::Uk2002, Scale(0.05)).graph.num_edges())
+    });
+    group.bench_function("twitter_generate_preprocess", |b| {
+        b.iter(|| Dataset::build(DatasetId::Twitter, Scale(0.05)).graph.num_edges())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENT...] [--scale F] [--sources N]
+//!
+//! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
+//!             ablations all          (default: all)
+//! --scale F   dataset scale factor   (default: 1.0)
+//! --sources N BFS sources averaged   (default: 3)
+//! ```
+
+use gcgt_bench::datasets::Scale;
+use gcgt_bench::experiments::{
+    ablations, fig11, fig12, fig13, fig14, fig15, fig8, fig9, table1, table3, ExperimentContext,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut sources = 3usize;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float");
+            }
+            "--sources" => {
+                sources = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sources needs an integer");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [EXPERIMENT...] [--scale F] [--sources N]\n\
+                     experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ablations all"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    println!("GCGT reproduction — scale {scale}, {sources} BFS source(s) per measurement");
+    println!(
+        "Parameters (Table 2): VLC = zeta3, min interval length = 4, \
+         reordering = LLP, residual segment length = 32 bytes\n"
+    );
+
+    // table3 needs no datasets.
+    if want("table3") {
+        println!("{}", table3::run().render());
+    }
+    let needs_ctx = ["table1", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"]
+        .iter()
+        .any(|e| want(e));
+    if !needs_ctx {
+        return;
+    }
+
+    let t0 = std::time::Instant::now();
+    eprintln!("building datasets (scale {scale}) ...");
+    let ctx = ExperimentContext::new(Scale(scale), sources);
+    eprintln!("datasets ready in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    let run_one = |name: &str, f: &dyn Fn(&ExperimentContext) -> gcgt_bench::Table| {
+        if want(name) {
+            let t = std::time::Instant::now();
+            let table = f(&ctx);
+            println!("{}", table.render());
+            eprintln!("[{name}] done in {:.1}s\n", t.elapsed().as_secs_f64());
+        }
+    };
+
+    run_one("table1", &table1::run);
+    run_one("fig8", &fig8::run);
+    run_one("fig9", &fig9::run);
+    run_one("fig11", &fig11::run);
+    run_one("fig12", &fig12::run);
+    run_one("fig13", &fig13::run);
+    run_one("fig14", &fig14::run);
+    run_one("fig15", &fig15::run);
+    if want("ablations") {
+        println!("{}", ablations::warp_width(&ctx).render());
+        println!("{}", ablations::cache_size(&ctx).render());
+        println!("{}", ablations::delta_code(&ctx).render());
+    }
+}

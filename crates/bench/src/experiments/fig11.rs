@@ -1,0 +1,91 @@
+//! Figure 11 (Appendix D): VLC encoding scheme sweep — γ, ζ2…ζ5 — BFS time
+//! and compression rate per dataset.
+
+use super::{gcgt_bfs_ms, ExperimentContext};
+use crate::table::{fmt_ms, fmt_rate, Table};
+use gcgt_bits::Code;
+use gcgt_cgr::CgrConfig;
+use gcgt_core::Strategy;
+
+/// One (dataset, code) measurement.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Code name (`gamma`, `zeta2`, …).
+    pub code: String,
+    /// Average BFS time (simulated ms).
+    pub bfs_ms: f64,
+    /// Compression rate vs the original edge list.
+    pub compression_rate: f64,
+}
+
+/// Runs the sweep.
+pub fn rows(ctx: &ExperimentContext) -> Vec<Fig11Row> {
+    let mut out = Vec::new();
+    for ds in &ctx.datasets {
+        let sources = super::sources_for(ds, ctx.sources);
+        for code in Code::FIGURE11_SWEEP {
+            let cfg = CgrConfig {
+                code,
+                ..CgrConfig::paper_default()
+            };
+            let (ms, bits) = gcgt_bfs_ms(&ds.graph, &cfg, Strategy::Full, ctx.device, &sources);
+            out.push(Fig11Row {
+                dataset: ds.id.name(),
+                code: code.name(),
+                bfs_ms: ms,
+                compression_rate: ds.compression_rate_of_bits(bits),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig11Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 11 — Varying VLC encoding schemes",
+        &["Dataset", "Code", "BFS ms", "Compression"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.dataset.to_string(),
+            r.code.clone(),
+            fmt_ms(r.bfs_ms),
+            fmt_rate(r.compression_rate),
+        ]);
+    }
+    t
+}
+
+/// Run + render.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    render(&rows(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Scale;
+
+    #[test]
+    fn every_code_round_trips_and_rates_vary() {
+        let ctx = ExperimentContext::new(Scale::TEST, 1);
+        let rows = rows(&ctx);
+        assert_eq!(rows.len(), 25);
+        // All rates positive; per dataset the sweep is not constant (the
+        // choice of k matters, which is the figure's point).
+        for ds in ["uk-2002", "twitter"] {
+            let rates: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.dataset.starts_with(ds))
+                .map(|r| r.compression_rate)
+                .collect();
+            assert!(rates.iter().all(|&r| r > 0.0));
+            let spread = rates.iter().cloned().fold(f64::MIN, f64::max)
+                - rates.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread > 0.01, "{ds}: {rates:?}");
+        }
+    }
+}

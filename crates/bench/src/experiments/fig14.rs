@@ -1,0 +1,119 @@
+//! Figure 14 (Appendix D): residual segment length sweep — 8, 16, 32, 64,
+//! 128 bytes and ∞ (no segmentation) — BFS time and compression rate.
+//!
+//! `inf` disables segmentation, so traversal falls back to the Warp-centric
+//! strategy (the previous rung of the ladder); on twitter that is the
+//! super-node-bound configuration the paper reports as 2380 ms — orders of
+//! magnitude above the segmented runs.
+
+use super::{gcgt_bfs_ms, ExperimentContext};
+use crate::table::{fmt_ms, fmt_rate, Table};
+use gcgt_cgr::CgrConfig;
+use gcgt_core::Strategy;
+
+/// The sweep points of the figure (`None` = "inf" = no segmentation).
+pub const SWEEP: [Option<u32>; 6] = [
+    Some(8),
+    Some(16),
+    Some(32),
+    Some(64),
+    Some(128),
+    None,
+];
+
+/// One (dataset, segment length) measurement.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Segment length in bytes (`None` = no segmentation).
+    pub segment_len: Option<u32>,
+    /// Average BFS time (simulated ms).
+    pub bfs_ms: f64,
+    /// Compression rate vs the original edge list.
+    pub compression_rate: f64,
+}
+
+/// Runs the sweep.
+pub fn rows(ctx: &ExperimentContext) -> Vec<Fig14Row> {
+    let mut out = Vec::new();
+    for ds in &ctx.datasets {
+        let sources = super::sources_for(ds, ctx.sources);
+        for seg in SWEEP {
+            let cfg = CgrConfig {
+                segment_len_bytes: seg,
+                ..CgrConfig::paper_default()
+            };
+            let strategy = if seg.is_some() {
+                Strategy::Full
+            } else {
+                Strategy::WarpCentric
+            };
+            let (ms, bits) = gcgt_bfs_ms(&ds.graph, &cfg, strategy, ctx.device, &sources);
+            out.push(Fig14Row {
+                dataset: ds.id.name(),
+                segment_len: seg,
+                bfs_ms: ms,
+                compression_rate: ds.compression_rate_of_bits(bits),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig14Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 14 — Varying Residual Segment Lengths (bytes)",
+        &["Dataset", "SegLen", "BFS ms", "Compression"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.dataset.to_string(),
+            r.segment_len
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "inf".into()),
+            fmt_ms(r.bfs_ms),
+            fmt_rate(r.compression_rate),
+        ]);
+    }
+    t
+}
+
+/// Run + render.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    render(&rows(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Scale;
+
+    #[test]
+    fn segment_length_trades_rate_for_time() {
+        let ctx = ExperimentContext::new(Scale::TEST, 1);
+        let rows = rows(&ctx);
+        assert_eq!(rows.len(), 30);
+        let get = |ds: &str, seg: Option<u32>| {
+            rows.iter()
+                .find(|r| r.dataset.starts_with(ds) && r.segment_len == seg)
+                .unwrap()
+        };
+        // Smaller segments waste more blank space (lower rate).
+        for ds in ["uk-2002", "twitter"] {
+            assert!(
+                get(ds, Some(8)).compression_rate <= get(ds, Some(128)).compression_rate + 1e-9,
+                "{ds}"
+            );
+        }
+        // The paper's twitter blow-up at `inf`: without segmentation the
+        // super-nodes dominate — by far the slowest point of the sweep.
+        let tw_inf = get("twitter", None).bfs_ms;
+        let tw_32 = get("twitter", Some(32)).bfs_ms;
+        assert!(
+            tw_inf > 2.0 * tw_32,
+            "twitter inf {tw_inf} vs segLen=32 {tw_32}"
+        );
+    }
+}

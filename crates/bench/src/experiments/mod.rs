@@ -1,0 +1,71 @@
+//! One module per table/figure of the paper's evaluation (Section 7 and
+//! Appendices D/E), plus the design-choice ablations called out in
+//! DESIGN.md §5. Every module exposes `run(&ExperimentContext) -> Table`
+//! printing the same rows/series the paper reports.
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+
+use crate::datasets::{bfs_sources, experiment_device, Dataset, Scale};
+use gcgt_cgr::{CgrConfig, CgrGraph};
+use gcgt_core::{bfs, GcgtEngine, Strategy};
+use gcgt_graph::Csr;
+use gcgt_simt::DeviceConfig;
+
+/// Shared inputs of every experiment: the five datasets, the device, and
+/// how many BFS sources to average over.
+pub struct ExperimentContext {
+    /// The five preprocessed datasets.
+    pub datasets: Vec<Dataset>,
+    /// Scale they were built at.
+    pub scale: Scale,
+    /// BFS sources averaged per measurement.
+    pub sources: usize,
+    /// The simulated device.
+    pub device: DeviceConfig,
+}
+
+impl ExperimentContext {
+    /// Builds the datasets and device for `scale`.
+    pub fn new(scale: Scale, sources: usize) -> Self {
+        let datasets = Dataset::build_all(scale);
+        let device = experiment_device(&datasets);
+        Self {
+            datasets,
+            scale,
+            sources,
+            device,
+        }
+    }
+}
+
+/// Encodes `graph` for `strategy` (starting from `base_cfg`) and returns the
+/// average simulated BFS time over `sources` sources plus the CGR structure
+/// size in bits. This is the primitive almost every figure sweeps.
+pub fn gcgt_bfs_ms(
+    graph: &Csr,
+    base_cfg: &CgrConfig,
+    strategy: Strategy,
+    device: DeviceConfig,
+    sources: &[u32],
+) -> (f64, usize) {
+    let cfg = strategy.cgr_config(base_cfg);
+    let cgr = CgrGraph::encode(graph, &cfg);
+    let engine = GcgtEngine::new(&cgr, device, strategy)
+        .expect("experiment graphs must fit the device");
+    let total: f64 = sources.iter().map(|&s| bfs(&engine, s).stats.est_ms).sum();
+    (total / sources.len() as f64, cgr.bits().len())
+}
+
+/// Convenience: the deterministic source list for a dataset.
+pub fn sources_for(ds: &Dataset, count: usize) -> Vec<u32> {
+    bfs_sources(&ds.graph, count)
+}

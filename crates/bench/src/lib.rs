@@ -1,0 +1,15 @@
+//! # gcgt-bench
+//!
+//! The experiment harness: synthetic analogues of the paper's five datasets
+//! ([`datasets`]) and one module per table/figure of the evaluation
+//! ([`experiments`]), each of which regenerates the corresponding rows or
+//! series. The `repro` binary prints them; the Criterion benches in
+//! `benches/` time the underlying operations and print the same tables into
+//! the bench log.
+
+pub mod datasets;
+pub mod experiments;
+pub mod table;
+
+pub use datasets::{Dataset, DatasetId, Scale};
+pub use table::Table;

@@ -1,0 +1,433 @@
+//! MSB-first bit streams backed by `u64` words.
+//!
+//! Bit `i` of a stream lives in word `i / 64` at in-word position
+//! `63 - (i % 64)`, i.e. the first bit written is the most significant bit of
+//! the first word. This matches the way the paper's figures print compressed
+//! bit arrays left-to-right and makes the warp-centric decoder's "start a
+//! lane at every bit offset" scheme (Algorithm 4) a simple shifted read.
+
+/// Append-only bit stream builder.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    /// Total number of bits written.
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (63 - off);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `n` low bits of `value`, most significant first.
+    ///
+    /// `n == 0` is a no-op. Panics in debug builds if `value` does not fit in
+    /// `n` bits.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        debug_assert!(n == 64 || value < (1u64 << n), "value does not fit in n bits");
+        if n == 0 {
+            return;
+        }
+        let off = (self.len % 64) as u32;
+        if off == 0 {
+            self.words.push(0);
+        }
+        let word = self.words.len() - 1;
+        let room = 64 - off;
+        if n <= room {
+            // Value fits entirely in the current word.
+            self.words[word] |= value << (room - n) & ones(room);
+        } else {
+            // Split across the current and a fresh word.
+            let hi = n - room; // bits that spill into the next word
+            self.words[word] |= (value >> hi) & ones(room);
+            self.words.push(value << (64 - hi));
+        }
+        self.len += n as usize;
+    }
+
+    /// Appends `n` zero bits.
+    #[inline]
+    pub fn push_zeros(&mut self, n: u32) {
+        // push_bits handles the word bookkeeping; value 0 never overflows.
+        let mut left = n;
+        while left > 64 {
+            self.push_bits(0, 64);
+            left -= 64;
+        }
+        self.push_bits(0, left);
+    }
+
+    /// Appends every bit of `other`.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        for i in 0..other.len() {
+            self.push_bit(other.get(i));
+        }
+    }
+
+    /// Pads the stream with zero bits until `len() % align == 0`.
+    pub fn align_to(&mut self, align: usize) {
+        debug_assert!(align > 0);
+        let rem = self.len % align;
+        if rem != 0 {
+            let mut pad = align - rem;
+            while pad >= 64 {
+                self.push_bits(0, 64);
+                pad -= 64;
+            }
+            self.push_bits(0, pad as u32);
+        }
+    }
+
+    /// Finalizes into an immutable [`BitVec`].
+    pub fn into_bitvec(self) -> BitVec {
+        BitVec {
+            words: self.words.into_boxed_slice(),
+            len: self.len,
+        }
+    }
+}
+
+#[inline(always)]
+fn ones(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Immutable bit array with O(1) random access, the storage unit for every
+/// compressed adjacency array in this workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit array.
+    pub fn empty() -> Self {
+        Self {
+            words: Box::new([]),
+            len: 0,
+        }
+    }
+
+    /// Builds a bit array from an ASCII string of `0`/`1` characters
+    /// (whitespace ignored). Handy for transcribing the paper's figures.
+    ///
+    /// # Panics
+    /// Panics on any character other than `0`, `1`, or whitespace.
+    pub fn from_bit_str(s: &str) -> Self {
+        let mut w = BitWriter::new();
+        for c in s.chars() {
+            match c {
+                '0' => w.push_bit(false),
+                '1' => w.push_bit(true),
+                c if c.is_whitespace() => {}
+                c => panic!("invalid bit character {c:?}"),
+            }
+        }
+        w.into_bitvec()
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the backing storage in bytes (capacity actually allocated).
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = self.words[i / 64];
+        (word >> (63 - (i % 64))) & 1 == 1
+    }
+
+    /// Reads `n` bits starting at bit `pos` as an MSB-first integer.
+    /// Bits past the end of the array read as zero, mirroring how a GPU
+    /// kernel over-reads a padded device buffer.
+    #[inline]
+    pub fn get_bits(&self, pos: usize, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return 0;
+        }
+        let word = pos / 64;
+        let off = (pos % 64) as u32;
+        let w0 = self.words.get(word).copied().unwrap_or(0);
+        if off + n <= 64 {
+            (w0 >> (64 - off - n)) & ones(n)
+        } else {
+            let w1 = self.words.get(word + 1).copied().unwrap_or(0);
+            let hi_bits = 64 - off;
+            let lo_bits = n - hi_bits;
+            ((w0 & ones(hi_bits)) << lo_bits) | (w1 >> (64 - lo_bits))
+        }
+    }
+
+    /// Raw word storage (MSB-first within each word).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Renders as a `0`/`1` string, for tests and figure reproduction.
+    pub fn to_bit_string(&self) -> String {
+        (0..self.len)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+/// Cursor over a [`BitVec`] used by every serial decoder. The GPU-simulated
+/// decoders keep their own integer bit pointers and use [`BitVec::get_bits`]
+/// directly, mirroring the `bitPtr` of the paper's pseudocode.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a BitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader positioned at bit 0.
+    pub fn new(bits: &'a BitVec) -> Self {
+        Self { bits, pos: 0 }
+    }
+
+    /// A reader positioned at an arbitrary bit offset (e.g. a node's
+    /// `bitStart` in the CGR array).
+    pub fn at(bits: &'a BitVec, pos: usize) -> Self {
+        Self { bits, pos }
+    }
+
+    /// Current bit position.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor.
+    #[inline]
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Bits remaining until the end of the array.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bits.len().saturating_sub(self.pos)
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bits.len() {
+            return None;
+        }
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads `n` bits MSB-first; `None` if fewer than `n` bits remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let v = self.bits.get_bits(self.pos, n);
+        self.pos += n as usize;
+        Some(v)
+    }
+
+    /// Counts zero bits up to and including the terminating one bit,
+    /// returning the count of zeros. `None` if the stream ends first.
+    #[inline]
+    pub fn read_unary_zeros(&mut self) -> Option<u32> {
+        let mut zeros = 0u32;
+        loop {
+            match self.read_bit()? {
+                true => return Some(zeros),
+                false => zeros += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true];
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        let v = w.into_bitvec();
+        assert_eq!(v.len(), pattern.len());
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn push_bits_crosses_word_boundary() {
+        let mut w = BitWriter::new();
+        w.push_bits(0, 60);
+        w.push_bits(0b1011_0110, 8); // straddles bits 60..68
+        let v = w.into_bitvec();
+        assert_eq!(v.get_bits(60, 8), 0b1011_0110);
+        assert_eq!(v.len(), 68);
+    }
+
+    #[test]
+    fn push_full_64_bit_values() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0xDEAD_BEEF_0123_4567, 64);
+        let v = w.into_bitvec();
+        assert_eq!(v.get_bits(1, 64), u64::MAX);
+        assert_eq!(v.get_bits(65, 64), 0xDEAD_BEEF_0123_4567);
+    }
+
+    #[test]
+    fn get_bits_past_end_reads_zero() {
+        let v = BitVec::from_bit_str("101");
+        assert_eq!(v.get_bits(1, 8), 0b0100_0000);
+        assert_eq!(v.get_bits(200, 16), 0);
+    }
+
+    #[test]
+    fn bit_string_round_trip() {
+        let s = "0001010010001000010001100110001001000110000000001001101";
+        let v = BitVec::from_bit_str(s);
+        assert_eq!(v.to_bit_string(), s);
+        assert_eq!(v.len(), s.len());
+    }
+
+    #[test]
+    fn from_bit_str_ignores_whitespace() {
+        let v = BitVec::from_bit_str("10 1\n0 1");
+        assert_eq!(v.to_bit_string(), "10101");
+    }
+
+    #[test]
+    fn reader_read_bits_and_seek() {
+        let v = BitVec::from_bit_str("1101001110001111");
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_bits(4), Some(0b1101));
+        assert_eq!(r.read_bits(4), Some(0b0011));
+        assert_eq!(r.pos(), 8);
+        r.seek(2);
+        assert_eq!(r.read_bits(3), Some(0b010));
+        r.seek(14);
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn reader_unary() {
+        let v = BitVec::from_bit_str("0001" /* 3 zeros */);
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_unary_zeros(), Some(3));
+        assert_eq!(r.read_unary_zeros(), None);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        w.align_to(8);
+        assert_eq!(w.len(), 8);
+        w.push_bit(true);
+        w.align_to(8);
+        let v = w.into_bitvec();
+        assert_eq!(v.to_bit_string(), "1010000010000000");
+    }
+
+    #[test]
+    fn align_when_already_aligned_is_noop() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xAB, 8);
+        w.align_to(8);
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let a = BitVec::from_bit_str("101");
+        let b = BitVec::from_bit_str("0011");
+        let mut w = BitWriter::new();
+        w.extend_from(&a);
+        w.extend_from(&b);
+        assert_eq!(w.into_bitvec().to_bit_string(), "1010011");
+    }
+
+    #[test]
+    fn push_zeros_bulk() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_zeros(130);
+        w.push_bit(true);
+        let v = w.into_bitvec();
+        assert_eq!(v.len(), 132);
+        assert!(v.get(0));
+        assert!(v.get(131));
+        assert!((1..131).all(|i| !v.get(i)));
+    }
+}

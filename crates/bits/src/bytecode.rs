@@ -1,0 +1,210 @@
+//! Ligra+-style byte-RLE code.
+//!
+//! Ligra+ (Shun, Dhulipala, Blelloch — DCC'15) compresses each adjacency
+//! list with *byte codes*: gaps are stored in whole bytes, and runs of gaps
+//! that need the same byte width share a single header byte, so the decoder
+//! processes a run with one branch. The format used here:
+//!
+//! ```text
+//! header byte: rrrrrrww   (r = run length - 1 in 1..=64, w = width - 1 in 1..=4 bytes)
+//! payload:     run_length * width bytes, little-endian values
+//! ```
+//!
+//! The first value of a sequence is sign-folded (see [`crate::fold_sign`])
+//! by the caller when it can be negative. This module only deals with
+//! unsigned values that fit 4 bytes.
+
+/// Streaming encoder for one gap sequence.
+#[derive(Debug, Default)]
+pub struct ByteCodeWriter {
+    buf: Vec<u8>,
+    /// Pending values that share the current byte width.
+    pending: Vec<u32>,
+    pending_width: u8,
+}
+
+const MAX_RUN: usize = 64;
+
+#[inline]
+fn width_of(v: u32) -> u8 {
+    match v {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        0x1_0000..=0xFF_FFFF => 3,
+        _ => 4,
+    }
+}
+
+impl ByteCodeWriter {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, v: u32) {
+        let w = width_of(v);
+        if self.pending.is_empty() {
+            self.pending_width = w;
+        } else if w != self.pending_width || self.pending.len() == MAX_RUN {
+            self.flush_run();
+            self.pending_width = w;
+        }
+        self.pending.push(v);
+    }
+
+    fn flush_run(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        debug_assert!(self.pending.len() <= MAX_RUN);
+        let header = (((self.pending.len() - 1) as u8) << 2) | (self.pending_width - 1);
+        self.buf.push(header);
+        for &v in &self.pending {
+            let le = v.to_le_bytes();
+            self.buf.extend_from_slice(&le[..self.pending_width as usize]);
+        }
+        self.pending.clear();
+    }
+
+    /// Finalizes the sequence into its byte representation.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_run();
+        self.buf
+    }
+}
+
+/// Decoder over a byte-RLE sequence.
+#[derive(Clone, Debug)]
+pub struct ByteCodeReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    run_left: u8,
+    width: u8,
+}
+
+impl<'a> ByteCodeReader<'a> {
+    /// A reader over `bytes`, positioned at the first run header.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            run_left: 0,
+            width: 0,
+        }
+    }
+
+    /// Bytes consumed so far.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for ByteCodeReader<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.run_left == 0 {
+            let header = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            self.run_left = (header >> 2) + 1;
+            self.width = (header & 0b11) + 1;
+        }
+        let w = self.width as usize;
+        if self.pos + w > self.bytes.len() {
+            return None;
+        }
+        let mut le = [0u8; 4];
+        le[..w].copy_from_slice(&self.bytes[self.pos..self.pos + w]);
+        self.pos += w;
+        self.run_left -= 1;
+        Some(u32::from_le_bytes(le))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u32]) {
+        let mut w = ByteCodeWriter::new();
+        for &v in values {
+            w.push(v);
+        }
+        let bytes = w.finish();
+        let decoded: Vec<u32> = ByteCodeReader::new(&bytes).collect();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_small_value() {
+        let mut w = ByteCodeWriter::new();
+        w.push(42);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0000, 42]);
+    }
+
+    #[test]
+    fn run_of_uniform_width_shares_header() {
+        let values: Vec<u32> = (1..=10).collect();
+        let mut w = ByteCodeWriter::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let bytes = w.finish();
+        // 1 header + 10 single-byte payloads
+        assert_eq!(bytes.len(), 11);
+        round_trip(&values);
+    }
+
+    #[test]
+    fn width_change_starts_new_run() {
+        round_trip(&[1, 2, 3, 1000, 2000, 5, 70000, 1]);
+    }
+
+    #[test]
+    fn long_run_splits_at_max() {
+        let values: Vec<u32> = (0..200).map(|i| i % 250).collect();
+        let mut w = ByteCodeWriter::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let bytes = w.finish();
+        // ceil(200/64) = 4 headers + 200 bytes payload
+        assert_eq!(bytes.len(), 204);
+        round_trip(&values);
+    }
+
+    #[test]
+    fn max_width_values() {
+        round_trip(&[u32::MAX, 0, u32::MAX - 1, 0xFF_FFFF, 0x100_0000]);
+    }
+
+    #[test]
+    fn compression_beats_fixed_width_on_small_gaps() {
+        let values: Vec<u32> = std::iter::repeat_n(3, 1000).collect();
+        let mut w = ByteCodeWriter::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let bytes = w.finish();
+        assert!(bytes.len() < 1000 * 4 / 3, "byte-RLE should beat 4-byte ints");
+    }
+
+    #[test]
+    fn truncated_payload_yields_none() {
+        let mut w = ByteCodeWriter::new();
+        w.push(0xFFFF);
+        let mut bytes = w.finish();
+        bytes.pop(); // drop one payload byte
+        let decoded: Vec<u32> = ByteCodeReader::new(&bytes).collect();
+        assert!(decoded.is_empty());
+    }
+}

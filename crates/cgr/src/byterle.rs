@@ -1,0 +1,158 @@
+//! The Ligra+ adjacency format: byte-RLE gap coding (Shun, Dhulipala,
+//! Blelloch — DCC'15). Used by the `Ligra+` CPU baseline of Figure 8.
+
+use gcgt_bits::{fold_sign, unfold_sign, ByteCodeReader, ByteCodeWriter};
+use gcgt_graph::{Csr, NodeId};
+
+/// A graph whose adjacency lists are byte-RLE gap streams.
+#[derive(Clone, Debug)]
+pub struct ByteRleGraph {
+    bytes: Vec<u8>,
+    /// Byte offsets per node (`n + 1` entries).
+    offsets: Box<[usize]>,
+    degrees: Box<[u32]>,
+    num_edges: usize,
+}
+
+impl ByteRleGraph {
+    /// Encodes `graph`.
+    pub fn encode(graph: &Csr) -> ByteRleGraph {
+        let n = graph.num_nodes();
+        let mut bytes = Vec::with_capacity(graph.num_edges());
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut degrees = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            offsets.push(bytes.len());
+            let list = graph.neighbors(u);
+            degrees.push(list.len() as u32);
+            let mut w = ByteCodeWriter::new();
+            let mut prev: Option<NodeId> = None;
+            for &v in list {
+                match prev {
+                    // First gap can be negative: sign-fold, like Ligra+.
+                    None => w.push(fold_sign(i64::from(v) - i64::from(u)) as u32),
+                    Some(p) => w.push(v - p),
+                }
+                prev = Some(v);
+            }
+            bytes.extend_from_slice(&w.finish());
+        }
+        offsets.push(bytes.len());
+        ByteRleGraph {
+            bytes,
+            offsets: offsets.into_boxed_slice(),
+            degrees: degrees.into_boxed_slice(),
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.degrees[u as usize] as usize
+    }
+
+    /// Streaming neighbour decode for `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let range = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        let mut reader = ByteCodeReader::new(&self.bytes[range]);
+        let deg = self.degree(u);
+        let mut prev: Option<NodeId> = None;
+        (0..deg).map(move |_| {
+            let raw = reader.next().expect("truncated byte-RLE stream");
+            let v = match prev {
+                None => (i64::from(u) + unfold_sign(u64::from(raw))) as NodeId,
+                Some(p) => p + raw,
+            };
+            prev = Some(v);
+            v
+        })
+    }
+
+    /// Bits per edge of the adjacency byte stream.
+    pub fn bits_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            (self.bytes.len() * 8) as f64 / self.num_edges as f64
+        }
+    }
+
+    /// The paper's compression rate metric, `32 / bits-per-edge`.
+    pub fn compression_rate(&self) -> f64 {
+        let bpe = self.bits_per_edge();
+        if bpe == 0.0 {
+            0.0
+        } else {
+            32.0 / bpe
+        }
+    }
+
+    /// Memory footprint: byte stream + offsets + degrees.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * 8 + self.degrees.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::{toys, web_graph, WebParams};
+
+    #[test]
+    fn round_trip_figure1() {
+        let g = toys::figure1();
+        let rle = ByteRleGraph::encode(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            let decoded: Vec<NodeId> = rle.neighbors(u).collect();
+            assert_eq!(decoded, g.neighbors(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn round_trip_web_graph() {
+        let g = web_graph(&WebParams::uk2002_like(600), 17);
+        let rle = ByteRleGraph::encode(&g);
+        assert_eq!(rle.num_edges(), g.num_edges());
+        for u in 0..g.num_nodes() as NodeId {
+            let decoded: Vec<NodeId> = rle.neighbors(u).collect();
+            assert_eq!(decoded, g.neighbors(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn compresses_local_graphs() {
+        let g = web_graph(&WebParams::uk2002_like(3000), 5);
+        let rle = ByteRleGraph::encode(&g);
+        assert!(
+            rle.bits_per_edge() < 32.0,
+            "bpe {} should beat raw CSR",
+            rle.bits_per_edge()
+        );
+    }
+
+    #[test]
+    fn negative_first_gap() {
+        let g = Csr::from_edges(100, &[(50, 3), (50, 60)]);
+        let rle = ByteRleGraph::encode(&g);
+        assert_eq!(rle.neighbors(50).collect::<Vec<_>>(), vec![3, 60]);
+    }
+
+    #[test]
+    fn empty_nodes() {
+        let g = Csr::empty(4);
+        let rle = ByteRleGraph::encode(&g);
+        assert_eq!(rle.neighbors(2).count(), 0);
+        assert_eq!(rle.bits_per_edge(), 0.0);
+    }
+}

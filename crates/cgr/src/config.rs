@@ -1,0 +1,231 @@
+//! CGR encoding parameters (the paper's Table 2) and the shared shift
+//! arithmetic used by both the encoder and every decoder (serial and
+//! GPU-simulated).
+
+use gcgt_bits::{fold_sign, unfold_sign, BitVec, BitWriter, Code};
+use gcgt_graph::NodeId;
+
+/// Parameters of the CGR encoding.
+///
+/// `None` values mean "feature disabled" — the `inf` settings of the
+/// parameter sweeps in Figures 12 and 14.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CgrConfig {
+    /// VLC scheme (Figure 11 sweep; Table 2 selects ζ3).
+    pub code: Code,
+    /// Minimum run length that becomes an interval (Figure 12 sweep;
+    /// Table 2 selects 4). `None` disables intervals entirely.
+    pub min_interval_len: Option<u32>,
+    /// Residual segment length in **bytes** (Figure 14 sweep; Table 2
+    /// selects 32). `None` disables segmentation (unsegmented layout).
+    pub segment_len_bytes: Option<u32>,
+}
+
+impl Default for CgrConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl CgrConfig {
+    /// The paper's selected parameters (Table 2): ζ3, minimum interval
+    /// length 4, residual segment length 32 bytes.
+    pub fn paper_default() -> Self {
+        Self {
+            code: Code::Zeta(3),
+            min_interval_len: Some(4),
+            segment_len_bytes: Some(32),
+        }
+    }
+
+    /// Paper parameters but with the unsegmented layout — what the
+    /// `Intuitive`…`WarpCentric` strategies of the Figure 9 ladder traverse.
+    pub fn unsegmented() -> Self {
+        Self {
+            segment_len_bytes: None,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Segment length in bits, if segmentation is enabled.
+    #[inline]
+    pub fn segment_len_bits(&self) -> Option<usize> {
+        self.segment_len_bytes.map(|b| b as usize * 8)
+    }
+
+    // --- shared shift arithmetic -----------------------------------------
+    //
+    // One encode/decode pair per field keeps the +1 / sign-fold / minimum
+    // shifts in exactly one place; the GPU kernels call the same `read_*`
+    // helpers with raw bit positions.
+
+    /// Encodes a count (`degNum`, `itvNum`, `segNum`, per-segment `resNum`);
+    /// counts can be zero, hence the +1 shift.
+    #[inline]
+    pub fn write_count(&self, w: &mut BitWriter, count: u64) {
+        self.code.encode(w, count + 1);
+    }
+
+    /// Decodes a count at `pos`; returns `(count, next_pos)`.
+    #[inline]
+    pub fn read_count(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        Some((v - 1, p))
+    }
+
+    /// Encodes a first gap (interval start or first residual) relative to
+    /// the source node: possibly negative, so sign-folded then +1.
+    #[inline]
+    pub fn write_first_gap(&self, w: &mut BitWriter, source: NodeId, target: NodeId) {
+        let gap = i64::from(target) - i64::from(source);
+        self.code.encode(w, fold_sign(gap) + 1);
+    }
+
+    /// Decodes a first gap at `pos`; returns `(target, next_pos)`.
+    #[inline]
+    pub fn read_first_gap(&self, bits: &BitVec, pos: usize, source: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        let gap = unfold_sign(v - 1);
+        Some(((i64::from(source) + gap) as NodeId, p))
+    }
+
+    /// Encodes the gap between an interval start and the previous interval's
+    /// end; maximal runs guarantee `gap >= 2`, so the shift is `-1`
+    /// (theoretical minimum 2 maps to codeword value 1).
+    #[inline]
+    pub fn write_interval_gap(&self, w: &mut BitWriter, prev_end: NodeId, start: NodeId) {
+        let gap = u64::from(start) - u64::from(prev_end);
+        debug_assert!(gap >= 2, "maximal intervals are separated by >= 2");
+        self.code.encode(w, gap - 1);
+    }
+
+    /// Decodes an interval gap at `pos`; returns `(start, next_pos)`.
+    #[inline]
+    pub fn read_interval_gap(&self, bits: &BitVec, pos: usize, prev_end: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        Some((prev_end + (v + 1) as NodeId, p))
+    }
+
+    /// Encodes an interval length; lengths are at least
+    /// `min_interval_len`, so the minimum shifts to codeword value 1.
+    #[inline]
+    pub fn write_interval_len(&self, w: &mut BitWriter, len: u32) {
+        let min = self.min_interval_len.expect("intervals disabled");
+        debug_assert!(len >= min);
+        self.code.encode(w, u64::from(len - min) + 1);
+    }
+
+    /// Decodes an interval length at `pos`; returns `(len, next_pos)`.
+    #[inline]
+    pub fn read_interval_len(&self, bits: &BitVec, pos: usize) -> Option<(u32, usize)> {
+        let min = self.min_interval_len.expect("intervals disabled");
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        Some(((v - 1) as u32 + min, p))
+    }
+
+    /// Encodes the gap between consecutive residuals (`>= 1` since lists are
+    /// sorted and duplicate-free; codeword value equals the gap).
+    #[inline]
+    pub fn write_residual_gap(&self, w: &mut BitWriter, prev: NodeId, next: NodeId) {
+        let gap = u64::from(next) - u64::from(prev);
+        debug_assert!(gap >= 1);
+        self.code.encode(w, gap);
+    }
+
+    /// Decodes a residual gap at `pos`; returns `(residual, next_pos)`.
+    #[inline]
+    pub fn read_residual_gap(&self, bits: &BitVec, pos: usize, prev: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        Some((prev + v as NodeId, p))
+    }
+
+    /// Maps a raw VLC codeword value from a residual stream to the residual
+    /// node id. Used by the warp-centric decoder (Algorithm 4), which
+    /// produces raw codeword values without knowing whether each is the
+    /// sign-folded first gap (`prev == None`) or a plain gap.
+    #[inline]
+    pub fn residual_from_raw(&self, raw: u64, prev: Option<NodeId>, source: NodeId) -> NodeId {
+        match prev {
+            None => (i64::from(source) + unfold_sign(raw - 1)) as NodeId,
+            Some(p) => p + raw as NodeId,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = CgrConfig::paper_default();
+        assert_eq!(c.code, Code::Zeta(3));
+        assert_eq!(c.min_interval_len, Some(4));
+        assert_eq!(c.segment_len_bytes, Some(32));
+        assert_eq!(c.segment_len_bits(), Some(256));
+    }
+
+    #[test]
+    fn count_round_trip_including_zero() {
+        let c = CgrConfig::paper_default();
+        let mut w = BitWriter::new();
+        for count in [0u64, 1, 2, 10, 1000] {
+            c.write_count(&mut w, count);
+        }
+        let bits = w.into_bitvec();
+        let mut pos = 0;
+        for count in [0u64, 1, 2, 10, 1000] {
+            let (v, p) = c.read_count(&bits, pos).unwrap();
+            assert_eq!(v, count);
+            pos = p;
+        }
+    }
+
+    #[test]
+    fn first_gap_handles_negative() {
+        let c = CgrConfig::paper_default();
+        let mut w = BitWriter::new();
+        // node 16's first residual is 12 (gap -4, the Figure 2 example)
+        c.write_first_gap(&mut w, 16, 12);
+        c.write_first_gap(&mut w, 16, 18); // gap +2
+        c.write_first_gap(&mut w, 16, 16); // self-loop, gap 0
+        let bits = w.into_bitvec();
+        let (v1, p1) = c.read_first_gap(&bits, 0, 16).unwrap();
+        let (v2, p2) = c.read_first_gap(&bits, p1, 16).unwrap();
+        let (v3, _) = c.read_first_gap(&bits, p2, 16).unwrap();
+        assert_eq!((v1, v2, v3), (12, 18, 16));
+    }
+
+    #[test]
+    fn interval_len_shifts_by_minimum() {
+        let c = CgrConfig::paper_default(); // min 4
+        let mut w = BitWriter::new();
+        c.write_interval_len(&mut w, 4); // encodes 1 → shortest codeword
+        let bits = w.into_bitvec();
+        assert_eq!(bits.len() as u32, c.code.len_bits(1));
+        let (len, _) = c.read_interval_len(&bits, 0).unwrap();
+        assert_eq!(len, 4);
+    }
+
+    #[test]
+    fn interval_gap_round_trip() {
+        let c = CgrConfig::paper_default();
+        let mut w = BitWriter::new();
+        c.write_interval_gap(&mut w, 21, 27); // the Figure 2 gap of 6
+        let bits = w.into_bitvec();
+        let (start, _) = c.read_interval_gap(&bits, 0, 21).unwrap();
+        assert_eq!(start, 27);
+    }
+
+    #[test]
+    fn residual_gap_round_trip() {
+        let c = CgrConfig::paper_default();
+        let mut w = BitWriter::new();
+        c.write_residual_gap(&mut w, 12, 24); // gap 12
+        c.write_residual_gap(&mut w, 24, 101); // gap 77
+        let bits = w.into_bitvec();
+        let (a, p) = c.read_residual_gap(&bits, 0, 12).unwrap();
+        let (b, _) = c.read_residual_gap(&bits, p, 24).unwrap();
+        assert_eq!((a, b), (24, 101));
+    }
+}

@@ -1,0 +1,318 @@
+//! Serial CGR decoders — the oracles that every GPU-simulated decoding path
+//! is validated against, plus the faithful `getNextNeighbor` iterator of the
+//! paper's Algorithm 1.
+
+use crate::encode::CgrGraph;
+use gcgt_graph::{Csr, CsrBuilder, NodeId};
+
+/// Decodes node `u`'s adjacency list, sorted ascending.
+pub fn decode_node(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
+    let mut out = decode_node_unsorted(cgr, u);
+    out.sort_unstable();
+    out
+}
+
+/// Decodes node `u`'s adjacency in storage order (intervals first, then
+/// residuals — the order the kernels emit).
+pub fn decode_node_unsorted(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
+    let cfg = cgr.config();
+    if cfg.segment_len_bytes.is_none() {
+        NeighborIter::new(cgr, u).collect()
+    } else {
+        decode_segmented(cgr, u)
+    }
+}
+
+/// Decodes the degree of node `u` without materializing neighbours.
+pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
+    let cfg = cgr.config();
+    let (start, end) = cgr.node_range(u);
+    if start == end {
+        return 0;
+    }
+    let bits = cgr.bits();
+    if cfg.segment_len_bytes.is_none() {
+        let (deg, _) = cfg.read_count(bits, start).expect("degNum");
+        return deg as usize;
+    }
+    // Segmented: sum interval lengths plus per-segment residual counts.
+    let (itv_num, mut pos) = cfg.read_count(bits, start).expect("itvNum");
+    let mut total = 0usize;
+    let mut prev_end: Option<NodeId> = None;
+    for _ in 0..itv_num {
+        let (s, p) = match prev_end {
+            None => cfg.read_first_gap(bits, pos, u).expect("itv start"),
+            Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
+        };
+        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        total += len as usize;
+        prev_end = Some(s + len - 1);
+        pos = p2;
+    }
+    let (seg_num, pos) = cfg.read_count(bits, pos).expect("segNum");
+    let seg_bits = cfg.segment_len_bits().unwrap();
+    for si in 0..seg_num as usize {
+        let sp = pos + si * seg_bits;
+        let (res_num, _) = cfg.read_count(bits, sp).expect("resNum");
+        total += res_num as usize;
+    }
+    total
+}
+
+fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
+    let cfg = cgr.config();
+    let bits = cgr.bits();
+    let (start, end) = cgr.node_range(u);
+    let mut out = Vec::new();
+    if start == end {
+        return out;
+    }
+    let (itv_num, mut pos) = cfg.read_count(bits, start).expect("itvNum");
+    let mut prev_end: Option<NodeId> = None;
+    for _ in 0..itv_num {
+        let (s, p) = match prev_end {
+            None => cfg.read_first_gap(bits, pos, u).expect("itv start"),
+            Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
+        };
+        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        out.extend(s..s + len);
+        prev_end = Some(s + len - 1);
+        pos = p2;
+    }
+    let (seg_num, pos) = cfg.read_count(bits, pos).expect("segNum");
+    let seg_bits = cfg.segment_len_bits().unwrap();
+    for si in 0..seg_num as usize {
+        let mut sp = pos + si * seg_bits;
+        let (res_num, p) = cfg.read_count(bits, sp).expect("resNum");
+        sp = p;
+        let mut prev: Option<NodeId> = None;
+        for _ in 0..res_num {
+            let (r, p) = match prev {
+                None => cfg.read_first_gap(bits, sp, u).expect("seg first res"),
+                Some(pr) => cfg.read_residual_gap(bits, sp, pr).expect("res gap"),
+            };
+            out.push(r);
+            prev = Some(r);
+            sp = p;
+        }
+    }
+    out
+}
+
+/// Decodes the whole graph back into CSR form (round-trip oracle).
+pub fn decode_all(cgr: &CgrGraph) -> Csr {
+    let n = cgr.num_nodes();
+    let mut b = CsrBuilder::with_edge_capacity(n, cgr.num_edges());
+    for u in 0..n as NodeId {
+        for v in decode_node_unsorted(cgr, u) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Faithful serial transcription of the paper's `getNextNeighbor`
+/// (Algorithm 1, lines 11–24) over the **unsegmented** layout: three control
+/// branches — mid-interval, interval start, residual — exactly as the
+/// pseudocode, driven by a single advancing bit pointer.
+pub struct NeighborIter<'a> {
+    cgr: &'a CgrGraph,
+    u: NodeId,
+    bit_ptr: usize,
+    deg_left: u64,
+    itv_left: u64,
+    cur_itv_ptr: NodeId,
+    cur_itv_len: u32,
+    cur_res: NodeId,
+    first_interval: bool,
+    first_residual: bool,
+}
+
+impl<'a> NeighborIter<'a> {
+    /// Starts decoding node `u`. Panics if the graph uses the segmented
+    /// layout (Algorithm 1 predates segmentation).
+    pub fn new(cgr: &'a CgrGraph, u: NodeId) -> Self {
+        let cfg = cgr.config();
+        assert!(
+            cfg.segment_len_bytes.is_none(),
+            "NeighborIter reads the unsegmented layout"
+        );
+        let (start, end) = cgr.node_range(u);
+        let (deg, itv, pos) = if start == end {
+            (0, 0, start)
+        } else {
+            let (deg, p) = cfg.read_count(cgr.bits(), start).expect("degNum");
+            if deg == 0 {
+                (0, 0, p)
+            } else {
+                let (itv, p2) = cfg.read_count(cgr.bits(), p).expect("itvNum");
+                (deg, itv, p2)
+            }
+        };
+        NeighborIter {
+            cgr,
+            u,
+            bit_ptr: pos,
+            deg_left: deg,
+            itv_left: itv,
+            cur_itv_ptr: u,
+            cur_itv_len: 0,
+            cur_res: u,
+            first_interval: true,
+            first_residual: true,
+        }
+    }
+
+    /// Current bit pointer (useful for tests asserting consumed bits).
+    pub fn bit_ptr(&self) -> usize {
+        self.bit_ptr
+    }
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.deg_left == 0 {
+            return None;
+        }
+        self.deg_left -= 1;
+        let cfg = self.cgr.config();
+        let bits = self.cgr.bits();
+        // Branch (i): in the middle of an interval.
+        if self.cur_itv_len > 0 {
+            let v = self.cur_itv_ptr;
+            self.cur_itv_ptr += 1;
+            self.cur_itv_len -= 1;
+            return Some(v);
+        }
+        // Branch (ii): at the beginning of an interval.
+        if self.itv_left > 0 {
+            let (start, p) = if self.first_interval {
+                self.first_interval = false;
+                cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("itv start")
+            } else {
+                cfg.read_interval_gap(bits, self.bit_ptr, self.cur_itv_ptr - 1)
+                    .expect("itv gap")
+            };
+            let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+            self.bit_ptr = p2;
+            self.itv_left -= 1;
+            self.cur_itv_ptr = start + 1;
+            self.cur_itv_len = len - 1;
+            return Some(start);
+        }
+        // Branch (iii): in the residual segment.
+        let (r, p) = if self.first_residual {
+            self.first_residual = false;
+            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("first res")
+        } else {
+            cfg.read_residual_gap(bits, self.bit_ptr, self.cur_res).expect("res gap")
+        };
+        self.bit_ptr = p;
+        self.cur_res = r;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.deg_left as usize, Some(self.deg_left as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CgrConfig;
+    use gcgt_bits::Code;
+    use gcgt_graph::gen::{toys, web_graph, WebParams};
+
+    fn all_configs() -> Vec<CgrConfig> {
+        let mut v = Vec::new();
+        for code in [Code::Gamma, Code::Zeta(2), Code::Zeta(3), Code::Zeta(5)] {
+            for min_itv in [Some(2), Some(4), Some(10), None] {
+                for seg in [None, Some(8), Some(32), Some(128)] {
+                    v.push(CgrConfig {
+                        code,
+                        min_interval_len: min_itv,
+                        segment_len_bytes: seg,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn round_trip_figure1_all_configs() {
+        let g = toys::figure1();
+        for cfg in all_configs() {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            assert_eq!(decode_all(&cgr), g, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_web_graph_all_configs() {
+        let g = web_graph(&WebParams::uk2002_like(400), 21);
+        for cfg in all_configs() {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            assert_eq!(decode_all(&cgr), g, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_iter_matches_paper_order() {
+        // Intervals stream out before residuals, as in getNextNeighbor.
+        let g = toys::example_3_1();
+        let cfg = CgrConfig {
+            code: Code::Gamma,
+            min_interval_len: Some(3),
+            segment_len_bytes: None,
+        };
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let order: Vec<NodeId> = NeighborIter::new(&cgr, 16).collect();
+        assert_eq!(order, vec![18, 19, 20, 21, 27, 28, 29, 12, 24, 101]);
+    }
+
+    #[test]
+    fn neighbor_iter_consumes_exactly_node_range() {
+        let g = web_graph(&WebParams::uk2002_like(300), 2);
+        let cfg = CgrConfig::unsegmented();
+        let cgr = CgrGraph::encode(&g, &cfg);
+        for u in 0..g.num_nodes() as NodeId {
+            let mut it = NeighborIter::new(&cgr, u);
+            while it.next().is_some() {}
+            let (_, end) = cgr.node_range(u);
+            assert_eq!(it.bit_ptr(), end, "node {u}");
+        }
+    }
+
+    #[test]
+    fn decode_degree_matches() {
+        let g = web_graph(&WebParams::uk2002_like(300), 8);
+        for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            for u in 0..g.num_nodes() as NodeId {
+                assert_eq!(decode_degree(&cgr, u), g.degree(u), "node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_survive() {
+        let g = Csr::from_edges(10, &[(3, 3), (3, 4), (3, 9), (0, 0)]);
+        for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            assert_eq!(decode_all(&cgr), g);
+        }
+    }
+
+    #[test]
+    fn single_huge_gap() {
+        let g = Csr::from_edges(1 << 20, &[(0, (1 << 20) - 1), ((1 << 20) - 1, 0)]);
+        for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            assert_eq!(decode_all(&cgr), g);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Intervals and Residuals Representation (step (i) of Section 3.1).
+//!
+//! A sorted adjacency list is split into maximal runs of consecutive node
+//! ids; runs at least `min_interval_len` long become *intervals* (stored as
+//! start + length), everything else becomes *residuals*.
+
+use gcgt_graph::NodeId;
+
+/// The split form of one adjacency list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalsResiduals {
+    /// `(start, len)` pairs, in ascending order of `start`.
+    pub intervals: Vec<(NodeId, u32)>,
+    /// Ascending leftover neighbours.
+    pub residuals: Vec<NodeId>,
+}
+
+impl IntervalsResiduals {
+    /// Total neighbours represented.
+    pub fn degree(&self) -> usize {
+        self.residuals.len()
+            + self
+                .intervals
+                .iter()
+                .map(|&(_, len)| len as usize)
+                .sum::<usize>()
+    }
+
+    /// Reconstructs the sorted adjacency list (intervals and residuals are
+    /// interleaved back in id order).
+    pub fn expand(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree());
+        for &(start, len) in &self.intervals {
+            out.extend(start..start + len);
+        }
+        out.extend_from_slice(&self.residuals);
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Splits a sorted, duplicate-free adjacency list. `min_interval_len = None`
+/// disables intervals (the `inf` point of Figure 12): everything becomes a
+/// residual.
+pub fn split_intervals(list: &[NodeId], min_interval_len: Option<u32>) -> IntervalsResiduals {
+    debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "list must be sorted");
+    let mut out = IntervalsResiduals::default();
+    let min = match min_interval_len {
+        Some(m) if !list.is_empty() => m.max(1),
+        _ => {
+            out.residuals = list.to_vec();
+            return out;
+        }
+    };
+    let mut i = 0usize;
+    while i < list.len() {
+        let mut j = i;
+        while j + 1 < list.len() && list[j + 1] == list[j] + 1 {
+            j += 1;
+        }
+        let run_len = (j - i + 1) as u32;
+        if run_len >= min {
+            out.intervals.push((list[i], run_len));
+        } else {
+            out.residuals.extend_from_slice(&list[i..=j]);
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2: node 16 with neighbours
+    /// 12, 18, 19, 20, 21, 24, 27, 28, 29, 101 splits into intervals
+    /// (18, 4), (27, 3) and residuals 12, 24, 101. The figure's second
+    /// interval has length 3, so its minimum interval length is 3.
+    #[test]
+    fn figure2_gap_structure() {
+        let list = [12u32, 18, 19, 20, 21, 24, 27, 28, 29, 101];
+        let ir = split_intervals(&list, Some(3));
+        assert_eq!(ir.intervals, vec![(18, 4), (27, 3)]);
+        assert_eq!(ir.residuals, vec![12, 24, 101]);
+        assert_eq!(ir.degree(), 10);
+
+        // Gap transformation of the figure: degNum=10, itvNum=2,
+        // itv0 = (2, 4) relative to node 16, itv1 = (6, 3) relative to the
+        // previous interval end 21, residual gaps -4, 12, 77.
+        let u = 16i64;
+        assert_eq!(i64::from(ir.intervals[0].0) - u, 2);
+        let prev_end = i64::from(ir.intervals[0].0 + ir.intervals[0].1 - 1);
+        assert_eq!(i64::from(ir.intervals[1].0) - prev_end, 6);
+        assert_eq!(i64::from(ir.residuals[0]) - u, -4);
+        assert_eq!(i64::from(ir.residuals[1] - ir.residuals[0]), 12);
+        assert_eq!(i64::from(ir.residuals[2] - ir.residuals[1]), 77);
+    }
+
+    #[test]
+    fn with_min_4_figure2_second_run_is_residual() {
+        let list = [12u32, 18, 19, 20, 21, 24, 27, 28, 29, 101];
+        let ir = split_intervals(&list, Some(4));
+        assert_eq!(ir.intervals, vec![(18, 4)]);
+        assert_eq!(ir.residuals, vec![12, 24, 27, 28, 29, 101]);
+    }
+
+    #[test]
+    fn none_means_no_intervals() {
+        let list = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let ir = split_intervals(&list, None);
+        assert!(ir.intervals.is_empty());
+        assert_eq!(ir.residuals, list);
+    }
+
+    #[test]
+    fn whole_list_one_interval() {
+        let list = [5u32, 6, 7, 8, 9];
+        let ir = split_intervals(&list, Some(4));
+        assert_eq!(ir.intervals, vec![(5, 5)]);
+        assert!(ir.residuals.is_empty());
+    }
+
+    #[test]
+    fn empty_list() {
+        let ir = split_intervals(&[], Some(4));
+        assert_eq!(ir, IntervalsResiduals::default());
+        assert_eq!(ir.degree(), 0);
+    }
+
+    #[test]
+    fn expand_round_trips() {
+        let list = [3u32, 4, 5, 6, 10, 11, 12, 13, 14, 20, 22, 30, 31, 32, 33];
+        for min in [1u32, 2, 3, 4, 5, 10] {
+            let ir = split_intervals(&list, Some(min));
+            assert_eq!(ir.expand(), list, "min = {min}");
+        }
+        assert_eq!(split_intervals(&list, None).expand(), list);
+    }
+
+    #[test]
+    fn adjacent_runs_not_merged() {
+        // 1,2,3 and 5,6,7 are separated by the missing 4 → two runs.
+        let list = [1u32, 2, 3, 5, 6, 7];
+        let ir = split_intervals(&list, Some(3));
+        assert_eq!(ir.intervals, vec![(1, 3), (5, 3)]);
+    }
+
+    #[test]
+    fn min_one_turns_every_neighbor_into_interval() {
+        let list = [2u32, 9, 40];
+        let ir = split_intervals(&list, Some(1));
+        assert_eq!(ir.intervals, vec![(2, 1), (9, 1), (40, 1)]);
+        assert!(ir.residuals.is_empty());
+    }
+}

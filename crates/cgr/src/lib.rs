@@ -1,0 +1,40 @@
+//! # gcgt-cgr
+//!
+//! The Compressed Graph Representation (CGR) of the paper's Section 3.1:
+//! each adjacency list goes through (i) interval/residual splitting,
+//! (ii) gap transformation and (iii) VLC encoding, producing one contiguous
+//! bit array plus per-node bit offsets — the structure GCGT kernels traverse
+//! in place on the (simulated) GPU.
+//!
+//! Two on-disk layouts are supported, selected by
+//! [`CgrConfig::segment_len_bytes`]:
+//!
+//! * **unsegmented** (Figure 2 / Figure 6 top):
+//!   `degNum, itvNum, intervals…, residuals…`
+//! * **segmented** (Section 5.2 / Figure 6 bottom):
+//!   `itvNum, intervals…, segNum, seg₀, seg₁, …` with fixed `segLen`-byte
+//!   strides, each segment starting with its own residual count and its
+//!   first residual re-based on the source node so segments decode
+//!   independently.
+//!
+//! Encoding shifts follow Appendix C: counts and gaps get a `+1` shift
+//! (VLC cannot represent 0), first gaps are sign-folded, later interval gaps
+//! shift by their theoretical minimum of 2, and interval lengths shift by
+//! the minimum interval length. (The paper's Figure 2 illustration omits
+//! these shifts; the *gap transformation* of that figure is reproduced
+//! bit-exactly by `intervals::tests::figure2_gap_structure`, while the final
+//! VLC string differs by the documented shifts.)
+
+pub mod byterle;
+pub mod config;
+pub mod decode;
+pub mod encode;
+pub mod intervals;
+pub mod stats;
+
+pub use byterle::ByteRleGraph;
+pub use config::CgrConfig;
+pub use decode::NeighborIter;
+pub use encode::CgrGraph;
+pub use intervals::{split_intervals, IntervalsResiduals};
+pub use stats::CompressionStats;

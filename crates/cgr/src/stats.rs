@@ -1,0 +1,95 @@
+//! Compression accounting: bits/edge and the paper's compression rate
+//! (`32 / bits-per-edge`), plus the segmentation blank-space overhead that
+//! drives the Figure 14 trade-off.
+
+/// Statistics gathered while encoding a [`crate::CgrGraph`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompressionStats {
+    /// Nodes encoded.
+    pub nodes: usize,
+    /// Edges encoded.
+    pub edges: usize,
+    /// Total length of the compressed bit array.
+    pub total_bits: usize,
+    /// Edges covered by intervals.
+    pub interval_edges: usize,
+    /// Edges stored as residuals.
+    pub residual_edges: usize,
+    /// Zero padding inserted by residual segmentation ("blank" areas of
+    /// Figure 6).
+    pub blank_bits: usize,
+    /// Number of residual segments emitted (0 without segmentation).
+    pub segments: usize,
+}
+
+impl CompressionStats {
+    /// Bits per edge over the whole bit array (the denominator the paper
+    /// uses for its compression-rate line plots).
+    pub fn bits_per_edge(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.edges as f64
+        }
+    }
+
+    /// The paper's compression rate: `32 / bits-per-edge` (a CSR edge costs
+    /// one 32-bit integer).
+    pub fn compression_rate(&self) -> f64 {
+        let bpe = self.bits_per_edge();
+        if bpe == 0.0 {
+            0.0
+        } else {
+            32.0 / bpe
+        }
+    }
+
+    /// Fraction of edges represented by intervals.
+    pub fn interval_coverage(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.interval_edges as f64 / self.edges as f64
+        }
+    }
+
+    /// Fraction of the bit array wasted as segment padding.
+    pub fn blank_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.blank_bits as f64 / self.total_bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_follow_definitions() {
+        let s = CompressionStats {
+            nodes: 10,
+            edges: 100,
+            total_bits: 200,
+            interval_edges: 60,
+            residual_edges: 40,
+            blank_bits: 20,
+            segments: 5,
+        };
+        assert!((s.bits_per_edge() - 2.0).abs() < 1e-12);
+        assert!((s.compression_rate() - 16.0).abs() < 1e-12);
+        assert!((s.interval_coverage() - 0.6).abs() < 1e-12);
+        assert!((s.blank_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero_not_nan() {
+        let s = CompressionStats::default();
+        assert_eq!(s.bits_per_edge(), 0.0);
+        assert_eq!(s.compression_rate(), 0.0);
+        assert_eq!(s.interval_coverage(), 0.0);
+        assert_eq!(s.blank_fraction(), 0.0);
+    }
+}

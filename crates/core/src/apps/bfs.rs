@@ -1,0 +1,205 @@
+//! Breadth-first search on the GCGT pipeline — the paper's primary workload.
+
+use gcgt_graph::{NodeId, UNREACHED};
+use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+
+use crate::bitset::BitSet;
+use crate::engine::{launch_expansion, Expander};
+use crate::kernels::Sink;
+
+/// Result of a simulated BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsRun {
+    /// Depth per node ([`UNREACHED`] when not reachable).
+    pub depth: Vec<u32>,
+    /// Reached node count (including the source).
+    pub reached: usize,
+    /// Number of BFS levels.
+    pub levels: u32,
+    /// Simulated-device statistics.
+    pub stats: RunStats,
+}
+
+/// The `appendIfUnvisited` contraction (Algorithm 1 lines 25–32) as a sink:
+/// visited lookup, warp exclusive scan, one atomic queue reservation by
+/// lane 0, coalesced output writes. Candidates that pass the (per-iteration
+/// snapshot) visited test are buffered; duplicates across warps are resolved
+/// at the merge, like atomics would on hardware.
+pub(crate) struct QueueSink<'v> {
+    visited: &'v BitSet,
+    /// Survivor pairs in emission order.
+    pub out: Vec<(NodeId, NodeId)>,
+}
+
+impl<'v> QueueSink<'v> {
+    pub fn new(visited: &'v BitSet) -> Self {
+        Self {
+            visited,
+            out: Vec::new(),
+        }
+    }
+}
+
+impl Sink for QueueSink<'_> {
+    fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]) {
+        // Status lookup: one bitmap byte per candidate (scattered).
+        warp.issue_mem(
+            OpClass::Handle,
+            items.len(),
+            items
+                .iter()
+                .map(|&(_, v)| Space::Visited.addr(u64::from(v) / 8)),
+        );
+        let flags: Vec<u32> = items
+            .iter()
+            .map(|&(_, v)| u32::from(!self.visited.get(v)))
+            .collect();
+        let (scatter, total) = warp.exclusive_scan(&flags);
+        if total == 0 {
+            return;
+        }
+        // Lane 0 reserves space with one atomic, then flagged lanes write
+        // their survivors at consecutive queue slots (coalesced).
+        warp.atomic_add(Space::Output.addr(0));
+        let base = self.out.len() as u64;
+        warp.access(
+            flags
+                .iter()
+                .zip(&scatter)
+                .filter(|(&f, _)| f == 1)
+                .map(|(_, &s)| Space::Output.addr(4 * (base + u64::from(s)))),
+        );
+        for (i, &(u, v)) in items.iter().enumerate() {
+            if flags[i] == 1 {
+                self.out.push((u, v));
+            }
+        }
+    }
+}
+
+/// Runs level-synchronous BFS from `source` on the engine's compressed
+/// graph, returning depths identical to the serial oracle plus the
+/// simulated-device cost.
+pub fn bfs<E: Expander>(engine: &E, source: NodeId) -> BfsRun {
+    let n = engine.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut device = engine.new_device();
+    let mut depth = vec![UNREACHED; n];
+    let mut visited = BitSet::new(n);
+    visited.set(source);
+    depth[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut reached = 1usize;
+    let mut level = 0u32;
+
+    while !frontier.is_empty() {
+        let sinks = launch_expansion(engine, &mut device, &frontier, || QueueSink::new(&visited));
+        // Take the owned survivor lists so the sinks' borrow of `visited`
+        // ends before the contraction merge mutates it.
+        let outs: Vec<Vec<(NodeId, NodeId)>> = sinks.into_iter().map(|s| s.out).collect();
+        let mut next = Vec::new();
+        for out in outs {
+            for (_, v) in out {
+                if visited.set(v) {
+                    depth[v as usize] = level + 1;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level += 1;
+        reached += next.len();
+        frontier = next;
+    }
+
+    BfsRun {
+        depth,
+        reached,
+        levels: level + 1,
+        stats: device.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GcgtEngine;
+    use crate::strategy::Strategy;
+    use gcgt_cgr::{CgrConfig, CgrGraph};
+    use gcgt_graph::gen::{social_graph, toys, web_graph, SocialParams, WebParams};
+    use gcgt_graph::refalgo;
+    use gcgt_graph::Csr;
+    use gcgt_simt::DeviceConfig;
+
+    fn run_bfs(graph: &Csr, strategy: Strategy, source: NodeId) -> BfsRun {
+        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(graph, &cfg);
+        let engine = GcgtEngine::new(&cgr, DeviceConfig::default(), strategy).unwrap();
+        bfs(&engine, source)
+    }
+
+    #[test]
+    fn matches_oracle_on_figure1_all_strategies() {
+        let g = toys::figure1();
+        let want = refalgo::bfs(&g, 0);
+        for strategy in Strategy::LADDER {
+            let got = run_bfs(&g, strategy, 0);
+            assert_eq!(got.depth, want.depth, "{strategy:?}");
+            assert_eq!(got.reached, want.reached, "{strategy:?}");
+            assert_eq!(got.levels, want.levels, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_web_graph_all_strategies() {
+        let g = web_graph(&WebParams::uk2002_like(800), 17);
+        let want = refalgo::bfs(&g, 0);
+        for strategy in Strategy::LADDER {
+            let got = run_bfs(&g, strategy, 0);
+            assert_eq!(got.depth, want.depth, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_skewed_graph() {
+        let g = social_graph(&SocialParams::twitter_like(600), 5);
+        let want = refalgo::bfs(&g, 3);
+        for strategy in [Strategy::TaskStealing, Strategy::WarpCentric, Strategy::Full] {
+            let got = run_bfs(&g, strategy, 3);
+            assert_eq!(got.depth, want.depth, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_source_reaches_only_itself() {
+        let g = Csr::from_edges(10, &[(1, 2)]);
+        let got = run_bfs(&g, Strategy::Full, 5);
+        assert_eq!(got.reached, 1);
+        assert_eq!(got.levels, 1);
+        assert_eq!(got.depth[5], 0);
+    }
+
+    #[test]
+    fn stats_deterministic() {
+        let g = web_graph(&WebParams::uk2002_like(400), 9);
+        let a = run_bfs(&g, Strategy::Full, 0);
+        let b = run_bfs(&g, Strategy::Full, 0);
+        assert_eq!(a.stats.est_ms.to_bits(), b.stats.est_ms.to_bits());
+        assert_eq!(a.stats.tally, b.stats.tally);
+    }
+
+    #[test]
+    fn full_strategy_cheaper_than_intuitive_on_web_graph() {
+        let g = web_graph(&WebParams::uk2002_like(1500), 2);
+        let a = run_bfs(&g, Strategy::Intuitive, 0);
+        let b = run_bfs(&g, Strategy::Full, 0);
+        assert!(
+            b.stats.est_ms < a.stats.est_ms,
+            "Full {} ms vs Intuitive {} ms",
+            b.stats.est_ms,
+            a.stats.est_ms
+        );
+    }
+}

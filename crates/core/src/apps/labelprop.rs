@@ -1,0 +1,164 @@
+//! Graph Label Propagation on the GCGT pipeline — one of the applications
+//! Section 6 lists as pipeline-compatible (Soman & Narang's GPU community
+//! detection). Semantics match [`gcgt_graph::refalgo::label_propagation`]
+//! exactly: synchronous rounds, in-neighbour majority, ties toward the
+//! smaller label.
+//!
+//! Pipeline mapping: every round expands all nodes; the filtering step
+//! emits `(u, v)` label votes with the label-array traffic accounted; the
+//! contraction tallies votes and updates labels host-side.
+
+use gcgt_graph::NodeId;
+use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+
+use crate::engine::{launch_expansion, Expander};
+use crate::kernels::Sink;
+
+/// Result of a simulated label-propagation run.
+#[derive(Clone, Debug)]
+pub struct LabelPropRun {
+    /// Final label per node.
+    pub labels: Vec<NodeId>,
+    /// Rounds executed (stops early at a fixpoint).
+    pub rounds: usize,
+    /// Number of distinct labels at the end.
+    pub communities: usize,
+    /// Simulated-device statistics.
+    pub stats: RunStats,
+}
+
+struct VoteSink {
+    out: Vec<(NodeId, NodeId)>,
+}
+
+impl Sink for VoteSink {
+    fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]) {
+        // Read the source's label (register-resident after first use) and
+        // scatter a vote into the target's ballot.
+        warp.issue_mem(
+            OpClass::Generic,
+            items.len(),
+            items
+                .iter()
+                .map(|&(_, v)| Space::Labels.addr(4 * u64::from(v))),
+        );
+        self.out.extend_from_slice(items);
+    }
+}
+
+/// Runs at most `max_rounds` synchronous label-propagation rounds.
+pub fn label_propagation<E: Expander>(engine: &E, max_rounds: usize) -> LabelPropRun {
+    let n = engine.num_nodes();
+    let mut device = engine.new_device();
+    let mut label: Vec<NodeId> = (0..n as NodeId).collect();
+    let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    // Per-node ballot: (candidate label, count), rebuilt every round.
+    let mut ballots: Vec<std::collections::HashMap<NodeId, u32>> =
+        vec![std::collections::HashMap::new(); n];
+
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let sinks = launch_expansion(engine, &mut device, &all_nodes, || VoteSink {
+            out: Vec::new(),
+        });
+        for b in ballots.iter_mut() {
+            b.clear();
+        }
+        for sink in sinks {
+            for (u, v) in sink.out {
+                *ballots[v as usize].entry(label[u as usize]).or_insert(0) += 1;
+            }
+        }
+        let mut changed = false;
+        let mut next = label.clone();
+        for v in 0..n {
+            if ballots[v].is_empty() {
+                continue;
+            }
+            let mut best = label[v];
+            let mut best_count = 0u32;
+            for (&l, &c) in ballots[v].iter() {
+                if c > best_count || (c == best_count && l < best) {
+                    best = l;
+                    best_count = c;
+                }
+            }
+            if best != label[v] {
+                next[v] = best;
+                changed = true;
+            }
+        }
+        label = next;
+        if !changed {
+            break;
+        }
+    }
+
+    let mut distinct: Vec<NodeId> = label.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    LabelPropRun {
+        communities: distinct.len(),
+        labels: label,
+        rounds,
+        stats: device.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GcgtEngine;
+    use crate::strategy::Strategy;
+    use gcgt_cgr::{CgrConfig, CgrGraph};
+    use gcgt_graph::gen::{social_graph, toys, SocialParams};
+    use gcgt_graph::refalgo;
+    use gcgt_simt::DeviceConfig;
+
+    fn run_lp(graph: &gcgt_graph::Csr, rounds: usize) -> LabelPropRun {
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(graph, &cfg);
+        let engine = GcgtEngine::new(&cgr, DeviceConfig::default(), Strategy::Full).unwrap();
+        label_propagation(&engine, rounds)
+    }
+
+    #[test]
+    fn matches_oracle_on_cliques() {
+        let g = toys::complete(8);
+        let (want, _) = refalgo::label_propagation(&g, 20);
+        let got = run_lp(&g, 20);
+        assert_eq!(got.labels, want);
+        assert_eq!(got.communities, 1);
+    }
+
+    #[test]
+    fn matches_oracle_on_social_graph() {
+        let g = social_graph(&SocialParams::ljournal_like(400), 3).symmetrized();
+        let (want, want_rounds) = refalgo::label_propagation(&g, 8);
+        let got = run_lp(&g, 8);
+        assert_eq!(got.labels, want);
+        assert_eq!(got.rounds, want_rounds);
+    }
+
+    #[test]
+    fn two_components_get_two_labels() {
+        // Two complete triads (a 2-cycle would oscillate under synchronous
+        // updates — the known LPA behaviour, shared with the oracle).
+        let mut edges = Vec::new();
+        for base in [0u32, 3] {
+            for a in 0..3 {
+                for b in 0..3 {
+                    if a != b {
+                        edges.push((base + a, base + b));
+                    }
+                }
+            }
+        }
+        let g = gcgt_graph::Csr::from_edges(6, &edges);
+        let got = run_lp(&g, 10);
+        assert!(got.labels[..3].iter().all(|&l| l == 0), "{:?}", got.labels);
+        assert!(got.labels[3..].iter().all(|&l| l == 3), "{:?}", got.labels);
+        assert_eq!(got.communities, 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph applications on the GCGT pipeline (Section 6).
+//!
+//! Every app iterates the same *expansion – filtering – contraction*
+//! pipeline over ping-pong frontier queues (Figure 7(a)); only the filtering
+//! step differs:
+//!
+//! * [`bfs`] — unvisited check + depth labelling (Figure 7(b));
+//! * [`cc`] — hooking + pointer-jumping (Figure 7(c), Soman et al.);
+//! * [`bc`] — forward σ pass + backward δ pass (Figure 7(d), Brandes);
+//! * [`pagerank`] — rank push (the Personalized-PageRank style extension the
+//!   paper lists as pipeline-compatible);
+//! * [`labelprop`] — synchronous label propagation ("Graph Label
+//!   Propagation" in the paper's Section 6 list).
+//!
+//! The expansion kernels run on the simulated device; the filtering memory
+//! traffic is accounted inside each app's [`crate::kernels::Sink`]; the
+//! contraction merge happens host-side in warp order, which keeps every
+//! statistic deterministic while matching level-synchronous GPU semantics.
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod labelprop;
+pub mod pagerank;

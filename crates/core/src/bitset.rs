@@ -1,0 +1,95 @@
+//! A plain fixed-size bitset — the host mirror of the device-side visited
+//! bitmap. Simulated kernels read a frozen per-iteration snapshot of it and
+//! the contraction merge updates it, mirroring level-synchronous GPU BFS.
+
+/// Fixed-capacity bitset over `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-zeros bitset for `len` items.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`; returns whether it was previously clear (test-and-set).
+    #[inline]
+    pub fn set(&mut self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let was = self.words[i / 64] & mask == 0;
+        self.words[i / 64] |= mask;
+        was
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Byte footprint on the simulated device.
+    pub fn device_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(!b.set(0)); // second set reports already-set
+        assert!(b.set(129));
+        assert!(b.get(129));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut b = BitSet::new(128);
+        b.set(63);
+        b.set(64);
+        assert!(b.get(63));
+        assert!(b.get(64));
+        assert!(!b.get(62));
+        assert!(!b.get(65));
+    }
+
+    #[test]
+    fn empty() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+    }
+}

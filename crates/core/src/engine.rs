@@ -1,0 +1,215 @@
+//! The expansion engine abstraction and the GCGT engine.
+//!
+//! Apps (BFS/CC/BC/PageRank) are generic over an [`Expander`]: something
+//! that can expand a warp-sized chunk of frontier nodes into `(u, v)` pairs
+//! on the simulated device. [`GcgtEngine`] expands compressed adjacency
+//! (the paper's contribution); the `gcgt-baselines` crate provides CSR-based
+//! expanders (GPUCSR, Gunrock-style) over the *same* apps and cost model, so
+//! the comparison isolates exactly the decoding overhead the paper studies.
+
+use gcgt_cgr::CgrGraph;
+use gcgt_graph::NodeId;
+use gcgt_simt::{parallel_warps, Device, DeviceConfig, IterationCost, OomError, WarpSim};
+
+use crate::kernels::{expand_warp, Sink};
+use crate::memory;
+use crate::strategy::Strategy;
+
+/// A device-resident graph structure that can expand frontier chunks.
+pub trait Expander: Sync {
+    /// Node count of the resident graph.
+    fn num_nodes(&self) -> usize;
+
+    /// The simulated device's configuration.
+    fn device_config(&self) -> &DeviceConfig;
+
+    /// Resident bytes (graph + traversal buffers) for OOM accounting.
+    fn footprint(&self) -> usize;
+
+    /// Expands one warp's chunk of frontier nodes, feeding `sink`.
+    fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S);
+
+    /// Creates a per-run device with the graph resident.
+    ///
+    /// # Panics
+    /// Panics if the footprint exceeds capacity — engines are expected to
+    /// verify capacity at construction.
+    fn new_device(&self) -> Device {
+        let mut device = Device::new(*self.device_config());
+        device
+            .alloc(self.footprint())
+            .expect("device capacity must be verified at engine construction");
+        device
+    }
+}
+
+/// Launches one expansion kernel over `frontier`: chunks it into warps, runs
+/// them host-parallel (deterministically merged in warp order), accounts the
+/// launch on `device`, and returns the per-warp sinks for the contraction
+/// merge.
+pub fn launch_expansion<E, S, F>(
+    expander: &E,
+    device: &mut Device,
+    frontier: &[NodeId],
+    make_sink: F,
+) -> Vec<S>
+where
+    E: Expander,
+    S: Sink + Send,
+    F: Fn() -> S + Sync,
+{
+    let width = expander.device_config().warp_width;
+    let cache_lines = expander.device_config().cache_lines_per_warp;
+    let chunks: Vec<&[NodeId]> = frontier.chunks(width).collect();
+    let results = parallel_warps(chunks.len(), |w| {
+        let mut warp = WarpSim::new(width, cache_lines);
+        let mut sink = make_sink();
+        expander.expand_chunk(&mut warp, chunks[w], &mut sink);
+        (warp.into_counters(), sink)
+    });
+
+    let mut cost = IterationCost {
+        warps: chunks.len(),
+        ..Default::default()
+    };
+    let mut sinks = Vec::with_capacity(results.len());
+    let device_config = expander.device_config();
+    for ((tally, mem), sink) in results {
+        let critical = device_config.warp_critical_cycles(&tally, &mem);
+        cost.max_warp_cycles = cost.max_warp_cycles.max(critical);
+        cost.tally.merge(&tally);
+        cost.mem.merge(&mem);
+        sinks.push(sink);
+    }
+    device.account_launch(&cost);
+    sinks
+}
+
+/// A GCGT traversal engine bound to one compressed graph.
+pub struct GcgtEngine<'g> {
+    cgr: &'g CgrGraph,
+    device_config: DeviceConfig,
+    strategy: Strategy,
+}
+
+impl<'g> GcgtEngine<'g> {
+    /// Binds an engine to `cgr`. Fails if the graph plus traversal buffers
+    /// exceed the device's memory capacity, or if the CGR layout does not
+    /// match the strategy (segmented ↔ `Strategy::Full`).
+    pub fn new(
+        cgr: &'g CgrGraph,
+        device_config: DeviceConfig,
+        strategy: Strategy,
+    ) -> Result<Self, OomError> {
+        assert_eq!(
+            cgr.config().segment_len_bytes.is_some(),
+            strategy.needs_segmented_layout(),
+            "CGR layout does not match strategy {strategy:?}: re-encode with \
+             strategy.cgr_config(..)"
+        );
+        let mut probe = Device::new(device_config);
+        probe.alloc(memory::gcgt_footprint(cgr))?;
+        Ok(Self {
+            cgr,
+            device_config,
+            strategy,
+        })
+    }
+
+    /// The compressed graph.
+    pub fn cgr(&self) -> &CgrGraph {
+        self.cgr
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+impl Expander for GcgtEngine<'_> {
+    fn num_nodes(&self) -> usize {
+        self.cgr.num_nodes()
+    }
+
+    fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
+    fn footprint(&self) -> usize {
+        memory::gcgt_footprint(self.cgr)
+    }
+
+    fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
+        expand_warp(self.strategy, warp, self.cgr, chunk, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::CollectSink;
+    use gcgt_cgr::CgrConfig;
+    use gcgt_graph::gen::toys;
+
+    fn tiny_cfg() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    #[test]
+    fn layout_mismatch_panics() {
+        let g = toys::figure1();
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default()); // segmented
+        let result = std::panic::catch_unwind(|| {
+            let _ = GcgtEngine::new(&cgr, tiny_cfg(), Strategy::Intuitive);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn oom_when_graph_too_big() {
+        let g = toys::figure1();
+        let cfg = Strategy::TwoPhase.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let mut dc = tiny_cfg();
+        dc.mem_capacity = 8; // absurdly small
+        assert!(GcgtEngine::new(&cgr, dc, Strategy::TwoPhase).is_err());
+    }
+
+    #[test]
+    fn launch_merges_sinks_in_warp_order() {
+        let g = toys::figure1();
+        let cfg = Strategy::TwoPhase.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let engine = GcgtEngine::new(&cgr, tiny_cfg(), Strategy::TwoPhase).unwrap();
+        let mut device = engine.new_device();
+        let frontier: Vec<NodeId> = (0..8).collect();
+        let sinks = launch_expansion(&engine, &mut device, &frontier, CollectSink::default);
+        assert_eq!(sinks.len(), 1); // 8 nodes, warp width 8
+        let pairs: Vec<_> = sinks.into_iter().flat_map(|s| s.pairs).collect();
+        assert_eq!(pairs.len(), g.num_edges());
+        let stats = device.stats();
+        assert_eq!(stats.launches, 1);
+        assert!(stats.est_ms > 0.0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_runs() {
+        let g = gcgt_graph::gen::web_graph(
+            &gcgt_graph::gen::WebParams::uk2002_like(500),
+            3,
+        );
+        let cfg = Strategy::TaskStealing.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let engine =
+            GcgtEngine::new(&cgr, DeviceConfig::default(), Strategy::TaskStealing).unwrap();
+        let frontier: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        let run = || {
+            let mut device = engine.new_device();
+            launch_expansion(&engine, &mut device, &frontier, CollectSink::default);
+            let s = device.stats();
+            (s.cycles.to_bits(), s.tally, s.mem)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,277 @@
+//! The GCGT traversal kernels, written lane-vectorized: per logical round a
+//! kernel operates on small per-lane state arrays and issues each serialized
+//! branch class as one warp step — the execution model whose step counts
+//! reproduce the paper's Figure 4 tables exactly (see
+//! `tests/figure4_steps.rs`).
+
+pub mod intuitive;
+pub mod segmented;
+pub mod task_stealing;
+pub mod two_phase;
+pub mod warp_decode;
+
+use gcgt_cgr::CgrGraph;
+use gcgt_graph::NodeId;
+use gcgt_simt::{OpClass, Space, WarpSim};
+
+use crate::strategy::Strategy;
+
+/// Consumer of expanded `(frontier_node, neighbour)` pairs.
+///
+/// One `handle` call is one warp *Handle* step (the paper's
+/// `appendIfUnvisited` and its application-specific variants of Section 6):
+/// the implementation issues the step, accounts the status-lookup memory
+/// traffic, performs the filtering, and buffers survivors for the
+/// contraction merge.
+pub trait Sink {
+    /// Processes up to `warp.width()` candidates in one warp step.
+    fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]);
+}
+
+/// Per-lane decoding cursor over the **unsegmented** CGR layout. It owns the
+/// bit pointer and the gap-decoding bookkeeping; kernels own the emission
+/// counters (how many neighbours are still due).
+#[derive(Clone, Debug)]
+pub struct LaneCursor {
+    /// The frontier node this lane expands.
+    pub u: NodeId,
+    /// Current bit position (the paper's `bitPtr`).
+    pub bit_ptr: usize,
+    /// Decoded `degNum`.
+    pub deg_num: u64,
+    /// Decoded `itvNum`.
+    pub itv_num: u64,
+    itv_decoded: u64,
+    prev_itv_end: NodeId,
+    res_decoded: u64,
+    prev_res: NodeId,
+}
+
+impl LaneCursor {
+    /// Reads the `degNum` / `itvNum` headers of node `u` and positions the
+    /// cursor at the first interval. (Header cost is tallied by the caller.)
+    pub fn load(cgr: &CgrGraph, u: NodeId) -> Self {
+        let cfg = cgr.config();
+        debug_assert!(
+            cfg.segment_len_bytes.is_none(),
+            "LaneCursor reads the unsegmented layout"
+        );
+        let (start, end) = cgr.node_range(u);
+        let (deg_num, itv_num, bit_ptr) = if start == end {
+            (0, 0, start)
+        } else {
+            let (deg, p) = cfg.read_count(cgr.bits(), start).expect("degNum");
+            if deg == 0 {
+                (0, 0, p)
+            } else {
+                let (itv, p2) = cfg.read_count(cgr.bits(), p).expect("itvNum");
+                (deg, itv, p2)
+            }
+        };
+        LaneCursor {
+            u,
+            bit_ptr,
+            deg_num,
+            itv_num,
+            itv_decoded: 0,
+            prev_itv_end: u,
+            res_decoded: 0,
+            prev_res: u,
+        }
+    }
+
+    /// Intervals not yet decoded.
+    #[inline]
+    pub fn intervals_left(&self) -> u64 {
+        self.itv_num - self.itv_decoded
+    }
+
+    /// Decodes the next interval `(start, len)` and advances the bit
+    /// pointer. Panics when no interval remains.
+    pub fn decode_interval(&mut self, cgr: &CgrGraph) -> (NodeId, u32) {
+        assert!(self.intervals_left() > 0);
+        let cfg = cgr.config();
+        let bits = cgr.bits();
+        let (start, p) = if self.itv_decoded == 0 {
+            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("itv start")
+        } else {
+            cfg.read_interval_gap(bits, self.bit_ptr, self.prev_itv_end)
+                .expect("itv gap")
+        };
+        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        self.bit_ptr = p2;
+        self.itv_decoded += 1;
+        self.prev_itv_end = start + len - 1;
+        (start, len)
+    }
+
+    /// Decodes the next residual and advances the bit pointer.
+    pub fn decode_residual(&mut self, cgr: &CgrGraph) -> NodeId {
+        let cfg = cgr.config();
+        let bits = cgr.bits();
+        let (r, p) = if self.res_decoded == 0 {
+            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("first res")
+        } else {
+            cfg.read_residual_gap(bits, self.bit_ptr, self.prev_res)
+                .expect("res gap")
+        };
+        self.bit_ptr = p;
+        self.res_decoded += 1;
+        self.prev_res = r;
+        r
+    }
+
+    /// The residual that `decode_residual` last produced, if any — the
+    /// gap base for warp-centric continuation.
+    #[inline]
+    pub fn prev_residual(&self) -> Option<NodeId> {
+        if self.res_decoded == 0 {
+            None
+        } else {
+            Some(self.prev_res)
+        }
+    }
+
+    /// Registers residuals decoded externally (by the warp-centric decoder)
+    /// so subsequent serial decoding stays consistent.
+    #[inline]
+    pub fn note_externally_decoded(&mut self, count: u64, last: NodeId, next_bit_ptr: usize) {
+        self.res_decoded += count;
+        self.prev_res = last;
+        self.bit_ptr = next_bit_ptr;
+    }
+
+    /// Simulated device byte address of the current bit pointer.
+    #[inline]
+    pub fn graph_addr(&self) -> u64 {
+        Space::Graph.addr((self.bit_ptr / 8) as u64)
+    }
+}
+
+/// Shared kernel prologue: loads the warp's frontier chunk and the per-node
+/// headers, tallying the frontier read (coalesced), the `bitStart` offset
+/// gather (scattered) and the header decode step.
+pub fn load_cursors(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId]) -> Vec<LaneCursor> {
+    let k = chunk.len();
+    debug_assert!(k <= warp.width());
+    // inQueue read: lanes load consecutive queue slots — coalesced.
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        (0..k as u64).map(|i| Space::Frontier.addr(4 * i)),
+    );
+    // bitStart gather: one offset per lane, scattered by node id.
+    warp.access(chunk.iter().map(|&u| Space::Offsets.addr(8 * u64::from(u))));
+    // degNum + itvNum decode: one step, per-lane positions in the bit array.
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        chunk
+            .iter()
+            .map(|&u| Space::Graph.addr((cgr.bit_start(u) / 8) as u64)),
+    );
+    chunk.iter().map(|&u| LaneCursor::load(cgr, u)).collect()
+}
+
+/// Expands one warp's frontier chunk under the given strategy, feeding every
+/// decoded neighbour to `sink`.
+pub fn expand_warp<S: Sink>(
+    strategy: Strategy,
+    warp: &mut WarpSim,
+    cgr: &CgrGraph,
+    chunk: &[NodeId],
+    sink: &mut S,
+) {
+    debug_assert_eq!(
+        cgr.config().segment_len_bytes.is_some(),
+        strategy.needs_segmented_layout(),
+        "CGR layout does not match strategy {strategy:?}"
+    );
+    match strategy {
+        Strategy::Intuitive => intuitive::expand(warp, cgr, chunk, sink),
+        Strategy::TwoPhase => {
+            let mut cursors = load_cursors(warp, cgr, chunk);
+            let mut res_left = two_phase::handle_intervals(warp, cgr, &mut cursors, sink);
+            two_phase::handle_residuals(warp, cgr, &mut cursors, &mut res_left, sink);
+        }
+        Strategy::TaskStealing => {
+            let mut cursors = load_cursors(warp, cgr, chunk);
+            let mut res_left = two_phase::handle_intervals(warp, cgr, &mut cursors, sink);
+            task_stealing::handle_residuals_plus(warp, cgr, &mut cursors, &mut res_left, sink);
+        }
+        Strategy::WarpCentric => {
+            let mut cursors = load_cursors(warp, cgr, chunk);
+            let mut res_left = two_phase::handle_intervals(warp, cgr, &mut cursors, sink);
+            warp_decode::handle_residuals_warp_centric(
+                warp,
+                cgr,
+                &mut cursors,
+                &mut res_left,
+                sink,
+            );
+        }
+        Strategy::Full => segmented::expand(warp, cgr, chunk, sink),
+    }
+}
+
+/// A sink that collects every candidate pair without filtering — used by
+/// kernel unit tests to check *what* is expanded independently of *how*.
+#[derive(Default)]
+pub struct CollectSink {
+    /// Every `(frontier_node, neighbour)` pair seen, in emission order.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Number of handle steps observed.
+    pub handle_calls: usize,
+}
+
+impl Sink for CollectSink {
+    fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]) {
+        warp.issue(OpClass::Handle, items.len());
+        self.pairs.extend_from_slice(items);
+        self.handle_calls += 1;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use gcgt_cgr::CgrConfig;
+    use gcgt_graph::Csr;
+
+    /// Expands every node of `graph` as one big frontier under `strategy`
+    /// and returns the per-source sorted adjacency observed.
+    pub fn expand_all(
+        graph: &Csr,
+        strategy: Strategy,
+        width: usize,
+    ) -> std::collections::BTreeMap<NodeId, Vec<NodeId>> {
+        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(graph, &cfg);
+        let frontier: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+        let mut map: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for chunk in frontier.chunks(width) {
+            let mut warp = WarpSim::new(width, 64);
+            let mut sink = CollectSink::default();
+            expand_warp(strategy, &mut warp, &cgr, chunk, &mut sink);
+            for (u, v) in sink.pairs {
+                map.entry(u).or_default().push(v);
+            }
+        }
+        for list in map.values_mut() {
+            list.sort_unstable();
+        }
+        map
+    }
+
+    /// Asserts that expansion under `strategy` reproduces the graph.
+    pub fn assert_expansion_correct(graph: &Csr, strategy: Strategy, width: usize) {
+        let got = expand_all(graph, strategy, width);
+        for u in 0..graph.num_nodes() as NodeId {
+            let want = graph.neighbors(u);
+            let empty = Vec::new();
+            let have = got.get(&u).unwrap_or(&empty);
+            assert_eq!(have, want, "strategy {strategy:?} width {width} node {u}");
+        }
+    }
+}

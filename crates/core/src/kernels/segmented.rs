@@ -1,0 +1,275 @@
+//! Section 5.2 — Residual Segmentation traversal (the complete GCGT).
+//!
+//! The segmented CGR layout (`itvNum, intervals…, segNum, seg₀, seg₁, …`)
+//! stores residuals in fixed-stride segments whose positions are known the
+//! moment `segNum` is read, and whose first residuals are re-based on the
+//! source node — so up to `segNum` threads can decode one node's residual
+//! area in parallel ("multi-way processing"). Intervals are expanded
+//! cooperatively exactly as in Two-Phase.
+//!
+//! Scheduling here: all segments of the warp's frontier chunk are flattened
+//! into a task list; lanes take one segment each, `warpNum` segments per
+//! batch, decoding in lock-step rounds with a Handle step per round. Since
+//! segments are bounded by `segLen`, per-lane work is balanced regardless of
+//! how skewed the node degrees are — this is what flattens the twitter
+//! super-node bottleneck in Figures 9 and 14.
+
+use gcgt_cgr::CgrGraph;
+use gcgt_graph::NodeId;
+use gcgt_simt::{OpClass, Space, WarpSim};
+
+use super::{two_phase::expand_decoded_intervals, Sink};
+
+/// Per-lane header cursor over the segmented layout.
+struct SegCursor {
+    u: NodeId,
+    pos: usize,
+    itv_num: u64,
+    itv_decoded: u64,
+    prev_itv_end: NodeId,
+    empty: bool,
+}
+
+impl SegCursor {
+    fn load(cgr: &CgrGraph, u: NodeId) -> Self {
+        let cfg = cgr.config();
+        let (start, end) = cgr.node_range(u);
+        if start == end {
+            return SegCursor {
+                u,
+                pos: start,
+                itv_num: 0,
+                itv_decoded: 0,
+                prev_itv_end: u,
+                empty: true,
+            };
+        }
+        let (itv_num, pos) = cfg.read_count(cgr.bits(), start).expect("itvNum");
+        SegCursor {
+            u,
+            pos,
+            itv_num,
+            itv_decoded: 0,
+            prev_itv_end: u,
+            empty: false,
+        }
+    }
+
+    fn intervals_left(&self) -> u64 {
+        self.itv_num - self.itv_decoded
+    }
+
+    fn decode_interval(&mut self, cgr: &CgrGraph) -> (NodeId, u32) {
+        let cfg = cgr.config();
+        let bits = cgr.bits();
+        let (start, p) = if self.itv_decoded == 0 {
+            cfg.read_first_gap(bits, self.pos, self.u).expect("itv start")
+        } else {
+            cfg.read_interval_gap(bits, self.pos, self.prev_itv_end)
+                .expect("itv gap")
+        };
+        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        self.pos = p2;
+        self.itv_decoded += 1;
+        self.prev_itv_end = start + len - 1;
+        (start, len)
+    }
+
+    fn graph_addr(&self) -> u64 {
+        Space::Graph.addr((self.pos / 8) as u64)
+    }
+}
+
+/// One residual segment awaiting decoding.
+struct SegTask {
+    u: NodeId,
+    pos: usize,
+    prev: Option<NodeId>,
+    left: u64,
+}
+
+/// Expands `chunk` over the segmented CGR layout.
+pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sink: &mut S) {
+    let cfg = *cgr.config();
+    let seg_bits = cfg
+        .segment_len_bits()
+        .expect("segmented kernel requires the segmented layout");
+    let k = chunk.len();
+
+    // Prologue: frontier read (coalesced), bitStart gather, itvNum headers.
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        (0..k as u64).map(|i| Space::Frontier.addr(4 * i)),
+    );
+    warp.access(chunk.iter().map(|&u| Space::Offsets.addr(8 * u64::from(u))));
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        chunk
+            .iter()
+            .map(|&u| Space::Graph.addr((cgr.bit_start(u) / 8) as u64)),
+    );
+    let mut cursors: Vec<SegCursor> = chunk.iter().map(|&u| SegCursor::load(cgr, u)).collect();
+
+    // --- interval phase (identical scheduling to Two-Phase) ---
+    let mut pending: Vec<(NodeId, NodeId, u32)> = vec![(0, 0, 0); k];
+    while cursors.iter().any(|c| c.intervals_left() > 0) {
+        let decoding: Vec<usize> = cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.intervals_left() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let addrs: Vec<u64> = decoding.iter().map(|&i| cursors[i].graph_addr()).collect();
+        warp.issue_mem(OpClass::ItvDecode, decoding.len(), addrs);
+        for &i in &decoding {
+            let (start, len) = cursors[i].decode_interval(cgr);
+            pending[i] = (cursors[i].u, start, len);
+        }
+        expand_decoded_intervals(warp, &mut pending, sink);
+    }
+
+    // --- segment discovery: read segNum, lay out the task list ---
+    let live: Vec<usize> = (0..k).filter(|&i| !cursors[i].empty).collect();
+    if live.is_empty() {
+        return;
+    }
+    let addrs: Vec<u64> = live.iter().map(|&i| cursors[i].graph_addr()).collect();
+    warp.issue_mem(OpClass::Header, live.len(), addrs);
+    let mut tasks: Vec<SegTask> = Vec::new();
+    for &i in &live {
+        let c = &cursors[i];
+        let (seg_num, base) = cfg.read_count(cgr.bits(), c.pos).expect("segNum");
+        for s in 0..seg_num as usize {
+            tasks.push(SegTask {
+                u: c.u,
+                pos: base + s * seg_bits,
+                prev: None,
+                left: 0, // filled when the segment header is read
+            });
+        }
+    }
+
+    // --- multi-way segment processing, one segment per lane per batch ---
+    let width = warp.width();
+    let mut batch_start = 0usize;
+    while batch_start < tasks.len() {
+        let batch_end = (batch_start + width).min(tasks.len());
+        let batch = &mut tasks[batch_start..batch_end];
+        // Read each segment's resNum (scattered header step).
+        let addrs: Vec<u64> = batch
+            .iter()
+            .map(|t| Space::Graph.addr((t.pos / 8) as u64))
+            .collect();
+        warp.issue_mem(OpClass::Header, batch.len(), addrs);
+        for t in batch.iter_mut() {
+            let (res_num, p) = cfg.read_count(cgr.bits(), t.pos).expect("resNum");
+            t.left = res_num;
+            t.pos = p;
+        }
+        // Lock-step decode rounds with a Handle step per round.
+        loop {
+            let active: Vec<usize> = (0..batch.len()).filter(|&i| batch[i].left > 0).collect();
+            if active.is_empty() {
+                break;
+            }
+            let addrs: Vec<u64> = active
+                .iter()
+                .map(|&i| Space::Graph.addr((batch[i].pos / 8) as u64))
+                .collect();
+            warp.issue_mem(OpClass::ResDecode, active.len(), addrs);
+            let mut items = Vec::with_capacity(active.len());
+            for &i in &active {
+                let t = &mut batch[i];
+                let (r, p) = match t.prev {
+                    None => cfg.read_first_gap(cgr.bits(), t.pos, t.u).expect("seg first"),
+                    Some(prev) => cfg
+                        .read_residual_gap(cgr.bits(), t.pos, prev)
+                        .expect("seg gap"),
+                };
+                t.pos = p;
+                t.prev = Some(r);
+                t.left -= 1;
+                items.push((t.u, r));
+            }
+            sink.handle(warp, &items);
+        }
+        batch_start = batch_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::assert_expansion_correct;
+    use crate::kernels::{expand_warp, CollectSink};
+    use crate::strategy::Strategy;
+    use gcgt_cgr::{CgrConfig, CgrGraph};
+    use gcgt_graph::gen::{social_graph, toys, web_graph, SocialParams, WebParams};
+    use gcgt_graph::Csr;
+
+    #[test]
+    fn expands_figure1_correctly() {
+        assert_expansion_correct(&toys::figure1(), Strategy::Full, 8);
+    }
+
+    #[test]
+    fn expands_web_graph_correctly() {
+        let g = web_graph(&WebParams::uk2002_like(300), 4);
+        for width in [4, 8, 32] {
+            assert_expansion_correct(&g, Strategy::Full, width);
+        }
+    }
+
+    #[test]
+    fn expands_twitter_like_correctly() {
+        let g = social_graph(&SocialParams::twitter_like(400), 6);
+        assert_expansion_correct(&g, Strategy::Full, 16);
+    }
+
+    #[test]
+    fn super_node_decoded_with_high_utilization() {
+        // One hub with 2000 scattered residuals: segmentation must keep most
+        // lanes busy, unlike per-lane serial decoding.
+        let mut edges = Vec::new();
+        let mut v = 3u32;
+        for i in 0..2000u32 {
+            edges.push((0, v));
+            v += 2 + (i % 7);
+        }
+        let g = Csr::from_edges(1 << 15, &edges);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        assert!(cgr.stats().segments > 32, "{} segments", cgr.stats().segments);
+
+        let mut warp = WarpSim::new(32, 64);
+        let mut sink = CollectSink::default();
+        expand_warp(Strategy::Full, &mut warp, &cgr, &[0], &mut sink);
+        assert_eq!(sink.pairs.len(), 2000);
+        assert!(
+            warp.tally().utilization() > 0.5,
+            "utilization {}",
+            warp.tally().utilization()
+        );
+
+        // The same hub under TaskStealing serializes on one lane.
+        let cfg2 = Strategy::TaskStealing.cgr_config(&CgrConfig::paper_default());
+        let cgr2 = CgrGraph::encode(&g, &cfg2);
+        let mut warp2 = WarpSim::new(32, 64);
+        let mut sink2 = CollectSink::default();
+        expand_warp(Strategy::TaskStealing, &mut warp2, &cgr2, &[0], &mut sink2);
+        assert!(warp2.tally().utilization() < warp.tally().utilization());
+    }
+
+    #[test]
+    fn empty_nodes_cost_nothing_extra() {
+        let g = Csr::empty(16);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let mut warp = WarpSim::new(8, 64);
+        let mut sink = CollectSink::default();
+        expand_warp(Strategy::Full, &mut warp, &cgr, &[0, 1, 2], &mut sink);
+        assert!(sink.pairs.is_empty());
+    }
+}

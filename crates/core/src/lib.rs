@@ -1,0 +1,36 @@
+//! # gcgt-core
+//!
+//! The paper's primary contribution: **GPU-based Compressed Graph Traversal
+//! (GCGT)** — traversal kernels that decode CGR adjacency lists entirely
+//! inside the (simulated) GPU cores, scheduled to minimize warp divergence
+//! and load imbalance:
+//!
+//! * [`kernels::intuitive`] — Algorithm 1, one thread per compressed list;
+//! * [`kernels::two_phase`] — Algorithm 2, interval and residual phases
+//!   separated, intervals expanded cooperatively;
+//! * [`kernels::task_stealing`] — Algorithm 3, idle lanes steal residual
+//!   work through shared memory;
+//! * [`kernels::warp_decode`] — Algorithm 4, speculative parallel VLC
+//!   decoding with O(log₂ W) validity marking (Lemma 5.2);
+//! * [`kernels::segmented`] — Section 5.2, residual segments processed
+//!   multi-way.
+//!
+//! [`Strategy`] stacks them exactly as the Figure 9 ablation ladder, and the
+//! apps ([`apps::bfs`], [`apps::cc`], [`apps::bc`], [`apps::pagerank`])
+//! instantiate the expansion–filtering–contraction pipeline of Section 6.
+
+pub mod apps;
+pub mod bitset;
+pub mod engine;
+pub mod kernels;
+pub mod memory;
+pub mod strategy;
+
+pub use apps::bc::{bc, BcRun};
+pub use apps::bfs::{bfs, BfsRun};
+pub use apps::cc::{cc, CcRun};
+pub use apps::labelprop::{label_propagation, LabelPropRun};
+pub use apps::pagerank::{pagerank, PagerankRun};
+pub use bitset::BitSet;
+pub use engine::{launch_expansion, Expander, GcgtEngine};
+pub use strategy::Strategy;

@@ -1,0 +1,96 @@
+//! The optimization ladder of the Figure 9 ablation study.
+
+use gcgt_cgr::CgrConfig;
+
+/// Which scheduling strategies a traversal uses. Each variant includes all
+/// the optimizations of its predecessors, matching the incremental
+/// application of techniques in Section 7.3:
+/// `Intuitive → +TwoPhase → +TaskStealing → +WarpCentric → +ResidualSegmentation`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Algorithm 1: one lane decodes one compressed list, no cooperation.
+    Intuitive,
+    /// + Algorithm 2: interval/residual phases split, intervals expanded
+    ///   cooperatively (long-interval leader election + short-interval
+    ///   scan packing).
+    TwoPhase,
+    /// + Algorithm 3: idle lanes steal residual decoding work.
+    TaskStealing,
+    /// + Algorithm 4: long residual runs decoded speculatively by the whole
+    ///   warp with O(log₂ W) validity marking.
+    WarpCentric,
+    /// + Section 5.2: residual segmentation — the complete GCGT.
+    Full,
+}
+
+impl Strategy {
+    /// The ablation ladder in Figure 9 order.
+    pub const LADDER: [Strategy; 5] = [
+        Strategy::Intuitive,
+        Strategy::TwoPhase,
+        Strategy::TaskStealing,
+        Strategy::WarpCentric,
+        Strategy::Full,
+    ];
+
+    /// Name as printed in Figure 9's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Intuitive => "Intuitive",
+            Strategy::TwoPhase => "TwoPhaseTraversal",
+            Strategy::TaskStealing => "TaskStealing",
+            Strategy::WarpCentric => "Warp-centric",
+            Strategy::Full => "ResidualSegmentation (GCGT)",
+        }
+    }
+
+    /// Whether this strategy traverses the segmented CGR layout
+    /// (only the full GCGT does; the rest read the unsegmented layout).
+    pub fn needs_segmented_layout(&self) -> bool {
+        matches!(self, Strategy::Full)
+    }
+
+    /// The CGR configuration this strategy expects, derived from a base
+    /// configuration by forcing the layout it traverses.
+    pub fn cgr_config(&self, base: &CgrConfig) -> CgrConfig {
+        let mut cfg = *base;
+        if self.needs_segmented_layout() {
+            if cfg.segment_len_bytes.is_none() {
+                cfg.segment_len_bytes = CgrConfig::paper_default().segment_len_bytes;
+            }
+        } else {
+            cfg.segment_len_bytes = None;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_matches_figure9() {
+        assert_eq!(Strategy::LADDER[0], Strategy::Intuitive);
+        assert_eq!(Strategy::LADDER[4], Strategy::Full);
+    }
+
+    #[test]
+    fn only_full_needs_segments() {
+        for s in Strategy::LADDER {
+            assert_eq!(s.needs_segmented_layout(), s == Strategy::Full);
+        }
+    }
+
+    #[test]
+    fn cgr_config_forces_layout() {
+        let base = CgrConfig::paper_default();
+        assert!(Strategy::TwoPhase.cgr_config(&base).segment_len_bytes.is_none());
+        assert_eq!(
+            Strategy::Full.cgr_config(&base).segment_len_bytes,
+            Some(32)
+        );
+        let unseg = CgrConfig::unsegmented();
+        assert_eq!(Strategy::Full.cgr_config(&unseg).segment_len_bytes, Some(32));
+    }
+}

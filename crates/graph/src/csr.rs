@@ -1,0 +1,422 @@
+//! Compressed Sparse Row graphs (the paper's Figure 1 format).
+//!
+//! Node ids are `u32` ("assuming 32 bit integers", Section 3.1), adjacency
+//! lists are sorted ascending and deduplicated — the precondition for the
+//! interval/residual split of CGR.
+
+use std::fmt;
+
+/// Node identifier. The paper assumes 32-bit ids throughout; CGR's
+/// compression rate is defined as `32 / bits-per-edge`.
+pub type NodeId = u32;
+
+/// Depth marker for nodes not reached by a traversal.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// An immutable graph in Compressed Sparse Row form.
+///
+/// `row_offsets[u] .. row_offsets[u + 1]` indexes `col_indices` with the
+/// sorted out-neighbours of `u`, exactly as in Figure 1 of the paper.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_offsets: Box<[usize]>,
+    col_indices: Box<[NodeId]>,
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Csr {{ nodes: {}, edges: {} }}",
+            self.num_nodes(),
+            self.num_edges()
+        )
+    }
+}
+
+impl Csr {
+    /// Builds from raw parts. Callers must uphold the invariants; use
+    /// [`CsrBuilder`] or [`Csr::from_edges`] otherwise.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone or out of bounds, or if an
+    /// adjacency list is unsorted or contains duplicates.
+    pub fn from_parts(row_offsets: Vec<usize>, col_indices: Vec<NodeId>) -> Self {
+        assert!(!row_offsets.is_empty(), "row_offsets must have n + 1 entries");
+        assert_eq!(*row_offsets.last().unwrap(), col_indices.len());
+        let n = row_offsets.len() - 1;
+        for u in 0..n {
+            assert!(row_offsets[u] <= row_offsets[u + 1], "offsets not monotone");
+            let list = &col_indices[row_offsets[u]..row_offsets[u + 1]];
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "adjacency of {u} unsorted or duplicated");
+            }
+            if let Some(&max) = list.last() {
+                assert!((max as usize) < n, "neighbour out of range for node {u}");
+            }
+        }
+        Self {
+            row_offsets: row_offsets.into_boxed_slice(),
+            col_indices: col_indices.into_boxed_slice(),
+        }
+    }
+
+    /// Builds from an edge list; duplicates are removed, adjacency sorted.
+    /// `n` must exceed every endpoint.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut b = CsrBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// A graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            row_offsets: vec![0; n + 1].into_boxed_slice(),
+            col_indices: Box::new([]),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.row_offsets[u + 1] - self.row_offsets[u]
+    }
+
+    /// Sorted out-neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.col_indices[self.row_offsets[u]..self.row_offsets[u + 1]]
+    }
+
+    /// The raw row-offset array (length `n + 1`).
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// The raw column-index array (length `|E|`).
+    #[inline]
+    pub fn col_indices(&self) -> &[NodeId] {
+        &self.col_indices
+    }
+
+    /// Average out-degree `|E| / |V|` (the ratio column of Table 1).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all edges in `(u, v)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// In-degree of every node (how often a node appears as a neighbour —
+    /// the quantity DegSort ranks by).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes()];
+        for &v in self.col_indices.iter() {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// The transposed graph (every edge reversed).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut offsets = vec![0usize; n + 1];
+        for &v in self.col_indices.iter() {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut cols = vec![0 as NodeId; self.num_edges()];
+        for u in 0..n as NodeId {
+            for &v in self.neighbors(u) {
+                cols[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Each per-node slice was filled in increasing u, so it is sorted
+        // and duplicate-free already.
+        Csr {
+            row_offsets: offsets.into_boxed_slice(),
+            col_indices: cols.into_boxed_slice(),
+        }
+    }
+
+    /// The symmetrized graph: for every edge `(u, v)` both directions exist.
+    pub fn symmetrized(&self) -> Csr {
+        let mut b = CsrBuilder::new(self.num_nodes());
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build()
+    }
+
+    /// Relabels nodes: old node `u` becomes `perm[u]`. Adjacency lists are
+    /// re-sorted under the new labels. This is the `σ : V → V` bijection of
+    /// Section 3.1 ("Node Reordering").
+    pub fn permuted(&self, perm: &[NodeId]) -> Csr {
+        assert_eq!(perm.len(), self.num_nodes(), "permutation length mismatch");
+        let n = self.num_nodes();
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n as NodeId {
+            offsets[perm[u as usize] as usize + 1] = self.degree(u);
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cols = vec![0 as NodeId; self.num_edges()];
+        for u in 0..n as NodeId {
+            let nu = perm[u as usize] as usize;
+            let dst = &mut cols[offsets[nu]..offsets[nu] + self.degree(u)];
+            for (slot, &v) in dst.iter_mut().zip(self.neighbors(u)) {
+                *slot = perm[v as usize];
+            }
+            dst.sort_unstable();
+        }
+        Csr {
+            row_offsets: offsets.into_boxed_slice(),
+            col_indices: cols.into_boxed_slice(),
+        }
+    }
+
+    /// Bytes needed to store the graph as plain 32-bit CSR, the paper's
+    /// uncompressed reference ("E integers (assuming 32 bit integers)"):
+    /// `4·(|E| + |V| + 1)`.
+    pub fn csr_bytes(&self) -> usize {
+        4 * (self.num_edges() + self.num_nodes() + 1)
+    }
+
+    /// Quick structural sanity check used by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if *self.row_offsets.last().unwrap() != self.col_indices.len() {
+            return Err("last offset != edge count".into());
+        }
+        for u in 0..n {
+            if self.row_offsets[u] > self.row_offsets[u + 1] {
+                return Err(format!("offsets not monotone at {u}"));
+            }
+            let list = &self.col_indices[self.row_offsets[u]..self.row_offsets[u + 1]];
+            for w in list.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {u} unsorted/duplicated"));
+                }
+            }
+            if let Some(&max) = list.last() {
+                if max as usize >= n {
+                    return Err(format!("neighbour {max} out of range at {u}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder that sorts and deduplicates adjacency lists.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl CsrBuilder {
+    /// A builder for a graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 id space");
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Pre-sizes the edge buffer.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Adds a directed edge `u → v`.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Adds both directions.
+    #[inline]
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Number of edge insertions so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a [`Csr`], sorting and deduplicating.
+    pub fn build(mut self) -> Csr {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, _) in &self.edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let cols: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+        Csr {
+            row_offsets: offsets.into_boxed_slice(),
+            col_indices: cols.into_boxed_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::toys;
+
+    #[test]
+    fn figure1_graph_matches_paper_csr() {
+        // Figure 1 of the paper: row offsets and column indices, verbatim.
+        let g = toys::figure1();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.row_offsets(), &[0, 3, 6, 7, 7, 7, 9, 10, 10]);
+        assert_eq!(g.col_indices(), &[1, 3, 4, 2, 4, 5, 5, 6, 7, 7]);
+        assert_eq!(g.neighbors(0), &[1, 3, 4]);
+        assert_eq!(g.neighbors(5), &[6, 7]);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 3); // duplicate
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = toys::figure1();
+        let t = g.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.num_edges(), g.num_edges());
+        let mut fwd: Vec<_> = g.edges().collect();
+        let mut rev: Vec<_> = t.edges().map(|(u, v)| (v, u)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let g = toys::figure1();
+        assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn symmetrized_contains_both_directions() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = g.symmetrized();
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+        assert_eq!(s.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = toys::figure1();
+        // Reverse the ids.
+        let n = g.num_nodes() as NodeId;
+        let perm: Vec<NodeId> = (0..n).map(|u| n - 1 - u).collect();
+        let p = g.permuted(&perm);
+        p.validate().unwrap();
+        assert_eq!(p.num_edges(), g.num_edges());
+        // Every original edge must exist under the new labels.
+        for (u, v) in g.edges() {
+            let (nu, nv) = (perm[u as usize], perm[v as usize]);
+            assert!(p.neighbors(nu).contains(&nv), "{u}->{v} lost");
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let g = toys::figure1();
+        let perm: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        assert_eq!(g.permuted(&perm), g);
+    }
+
+    #[test]
+    fn in_degrees_count_occurrences() {
+        let g = toys::figure1();
+        let ind = g.in_degrees();
+        assert_eq!(ind[5], 2); // from 1 and 2
+        assert_eq!(ind[7], 2); // from 5 and 6
+        assert_eq!(ind[0], 0);
+        assert_eq!(ind.iter().map(|&d| d as usize).sum::<usize>(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn csr_bytes_formula() {
+        let g = toys::figure1();
+        assert_eq!(g.csr_bytes(), 4 * (10 + 8 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn from_parts_rejects_unsorted() {
+        let _ = Csr::from_parts(vec![0, 2], vec![1, 0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text edge-list I/O (`u v` per line, `#` comments), the common
+//! interchange format of SNAP / WebGraph-derived datasets.
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses an edge list from a reader. Node count is inferred as
+/// `max id + 1` unless `n` is given.
+pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> io::Result<Csr> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: NodeId = 0;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<NodeId> {
+            tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing field"))?
+                .parse::<NodeId>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let mut b = CsrBuilder::with_edge_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as an edge list.
+pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Loads an edge list from a file path.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file), None)
+}
+
+/// Saves a graph to a file path.
+pub fn save<P: AsRef<Path>>(graph: &Csr, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::toys;
+
+    #[test]
+    fn round_trip_through_text() {
+        let g = toys::figure1();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(io::Cursor::new(buf), Some(g.num_nodes())).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a comment\n\n0 1\n1 2\n# another\n2 0\n";
+        let g = read_edge_list(io::Cursor::new(text), None).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn node_count_inferred_from_max_id() {
+        let g = read_edge_list(io::Cursor::new("0 9\n"), None).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn malformed_line_is_error() {
+        assert!(read_edge_list(io::Cursor::new("0\n"), None).is_err());
+        assert!(read_edge_list(io::Cursor::new("a b\n"), None).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Classic random-graph models used by tests and ablation benches.
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)`: `m` directed edges drawn uniformly (self-loops
+/// excluded, duplicates collapse).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT parameters (Chakrabarti et al.). `a + b + c + d` must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The Graph500 parameterization.
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// R-MAT generator over `2^scale` nodes with `edges` edge draws.
+pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_edge_capacity(n, edges);
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "RMAT quadrants must sum to 1");
+    for _ in 0..edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_deterministic_and_valid() {
+        let a = erdos_renyi(500, 3000, 1);
+        let b = erdos_renyi(500, 3000, 1);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+        // Duplicates may collapse; expect close to m edges.
+        assert!(a.num_edges() > 2800 && a.num_edges() <= 3000);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 40_000, RmatParams::default(), 3);
+        g.validate().unwrap();
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        assert!(max > 8.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn rmat_node_count_is_power_of_two() {
+        let g = rmat(8, 1000, RmatParams::default(), 9);
+        assert_eq!(g.num_nodes(), 256);
+    }
+}

@@ -1,0 +1,215 @@
+//! Social-network generators (the `ljournal` and `twitter` analogues).
+//!
+//! * [`social_graph`] — preferential attachment with community locality:
+//!   moderate skew and moderate locality, like the LiveJournal friendship
+//!   snapshot (compression rate 2–3× in the paper).
+//! * [`SocialParams::twitter_like`] — a configuration-model variant with
+//!   Zipf out-degrees, a few extreme hubs and *uniformly random* targets.
+//!   The paper notes that timeline-ordered, rate-limited API crawls destroy
+//!   locality, which is why twitter compresses poorly and why its traversal
+//!   is bottlenecked by super-nodes (Figures 8, 9, 14).
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+use crate::gen::zipf::ZipfSampler;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters for [`social_graph`].
+#[derive(Clone, Debug)]
+pub struct SocialParams {
+    /// Number of users.
+    pub nodes: usize,
+    /// Edges added per new node (preferential attachment `m`).
+    pub edges_per_node: usize,
+    /// Probability that a link targets a nearby id instead of a
+    /// preferential-attachment endpoint (community locality).
+    pub locality_prob: f64,
+    /// Half-width of the "nearby id" window.
+    pub locality_range: usize,
+    /// Power-law exponent for the Zipf degree generator (config model).
+    pub zipf_alpha: f64,
+    /// Degree cap for the Zipf generator, as a fraction of `nodes`.
+    pub max_degree_frac: f64,
+    /// Number of super-hubs planted on top (0 = none).
+    pub hubs: usize,
+    /// Out-degree of each super-hub, as a fraction of `nodes`.
+    pub hub_degree_frac: f64,
+    /// When true, use the configuration model (twitter); otherwise
+    /// preferential attachment (ljournal).
+    pub config_model: bool,
+}
+
+impl SocialParams {
+    /// The `ljournal` analogue: average out-degree ≈ 15, moderate skew,
+    /// some community locality.
+    pub fn ljournal_like(nodes: usize) -> Self {
+        Self {
+            nodes,
+            edges_per_node: 15,
+            locality_prob: 0.5,
+            locality_range: 400,
+            zipf_alpha: 0.0,
+            max_degree_frac: 0.0,
+            hubs: 0,
+            hub_degree_frac: 0.0,
+            config_model: false,
+        }
+    }
+
+    /// The `twitter` analogue: average out-degree ≈ 35, extreme skew
+    /// (super-hubs), no locality.
+    pub fn twitter_like(nodes: usize) -> Self {
+        Self {
+            nodes,
+            edges_per_node: 30,
+            locality_prob: 0.0,
+            locality_range: 0,
+            zipf_alpha: 1.55,
+            max_degree_frac: 0.02,
+            hubs: 12,
+            hub_degree_frac: 0.25,
+            config_model: true,
+        }
+    }
+}
+
+/// Generates a social graph per `params`. Deterministic in `(params, seed)`.
+pub fn social_graph(params: &SocialParams, seed: u64) -> Csr {
+    if params.config_model {
+        config_model(params, seed)
+    } else {
+        preferential_attachment(params, seed)
+    }
+}
+
+fn preferential_attachment(params: &SocialParams, seed: u64) -> Csr {
+    let n = params.nodes;
+    let m = params.edges_per_node;
+    assert!(n > m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_edge_capacity(n, n * m);
+    // Endpoint pool for preferential sampling: every added edge contributes
+    // its target, so the draw probability is proportional to in-degree.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(n * m);
+
+    // Seed clique over the first m+1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in 0..=(m as NodeId) {
+            if u != v {
+                b.add_edge(u, v);
+                pool.push(v);
+            }
+        }
+    }
+    for u in (m + 1)..n {
+        for _ in 0..m {
+            let v = if params.locality_prob > 0.0 && rng.gen_bool(params.locality_prob) {
+                // Community locality: link to a nearby, already-existing id.
+                let lo = u.saturating_sub(params.locality_range);
+                rng.gen_range(lo..u) as NodeId
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if v as usize != u {
+                b.add_edge(u as NodeId, v);
+                pool.push(v);
+                pool.push(u as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+fn config_model(params: &SocialParams, seed: u64) -> Csr {
+    let n = params.nodes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_deg = ((n as f64 * params.max_degree_frac) as usize).max(4);
+    let zipf = ZipfSampler::new(max_deg, params.zipf_alpha);
+    let mut b = CsrBuilder::new(n);
+    // Scale Zipf draws so the mean lands near edges_per_node.
+    let probe: f64 = {
+        let mut s = 0usize;
+        let mut prng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        let k = 4096;
+        for _ in 0..k {
+            s += zipf.sample(&mut prng);
+        }
+        s as f64 / k as f64
+    };
+    let scale = params.edges_per_node as f64 / probe;
+    for u in 0..n {
+        let mut d = ((zipf.sample(&mut rng) as f64) * scale).round() as usize;
+        d = d.clamp(1, n - 1);
+        for _ in 0..d {
+            let v = rng.gen_range(0..n);
+            if v != u {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    // Plant super-hubs: a few accounts follow a large fraction of the graph.
+    for h in 0..params.hubs {
+        let u = (h * (n / params.hubs.max(1))) as NodeId;
+        let hub_deg = ((n as f64) * params.hub_degree_frac) as usize;
+        for _ in 0..hub_deg {
+            let v = rng.gen_range(0..n);
+            if v != u as usize {
+                b.add_edge(u, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ljournal_like_is_deterministic() {
+        let p = SocialParams::ljournal_like(3000);
+        assert_eq!(social_graph(&p, 9), social_graph(&p, 9));
+    }
+
+    #[test]
+    fn ljournal_like_degree_band() {
+        let g = social_graph(&SocialParams::ljournal_like(5000), 2);
+        g.validate().unwrap();
+        let avg = g.avg_degree();
+        assert!((8.0..20.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn twitter_like_has_super_hubs() {
+        let p = SocialParams::twitter_like(5000);
+        let g = social_graph(&p, 4);
+        g.validate().unwrap();
+        let max = g.max_degree();
+        assert!(
+            max > g.num_nodes() / 8,
+            "expected super-hub, max degree {max}"
+        );
+        // And the median degree must stay small — skew, not uniform density.
+        let mut degs: Vec<usize> = (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).collect();
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        assert!(median < 40, "median {median}");
+    }
+
+    #[test]
+    fn twitter_like_degree_band() {
+        let g = social_graph(&SocialParams::twitter_like(5000), 11);
+        let avg = g.avg_degree();
+        assert!((15.0..70.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn preferential_attachment_skews_to_early_nodes() {
+        let mut p = SocialParams::ljournal_like(4000);
+        p.locality_prob = 0.0;
+        let g = social_graph(&p, 6);
+        let ind = g.in_degrees();
+        let early: u32 = ind[..100].iter().sum();
+        let late: u32 = ind[ind.len() - 100..].iter().sum();
+        assert!(early > 3 * late, "early {early} late {late}");
+    }
+}

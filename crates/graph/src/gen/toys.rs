@@ -1,0 +1,217 @@
+//! Small deterministic graphs used throughout the test suites, including the
+//! paper's own running examples.
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+
+/// The example graph of the paper's **Figure 1** (8 nodes, 10 edges) whose
+/// CSR arrays are printed in the figure.
+pub fn figure1() -> Csr {
+    Csr::from_edges(
+        8,
+        &[
+            (0, 1),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 4),
+            (1, 5),
+            (2, 5),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+        ],
+    )
+}
+
+/// A graph containing the adjacency list of the paper's **Example 3.1 /
+/// Figure 2**: node 16 with neighbours
+/// `12, 18, 19, 20, 21, 24, 27, 28, 29, 101`. All other nodes are isolated.
+pub fn example_3_1() -> Csr {
+    let neighbors = [12u32, 18, 19, 20, 21, 24, 27, 28, 29, 101];
+    let mut b = CsrBuilder::new(102);
+    for &v in &neighbors {
+        b.add_edge(16, v);
+    }
+    b.build()
+}
+
+/// The warp-scheduling example of the paper's **Figure 4(a)**: 8 frontier
+/// nodes whose compressed lists contain the stated interval/residual mix.
+///
+/// Returns `(graph, frontier)` where `frontier[i]` is the node assigned to
+/// thread `t_i`. Adjacency lists are laid out so that, with
+/// `min_interval_len = 4`, the CGR encoder produces exactly the paper's
+/// interval lengths and residual counts:
+///
+/// | thread | degNum | itvNum | interval len | residuals |
+/// |--------|--------|--------|--------------|-----------|
+/// | t0     | 6      | 1      | 4            | 2         |
+/// | t1     | 1      | 0      | —            | 1         |
+/// | t2     | 14     | 1      | 11           | 3         |
+/// | t3     | 2      | 0      | —            | 2         |
+/// | t4     | 1      | 0      | —            | 1         |
+/// | t5     | 11     | 1      | 7            | 4         |
+/// | t6     | 1      | 0      | —            | 1         |
+/// | t7     | 1      | 0      | —            | 1         |
+pub fn figure4() -> (Csr, Vec<NodeId>) {
+    // Give the 8 frontier nodes ids spaced out so residual gaps are clean.
+    let frontier: Vec<NodeId> = (0..8).map(|i| i * 40).collect();
+    let n = 400usize;
+    let mut b = CsrBuilder::new(n);
+    let mut add_list = |u: NodeId, itv: Option<(NodeId, u32)>, residuals: &[NodeId]| {
+        if let Some((start, len)) = itv {
+            for v in start..start + len {
+                b.add_edge(u, v);
+            }
+        }
+        for &v in residuals {
+            b.add_edge(u, v);
+        }
+    };
+    add_list(frontier[0], Some((10, 4)), &[2, 30]); // deg 6, itv len 4, 2 res
+    add_list(frontier[1], None, &[45]); // deg 1
+    add_list(frontier[2], Some((90, 11)), &[70, 110, 130]); // deg 14, itv 11, 3 res
+    add_list(frontier[3], None, &[100, 140]); // deg 2
+    add_list(frontier[4], None, &[175]); // deg 1
+    add_list(frontier[5], Some((210, 7)), &[190, 230, 250, 270]); // deg 11, itv 7, 4 res
+    add_list(frontier[6], None, &[255]); // deg 1
+    add_list(frontier[7], None, &[295]); // deg 1
+    (b.build(), frontier)
+}
+
+/// Path graph `0 → 1 → ... → n-1`.
+pub fn path(n: usize) -> Csr {
+    let edges: Vec<_> = (0..n.saturating_sub(1) as NodeId)
+        .map(|u| (u, u + 1))
+        .collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// Cycle graph over `n` nodes.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 2);
+    let edges: Vec<_> = (0..n as NodeId)
+        .map(|u| (u, (u + 1) % n as NodeId))
+        .collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// Star: node 0 points at every other node.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as NodeId).map(|v| (0, v)).collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// Complete directed graph without self-loops.
+pub fn complete(n: usize) -> Csr {
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Undirected 2-D grid of `w × h` nodes (edges in both directions).
+pub fn grid(w: usize, h: usize) -> Csr {
+    let n = w * h;
+    let mut b = CsrBuilder::new(n);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_undirected(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_undirected(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree of the given depth, edges pointing away from root.
+pub fn binary_tree(depth: u32) -> Csr {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = CsrBuilder::new(n);
+    for u in 0..n {
+        for c in [2 * u + 1, 2 * u + 2] {
+            if c < n {
+                b.add_edge(u as NodeId, c as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_matches_paper() {
+        let g = example_3_1();
+        assert_eq!(
+            g.neighbors(16),
+            &[12, 18, 19, 20, 21, 24, 27, 28, 29, 101]
+        );
+        assert_eq!(g.degree(16), 10);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn figure4_degrees_match_paper_table() {
+        let (g, frontier) = figure4();
+        let degs: Vec<usize> = frontier.iter().map(|&u| g.degree(u)).collect();
+        assert_eq!(degs, vec![6, 1, 14, 2, 1, 11, 1, 1]);
+    }
+
+    #[test]
+    fn toys_validate() {
+        for g in [
+            path(10),
+            cycle(5),
+            star(7),
+            complete(5),
+            grid(4, 3),
+            binary_tree(4),
+        ] {
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn grid_degree_bounds() {
+        let g = grid(5, 5);
+        assert_eq!(g.num_nodes(), 25);
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(12), 4);
+    }
+
+    #[test]
+    fn complete_has_all_edges() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 30);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn binary_tree_edge_count() {
+        let g = binary_tree(3); // 15 nodes
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+    }
+}

@@ -1,0 +1,235 @@
+//! Web-graph generator (the `uk-2002` / `uk-2007` analogues).
+//!
+//! Real web crawls compress extremely well (the paper reports 1–2 bits/edge)
+//! because of two structural properties the WebGraph literature identifies:
+//!
+//! * **locality** — pages mostly link within their own site, and crawlers
+//!   assign consecutive ids to pages of one site, so neighbour ids cluster;
+//! * **similarity** — pages on a site share navigation boilerplate, so
+//!   nearby pages have near-identical adjacency lists; consecutive page ids
+//!   in those lists form *intervals*.
+//!
+//! This generator reproduces both: nodes are partitioned into consecutive-id
+//! "sites"; each site has a navigation template (a run of consecutive ids →
+//! intervals); each page copies part of a predecessor's list (similarity),
+//! links a few random pages of its own site (locality), and adds a small
+//! number of global links (residuals).
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Parameters for [`web_graph`].
+#[derive(Clone, Debug)]
+pub struct WebParams {
+    /// Number of pages.
+    pub nodes: usize,
+    /// Minimum / maximum site size (consecutive-id block).
+    pub site_size: (usize, usize),
+    /// Minimum / maximum length of the site navigation run (interval source).
+    pub nav_run: (usize, usize),
+    /// Probability that a page copies from its predecessor's list.
+    pub copy_prob: f64,
+    /// Fraction of the predecessor list copied.
+    pub copy_frac: f64,
+    /// Random same-site links per page.
+    pub local_links: usize,
+    /// Random global links per page (residual source).
+    pub global_links: usize,
+    /// Probability that a page is a "directory" hub with a large out-degree
+    /// (real crawls are power-law: index pages list hundreds of links).
+    pub hub_prob: f64,
+    /// Hub out-degree range as fractions of the node count (directory pages
+    /// list a chunk of the crawl); mostly one long consecutive run, the rest
+    /// scattered links.
+    pub hub_degree_frac: (f64, f64),
+}
+
+impl WebParams {
+    /// Shape of the `uk-2002` analogue: average out-degree ≈ 16.
+    pub fn uk2002_like(nodes: usize) -> Self {
+        Self {
+            nodes,
+            site_size: (30, 90),
+            nav_run: (6, 14),
+            copy_prob: 0.6,
+            copy_frac: 0.6,
+            local_links: 2,
+            global_links: 1,
+            hub_prob: 0.012,
+            hub_degree_frac: (1.0 / 400.0, 1.0 / 125.0),
+        }
+    }
+
+    /// Shape of the `uk-2007` analogue: average out-degree ≈ 35, stronger
+    /// templates (the paper reports 1.17 bits/edge vs 2.31 for uk-2002).
+    pub fn uk2007_like(nodes: usize) -> Self {
+        Self {
+            nodes,
+            site_size: (60, 180),
+            nav_run: (18, 34),
+            copy_prob: 0.75,
+            copy_frac: 0.7,
+            local_links: 2,
+            global_links: 1,
+            hub_prob: 0.015,
+            hub_degree_frac: (1.0 / 400.0, 1.0 / 100.0),
+        }
+    }
+}
+
+/// Generates a web-like graph. Deterministic in `(params, seed)`.
+pub fn web_graph(params: &WebParams, seed: u64) -> Csr {
+    let n = params.nodes;
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_edge_capacity(
+        n,
+        n * (params.nav_run.0 + params.local_links + params.global_links),
+    );
+
+    // Carve the id space into sites.
+    let mut site_starts = Vec::new();
+    let mut at = 0usize;
+    while at < n {
+        site_starts.push(at);
+        let size = rng.gen_range(params.site_size.0..=params.site_size.1);
+        at += size.max(2);
+    }
+    site_starts.push(n);
+
+    let mut prev_list: Vec<NodeId> = Vec::new();
+    for s in 0..site_starts.len() - 1 {
+        let (start, end) = (site_starts[s], site_starts[s + 1]);
+        let site_len = end - start;
+        // Site navigation template: one run of consecutive ids inside the
+        // site shared (with jitter) by all of its pages.
+        let run_len = rng
+            .gen_range(params.nav_run.0..=params.nav_run.1)
+            .min(site_len.saturating_sub(1))
+            .max(1);
+        let run_base = start + rng.gen_range(0..site_len.saturating_sub(run_len).max(1));
+
+        prev_list.clear();
+        for u in start..end {
+            let mut list: Vec<NodeId> = Vec::new();
+            // (0) directory hubs: a long consecutive listing plus scatter —
+            // the intra-warp imbalance that cooperative interval expansion
+            // (Algorithm 2) exists to fix.
+            if rng.gen_bool(params.hub_prob) {
+                let lo = ((n as f64) * params.hub_degree_frac.0) as usize;
+                let hi = ((n as f64) * params.hub_degree_frac.1) as usize;
+                let deg = rng.gen_range(lo.max(8)..=hi.max(9));
+                let run = (deg * 4) / 5;
+                let base = rng.gen_range(0..n.saturating_sub(run + 1).max(1));
+                for v in base..base + run {
+                    if v != u {
+                        list.push(v as NodeId);
+                    }
+                }
+                for _ in 0..deg - run {
+                    let v = rng.gen_range(0..n);
+                    if v != u {
+                        list.push(v as NodeId);
+                    }
+                }
+            }
+            // (1) navigation run — the interval source
+            for v in run_base..run_base + run_len {
+                if v != u && v < n {
+                    list.push(v as NodeId);
+                }
+            }
+            // (2) similarity: copy a prefix of the predecessor's list
+            if !prev_list.is_empty() && rng.gen_bool(params.copy_prob) {
+                let take = ((prev_list.len() as f64) * params.copy_frac).ceil() as usize;
+                for &v in prev_list.iter().take(take) {
+                    if v as usize != u {
+                        list.push(v);
+                    }
+                }
+            }
+            // (3) locality: random links within the site
+            for _ in 0..params.local_links {
+                let v = rng.gen_range(start..end);
+                if v != u {
+                    list.push(v as NodeId);
+                }
+            }
+            // (4) global links — the residual source
+            for _ in 0..params.global_links {
+                let v = rng.gen_range(0..n);
+                if v != u {
+                    list.push(v as NodeId);
+                }
+            }
+            for &v in &list {
+                b.add_edge(u as NodeId, v);
+            }
+            prev_list = list;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = WebParams::uk2002_like(2000);
+        let a = web_graph(&p, 42);
+        let b = web_graph(&p, 42);
+        assert_eq!(a, b);
+        let c = web_graph(&p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn average_degree_in_expected_band() {
+        let p = WebParams::uk2002_like(5000);
+        let g = web_graph(&p, 1);
+        g.validate().unwrap();
+        let avg = g.avg_degree();
+        assert!((8.0..30.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn uk2007_denser_than_uk2002() {
+        let a = web_graph(&WebParams::uk2002_like(4000), 7);
+        let b = web_graph(&WebParams::uk2007_like(4000), 7);
+        assert!(b.avg_degree() > a.avg_degree() * 1.4);
+    }
+
+    #[test]
+    fn adjacency_contains_consecutive_runs() {
+        // The defining property: a large share of neighbours sit in runs of
+        // consecutive ids (the interval source).
+        let g = web_graph(&WebParams::uk2002_like(4000), 3);
+        let mut in_run = 0usize;
+        let mut total = 0usize;
+        for u in 0..g.num_nodes() as NodeId {
+            let list = g.neighbors(u);
+            total += list.len();
+            let mut i = 0;
+            while i < list.len() {
+                let mut j = i;
+                while j + 1 < list.len() && list[j + 1] == list[j] + 1 {
+                    j += 1;
+                }
+                if j - i + 1 >= 4 {
+                    in_run += j - i + 1;
+                }
+                i = j + 1;
+            }
+        }
+        let frac = in_run as f64 / total as f64;
+        assert!(frac > 0.4, "interval-coverage fraction {frac}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = web_graph(&WebParams::uk2002_like(1000), 5);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+}

@@ -1,0 +1,88 @@
+//! Zipf-distributed sampling over `1..=max`, implemented in-repo (the
+//! offline `rand` build does not ship `rand_distr`).
+
+use rand::Rng;
+
+/// Samples integers `d ∈ [1, max]` with probability proportional to
+/// `d^{-alpha}` via an inverse-CDF table.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `alpha` is the power-law exponent (the paper's
+    /// social graphs behave like `alpha ≈ 1.8–2.2`).
+    pub fn new(max: usize, alpha: f64) -> Self {
+        assert!(max >= 1);
+        let mut cdf = Vec::with_capacity(max);
+        let mut acc = 0.0;
+        for d in 1..=max {
+            acc += (d as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one sample in `[1, max]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Largest value the sampler can return.
+    pub fn max(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(100, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = z.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn skew_favours_small_values() {
+        let z = ZipfSampler::new(1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        // P(1) ≈ 1/ζ(2) ≈ 0.61 for alpha = 2.
+        assert!(ones as f64 > 0.5 * n as f64, "ones = {ones}");
+    }
+
+    #[test]
+    fn alpha_zero_is_near_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn max_one_always_returns_one() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+}

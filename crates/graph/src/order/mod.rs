@@ -1,0 +1,216 @@
+//! Node reorderings (Section 3.1 "Node Reordering", Figure 13, Appendix D).
+//!
+//! A reordering is a bijection `σ : V → V` applied before CGR encoding to
+//! improve locality and hence compression rate. The paper sweeps: Original,
+//! DegSort, BFSOrder, Gorder and LLP (Table 2 selects LLP); SlashBurn is
+//! discussed in related work and provided here as an extension.
+
+mod gorder;
+mod llp;
+mod slashburn;
+
+use crate::csr::{Csr, NodeId, UNREACHED};
+
+pub use gorder::GorderConfig;
+pub use llp::LlpConfig;
+pub use slashburn::SlashBurnConfig;
+
+/// A node permutation: `perm[old_id] = new_id`.
+pub type Permutation = Vec<NodeId>;
+
+/// The reordering methods of Figure 13 (plus SlashBurn).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reordering {
+    /// Keep the original ids.
+    Original,
+    /// Descending in-degree ("frequencies that they are an out-degree
+    /// node"), ties by original id.
+    DegSort,
+    /// Ids assigned in BFS visitation order (Apostolico & Drovandi).
+    BfsOrder,
+    /// Windowed greedy locality-score maximization (Wei et al., SIGMOD'16).
+    Gorder(GorderConfig),
+    /// Layered label propagation (Boldi et al., WWW'11) — the paper's
+    /// selected method (Table 2).
+    Llp(LlpConfig),
+    /// Hub removal + spoke grouping (Kang & Faloutsos, ICDM'11). Extension.
+    SlashBurn(SlashBurnConfig),
+}
+
+impl Reordering {
+    /// All methods swept in Figure 13, in the figure's order.
+    pub fn figure13_sweep() -> Vec<Reordering> {
+        vec![
+            Reordering::Original,
+            Reordering::DegSort,
+            Reordering::BfsOrder,
+            Reordering::Gorder(GorderConfig::default()),
+            Reordering::Llp(LlpConfig::default()),
+        ]
+    }
+
+    /// Short name as printed in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Reordering::Original => "Original",
+            Reordering::DegSort => "DegSort",
+            Reordering::BfsOrder => "BFSOrder",
+            Reordering::Gorder(_) => "Gorder",
+            Reordering::Llp(_) => "LLP",
+            Reordering::SlashBurn(_) => "SlashBurn",
+        }
+    }
+
+    /// Computes the permutation for `graph`.
+    pub fn compute(&self, graph: &Csr) -> Permutation {
+        match self {
+            Reordering::Original => identity(graph.num_nodes()),
+            Reordering::DegSort => degsort(graph),
+            Reordering::BfsOrder => bfs_order(graph),
+            Reordering::Gorder(cfg) => gorder::gorder(graph, cfg),
+            Reordering::Llp(cfg) => llp::llp(graph, cfg),
+            Reordering::SlashBurn(cfg) => slashburn::slashburn(graph, cfg),
+        }
+    }
+}
+
+/// The identity permutation.
+pub fn identity(n: usize) -> Permutation {
+    (0..n as NodeId).collect()
+}
+
+/// Checks that `perm` is a bijection on `0..n`.
+pub fn is_permutation(perm: &[NodeId]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Inverts a permutation: `inv[new_id] = old_id`.
+pub fn invert(perm: &[NodeId]) -> Permutation {
+    let mut inv = vec![0 as NodeId; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as NodeId;
+    }
+    inv
+}
+
+/// Builds the permutation that assigns new id `i` to node `ranking[i]`
+/// (i.e. `ranking` lists old ids in their new order).
+pub fn from_ranking(ranking: &[NodeId]) -> Permutation {
+    invert(ranking) // same array transform: ranking[new] = old
+}
+
+/// DegSort: descending in-degree, ties broken by original id (stable).
+fn degsort(graph: &Csr) -> Permutation {
+    let ind = graph.in_degrees();
+    let mut ranking: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    ranking.sort_by_key(|&u| std::cmp::Reverse(ind[u as usize]));
+    from_ranking(&ranking)
+}
+
+/// BFSOrder: multi-source BFS in id order; visitation order becomes the new
+/// id order, so tree-adjacent nodes get nearby ids.
+fn bfs_order(graph: &Csr) -> Permutation {
+    let n = graph.num_nodes();
+    let mut perm = vec![UNREACHED; n];
+    let mut next_id: NodeId = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n as NodeId {
+        if perm[root as usize] != UNREACHED {
+            continue;
+        }
+        perm[root as usize] = next_id;
+        next_id += 1;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                if perm[v as usize] == UNREACHED {
+                    perm[v as usize] = next_id;
+                    next_id += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{toys, web_graph, WebParams};
+
+    #[test]
+    fn all_methods_produce_permutations() {
+        let g = web_graph(&WebParams::uk2002_like(800), 11);
+        for method in Reordering::figure13_sweep() {
+            let p = method.compute(&g);
+            assert!(is_permutation(&p), "{} not a permutation", method.name());
+        }
+        let p = Reordering::SlashBurn(SlashBurnConfig::default()).compute(&g);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let g = toys::figure1();
+        assert_eq!(Reordering::Original.compute(&g), identity(8));
+    }
+
+    #[test]
+    fn degsort_puts_high_in_degree_first() {
+        let g = toys::star(10); // node 0 has out-edges, leaves have in-degree 1
+        let p = Reordering::DegSort.compute(&g);
+        // Node 0 has in-degree 0 → last; leaves keep relative order.
+        assert_eq!(p[0], 9);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 1);
+    }
+
+    #[test]
+    fn bfs_order_assigns_source_zero() {
+        let g = toys::figure1();
+        let p = Reordering::BfsOrder.compute(&g);
+        assert_eq!(p[0], 0);
+        // Neighbours of 0 get the next ids in adjacency order: 1, 3, 4.
+        assert_eq!(p[1], 1);
+        assert_eq!(p[3], 2);
+        assert_eq!(p[4], 3);
+    }
+
+    #[test]
+    fn bfs_order_covers_disconnected_graphs() {
+        let g = Csr::from_edges(6, &[(0, 1), (3, 4)]);
+        let p = Reordering::BfsOrder.compute(&g);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let g = toys::figure1();
+        let p = Reordering::DegSort.compute(&g);
+        let inv = invert(&p);
+        for u in 0..8usize {
+            assert_eq!(inv[p[u] as usize], u as NodeId);
+        }
+    }
+
+    #[test]
+    fn permuted_graph_preserves_edge_count_under_all_methods() {
+        let g = web_graph(&WebParams::uk2002_like(500), 3);
+        for method in Reordering::figure13_sweep() {
+            let p = method.compute(&g);
+            let pg = g.permuted(&p);
+            assert_eq!(pg.num_edges(), g.num_edges(), "{}", method.name());
+            pg.validate().unwrap();
+        }
+    }
+}

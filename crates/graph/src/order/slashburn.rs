@@ -1,0 +1,142 @@
+//! SlashBurn (Kang & Faloutsos — ICDM 2011), provided as an extension.
+//!
+//! SlashBurn exploits the "no caveman communities" structure of real graphs:
+//! repeatedly remove the top-k hubs (assigning them the lowest remaining
+//! ids), collect the small disconnected "spokes" left behind (assigning them
+//! the highest remaining ids), and recurse on the giant connected component.
+
+use crate::csr::{Csr, NodeId};
+use crate::order::Permutation;
+
+/// Configuration for SlashBurn ([`crate::order::Reordering::SlashBurn`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlashBurnConfig {
+    /// Hubs removed per wave, as a fraction of the remaining nodes.
+    pub k_frac: f64,
+    /// Stop recursing when the remaining giant component is this small.
+    pub min_component: usize,
+}
+
+impl Default for SlashBurnConfig {
+    fn default() -> Self {
+        Self {
+            k_frac: 0.005,
+            min_component: 64,
+        }
+    }
+}
+
+/// Computes the SlashBurn permutation.
+pub fn slashburn(graph: &Csr, cfg: &SlashBurnConfig) -> Permutation {
+    let n = graph.num_nodes();
+    let sym = graph.symmetrized();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut degree: Vec<usize> = (0..n as NodeId).map(|u| sym.degree(u)).collect();
+    let mut front: NodeId = 0; // next low id (hubs)
+    let mut back: i64 = n as i64 - 1; // next high id (spokes)
+    let mut perm: Vec<NodeId> = vec![0; n];
+    let mut alive_count = n;
+
+    while alive_count > 0 {
+        // --- slash: remove top-k hubs by current degree ---
+        let k = (((alive_count as f64) * cfg.k_frac).ceil() as usize).max(1);
+        let mut hubs: Vec<NodeId> = (0..n as NodeId).filter(|&u| alive[u as usize]).collect();
+        hubs.sort_by_key(|&u| (std::cmp::Reverse(degree[u as usize]), u));
+        hubs.truncate(k);
+        for &h in &hubs {
+            alive[h as usize] = false;
+            alive_count -= 1;
+            perm[h as usize] = front;
+            front += 1;
+            for &v in sym.neighbors(h) {
+                if alive[v as usize] {
+                    degree[v as usize] = degree[v as usize].saturating_sub(1);
+                }
+            }
+        }
+        if alive_count == 0 {
+            break;
+        }
+        // --- burn: find connected components of the remainder ---
+        let mut comp: Vec<i32> = vec![-1; n];
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+        for u in 0..n as NodeId {
+            if !alive[u as usize] || comp[u as usize] >= 0 {
+                continue;
+            }
+            let id = comps.len() as i32;
+            let mut members = Vec::new();
+            let mut stack = vec![u];
+            comp[u as usize] = id;
+            while let Some(x) = stack.pop() {
+                members.push(x);
+                for &v in sym.neighbors(x) {
+                    if alive[v as usize] && comp[v as usize] < 0 {
+                        comp[v as usize] = id;
+                        stack.push(v);
+                    }
+                }
+            }
+            comps.push(members);
+        }
+        // Giant component stays for the next wave; spokes (every other
+        // component) are assigned the highest ids, smallest spokes last.
+        comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let giant_small = comps[0].len() <= cfg.min_component;
+        for spoke in comps.iter().skip(if giant_small { 0 } else { 1 }) {
+            for &u in spoke {
+                alive[u as usize] = false;
+                alive_count -= 1;
+                perm[u as usize] = back as NodeId;
+                back -= 1;
+            }
+        }
+        if giant_small {
+            break;
+        }
+    }
+    debug_assert_eq!(front as i64, back + 1);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{social_graph, toys, SocialParams};
+    use crate::order::is_permutation;
+
+    #[test]
+    fn produces_valid_permutation() {
+        let g = social_graph(&SocialParams::ljournal_like(800), 5);
+        let p = slashburn(&g, &SlashBurnConfig::default());
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn star_hub_gets_id_zero() {
+        let g = toys::star(50);
+        let p = slashburn(
+            &g,
+            &SlashBurnConfig {
+                k_frac: 0.02,
+                min_component: 4,
+            },
+        );
+        assert!(is_permutation(&p));
+        assert_eq!(p[0], 0, "hub should receive the lowest id");
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let g = Csr::empty(10);
+        let p = slashburn(&g, &SlashBurnConfig::default());
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = toys::grid(7, 7);
+        let cfg = SlashBurnConfig::default();
+        assert_eq!(slashburn(&g, &cfg), slashburn(&g, &cfg));
+    }
+}

@@ -1,0 +1,118 @@
+//! Serial single-source betweenness centrality (Brandes 2001).
+//!
+//! The paper computes BC with two BFS-like passes (Sriram et al.): a forward
+//! pass accumulating distances and shortest-path counts `σ`, and a backward
+//! pass accumulating dependencies
+//! `δ(v) = Σ_{w : v ∈ pred(s, w)} σ(v)/σ(w) · (1 + δ(w))` (Figure 7(d)).
+//! Starting nodes are randomly selected single sources in the evaluation
+//! (Appendix E), so this oracle exposes the single-source dependency pass.
+
+use crate::csr::{Csr, NodeId, UNREACHED};
+use std::collections::VecDeque;
+
+/// Result of a single-source Brandes pass.
+#[derive(Clone, Debug)]
+pub struct BcResult {
+    /// BFS depth from the source.
+    pub depth: Vec<u32>,
+    /// Shortest-path counts σ from the source.
+    pub sigma: Vec<f64>,
+    /// Dependency values δ accumulated in the backward pass.
+    pub delta: Vec<f64>,
+}
+
+/// Runs the two Brandes passes from `source` over out-edges.
+pub fn betweenness_from_source(graph: &Csr, source: NodeId) -> BcResult {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n);
+    let mut depth = vec![UNREACHED; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut q = VecDeque::new();
+
+    depth[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        let du = depth[u as usize];
+        for &v in graph.neighbors(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = du + 1;
+                q.push_back(v);
+            }
+            if depth[v as usize] == du + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+
+    let mut delta = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        let du = depth[u as usize];
+        for &v in graph.neighbors(u) {
+            if depth[v as usize] == du + 1 {
+                delta[u as usize] +=
+                    sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    BcResult {
+        depth,
+        sigma,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::toys;
+
+    #[test]
+    fn path_graph_sigma_all_one() {
+        let g = toys::path(5);
+        let r = betweenness_from_source(&g, 0);
+        assert!(r.sigma[1..].iter().all(|&s| s == 1.0));
+        // δ on a path: node i (0-indexed, source 0) has n-1-i descendants.
+        assert_eq!(r.delta[0], 4.0);
+        assert_eq!(r.delta[1], 3.0);
+        assert_eq!(r.delta[4], 0.0);
+    }
+
+    #[test]
+    fn diamond_splits_paths() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: two shortest paths to 3.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = betweenness_from_source(&g, 0);
+        assert_eq!(r.sigma[3], 2.0);
+        assert_eq!(r.sigma[1], 1.0);
+        // δ(1) = σ(1)/σ(3) · (1 + δ(3)) = 0.5
+        assert!((r.delta[1] - 0.5).abs() < 1e-12);
+        assert!((r.delta[2] - 0.5).abs() < 1e-12);
+        // δ(0) = 1/1·(1+0.5) + 1/1·(1+0.5) = 3
+        assert!((r.delta[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_sigma() {
+        let g = toys::figure1();
+        let r = betweenness_from_source(&g, 0);
+        // 5 is reached at depth 2 via 1->5 and 2? No: depth(2) = 2 so only
+        // 1 -> 5 is a shortest path (depth(5) = 2 via 1).
+        assert_eq!(r.depth[5], 2);
+        assert_eq!(r.sigma[5], 1.0);
+        // 7 at depth 3 via 5 -> 7 only (6 is also depth 3).
+        assert_eq!(r.depth[7], 3);
+        assert_eq!(r.sigma[7], 1.0);
+    }
+
+    #[test]
+    fn unreached_nodes_have_zero_sigma() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        let r = betweenness_from_source(&g, 0);
+        assert_eq!(r.sigma[2], 0.0);
+        assert_eq!(r.depth[2], UNREACHED);
+        assert_eq!(r.delta[2], 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Serial breadth-first search.
+
+use crate::csr::{Csr, NodeId, UNREACHED};
+use std::collections::VecDeque;
+
+/// Result of a BFS traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Depth of each node from the source; [`UNREACHED`] if not reachable.
+    pub depth: Vec<u32>,
+    /// Parent of each node in the BFS tree (`UNREACHED` for source/unreached).
+    pub parent: Vec<u32>,
+    /// Number of reached nodes (including the source).
+    pub reached: usize,
+    /// Number of BFS levels (max depth + 1 over reached nodes).
+    pub levels: u32,
+}
+
+/// Textbook queue BFS over out-edges.
+pub fn bfs(graph: &Csr, source: NodeId) -> BfsResult {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut depth = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED; n];
+    let mut q = VecDeque::new();
+    depth[source as usize] = 0;
+    q.push_back(source);
+    let mut reached = 1usize;
+    let mut max_depth = 0u32;
+    while let Some(u) = q.pop_front() {
+        let du = depth[u as usize];
+        for &v in graph.neighbors(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = du + 1;
+                parent[v as usize] = u;
+                max_depth = max_depth.max(du + 1);
+                reached += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        depth,
+        parent,
+        reached,
+        levels: max_depth + 1,
+    }
+}
+
+/// Nodes grouped by BFS level: `levels[d]` holds every node at depth `d`,
+/// each level sorted by id. Used by the BC backward pass and by tests.
+pub fn bfs_levels(graph: &Csr, source: NodeId) -> Vec<Vec<NodeId>> {
+    let res = bfs(graph, source);
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); res.levels as usize];
+    for (u, &d) in res.depth.iter().enumerate() {
+        if d != UNREACHED {
+            levels[d as usize].push(u as NodeId);
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::toys;
+
+    #[test]
+    fn figure1_bfs_from_zero() {
+        let g = toys::figure1();
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth[0], 0);
+        assert_eq!(r.depth[1], 1);
+        assert_eq!(r.depth[3], 1);
+        assert_eq!(r.depth[4], 1);
+        assert_eq!(r.depth[2], 2);
+        assert_eq!(r.depth[5], 2);
+        assert_eq!(r.depth[6], 3);
+        assert_eq!(r.depth[7], 3);
+        assert_eq!(r.reached, 8);
+        assert_eq!(r.levels, 4);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let g = toys::path(4);
+        let r = bfs(&g, 2);
+        assert_eq!(r.depth, vec![UNREACHED, UNREACHED, 0, 1]);
+        assert_eq!(r.reached, 2);
+    }
+
+    #[test]
+    fn parent_edges_exist() {
+        let g = toys::grid(6, 6);
+        let r = bfs(&g, 0);
+        for v in 0..g.num_nodes() {
+            let p = r.parent[v];
+            if p != UNREACHED {
+                assert!(g.neighbors(p).contains(&(v as u32)));
+                assert_eq!(r.depth[v], r.depth[p as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_relaxation_invariant() {
+        // For every edge (u, v) with u reached: depth[v] <= depth[u] + 1.
+        let g = toys::binary_tree(5);
+        let r = bfs(&g, 0);
+        for (u, v) in g.edges() {
+            if r.depth[u as usize] != UNREACHED {
+                assert!(r.depth[v as usize] <= r.depth[u as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_partition_reached_nodes() {
+        let g = toys::grid(5, 4);
+        let levels = bfs_levels(&g, 0);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, bfs(&g, 0).reached);
+        assert_eq!(levels[0], vec![0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Serial synchronous label propagation — oracle for the GCGT label
+//! propagation extension (Section 6 lists "Graph Label Propagation" among
+//! the pipeline-compatible applications; Soman & Narang give the GPU
+//! formulation).
+//!
+//! Deterministic semantics (so parallel implementations can match exactly):
+//! every node starts with its own id as label; in each synchronous round a
+//! node adopts the most frequent label among its **in-neighbours**, breaking
+//! ties toward the smaller label; nodes without in-neighbours keep theirs.
+//! For community detection run it on the symmetrized graph.
+
+use crate::csr::{Csr, NodeId};
+use std::collections::HashMap;
+
+/// Runs `iters` synchronous rounds (or stops at a fixpoint). Returns
+/// `(labels, rounds_executed)`.
+pub fn label_propagation(graph: &Csr, iters: usize) -> (Vec<NodeId>, usize) {
+    let n = graph.num_nodes();
+    let transpose = graph.transpose();
+    let mut label: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut counts: HashMap<NodeId, u32> = HashMap::new();
+    for round in 0..iters {
+        let mut next = label.clone();
+        let mut changed = false;
+        for v in 0..n as NodeId {
+            let ins = transpose.neighbors(v);
+            if ins.is_empty() {
+                continue;
+            }
+            counts.clear();
+            for &u in ins {
+                *counts.entry(label[u as usize]).or_insert(0) += 1;
+            }
+            let mut best = label[v as usize];
+            let mut best_count = 0u32;
+            for (&l, &c) in counts.iter() {
+                if c > best_count || (c == best_count && l < best) {
+                    best = l;
+                    best_count = c;
+                }
+            }
+            if best != label[v as usize] {
+                next[v as usize] = best;
+                changed = true;
+            }
+        }
+        label = next;
+        if !changed {
+            return (label, round + 1);
+        }
+    }
+    (label, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::toys;
+
+    #[test]
+    fn clique_converges_to_smallest_id() {
+        let g = toys::complete(6);
+        let (labels, _) = label_propagation(&g, 20);
+        assert!(labels.iter().all(|&l| l == 0), "{labels:?}");
+    }
+
+    #[test]
+    fn two_cliques_two_communities() {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    edges.push((a, b));
+                    edges.push((a + 4, b + 4));
+                }
+            }
+        }
+        let g = Csr::from_edges(8, &edges);
+        let (labels, _) = label_propagation(&g, 20);
+        assert!(labels[..4].iter().all(|&l| l == 0));
+        assert!(labels[4..].iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_label()    {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let (labels, _) = label_propagation(&g, 5);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[1], 0); // adopts its only in-neighbour's label
+    }
+
+    #[test]
+    fn fixpoint_short_circuits() {
+        let g = toys::complete(4);
+        let (_, rounds) = label_propagation(&g, 100);
+        assert!(rounds < 100);
+    }
+}

@@ -1,0 +1,16 @@
+//! Serial reference algorithms — the correctness oracles.
+//!
+//! Every GPU-simulated or parallel CPU implementation in this workspace is
+//! tested against these straightforward single-threaded versions.
+
+mod bc;
+mod bfs;
+mod cc;
+mod labelprop;
+mod pagerank;
+
+pub use bc::{betweenness_from_source, BcResult};
+pub use bfs::{bfs, bfs_levels, BfsResult};
+pub use cc::{connected_components, CcResult};
+pub use labelprop::label_propagation;
+pub use pagerank::{pagerank, PagerankConfig};

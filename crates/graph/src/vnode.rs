@@ -1,0 +1,268 @@
+//! Virtual-node compression (Buehrer & Chellapilla — WSDM 2008).
+//!
+//! Section 7.2 of the paper applies virtual-node compression as the uniform
+//! preprocessing step for *every* evaluated approach: frequent patterns of
+//! nodes appearing together in adjacency lists are replaced by a virtual
+//! node whose adjacency is the pattern, reducing the edge count while
+//! retaining the topology (reachability) of the graph.
+//!
+//! The miner here follows the MinHash-clustering outline of the original
+//! paper: nodes are grouped by MinHash signatures of their adjacency sets;
+//! within a group, a greedy intersection keeps members while the common
+//! pattern stays at least `min_pattern` large; qualifying patterns become
+//! virtual nodes. Multiple passes may stack virtual nodes on virtual nodes;
+//! [`VnodeGraph::expand`] recovers the original graph exactly (tested).
+
+use crate::csr::{Csr, CsrBuilder, NodeId};
+
+/// Configuration for [`VnodeGraph::compress`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VnodeConfig {
+    /// Minimum size of a common pattern worth extracting.
+    pub min_pattern: usize,
+    /// Maximum nodes considered per MinHash group (bounds the greedy step).
+    pub max_group: usize,
+    /// Mining passes (later passes can compress virtual nodes too).
+    pub passes: usize,
+}
+
+impl Default for VnodeConfig {
+    fn default() -> Self {
+        Self {
+            min_pattern: 8,
+            max_group: 64,
+            passes: 2,
+        }
+    }
+}
+
+/// A graph after virtual-node compression. Real nodes keep their ids
+/// (`0..n_real`); virtual nodes are appended after them.
+#[derive(Clone, Debug)]
+pub struct VnodeGraph {
+    /// The restructured graph over `n_real + virtual` nodes.
+    pub graph: Csr,
+    /// Number of original (non-virtual) nodes.
+    pub n_real: usize,
+}
+
+impl VnodeGraph {
+    /// Runs the miner. Always succeeds; when nothing compresses, the output
+    /// equals the input with zero virtual nodes.
+    pub fn compress(graph: &Csr, cfg: &VnodeConfig) -> VnodeGraph {
+        let n_real = graph.num_nodes();
+        let mut adj: Vec<Vec<NodeId>> = (0..n_real as NodeId)
+            .map(|u| graph.neighbors(u).to_vec())
+            .collect();
+
+        for pass in 0..cfg.passes {
+            let groups = minhash_groups(&adj, cfg, pass as u64);
+            for group in groups {
+                mine_group(&mut adj, &group, cfg);
+            }
+        }
+
+        let total = adj.len();
+        let mut b = CsrBuilder::new(total);
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                b.add_edge(u as NodeId, v);
+            }
+        }
+        VnodeGraph {
+            graph: b.build(),
+            n_real,
+        }
+    }
+
+    /// Number of virtual nodes introduced.
+    pub fn num_virtual(&self) -> usize {
+        self.graph.num_nodes() - self.n_real
+    }
+
+    /// Expands every virtual node transitively, recovering the original
+    /// graph over the real nodes.
+    pub fn expand(&self) -> Csr {
+        let mut b = CsrBuilder::new(self.n_real);
+        let mut stack: Vec<NodeId> = Vec::new();
+        for u in 0..self.n_real as NodeId {
+            stack.clear();
+            stack.extend_from_slice(self.graph.neighbors(u));
+            while let Some(v) = stack.pop() {
+                if (v as usize) < self.n_real {
+                    b.add_edge(u, v);
+                } else {
+                    stack.extend_from_slice(self.graph.neighbors(v));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Edges saved relative to the original: `orig_edges - new_edges`
+    /// (may be negative in adversarial inputs; the miner only extracts
+    /// patterns with positive savings, so in practice ≥ 0).
+    pub fn edges_saved(&self, original: &Csr) -> i64 {
+        original.num_edges() as i64 - self.graph.num_edges() as i64
+    }
+}
+
+/// Multiplicative hash (Fibonacci) with a per-pass seed.
+#[inline]
+fn hash(v: NodeId, seed: u64) -> u64 {
+    (u64::from(v) ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Groups node ids by a 2-wide MinHash signature of their adjacency sets.
+fn minhash_groups(adj: &[Vec<NodeId>], cfg: &VnodeConfig, pass: u64) -> Vec<Vec<NodeId>> {
+    let mut map: std::collections::HashMap<(u64, u64), Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for (u, list) in adj.iter().enumerate() {
+        if list.len() < cfg.min_pattern {
+            continue;
+        }
+        let s1 = 0xA5A5_0000 ^ pass;
+        let s2 = 0x5A5A_FFFF ^ (pass << 17);
+        let mh1 = list.iter().map(|&v| hash(v, s1)).min().unwrap();
+        let mh2 = list.iter().map(|&v| hash(v, s2)).min().unwrap();
+        map.entry((mh1, mh2)).or_default().push(u as NodeId);
+    }
+    let mut groups: Vec<Vec<NodeId>> = map
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .collect();
+    // Deterministic processing order.
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+/// Greedy pattern extraction inside one candidate group. Mutates `adj`,
+/// possibly appending one virtual node.
+fn mine_group(adj: &mut Vec<Vec<NodeId>>, group: &[NodeId], cfg: &VnodeConfig) {
+    let group = &group[..group.len().min(cfg.max_group)];
+    let mut members: Vec<NodeId> = vec![group[0]];
+    let mut common: Vec<NodeId> = adj[group[0] as usize].clone();
+    for &u in &group[1..] {
+        let cand = intersect_sorted(&common, &adj[u as usize]);
+        if cand.len() >= cfg.min_pattern {
+            common = cand;
+            members.push(u);
+        }
+    }
+    if members.len() < 2 || common.len() < cfg.min_pattern {
+        return;
+    }
+    // Savings check: (m-1)·|common| - m  edges removed net of the virtual
+    // node's own list and the m replacement edges.
+    let m = members.len() as i64;
+    let c = common.len() as i64;
+    if (m - 1) * c - m <= 0 {
+        return;
+    }
+    let vid = adj.len() as NodeId;
+    adj.push(common.clone());
+    for &u in &members {
+        let list = &mut adj[u as usize];
+        list.retain(|v| common.binary_search(v).is_err());
+        list.push(vid);
+        list.sort_unstable();
+    }
+}
+
+/// Intersection of two sorted, duplicate-free slices.
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{web_graph, WebParams};
+
+    fn identical_fans(copies: usize, pattern: usize) -> Csr {
+        // `copies` nodes all pointing at the same `pattern` targets.
+        let n = copies + pattern;
+        let mut b = CsrBuilder::new(n);
+        for u in 0..copies {
+            for t in 0..pattern {
+                b.add_edge(u as NodeId, (copies + t) as NodeId);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extracts_shared_pattern() {
+        let g = identical_fans(6, 10);
+        let vg = VnodeGraph::compress(
+            &g,
+            &VnodeConfig {
+                min_pattern: 4,
+                max_group: 64,
+                passes: 1,
+            },
+        );
+        assert!(vg.num_virtual() >= 1);
+        // 6·10 = 60 edges → 6 pointer edges + 10 pattern edges = 16.
+        assert!(vg.graph.num_edges() <= 16, "{} edges", vg.graph.num_edges());
+    }
+
+    #[test]
+    fn expand_recovers_original_exactly() {
+        let g = identical_fans(5, 8);
+        let vg = VnodeGraph::compress(&g, &VnodeConfig::default());
+        assert_eq!(vg.expand(), g);
+    }
+
+    #[test]
+    fn expand_recovers_web_graph() {
+        let g = web_graph(&WebParams::uk2002_like(1500), 13);
+        let vg = VnodeGraph::compress(&g, &VnodeConfig::default());
+        assert_eq!(vg.expand(), g, "expansion must be lossless");
+    }
+
+    #[test]
+    fn web_graph_compresses() {
+        let g = web_graph(&WebParams::uk2007_like(2000), 4);
+        let vg = VnodeGraph::compress(&g, &VnodeConfig::default());
+        assert!(
+            vg.edges_saved(&g) > 0,
+            "web graphs should shed edges: saved {}",
+            vg.edges_saved(&g)
+        );
+    }
+
+    #[test]
+    fn incompressible_graph_unchanged() {
+        let g = crate::gen::erdos_renyi(300, 900, 2);
+        let vg = VnodeGraph::compress(
+            &g,
+            &VnodeConfig {
+                min_pattern: 16,
+                ..VnodeConfig::default()
+            },
+        );
+        assert_eq!(vg.num_virtual(), 0);
+        assert_eq!(vg.graph, g);
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert!(intersect_sorted(&[1, 2], &[3, 4]).is_empty());
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+}

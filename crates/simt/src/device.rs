@@ -1,0 +1,358 @@
+//! Device-level cost model and memory capacity.
+//!
+//! A roofline model converts the per-kernel-launch aggregates (instruction
+//! slots, memory transactions, atomics) into estimated cycles: compute and
+//! memory streams overlap across the thousands of resident warps, so the
+//! launch cost is the *maximum* of the two streams (plus an atomic
+//! serialization term), floored by the longest single warp — a small
+//! frontier cannot finish faster than its one busy warp. Per-launch overhead
+//! models the host-side kernel dispatch that dominates deep, narrow BFS
+//! levels.
+//!
+//! Defaults approximate the paper's NVIDIA TITAN V (80 SMs, ~1.2 GHz,
+//! ~650 GB/s HBM2, 12 GB), with the capacity scaled per experiment so that
+//! the synthetic datasets reproduce the paper's OOM pattern.
+
+use crate::mem::MemStats;
+use crate::tally::{OpClass, Tally, NUM_CLASSES};
+
+/// Hardware parameters of the simulated device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Lanes per warp.
+    pub warp_width: usize,
+    /// Streaming multiprocessors (issue streams).
+    pub num_sms: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustainable memory transactions (128 B) per core cycle, device-wide.
+    pub mem_txn_per_cycle: f64,
+    /// Serialized atomic operations per cycle, device-wide.
+    pub atomics_per_cycle: f64,
+    /// Host-side overhead per kernel launch, microseconds.
+    pub launch_overhead_us: f64,
+    /// Effective latency (cycles) charged per *dependent* memory step on
+    /// the critical-path warp: a lane serially decoding a residual chain
+    /// cannot overlap its next read with the current one, which is exactly
+    /// the super-node serialization of Section 5. Amortized for the
+    /// ~16-deep load pipelining real SMs provide.
+    pub serial_mem_lat_cycles: f64,
+    /// Device memory capacity in bytes (for OOM accounting).
+    pub mem_capacity: usize,
+    /// Per-warp cache slots (128-byte lines) for the memory model.
+    pub cache_lines_per_warp: usize,
+    /// Issue cycles per instruction class: a VLC decode step is a dozen
+    /// ALU/shift instructions, a raw CSR gather is one — this is what makes
+    /// traversing compressed adjacency cost compute, as the paper's
+    /// decoding-overhead numbers reflect.
+    pub class_cycles: [f64; NUM_CLASSES],
+}
+
+/// Default per-class issue costs (cycles per warp instruction slot),
+/// indexed by [`OpClass`].
+pub const DEFAULT_CLASS_CYCLES: [f64; NUM_CLASSES] = [
+    6.0,  // Header: decode degNum/itvNum (or read two CSR offsets)
+    12.0, // ItvDecode: two VLC codewords (gap + length)
+    6.0,  // ResDecode: one VLC codeword
+    2.0,  // Handle: status check + conditional write
+    5.0,  // Scan: log-depth shuffle prefix sum
+    1.0,  // Shfl
+    1.0,  // Sync / vote
+    4.0,  // Atomic
+    4.0,  // ParDecode: one speculative/marking round
+    2.0,  // Jump
+    2.0,  // Generic
+];
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::titan_v_scaled(512 << 20)
+    }
+}
+
+impl DeviceConfig {
+    /// TITAN-V-like throughput ratios with an explicit memory capacity
+    /// (experiments scale the capacity with their dataset sizes; the paper's
+    /// card has 12 GB for graphs two to three orders of magnitude larger).
+    pub fn titan_v_scaled(mem_capacity: usize) -> Self {
+        Self {
+            warp_width: 32,
+            num_sms: 80,
+            clock_ghz: 1.2,
+            // ~650 GB/s ÷ 128 B ÷ 1.2 GHz ≈ 4.2 transactions/cycle.
+            mem_txn_per_cycle: 4.2,
+            atomics_per_cycle: 2.0,
+            launch_overhead_us: 0.5,
+            serial_mem_lat_cycles: 24.0,
+            mem_capacity,
+            cache_lines_per_warp: 64,
+            class_cycles: DEFAULT_CLASS_CYCLES,
+        }
+    }
+
+    /// Weighted compute cycles of a tally under this configuration.
+    pub fn weighted_cycles(&self, tally: &Tally) -> f64 {
+        tally
+            .issues
+            .iter()
+            .zip(&self.class_cycles)
+            .map(|(&n, &c)| n as f64 * c)
+            .sum()
+    }
+
+    /// Critical-path cycles of one warp: weighted instruction slots plus
+    /// dependent-memory-step latency.
+    pub fn warp_critical_cycles(&self, tally: &Tally, mem: &MemStats) -> f64 {
+        self.weighted_cycles(tally) + mem.mem_steps as f64 * self.serial_mem_lat_cycles
+    }
+
+    /// A tiny warp configuration for unit tests and the Figure 4 example
+    /// (the paper's walk-through uses an 8-lane warp).
+    pub fn test_tiny() -> Self {
+        Self {
+            warp_width: 8,
+            num_sms: 4,
+            clock_ghz: 1.0,
+            mem_txn_per_cycle: 2.0,
+            atomics_per_cycle: 1.0,
+            launch_overhead_us: 0.0,
+            serial_mem_lat_cycles: 0.0,
+            mem_capacity: usize::MAX,
+            cache_lines_per_warp: 16,
+            class_cycles: [1.0; NUM_CLASSES],
+        }
+    }
+}
+
+/// Raised when a structure does not fit the simulated device memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: need {} bytes, capacity {} bytes",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Cost of one kernel launch, as fed to [`Device::account_launch`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterationCost {
+    /// Merged instruction tallies of every warp in the launch.
+    pub tally: Tally,
+    /// Merged memory counters.
+    pub mem: MemStats,
+    /// Number of warps launched.
+    pub warps: usize,
+    /// Critical-path cycles of the single busiest warp (weighted issues
+    /// plus dependent-memory-step latency), computed by the launcher.
+    pub max_warp_cycles: f64,
+}
+
+/// Accumulates launch costs into an estimated execution time.
+#[derive(Clone, Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    cycles: f64,
+    launches: u64,
+    tally: Tally,
+    mem: MemStats,
+    allocated: usize,
+}
+
+impl Device {
+    /// A fresh device.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            cycles: 0.0,
+            launches: 0,
+            tally: Tally::new(config.warp_width),
+            mem: MemStats::default(),
+            allocated: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Registers a resident allocation (graph, frontier buffers, platform
+    /// overhead). Fails when the sum exceeds capacity — the OOM bars of
+    /// Figures 8 and 15.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), OomError> {
+        let total = self.allocated.saturating_add(bytes);
+        if total > self.config.mem_capacity {
+            return Err(OomError {
+                requested: total,
+                capacity: self.config.mem_capacity,
+            });
+        }
+        self.allocated = total;
+        Ok(())
+    }
+
+    /// Currently allocated bytes.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Folds one kernel launch into the running cost.
+    pub fn account_launch(&mut self, cost: &IterationCost) {
+        let issue_cycles = self.config.weighted_cycles(&cost.tally);
+        // Issue throughput: one warp instruction stream per SM, limited by
+        // how many warps the launch actually has.
+        let streams = cost.warps.clamp(1, self.config.num_sms) as f64;
+        let compute = issue_cycles / streams;
+        let memory = cost.mem.transactions as f64 / self.config.mem_txn_per_cycle;
+        let atomics =
+            cost.tally.issues[OpClass::Atomic as usize] as f64 / self.config.atomics_per_cycle;
+        // The busiest single warp floors the launch: a kernel cannot finish
+        // before its critical-path warp does.
+        self.cycles += compute.max(memory).max(atomics).max(cost.max_warp_cycles);
+        self.launches += 1;
+        self.tally.merge(&cost.tally);
+        self.mem.merge(&cost.mem);
+    }
+
+    /// Estimated elapsed milliseconds so far (cycles / clock + launch
+    /// overheads).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.cycles / (self.config.clock_ghz * 1e6)
+            + self.launches as f64 * self.config.launch_overhead_us / 1e3
+    }
+
+    /// Snapshot of every counter.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            est_ms: self.elapsed_ms(),
+            cycles: self.cycles,
+            launches: self.launches,
+            tally: self.tally,
+            mem: self.mem,
+            allocated_bytes: self.allocated,
+        }
+    }
+}
+
+/// Aggregated result of a simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Estimated elapsed time, milliseconds.
+    pub est_ms: f64,
+    /// Modelled device cycles.
+    pub cycles: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Instruction tallies (all warps, all launches).
+    pub tally: Tally,
+    /// Memory counters.
+    pub mem: MemStats,
+    /// Resident allocation at the end of the run.
+    pub allocated_bytes: usize,
+}
+
+impl RunStats {
+    /// Instruction slots per class, for reporting.
+    pub fn issues_by_class(&self) -> [u64; NUM_CLASSES] {
+        self.tally.issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tally::OpClass;
+
+    fn launch(issues: u64, txns: u64, warps: usize) -> IterationCost {
+        let mut t = Tally::new(32);
+        for _ in 0..issues {
+            t.issue(OpClass::Handle, 32);
+        }
+        let mem = MemStats {
+            transactions: txns,
+            ..Default::default()
+        };
+        IterationCost {
+            tally: t,
+            mem,
+            warps,
+            max_warp_cycles: (issues / warps.max(1) as u64) as f64 * 2.0,
+        }
+    }
+
+    #[test]
+    fn compute_bound_launch() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 30));
+        d.account_launch(&launch(8_000, 10, 80));
+        // 8000 Handle issues × 2 cycles / 80 SMs = 200 > 10 / 4.2 memory.
+        assert!((d.stats().cycles - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_launch() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 30));
+        d.account_launch(&launch(100, 42_000, 80));
+        assert!((d.stats().cycles - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_launch_floored_by_busiest_warp() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 30));
+        let mut c = launch(50, 0, 1);
+        c.max_warp_cycles = 100.0;
+        d.account_launch(&c);
+        assert!(d.stats().cycles >= 100.0);
+    }
+
+    #[test]
+    fn launch_overhead_accumulates() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 30);
+        let mut d = Device::new(cfg);
+        for _ in 0..100 {
+            d.account_launch(&launch(1, 0, 1));
+        }
+        assert!(d.elapsed_ms() >= 100.0 * cfg.launch_overhead_us / 1e3);
+    }
+
+    #[test]
+    fn oom_detection() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1000));
+        assert!(d.alloc(600).is_ok());
+        assert!(d.alloc(300).is_ok());
+        let err = d.alloc(200).unwrap_err();
+        assert_eq!(err.capacity, 1000);
+        assert!(err.to_string().contains("out of device memory"));
+        // Allocation state unchanged after failure.
+        assert_eq!(d.allocated(), 900);
+    }
+
+    #[test]
+    fn elapsed_scales_with_clock() {
+        let mut slow = Device::new(DeviceConfig {
+            clock_ghz: 0.5,
+            launch_overhead_us: 0.0,
+            ..DeviceConfig::titan_v_scaled(1 << 30)
+        });
+        let mut fast = Device::new(DeviceConfig {
+            clock_ghz: 2.0,
+            launch_overhead_us: 0.0,
+            ..DeviceConfig::titan_v_scaled(1 << 30)
+        });
+        let c = launch(8_000, 0, 80);
+        slow.account_launch(&c);
+        fast.account_launch(&c);
+        assert!(slow.elapsed_ms() > 3.9 * fast.elapsed_ms());
+    }
+}

@@ -1,0 +1,38 @@
+//! # gcgt-simt
+//!
+//! A deterministic SIMT (single-instruction, multiple-thread) execution
+//! simulator — the substitute for the paper's NVIDIA TITAN V (see
+//! DESIGN.md §1). It models exactly the quantities the paper's analysis is
+//! about:
+//!
+//! * **warp steps / divergence** ([`Tally`], [`OpClass`]): lanes of a warp
+//!   execute in lock-step; when lanes sit in different control branches the
+//!   branch classes serialize into separate instruction slots, precisely the
+//!   accounting of the paper's Figure 4 instruction-flow tables (reproduced
+//!   bit-exactly by an integration test);
+//! * **memory coalescing** ([`MemSim`]): per warp-step, the distinct
+//!   128-byte lines touched by the active lanes become memory transactions;
+//!   a small per-warp cache models the paper's "decode entirely in cache"
+//!   property;
+//! * **device cost** ([`Device`], [`DeviceConfig`]): a roofline model turns
+//!   (instruction slots, transactions, atomics) into estimated kernel time,
+//!   plus per-launch overhead and a device-memory capacity check for the
+//!   OOM behaviour of Figures 8 and 15.
+//!
+//! Warps are simulated sequentially or in parallel on host threads
+//! ([`parallel_warps`]); either way all *reported* numbers come from the
+//! deterministic tallies, never from host wall-clock.
+
+pub mod device;
+pub mod mem;
+pub mod parallel;
+pub mod pcie;
+pub mod tally;
+pub mod warp;
+
+pub use device::{Device, DeviceConfig, IterationCost, OomError, RunStats};
+pub use mem::{MemSim, MemStats, Space};
+pub use parallel::parallel_warps;
+pub use pcie::PcieConfig;
+pub use tally::{OpClass, Tally};
+pub use warp::WarpSim;

@@ -1,0 +1,78 @@
+//! PCIe transfer model (Section 3.2 / Appendix A).
+//!
+//! The paper's second argument for CGR: "Even when the compressed graph
+//! cannot entirely reside in the device memory, CGR reduces the PCIe
+//! transfer cost since we can directly move the compressed adjacency lists
+//! to GPUs and process them without decompression in the device memory."
+//! Appendix A puts host↔device bandwidth "typically below 16 GB per
+//! second" — one to two orders below device-memory bandwidth, so transfer
+//! time scales almost linearly with structure size, i.e. with the
+//! compression rate.
+
+/// Host↔device link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieConfig {
+    /// Sustained bandwidth in GB/s (PCIe 3.0 x16 ≈ 12 effective).
+    pub bandwidth_gb_s: f64,
+    /// Per-transfer setup latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_gb_s: 12.0,
+            latency_us: 10.0,
+        }
+    }
+}
+
+impl PcieConfig {
+    /// Milliseconds to move `bytes` across the link in `chunks` transfers.
+    pub fn transfer_ms(&self, bytes: usize, chunks: usize) -> f64 {
+        let chunks = chunks.max(1) as f64;
+        bytes as f64 / (self.bandwidth_gb_s * 1e9) * 1e3 + chunks * self.latency_us / 1e3
+    }
+
+    /// Transfer-time ratio of an uncompressed structure over a compressed
+    /// one of the same graph — approaches the compression rate for large
+    /// transfers.
+    pub fn speedup(&self, uncompressed_bytes: usize, compressed_bytes: usize) -> f64 {
+        self.transfer_ms(uncompressed_bytes, 1) / self.transfer_ms(compressed_bytes, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_term_dominates_large_transfers() {
+        let p = PcieConfig::default();
+        // 12 GB at 12 GB/s ≈ 1000 ms.
+        let ms = p.transfer_ms(12 << 30, 1);
+        assert!((ms - 1073.7).abs() < 1.0, "{ms}");
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let p = PcieConfig::default();
+        let ms = p.transfer_ms(64, 1);
+        assert!(ms > 0.009 && ms < 0.011, "{ms}");
+    }
+
+    #[test]
+    fn speedup_approaches_compression_rate() {
+        let p = PcieConfig::default();
+        let s = p.speedup(1 << 30, (1 << 30) / 10);
+        assert!(s > 9.0 && s < 10.1, "{s}");
+    }
+
+    #[test]
+    fn chunked_transfers_pay_latency_per_chunk() {
+        let p = PcieConfig::default();
+        let one = p.transfer_ms(1 << 20, 1);
+        let many = p.transfer_ms(1 << 20, 100);
+        assert!(many > one + 0.9);
+    }
+}

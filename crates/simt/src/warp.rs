@@ -1,0 +1,201 @@
+//! The warp execution context handed to every simulated kernel: instruction
+//! tallies, the memory model, and the warp-level primitives the paper's
+//! pseudocode relies on (`exclusiveScan`, `shfl`, `syncAny`, voting).
+//!
+//! Kernels are written lane-vectorized: per logical round they operate on
+//! small per-lane state arrays and report each serialized branch class as
+//! one [`WarpSim::issue`]. Shared memory is plain host memory (its latency
+//! is register-like on real GPUs and the paper treats warp communication as
+//! effectively free), while every device-memory touch goes through
+//! [`WarpSim::access`].
+
+use crate::mem::{MemSim, MemStats};
+use crate::tally::{OpClass, Tally};
+
+/// Per-warp simulation context.
+#[derive(Clone, Debug)]
+pub struct WarpSim {
+    width: usize,
+    tally: Tally,
+    mem: MemSim,
+}
+
+impl WarpSim {
+    /// A warp of `width` lanes with a `cache_lines`-slot memory cache.
+    pub fn new(width: usize, cache_lines: usize) -> Self {
+        assert!((1..=64).contains(&width), "warp width out of range");
+        Self {
+            width,
+            tally: Tally::new(width),
+            mem: MemSim::new(cache_lines),
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Records one serialized warp step of `class` with `active` lanes.
+    #[inline]
+    pub fn issue(&mut self, class: OpClass, active: usize) {
+        self.tally.issue(class, active);
+    }
+
+    /// Records one warp step that also touches memory: the lane addresses
+    /// are coalesced into transactions.
+    #[inline]
+    pub fn issue_mem<I: IntoIterator<Item = u64>>(&mut self, class: OpClass, active: usize, addrs: I) {
+        self.tally.issue(class, active);
+        self.mem.access_step(addrs);
+    }
+
+    /// Memory access without an instruction slot (e.g. the extra lines of a
+    /// multi-line cooperative load).
+    #[inline]
+    pub fn access<I: IntoIterator<Item = u64>>(&mut self, addrs: I) {
+        self.mem.access_step(addrs);
+    }
+
+    /// Cooperative load of a contiguous byte range.
+    #[inline]
+    pub fn access_range(&mut self, start: u64, bytes: u64) {
+        self.mem.access_range(start, bytes);
+    }
+
+    // --- warp primitives --------------------------------------------------
+
+    /// The paper's `exclusiveScan`: prefix sums of one value per lane.
+    /// Returns `(scatter, total)` — `scatter[i] = sum(vals[0..i])`.
+    /// Costs one [`OpClass::Scan`] slot (log-depth shuffle scan on hardware;
+    /// constant here, identically for every strategy).
+    pub fn exclusive_scan(&mut self, vals: &[u32]) -> (Vec<u32>, u32) {
+        debug_assert!(vals.len() <= self.width);
+        // Scan/vote/shuffle primitives execute warp-wide on hardware: every
+        // lane participates regardless of how many carry live values.
+        self.issue(OpClass::Scan, self.width);
+        let mut scatter = Vec::with_capacity(vals.len());
+        let mut acc = 0u32;
+        for &v in vals {
+            scatter.push(acc);
+            acc += v;
+        }
+        (scatter, acc)
+    }
+
+    /// The paper's `shfl`: broadcasts `vals[src_lane]` to all lanes.
+    pub fn shfl<T: Copy>(&mut self, vals: &[T], src_lane: usize) -> T {
+        self.issue(OpClass::Shfl, self.width);
+        vals[src_lane]
+    }
+
+    /// The paper's `syncAny`: true if any lane's predicate holds.
+    pub fn sync_any(&mut self, preds: &[bool]) -> bool {
+        self.issue(OpClass::Sync, self.width);
+        preds.iter().any(|&p| p)
+    }
+
+    /// `syncAll`: true if every lane's predicate holds (Algorithm 3).
+    pub fn sync_all(&mut self, preds: &[bool]) -> bool {
+        self.issue(OpClass::Sync, self.width);
+        preds.iter().all(|&p| p)
+    }
+
+    /// `syncNone`: true if no lane's predicate holds (Algorithm 4's loop
+    /// exit).
+    pub fn sync_none(&mut self, preds: &[bool]) -> bool {
+        self.issue(OpClass::Sync, self.width);
+        !preds.iter().any(|&p| p)
+    }
+
+    /// Ballot: bitmask of lanes whose predicate holds.
+    pub fn ballot(&mut self, preds: &[bool]) -> u64 {
+        self.issue(OpClass::Sync, self.width);
+        preds
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, &p)| if p { m | (1 << i) } else { m })
+    }
+
+    /// One atomic RMW issued by a single lane on behalf of the warp
+    /// (the `outQueue.atomicAdd` of Algorithm 1's contraction).
+    pub fn atomic_add(&mut self, addr: u64) {
+        self.tally.issue(OpClass::Atomic, 1);
+        self.mem.access_one(addr);
+    }
+
+    // --- results ----------------------------------------------------------
+
+    /// Instruction tallies so far.
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Memory counters so far.
+    pub fn mem_stats(&self) -> &MemStats {
+        self.mem.stats()
+    }
+
+    /// Consumes the warp into its `(tally, mem)` counters.
+    pub fn into_counters(self) -> (Tally, MemStats) {
+        (self.tally, *self.mem.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Space;
+
+    #[test]
+    fn exclusive_scan_matches_definition() {
+        let mut w = WarpSim::new(8, 16);
+        let (scatter, total) = w.exclusive_scan(&[1, 0, 2, 0, 3]);
+        assert_eq!(scatter, vec![0, 1, 1, 3, 3]);
+        assert_eq!(total, 6);
+        assert_eq!(w.tally().issues[OpClass::Scan as usize], 1);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let mut w = WarpSim::new(4, 16);
+        assert_eq!(w.shfl(&[10, 20, 30, 40], 2), 30);
+    }
+
+    #[test]
+    fn votes() {
+        let mut w = WarpSim::new(4, 16);
+        assert!(w.sync_any(&[false, true, false, false]));
+        assert!(!w.sync_all(&[false, true, true, true]));
+        assert!(w.sync_none(&[false, false, false, false]));
+        assert_eq!(w.ballot(&[true, false, true, false]), 0b0101);
+        assert_eq!(w.tally().issues[OpClass::Sync as usize], 4);
+    }
+
+    #[test]
+    fn issue_mem_coalesces() {
+        let mut w = WarpSim::new(8, 16);
+        w.issue_mem(
+            OpClass::Handle,
+            8,
+            (0..8u64).map(|i| Space::Output.addr(4 * i)),
+        );
+        assert_eq!(w.mem_stats().transactions, 1);
+        assert_eq!(w.tally().issues[OpClass::Handle as usize], 1);
+    }
+
+    #[test]
+    fn atomic_counts_instruction_and_memory() {
+        let mut w = WarpSim::new(8, 16);
+        w.atomic_add(Space::Output.addr(0));
+        assert_eq!(w.tally().issues[OpClass::Atomic as usize], 1);
+        assert_eq!(w.mem_stats().transactions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp width")]
+    fn zero_width_rejected() {
+        let _ = WarpSim::new(0, 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Compression explorer: sweep the CGR parameters (Table 2) over your graph
+//! and see where the rate/speed trade-off lands — a miniature of the
+//! paper's Appendix D on any edge list.
+//!
+//! ```sh
+//! cargo run --release --example compression_explorer [edge-list.txt]
+//! ```
+
+use gcgt::prelude::*;
+
+fn main() {
+    let graph = match std::env::args().nth(1) {
+        Some(path) => {
+            let g = edgelist::load(&path).expect("readable edge list");
+            println!("loaded {path}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+            g
+        }
+        None => {
+            let g = social_graph(&SocialParams::ljournal_like(15_000), 5);
+            println!(
+                "no input given — using a synthetic social graph ({} nodes, {} edges)",
+                g.num_nodes(),
+                g.num_edges()
+            );
+            g
+        }
+    };
+
+    println!("\n-- node reordering (Figure 13) --");
+    let mut best: Option<(String, f64, Csr)> = None;
+    for method in Reordering::figure13_sweep() {
+        let perm = method.compute(&graph);
+        let g = graph.permuted(&perm);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let rate = cgr.compression_rate();
+        println!("  {:<10} {:>6.2}x  ({:.2} bits/edge)", method.name(), rate, cgr.bits_per_edge());
+        if best.as_ref().map(|(_, r, _)| rate > *r).unwrap_or(true) {
+            best = Some((method.name().to_string(), rate, g));
+        }
+    }
+    let (best_name, _, ordered) = best.unwrap();
+    println!("  → best ordering: {best_name}");
+
+    println!("\n-- VLC scheme (Figure 11) --");
+    for code in Code::FIGURE11_SWEEP {
+        let cfg = CgrConfig {
+            code,
+            ..CgrConfig::paper_default()
+        };
+        let cgr = CgrGraph::encode(&ordered, &cfg);
+        println!("  {:<7} {:>6.2}x", code.name(), cgr.compression_rate());
+    }
+
+    println!("\n-- minimum interval length (Figure 12) --");
+    for min_itv in [Some(2u32), Some(3), Some(4), Some(5), Some(10), None] {
+        let cfg = CgrConfig {
+            min_interval_len: min_itv,
+            ..CgrConfig::paper_default()
+        };
+        let cgr = CgrGraph::encode(&ordered, &cfg);
+        let label = min_itv.map(|v| v.to_string()).unwrap_or_else(|| "inf".into());
+        println!(
+            "  {:<4} {:>6.2}x  (interval coverage {:.0}%)",
+            label,
+            cgr.compression_rate(),
+            100.0 * cgr.stats().interval_coverage()
+        );
+    }
+
+    println!("\n-- residual segment length (Figure 14) --");
+    let device = DeviceConfig::titan_v_scaled(256 << 20);
+    for seg in [Some(8u32), Some(16), Some(32), Some(64), Some(128)] {
+        let cfg = CgrConfig {
+            segment_len_bytes: seg,
+            ..CgrConfig::paper_default()
+        };
+        let cgr = CgrGraph::encode(&ordered, &cfg);
+        let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
+        let ms = bfs(&engine, 0).stats.est_ms;
+        println!(
+            "  {:>3}B {:>6.2}x  BFS {:.3} sim ms  (blank space {:.1}%)",
+            seg.unwrap(),
+            cgr.compression_rate(),
+            ms,
+            100.0 * cgr.stats().blank_fraction()
+        );
+    }
+}

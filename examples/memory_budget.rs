@@ -1,0 +1,56 @@
+//! Memory-budget planning: for a given device capacity, how much graph can
+//! each representation hold, and what does the compression cost at traversal
+//! time? This walks the exact trade-off the paper's introduction motivates
+//! (a 32 GB GV100 costs $9,000 — compression buys capacity instead).
+//!
+//! ```sh
+//! cargo run --release --example memory_budget
+//! ```
+
+use gcgt::core::memory;
+use gcgt::prelude::*;
+
+fn main() {
+    let budget: usize = 24 << 20; // a "24 MB device" at our scales
+    println!("device budget: {} MB\n", budget >> 20);
+    println!(
+        "{:>9}  {:>10} {:>10} {:>10}  {:>7}  {:>12}",
+        "pages", "CSR MB", "Gunrock MB", "CGR MB", "rate", "GCGT BFS ms"
+    );
+
+    for nodes in [10_000usize, 20_000, 40_000, 80_000, 160_000] {
+        let raw = web_graph(&WebParams::uk2007_like(nodes), 1);
+        let perm = Reordering::Llp(LlpConfig::default()).compute(&raw);
+        let graph = raw.permuted(&perm);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+
+        let csr = memory::csr_footprint(&graph);
+        let gunrock = memory::gunrock_footprint(&graph);
+        let gcgt = memory::gcgt_footprint(&cgr);
+
+        let device = DeviceConfig::titan_v_scaled(budget);
+        let bfs_ms = match GcgtEngine::new(&cgr, device, Strategy::Full) {
+            Ok(engine) => format!("{:.3}", bfs(&engine, 0).stats.est_ms),
+            Err(_) => "OOM".to_string(),
+        };
+        let fits = |b: usize| {
+            if b <= budget {
+                format!("{:.1}", b as f64 / 1e6)
+            } else {
+                format!("{:.1}!", b as f64 / 1e6)
+            }
+        };
+        println!(
+            "{:>9}  {:>10} {:>10} {:>10}  {:>6.1}x  {:>12}",
+            nodes,
+            fits(csr),
+            fits(gunrock),
+            fits(gcgt),
+            cgr.compression_rate(),
+            bfs_ms
+        );
+    }
+    println!("\n('!' marks structures exceeding the budget — the graph sizes");
+    println!(" where only the compressed representation still runs on-device)");
+}

@@ -1,0 +1,76 @@
+//! # gcgt
+//!
+//! A full reproduction of **"GPU-based Graph Traversal on Compressed
+//! Graphs"** (Sha, Li, Tan — SIGMOD 2019) as a Rust workspace: the CGR
+//! compression format, the GCGT traversal kernels (Two-Phase, Task-Stealing,
+//! Warp-centric Decoding, Residual Segmentation), a deterministic SIMT
+//! simulator standing in for the GPU, CPU and GPU baselines, and an
+//! experiment harness regenerating every table and figure of the paper's
+//! evaluation. See `DESIGN.md` for the architecture and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcgt::prelude::*;
+//!
+//! // 1. A graph (here: a synthetic web crawl; use your own edge list).
+//! let graph = web_graph(&WebParams::uk2002_like(2_000), 42);
+//!
+//! // 2. Improve locality and compress into CGR (Table 2 parameters).
+//! let perm = Reordering::Llp(LlpConfig::default()).compute(&graph);
+//! let graph = graph.permuted(&perm);
+//! let config = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+//! let cgr = CgrGraph::encode(&graph, &config);
+//! assert!(cgr.compression_rate() > 2.0);
+//!
+//! // 3. Traverse the compressed graph on the simulated GPU.
+//! let device = DeviceConfig::titan_v_scaled(64 << 20);
+//! let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
+//! let run = bfs(&engine, 0);
+//! assert_eq!(run.depth[0], 0);
+//! println!("BFS: {} nodes in {:.3} simulated ms", run.reached, run.stats.est_ms);
+//! ```
+
+pub use gcgt_baselines as baselines;
+pub use gcgt_bench as bench;
+pub use gcgt_bits as bits;
+pub use gcgt_cgr as cgr;
+pub use gcgt_core as core;
+pub use gcgt_graph as graph;
+pub use gcgt_simt as simt;
+
+/// The commonly-used types and functions in one import.
+pub mod prelude {
+    pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
+    pub use gcgt_bits::Code;
+    pub use gcgt_cgr::{ByteRleGraph, CgrConfig, CgrGraph, CompressionStats};
+    pub use gcgt_core::{
+        bc, bfs, cc, label_propagation, pagerank, BcRun, BfsRun, CcRun, Expander, GcgtEngine,
+        LabelPropRun, PagerankRun, Strategy,
+    };
+    pub use gcgt_graph::edgelist;
+    pub use gcgt_graph::gen::{
+        brain_like, erdos_renyi, rmat, social_graph, toys, web_graph, BrainParams, RmatParams,
+        SocialParams, WebParams,
+    };
+    pub use gcgt_graph::order::{GorderConfig, LlpConfig, SlashBurnConfig};
+    pub use gcgt_graph::{refalgo, Csr, CsrBuilder, NodeId, Reordering, VnodeConfig, VnodeGraph};
+    pub use gcgt_simt::{Device, DeviceConfig, PcieConfig, RunStats};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let g = toys::figure1();
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&g, &cfg);
+        let engine =
+            GcgtEngine::new(&cgr, DeviceConfig::titan_v_scaled(1 << 20), Strategy::Full).unwrap();
+        let run = bfs(&engine, 0);
+        assert_eq!(run.depth, refalgo::bfs(&g, 0).depth);
+    }
+}

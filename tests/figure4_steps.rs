@@ -1,0 +1,58 @@
+//! Reproduces the paper's **Figure 4** instruction-flow tables exactly:
+//! on the 8-thread example warp, the intuitive schedule takes 26 steps,
+//! Two-Phase Traversal takes 12 and Task Stealing takes 10 (counting the
+//! decode/handle cells the figure draws).
+
+use gcgt::cgr::{CgrConfig, CgrGraph};
+use gcgt::core::kernels::{expand_warp, CollectSink};
+use gcgt::core::Strategy;
+use gcgt::graph::gen::toys;
+use gcgt::simt::WarpSim;
+
+fn steps_for(strategy: Strategy) -> (u64, usize) {
+    let (graph, frontier) = toys::figure4();
+    let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+    let cgr = CgrGraph::encode(&graph, &cfg);
+    let mut warp = WarpSim::new(8, 64);
+    let mut sink = CollectSink::default();
+    expand_warp(strategy, &mut warp, &cgr, &frontier, &mut sink);
+    (warp.tally().figure4_steps(), sink.pairs.len())
+}
+
+#[test]
+fn figure4b_intuitive_takes_26_steps() {
+    let (steps, neighbours) = steps_for(Strategy::Intuitive);
+    assert_eq!(steps, 26, "Figure 4(b)");
+    assert_eq!(neighbours, 37);
+}
+
+#[test]
+fn figure4c_two_phase_takes_12_steps() {
+    let (steps, neighbours) = steps_for(Strategy::TwoPhase);
+    assert_eq!(steps, 12, "Figure 4(c)");
+    assert_eq!(neighbours, 37);
+}
+
+#[test]
+fn figure4d_task_stealing_takes_10_steps() {
+    let (steps, neighbours) = steps_for(Strategy::TaskStealing);
+    assert_eq!(steps, 10, "Figure 4(d)");
+    assert_eq!(neighbours, 37);
+}
+
+#[test]
+fn the_example_expands_identically_under_all_strategies() {
+    let (graph, frontier) = toys::figure4();
+    let mut reference: Vec<(u32, u32)> = graph.edges().collect();
+    reference.sort_unstable();
+    for strategy in Strategy::LADDER {
+        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+        let mut warp = WarpSim::new(8, 64);
+        let mut sink = CollectSink::default();
+        expand_warp(strategy, &mut warp, &cgr, &frontier, &mut sink);
+        let mut got = sink.pairs;
+        got.sort_unstable();
+        assert_eq!(got, reference, "{strategy:?}");
+    }
+}

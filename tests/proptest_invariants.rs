@@ -1,0 +1,184 @@
+//! Property-based invariants across the whole pipeline (proptest):
+//! arbitrary graphs × arbitrary CGR configurations must round-trip exactly,
+//! traverse identically to the serial oracles under every strategy, and be
+//! invariant under node reordering.
+
+// Explicit imports: both `gcgt::prelude` and `proptest::prelude` export a
+// `Strategy`, and glob-importing both is ambiguous.
+use gcgt::prelude::{
+    bfs, cc, refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine,
+    Reordering, Strategy, VnodeConfig, VnodeGraph,
+};
+use proptest::prelude::{
+    prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+};
+use proptest::strategy::Strategy as PropStrategy;
+
+/// An arbitrary small graph as (node count, edge list).
+fn arb_graph() -> impl PropStrategy<Value = Csr> {
+    (2usize..120).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..400)
+            .prop_map(move |edges| Csr::from_edges(n, &edges))
+    })
+}
+
+/// An arbitrary CGR configuration over the supported parameter space.
+fn arb_config() -> impl PropStrategy<Value = CgrConfig> {
+    (
+        prop_oneof![
+            Just(Code::Gamma),
+            Just(Code::Delta),
+            (1u8..6).prop_map(Code::Zeta),
+        ],
+        prop_oneof![Just(None), (1u32..12).prop_map(Some)],
+        prop_oneof![Just(None), Just(Some(8u32)), Just(Some(16)), Just(Some(32)), Just(Some(64))],
+    )
+        .prop_map(|(code, min_interval_len, segment_len_bytes)| CgrConfig {
+            code,
+            min_interval_len,
+            segment_len_bytes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cgr_round_trips_exactly(graph in arb_graph(), config in arb_config()) {
+        let cgr = CgrGraph::encode(&graph, &config);
+        let decoded = gcgt::cgr::decode::decode_all(&cgr);
+        prop_assert_eq!(decoded, graph);
+    }
+
+    #[test]
+    fn compression_stats_partition_edges(graph in arb_graph(), config in arb_config()) {
+        let cgr = CgrGraph::encode(&graph, &config);
+        let s = cgr.stats();
+        prop_assert_eq!(s.interval_edges + s.residual_edges, graph.num_edges());
+        prop_assert_eq!(s.total_bits, cgr.bits().len());
+    }
+
+    #[test]
+    fn bfs_matches_oracle_under_any_strategy(
+        graph in arb_graph(),
+        strategy_idx in 0usize..5,
+        source_seed in 0u32..1000,
+    ) {
+        let strategy = Strategy::LADDER[strategy_idx];
+        let source = source_seed % graph.num_nodes() as u32;
+        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+        let device = DeviceConfig::titan_v_scaled(1 << 30);
+        let engine = GcgtEngine::new(&cgr, device, strategy).unwrap();
+        let got = bfs(&engine, source);
+        let want = refalgo::bfs(&graph, source);
+        prop_assert_eq!(got.depth, want.depth);
+    }
+
+    #[test]
+    fn bfs_reachability_invariant_under_reordering(graph in arb_graph(), source_seed in 0u32..1000) {
+        // Relabeling nodes must preserve the number of reached nodes and
+        // the level structure (depth multiset).
+        let n = graph.num_nodes() as u32;
+        let source = source_seed % n;
+        let perm = Reordering::DegSort.compute(&graph);
+        let permuted = graph.permuted(&perm);
+
+        let a = refalgo::bfs(&graph, source);
+        let b = refalgo::bfs(&permuted, perm[source as usize]);
+        prop_assert_eq!(a.reached, b.reached);
+        let mut da: Vec<u32> = a.depth; da.sort_unstable();
+        let mut db: Vec<u32> = b.depth; db.sort_unstable();
+        prop_assert_eq!(da, db);
+    }
+
+    #[test]
+    fn vnode_expansion_is_lossless(graph in arb_graph()) {
+        let vg = VnodeGraph::compress(&graph, &VnodeConfig {
+            min_pattern: 4,
+            max_group: 32,
+            passes: 2,
+        });
+        prop_assert_eq!(vg.expand(), graph);
+    }
+
+    #[test]
+    fn cc_agrees_with_union_find(graph in arb_graph()) {
+        let sym = graph.symmetrized();
+        let want = refalgo::connected_components(&sym);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&sym, &cfg);
+        let device = DeviceConfig::titan_v_scaled(1 << 30);
+        let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
+        let got = cc(&engine);
+        prop_assert_eq!(got.component, want.component);
+    }
+
+    #[test]
+    fn byte_rle_round_trips(graph in arb_graph()) {
+        let rle = ByteRleGraph::encode(&graph);
+        for u in 0..graph.num_nodes() as u32 {
+            let decoded: Vec<u32> = rle.neighbors(u).collect();
+            prop_assert_eq!(decoded, graph.neighbors(u).to_vec());
+        }
+    }
+
+    #[test]
+    fn reorderings_always_produce_permutations(graph in arb_graph()) {
+        for method in Reordering::figure13_sweep() {
+            let p = method.compute(&graph);
+            prop_assert!(gcgt::graph::order::is_permutation(&p), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn warp_decode_equals_serial_decode(
+        values in proptest::collection::vec(1u64..100_000, 1..300),
+        code_idx in 0usize..4,
+        width_idx in 0usize..3,
+    ) {
+        // Algorithm 4's speculative windows must reproduce the serial
+        // decoding of any codeword stream, for any code and warp width.
+        let code = [Code::Gamma, Code::Zeta(2), Code::Zeta(3), Code::Zeta(5)][code_idx];
+        let width = [8usize, 16, 32][width_idx];
+        let mut w = gcgt::bits::BitWriter::new();
+        for &v in &values {
+            code.encode(&mut w, v);
+        }
+        let bits = w.into_bitvec();
+        let mut warp = gcgt::simt::WarpSim::new(width, 64);
+        let mut decoded: Vec<u64> = Vec::new();
+        let mut pos = 0usize;
+        while decoded.len() < values.len() {
+            let win = gcgt::core::kernels::warp_decode::parallel_decode(
+                &mut warp, &bits, code, pos,
+            );
+            if win.values.is_empty() {
+                // Codeword wider than the window: decode serially.
+                let (v, next) = code.decode_at(&bits, pos).expect("serial fallback");
+                decoded.push(v);
+                pos = next;
+                continue;
+            }
+            let take = win.values.len().min(values.len() - decoded.len());
+            for &(v, _) in &win.values[..take] {
+                decoded.push(v);
+            }
+            pos += win.values[take - 1].1;
+            // Lemma 5.2: rounds bounded by log2(width) + 1.
+            prop_assert!(win.rounds <= (width as u32).ilog2() + 2);
+        }
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn label_propagation_matches_oracle(graph in arb_graph()) {
+        let (want, _) = refalgo::label_propagation(&graph, 5);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+        let device = DeviceConfig::titan_v_scaled(1 << 30);
+        let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
+        let got = gcgt::core::label_propagation(&engine, 5);
+        prop_assert_eq!(got.labels, want);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate correctness matrix: every GCGT strategy and every GPU
+//! baseline must produce oracle-identical results for every application,
+//! across the structurally distinct graph families.
+
+use gcgt::prelude::*;
+
+fn families() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("figure1", toys::figure1()),
+        ("grid", toys::grid(12, 9)),
+        ("binary_tree", toys::binary_tree(7)),
+        ("web", web_graph(&WebParams::uk2002_like(900), 5)),
+        ("social", social_graph(&SocialParams::ljournal_like(700), 6)),
+        ("skewed", social_graph(&SocialParams::twitter_like(700), 7)),
+        (
+            "brain",
+            brain_like(
+                &BrainParams {
+                    nodes: 600,
+                    cluster_size: 80,
+                    intra_band_frac: 0.5,
+                    inter_links: 5,
+                    random_links: 3,
+                },
+                8,
+            ),
+        ),
+        ("rmat", rmat(10, 8_000, RmatParams::default(), 9)),
+        ("sparse", erdos_renyi(500, 700, 10)),
+    ]
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::titan_v_scaled(1 << 30)
+}
+
+#[test]
+fn bfs_matches_oracle_for_every_strategy_and_family() {
+    for (name, graph) in families() {
+        let want = refalgo::bfs(&graph, 0);
+        for strategy in Strategy::LADDER {
+            let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+            let cgr = CgrGraph::encode(&graph, &cfg);
+            let engine = GcgtEngine::new(&cgr, device(), strategy).unwrap();
+            let got = bfs(&engine, 0);
+            assert_eq!(got.depth, want.depth, "{name} / {strategy:?}");
+            assert_eq!(got.reached, want.reached, "{name} / {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn bfs_matches_oracle_for_gpu_baselines() {
+    for (name, graph) in families() {
+        let want = refalgo::bfs(&graph, 0);
+        let gpucsr = GpuCsrEngine::new(&graph, device()).unwrap();
+        assert_eq!(bfs(&gpucsr, 0).depth, want.depth, "{name} / gpucsr");
+        let gunrock = GunrockEngine::new(&graph, device()).unwrap();
+        assert_eq!(bfs(&gunrock, 0).depth, want.depth, "{name} / gunrock");
+    }
+}
+
+#[test]
+fn bfs_matches_oracle_for_cpu_baselines() {
+    for (name, graph) in families() {
+        let want = refalgo::bfs(&graph, 0);
+        let ligra = LigraGraph::new(&graph);
+        assert_eq!(ligra.bfs(0).result, want.depth, "{name} / ligra");
+        let lplus = LigraPlusGraph::new(&graph);
+        assert_eq!(lplus.bfs(0).result, want.depth, "{name} / ligra+");
+    }
+}
+
+#[test]
+fn cc_matches_oracle_across_engines() {
+    for (name, graph) in families() {
+        let want = refalgo::connected_components(&graph);
+        let sym = graph.symmetrized();
+
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&sym, &cfg);
+        let engine = GcgtEngine::new(&cgr, device(), Strategy::Full).unwrap();
+        let got = cc(&engine);
+        assert_eq!(got.component, want.component, "{name} / gcgt");
+        assert_eq!(got.count, want.count, "{name} / gcgt");
+
+        let gpucsr = GpuCsrEngine::new(&sym, device()).unwrap();
+        assert_eq!(cc(&gpucsr).component, want.component, "{name} / gpucsr");
+    }
+}
+
+#[test]
+fn bc_matches_oracle_across_engines() {
+    for (name, graph) in families() {
+        let want = refalgo::betweenness_from_source(&graph, 0);
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+        let engine = GcgtEngine::new(&cgr, device(), Strategy::Full).unwrap();
+        let got = bc(&engine, 0);
+        assert_eq!(got.depth, want.depth, "{name}");
+        assert_eq!(got.sigma, want.sigma, "{name}: σ is exact in f64");
+        for (i, (&a, &b)) in got.delta.iter().zip(&want.delta).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                "{name}: δ[{i}] {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_matches_oracle() {
+    for (name, graph) in families().into_iter().take(5) {
+        let (want, _) = refalgo::pagerank(&graph, refalgo::PagerankConfig::default());
+        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(&graph, &cfg);
+        let engine = GcgtEngine::new(&cgr, device(), Strategy::Full).unwrap();
+        let got = pagerank(&engine, 0.85, 100, 1e-9);
+        for (i, (&a, &b)) in got.ranks.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-6, "{name}: rank[{i}] {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn warp_width_does_not_affect_results() {
+    let graph = web_graph(&WebParams::uk2002_like(600), 77);
+    let want = refalgo::bfs(&graph, 0);
+    for width in [4usize, 8, 16, 32, 64] {
+        let mut dc = device();
+        dc.warp_width = width;
+        for strategy in [Strategy::Intuitive, Strategy::TaskStealing, Strategy::Full] {
+            let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+            let cgr = CgrGraph::encode(&graph, &cfg);
+            let engine = GcgtEngine::new(&cgr, dc, strategy).unwrap();
+            assert_eq!(bfs(&engine, 0).depth, want.depth, "width {width} {strategy:?}");
+        }
+    }
+}
