@@ -4,7 +4,7 @@
 //! frontier's out-edges and a *dense* (pull) traversal over all unvisited
 //! nodes' in-edges, whichever touches less data — the direction-optimizing
 //! BFS of Beamer et al. Parallelism comes from chunking nodes over host
-//! threads (crossbeam) with atomic claim of discovered nodes.
+//! threads (std::thread::scope) with atomic claim of discovered nodes.
 //!
 //! This is the paper's `Ligra` baseline: real multi-core wall-clock, the
 //! fastest CPU contender of Figure 8.
@@ -90,7 +90,12 @@ impl LigraGraph {
             for &u in frontier {
                 for &v in self.fwd.neighbors(u) {
                     if depth[v as usize]
-                        .compare_exchange(UNREACHED, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(
+                            UNREACHED,
+                            level + 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                     {
                         next.push(v);
@@ -102,11 +107,11 @@ impl LigraGraph {
         }
         let chunk = frontier.len().div_ceil(self.threads).max(1);
         let mut locals: Vec<Vec<NodeId>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for &u in part {
                             for &v in self.fwd.neighbors(u) {
@@ -130,8 +135,7 @@ impl LigraGraph {
             for h in handles {
                 locals.push(h.join().expect("ligra worker panicked"));
             }
-        })
-        .expect("ligra scope");
+        });
         let mut next: Vec<NodeId> = locals.into_iter().flatten().collect();
         next.sort_unstable();
         next
@@ -159,12 +163,12 @@ impl LigraGraph {
         }
         let chunk = n.div_ceil(self.threads).max(1);
         let mut locals: Vec<Vec<NodeId>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|t| {
                     let lo = (t * chunk).min(n);
                     let hi = ((t + 1) * chunk).min(n);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for v in lo as NodeId..hi as NodeId {
                             if depth[v as usize].load(Ordering::Relaxed) != UNREACHED {
@@ -185,8 +189,7 @@ impl LigraGraph {
             for h in handles {
                 locals.push(h.join().expect("ligra worker panicked"));
             }
-        })
-        .expect("ligra scope");
+        });
         locals.into_iter().flatten().collect()
     }
 }

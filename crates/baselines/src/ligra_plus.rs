@@ -87,7 +87,12 @@ impl LigraPlusGraph {
             for &u in frontier {
                 for v in self.fwd.neighbors(u) {
                     if depth[v as usize]
-                        .compare_exchange(UNREACHED, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(
+                            UNREACHED,
+                            level + 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                     {
                         next.push(v);
@@ -99,11 +104,11 @@ impl LigraPlusGraph {
         }
         let chunk = frontier.len().div_ceil(self.threads).max(1);
         let mut locals: Vec<Vec<NodeId>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for &u in part {
                             for v in self.fwd.neighbors(u) {
@@ -127,8 +132,7 @@ impl LigraPlusGraph {
             for h in handles {
                 locals.push(h.join().expect("ligra+ worker panicked"));
             }
-        })
-        .expect("ligra+ scope");
+        });
         let mut next: Vec<NodeId> = locals.into_iter().flatten().collect();
         next.sort_unstable();
         next
@@ -154,12 +158,12 @@ impl LigraPlusGraph {
         }
         let chunk = n.div_ceil(self.threads).max(1);
         let mut locals: Vec<Vec<NodeId>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|t| {
                     let lo = (t * chunk).min(n);
                     let hi = ((t + 1) * chunk).min(n);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for v in lo as NodeId..hi as NodeId {
                             if depth[v as usize].load(Ordering::Relaxed) != UNREACHED {
@@ -180,8 +184,7 @@ impl LigraPlusGraph {
             for h in handles {
                 locals.push(h.join().expect("ligra+ worker panicked"));
             }
-        })
-        .expect("ligra+ scope");
+        });
         locals.into_iter().flatten().collect()
     }
 }

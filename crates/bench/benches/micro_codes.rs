@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gcgt_bits::{BitReader, BitWriter, ByteCodeReader, ByteCodeWriter, Code};
 
 fn bench(c: &mut Criterion) {
-    let values: Vec<u64> = (0..10_000u64).map(|i| (i * 2654435761) % 5000 + 1).collect();
+    let values: Vec<u64> = (0..10_000u64)
+        .map(|i| (i * 2654435761) % 5000 + 1)
+        .collect();
 
     let mut group = c.benchmark_group("codes");
     group.throughput(Throughput::Elements(values.len() as u64));

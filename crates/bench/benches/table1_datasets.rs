@@ -13,10 +13,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_build");
     group.sample_size(10);
     group.bench_function("uk2002_generate_preprocess", |b| {
-        b.iter(|| Dataset::build(DatasetId::Uk2002, Scale(0.05)).graph.num_edges())
+        b.iter(|| {
+            Dataset::build(DatasetId::Uk2002, Scale(0.05))
+                .graph
+                .num_edges()
+        })
     });
     group.bench_function("twitter_generate_preprocess", |b| {
-        b.iter(|| Dataset::build(DatasetId::Twitter, Scale(0.05)).graph.num_edges())
+        b.iter(|| {
+            Dataset::build(DatasetId::Twitter, Scale(0.05))
+                .graph
+                .num_edges()
+        })
     });
     group.finish();
 }

@@ -60,9 +60,19 @@ fn main() {
     if want("table3") {
         println!("{}", table3::run().render());
     }
-    let needs_ctx = ["table1", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15", "ablations"]
-        .iter()
-        .any(|e| want(e));
+    let needs_ctx = [
+        "table1",
+        "fig8",
+        "fig9",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "ablations",
+    ]
+    .iter()
+    .any(|e| want(e));
     if !needs_ctx {
         return;
     }

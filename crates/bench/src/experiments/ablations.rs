@@ -23,10 +23,11 @@ pub fn warp_width(ctx: &ExperimentContext) -> Table {
         .filter(|d| matches!(d.id, DatasetId::Uk2002 | DatasetId::Twitter))
     {
         let sources = super::sources_for(ds, 1);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for width in [8usize, 16, 32, 64] {
             let mut device = ctx.device;
             device.warp_width = width;
-            let (ms, _) = gcgt_bfs_ms(&ds.graph, &base, Strategy::Full, device, &sources);
+            let (ms, _) = gcgt_bfs_ms(shared.clone(), &base, Strategy::Full, device, &sources);
             t.row(vec![
                 ds.id.name().to_string(),
                 width.to_string(),
@@ -51,10 +52,11 @@ pub fn cache_size(ctx: &ExperimentContext) -> Table {
         .filter(|d| matches!(d.id, DatasetId::Uk2007 | DatasetId::Ljournal))
     {
         let sources = super::sources_for(ds, 1);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for lines in [1usize, 16, 64, 256] {
             let mut device = ctx.device;
             device.cache_lines_per_warp = lines;
-            let (ms, _) = gcgt_bfs_ms(&ds.graph, &base, Strategy::Full, device, &sources);
+            let (ms, _) = gcgt_bfs_ms(shared.clone(), &base, Strategy::Full, device, &sources);
             t.row(vec![
                 ds.id.name().to_string(),
                 lines.to_string(),
@@ -73,12 +75,13 @@ pub fn delta_code(ctx: &ExperimentContext) -> Table {
     );
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, 1);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for code in [Code::Gamma, Code::Delta, Code::Zeta(3)] {
             let cfg = CgrConfig {
                 code,
                 ..CgrConfig::paper_default()
             };
-            let (_, bits) = gcgt_bfs_ms(&ds.graph, &cfg, Strategy::Full, ctx.device, &sources);
+            let (_, bits) = gcgt_bfs_ms(shared.clone(), &cfg, Strategy::Full, ctx.device, &sources);
             t.row(vec![
                 ds.id.name().to_string(),
                 code.name(),

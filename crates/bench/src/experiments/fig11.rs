@@ -25,12 +25,14 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig11Row> {
     let mut out = Vec::new();
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, ctx.sources);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for code in Code::FIGURE11_SWEEP {
             let cfg = CgrConfig {
                 code,
                 ..CgrConfig::paper_default()
             };
-            let (ms, bits) = gcgt_bfs_ms(&ds.graph, &cfg, Strategy::Full, ctx.device, &sources);
+            let (ms, bits) =
+                gcgt_bfs_ms(shared.clone(), &cfg, Strategy::Full, ctx.device, &sources);
             out.push(Fig11Row {
                 dataset: ds.id.name(),
                 code: code.name(),

@@ -27,12 +27,14 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig12Row> {
     let mut out = Vec::new();
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, ctx.sources);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for min_itv in SWEEP {
             let cfg = CgrConfig {
                 min_interval_len: min_itv,
                 ..CgrConfig::paper_default()
             };
-            let (ms, bits) = gcgt_bfs_ms(&ds.graph, &cfg, Strategy::Full, ctx.device, &sources);
+            let (ms, bits) =
+                gcgt_bfs_ms(shared.clone(), &cfg, Strategy::Full, ctx.device, &sources);
             out.push(Fig12Row {
                 dataset: ds.id.name(),
                 min_interval_len: min_itv,

@@ -33,7 +33,13 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig13Row> {
             let perm = method.compute(&ds.base);
             let g = ds.base.permuted(&perm);
             let sources = bfs_sources(&g, ctx.sources);
-            let (ms, bits) = gcgt_bfs_ms(&g, &base_cfg, Strategy::Full, ctx.device, &sources);
+            let (ms, bits) = gcgt_bfs_ms(
+                std::sync::Arc::new(g),
+                &base_cfg,
+                Strategy::Full,
+                ctx.device,
+                &sources,
+            );
             out.push(Fig13Row {
                 dataset: ds.id.name(),
                 method: method.name(),

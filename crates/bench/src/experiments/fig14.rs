@@ -12,14 +12,7 @@ use gcgt_cgr::CgrConfig;
 use gcgt_core::Strategy;
 
 /// The sweep points of the figure (`None` = "inf" = no segmentation).
-pub const SWEEP: [Option<u32>; 6] = [
-    Some(8),
-    Some(16),
-    Some(32),
-    Some(64),
-    Some(128),
-    None,
-];
+pub const SWEEP: [Option<u32>; 6] = [Some(8), Some(16), Some(32), Some(64), Some(128), None];
 
 /// One (dataset, segment length) measurement.
 #[derive(Clone, Debug)]
@@ -39,6 +32,7 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig14Row> {
     let mut out = Vec::new();
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, ctx.sources);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         for seg in SWEEP {
             let cfg = CgrConfig {
                 segment_len_bytes: seg,
@@ -49,7 +43,7 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig14Row> {
             } else {
                 Strategy::WarpCentric
             };
-            let (ms, bits) = gcgt_bfs_ms(&ds.graph, &cfg, strategy, ctx.device, &sources);
+            let (ms, bits) = gcgt_bfs_ms(shared.clone(), &cfg, strategy, ctx.device, &sources);
             out.push(Fig14Row {
                 dataset: ds.id.name(),
                 segment_len: seg,

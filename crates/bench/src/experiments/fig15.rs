@@ -7,11 +7,11 @@
 //! BC behaves like ~2× BFS, node-centric CC pays extra on twitter's
 //! super-nodes, and Gunrock OOMs on the large datasets.
 
+use std::sync::Arc;
+
 use super::ExperimentContext;
 use crate::table::{fmt_ms, Table};
-use gcgt_baselines::{GpuCsrEngine, GunrockEngine};
-use gcgt_cgr::{CgrConfig, CgrGraph};
-use gcgt_core::{bc, cc, GcgtEngine, Strategy};
+use gcgt_session::{Bc, Cc, EngineKind, Session};
 
 /// One (dataset, app, approach) measurement.
 #[derive(Clone, Debug)]
@@ -26,51 +26,44 @@ pub struct Fig15Row {
     pub elapsed_ms: Option<f64>,
 }
 
-/// Runs both applications across the three GPU approaches.
+/// Runs both applications across the three GPU approaches — one session per
+/// (engine, view): CC sessions symmetrize inside the builder, BC sessions
+/// traverse the directed graph.
 pub fn rows(ctx: &ExperimentContext) -> Vec<Fig15Row> {
     let mut out = Vec::new();
     for ds in &ctx.datasets {
         let name = ds.id.name();
-        let sym = ds.graph.symmetrized();
+        let shared = Arc::new(ds.graph.clone());
         let source = super::sources_for(ds, 1)[0];
 
-        // --- CC (symmetrized) ---
-        let gunrock_cc = GunrockEngine::new(&sym, ctx.device)
-            .ok()
-            .map(|e| cc(&e).stats.est_ms);
-        let gpucsr_cc = GpuCsrEngine::new(&sym, ctx.device)
-            .ok()
-            .map(|e| cc(&e).stats.est_ms);
-        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-        let cgr_sym = CgrGraph::encode(&sym, &cfg);
-        let gcgt_cc = GcgtEngine::new(&cgr_sym, ctx.device, Strategy::Full)
-            .ok()
-            .map(|e| cc(&e).stats.est_ms);
-
-        // --- BC (directed, single source) ---
-        let gunrock_bc = GunrockEngine::new(&ds.graph, ctx.device)
-            .ok()
-            .map(|e| bc(&e, source).stats.est_ms);
-        let gpucsr_bc = GpuCsrEngine::new(&ds.graph, ctx.device)
-            .ok()
-            .map(|e| bc(&e, source).stats.est_ms);
-        let cgr = CgrGraph::encode(&ds.graph, &cfg);
-        let gcgt_bc = GcgtEngine::new(&cgr, ctx.device, Strategy::Full)
-            .ok()
-            .map(|e| bc(&e, source).stats.est_ms);
-
-        for (app, approach, ms) in [
-            ("CC", "Gunrock", gunrock_cc),
-            ("CC", "GPUCSR", gpucsr_cc),
-            ("CC", "GCGT", gcgt_cc),
-            ("BC", "Gunrock", gunrock_bc),
-            ("BC", "GPUCSR", gpucsr_bc),
-            ("BC", "GCGT", gcgt_bc),
-        ] {
+        // --- CC (undirected view, built by the session) ---
+        for kind in EngineKind::GPU_COMPARISON {
+            let ms = Session::builder()
+                .graph_shared(shared.clone())
+                .symmetrize(true)
+                .device(ctx.device)
+                .engine(kind)
+                .build()
+                .ok()
+                .map(|session| session.run(Cc).stats.est_ms);
             out.push(Fig15Row {
                 dataset: name,
-                app,
-                approach,
+                app: "CC",
+                approach: kind.name(),
+                elapsed_ms: ms,
+            });
+        }
+
+        // --- BC (directed, single source) ---
+        for kind in EngineKind::GPU_COMPARISON {
+            let ms = kind
+                .session(shared.clone(), ctx.device)
+                .ok()
+                .map(|session| session.run(Bc::from(source)).stats.est_ms);
+            out.push(Fig15Row {
+                dataset: name,
+                app: "BC",
+                approach: kind.name(),
                 elapsed_ms: ms,
             });
         }

@@ -8,12 +8,14 @@
 //! overhead over GPUCSR is modest, (iii) only CGR reaches double-digit
 //! compression rates on web/brain graphs, (iv) Gunrock OOMs first.
 
+use std::sync::Arc;
+
 use super::ExperimentContext;
 use crate::datasets::Dataset;
 use crate::table::{fmt_ms, fmt_rate, Table};
-use gcgt_baselines::{naive, GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
+use gcgt_baselines::{naive, LigraGraph, LigraPlusGraph};
 use gcgt_cgr::{CgrConfig, CgrGraph};
-use gcgt_core::{bfs, GcgtEngine, Strategy};
+use gcgt_session::{Bfs, EngineKind};
 
 /// One measured cell of the figure.
 #[derive(Clone, Debug)]
@@ -53,27 +55,33 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig8Row> {
             lplus.compression_rate() * ds.original_edges as f64 / g.num_edges().max(1) as f64;
         out.push(row(ds, "Ligra+", Some(lplus_ms), lplus_rate));
 
-        // --- GPU approaches (simulated) ---
-        let gunrock_ms = match GunrockEngine::new(g, ctx.device) {
-            Ok(e) => Some(avg(&sources, |s| bfs(&e, s).stats.est_ms)),
-            Err(_) => None,
-        };
-        out.push(row(ds, "Gunrock", gunrock_ms, csr_rate));
-
-        let gpucsr_ms = match GpuCsrEngine::new(g, ctx.device) {
-            Ok(e) => Some(avg(&sources, |s| bfs(&e, s).stats.est_ms)),
-            Err(_) => None,
-        };
-        out.push(row(ds, "GPUCSR", gpucsr_ms, csr_rate));
-
-        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-        let cgr = CgrGraph::encode(g, &cfg);
-        let gcgt_rate = ds.compression_rate_of_bits(cgr.bits().len());
-        let gcgt_ms = match GcgtEngine::new(&cgr, ctx.device, Strategy::Full) {
-            Ok(e) => Some(avg(&sources, |s| bfs(&e, s).stats.est_ms)),
-            Err(_) => None,
-        };
-        out.push(row(ds, "GCGT", gcgt_ms, gcgt_rate));
+        // --- GPU approaches (simulated), one session per engine kind over
+        // one shared in-memory graph; each session runs all sources as a
+        // single batch on one device residency ---
+        let shared = Arc::new(g.clone());
+        let queries: Vec<Bfs> = sources.iter().copied().map(Bfs::from).collect();
+        for kind in EngineKind::GPU_COMPARISON {
+            let (ms, rate) = match kind.session(shared.clone(), ctx.device) {
+                Ok(session) => {
+                    let rate = match session.cgr() {
+                        Some(cgr) => ds.compression_rate_of_bits(cgr.bits().len()),
+                        None => csr_rate,
+                    };
+                    (Some(session.run_batch(&queries).mean_query_ms()), rate)
+                }
+                // OOM: the compression rate is still a property of the
+                // encoding, reported exactly as the paper's figure does.
+                Err(_) => match kind.strategy() {
+                    Some(strategy) => {
+                        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+                        let cgr = CgrGraph::encode(g, &cfg);
+                        (None, ds.compression_rate_of_bits(cgr.bits().len()))
+                    }
+                    None => (None, csr_rate),
+                },
+            };
+            out.push(row(ds, kind.name(), ms, rate));
+        }
     }
     out
 }

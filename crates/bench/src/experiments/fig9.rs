@@ -28,9 +28,10 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<Fig9Row> {
     let mut out = Vec::new();
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, ctx.sources);
+        let shared = std::sync::Arc::new(ds.graph.clone());
         let times: Vec<f64> = Strategy::LADDER
             .iter()
-            .map(|&s| gcgt_bfs_ms(&ds.graph, &base, s, ctx.device, &sources).0)
+            .map(|&s| gcgt_bfs_ms(shared.clone(), &base, s, ctx.device, &sources).0)
             .collect();
         let full = times[Strategy::LADDER.len() - 1];
         for (i, &strategy) in Strategy::LADDER.iter().enumerate() {

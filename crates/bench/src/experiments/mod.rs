@@ -14,10 +14,13 @@ pub mod fig9;
 pub mod table1;
 pub mod table3;
 
+use std::sync::Arc;
+
 use crate::datasets::{bfs_sources, experiment_device, Dataset, Scale};
-use gcgt_cgr::{CgrConfig, CgrGraph};
-use gcgt_core::{bfs, GcgtEngine, Strategy};
+use gcgt_cgr::CgrConfig;
+use gcgt_core::Strategy;
 use gcgt_graph::Csr;
+use gcgt_session::{Bfs, EngineKind, Session};
 use gcgt_simt::DeviceConfig;
 
 /// Shared inputs of every experiment: the five datasets, the device, and
@@ -47,22 +50,30 @@ impl ExperimentContext {
     }
 }
 
-/// Encodes `graph` for `strategy` (starting from `base_cfg`) and returns the
-/// average simulated BFS time over `sources` sources plus the CGR structure
-/// size in bits. This is the primitive almost every figure sweeps.
+/// Builds a GCGT session over `graph` for `strategy` (starting from
+/// `base_cfg`) and returns the average simulated BFS time over `sources`
+/// (run as **one batch** on one device residency) plus the CGR structure
+/// size in bits. This is the primitive almost every figure sweeps — it
+/// takes the graph as an `Arc` so a sweep shares one in-memory copy
+/// across all its configuration points.
 pub fn gcgt_bfs_ms(
-    graph: &Csr,
+    graph: Arc<Csr>,
     base_cfg: &CgrConfig,
     strategy: Strategy,
     device: DeviceConfig,
     sources: &[u32],
 ) -> (f64, usize) {
-    let cfg = strategy.cgr_config(base_cfg);
-    let cgr = CgrGraph::encode(graph, &cfg);
-    let engine = GcgtEngine::new(&cgr, device, strategy)
+    let session = Session::builder()
+        .graph_shared(graph)
+        .compress(strategy.cgr_config(base_cfg))
+        .device(device)
+        .engine(EngineKind::Gcgt(strategy))
+        .build()
         .expect("experiment graphs must fit the device");
-    let total: f64 = sources.iter().map(|&s| bfs(&engine, s).stats.est_ms).sum();
-    (total / sources.len() as f64, cgr.bits().len())
+    let queries: Vec<Bfs> = sources.iter().copied().map(Bfs::from).collect();
+    let batch = session.run_batch(&queries);
+    let bits = session.cgr().expect("GCGT session encodes").bits().len();
+    (batch.mean_query_ms(), bits)
 }
 
 /// Convenience: the deterministic source list for a dataset.

@@ -61,7 +61,10 @@ impl BitWriter {
     #[inline]
     pub fn push_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 64);
-        debug_assert!(n == 64 || value < (1u64 << n), "value does not fit in n bits");
+        debug_assert!(
+            n == 64 || value < (1u64 << n),
+            "value does not fit in n bits"
+        );
         if n == 0 {
             return;
         }

@@ -62,7 +62,8 @@ impl ByteCodeWriter {
         self.buf.push(header);
         for &v in &self.pending {
             let le = v.to_le_bytes();
-            self.buf.extend_from_slice(&le[..self.pending_width as usize]);
+            self.buf
+                .extend_from_slice(&le[..self.pending_width as usize]);
         }
         self.pending.clear();
     }
@@ -195,7 +196,10 @@ mod tests {
             w.push(v);
         }
         let bytes = w.finish();
-        assert!(bytes.len() < 1000 * 4 / 3, "byte-RLE should beat 4-byte ints");
+        assert!(
+            bytes.len() < 1000 * 4 / 3,
+            "byte-RLE should beat 4-byte ints"
+        );
     }
 
     #[test]

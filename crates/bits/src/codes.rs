@@ -307,12 +307,7 @@ mod tests {
             for x in (1..200).chain([1 << 20, u64::from(u32::MAX), 1 << 60]) {
                 let mut w = BitWriter::new();
                 code.encode(&mut w, x);
-                assert_eq!(
-                    w.len() as u32,
-                    code.len_bits(x),
-                    "{} of {x}",
-                    code.name()
-                );
+                assert_eq!(w.len() as u32, code.len_bits(x), "{} of {x}", code.name());
             }
         }
     }

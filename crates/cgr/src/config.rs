@@ -83,7 +83,12 @@ impl CgrConfig {
 
     /// Decodes a first gap at `pos`; returns `(target, next_pos)`.
     #[inline]
-    pub fn read_first_gap(&self, bits: &BitVec, pos: usize, source: NodeId) -> Option<(NodeId, usize)> {
+    pub fn read_first_gap(
+        &self,
+        bits: &BitVec,
+        pos: usize,
+        source: NodeId,
+    ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
         let gap = unfold_sign(v - 1);
         Some(((i64::from(source) + gap) as NodeId, p))
@@ -101,7 +106,12 @@ impl CgrConfig {
 
     /// Decodes an interval gap at `pos`; returns `(start, next_pos)`.
     #[inline]
-    pub fn read_interval_gap(&self, bits: &BitVec, pos: usize, prev_end: NodeId) -> Option<(NodeId, usize)> {
+    pub fn read_interval_gap(
+        &self,
+        bits: &BitVec,
+        pos: usize,
+        prev_end: NodeId,
+    ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
         Some((prev_end + (v + 1) as NodeId, p))
     }
@@ -134,7 +144,12 @@ impl CgrConfig {
 
     /// Decodes a residual gap at `pos`; returns `(residual, next_pos)`.
     #[inline]
-    pub fn read_residual_gap(&self, bits: &BitVec, pos: usize, prev: NodeId) -> Option<(NodeId, usize)> {
+    pub fn read_residual_gap(
+        &self,
+        bits: &BitVec,
+        pos: usize,
+        prev: NodeId,
+    ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
         Some((prev + v as NodeId, p))
     }

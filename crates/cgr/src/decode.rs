@@ -190,7 +190,8 @@ impl Iterator for NeighborIter<'_> {
         if self.itv_left > 0 {
             let (start, p) = if self.first_interval {
                 self.first_interval = false;
-                cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("itv start")
+                cfg.read_first_gap(bits, self.bit_ptr, self.u)
+                    .expect("itv start")
             } else {
                 cfg.read_interval_gap(bits, self.bit_ptr, self.cur_itv_ptr - 1)
                     .expect("itv gap")
@@ -205,9 +206,11 @@ impl Iterator for NeighborIter<'_> {
         // Branch (iii): in the residual segment.
         let (r, p) = if self.first_residual {
             self.first_residual = false;
-            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("first res")
+            cfg.read_first_gap(bits, self.bit_ptr, self.u)
+                .expect("first res")
         } else {
-            cfg.read_residual_gap(bits, self.bit_ptr, self.cur_res).expect("res gap")
+            cfg.read_residual_gap(bits, self.bit_ptr, self.cur_res)
+                .expect("res gap")
         };
         self.bit_ptr = p;
         self.cur_res = r;

@@ -291,7 +291,10 @@ mod tests {
         let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
         let s = cgr.stats();
         assert_eq!(s.interval_edges + s.residual_edges, g.num_edges());
-        assert!(s.interval_coverage() > 0.3, "web graph should be interval-rich");
+        assert!(
+            s.interval_coverage() > 0.3,
+            "web graph should be interval-rich"
+        );
     }
 
     #[test]
@@ -333,7 +336,11 @@ mod tests {
             ..CgrConfig::paper_default()
         };
         let cgr = CgrGraph::encode(&g, &cfg);
-        assert!(cgr.stats().segments >= 2, "{} segments", cgr.stats().segments);
+        assert!(
+            cgr.stats().segments >= 2,
+            "{} segments",
+            cgr.stats().segments
+        );
         assert!(cgr.stats().blank_bits > 0);
         assert_eq!(crate::decode::decode_node(&cgr, 0), g.neighbors(0));
     }

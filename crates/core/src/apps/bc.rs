@@ -10,7 +10,7 @@
 //! label traffic (Figure 15).
 
 use gcgt_graph::{NodeId, UNREACHED};
-use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+use gcgt_simt::{Device, OpClass, RunStats, Space, WarpSim};
 
 use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
@@ -78,10 +78,17 @@ impl Sink for LabelSink<'_> {
 }
 
 /// Runs single-source betweenness centrality from `source`.
-pub fn bc<E: Expander>(engine: &E, source: NodeId) -> BcRun {
+pub fn bc<E: Expander + ?Sized>(engine: &E, source: NodeId) -> BcRun {
+    let mut device = engine.new_device();
+    bc_in(engine, &mut device, source)
+}
+
+/// [`bc`] on an existing device with the graph already resident. The
+/// returned statistics cover only this run.
+pub fn bc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: NodeId) -> BcRun {
     let n = engine.num_nodes();
     assert!((source as usize) < n);
-    let mut device = engine.new_device();
+    let before = device.stats();
     let mut depth = vec![UNREACHED; n];
     let mut sigma = vec![0.0f64; n];
     depth[source as usize] = 0;
@@ -92,7 +99,7 @@ pub fn bc<E: Expander>(engine: &E, source: NodeId) -> BcRun {
     loop {
         let du = (levels.len() - 1) as u32;
         let frontier = levels.last().unwrap().clone();
-        let sinks = launch_expansion(engine, &mut device, &frontier, || LabelSink {
+        let sinks = launch_expansion(engine, device, &frontier, || LabelSink {
             depth: &depth,
             du,
             keep_unvisited: true,
@@ -124,7 +131,7 @@ pub fn bc<E: Expander>(engine: &E, source: NodeId) -> BcRun {
     for lvl in (0..levels.len()).rev() {
         let du = lvl as u32;
         let frontier = &levels[lvl];
-        let sinks = launch_expansion(engine, &mut device, frontier, || LabelSink {
+        let sinks = launch_expansion(engine, device, frontier, || LabelSink {
             depth: &depth,
             du,
             keep_unvisited: false,
@@ -142,7 +149,7 @@ pub fn bc<E: Expander>(engine: &E, source: NodeId) -> BcRun {
         depth,
         sigma,
         delta,
-        stats: device.stats(),
+        stats: device.stats().since(&before),
     }
 }
 

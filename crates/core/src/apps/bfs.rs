@@ -1,7 +1,7 @@
 //! Breadth-first search on the GCGT pipeline — the paper's primary workload.
 
 use gcgt_graph::{NodeId, UNREACHED};
-use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+use gcgt_simt::{Device, OpClass, RunStats, Space, WarpSim};
 
 use crate::bitset::BitSet;
 use crate::engine::{launch_expansion, Expander};
@@ -79,11 +79,20 @@ impl Sink for QueueSink<'_> {
 
 /// Runs level-synchronous BFS from `source` on the engine's compressed
 /// graph, returning depths identical to the serial oracle plus the
-/// simulated-device cost.
-pub fn bfs<E: Expander>(engine: &E, source: NodeId) -> BfsRun {
+/// simulated-device cost. Allocates a fresh device per call; batched
+/// workloads that keep the graph resident should use [`bfs_in`].
+pub fn bfs<E: Expander + ?Sized>(engine: &E, source: NodeId) -> BfsRun {
+    let mut device = engine.new_device();
+    bfs_in(engine, &mut device, source)
+}
+
+/// [`bfs`] on an existing device with the graph already resident — the
+/// multi-query building block. The returned statistics cover only this run
+/// (counters accumulated since entry).
+pub fn bfs_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: NodeId) -> BfsRun {
     let n = engine.num_nodes();
     assert!((source as usize) < n, "source out of range");
-    let mut device = engine.new_device();
+    let before = device.stats();
     let mut depth = vec![UNREACHED; n];
     let mut visited = BitSet::new(n);
     visited.set(source);
@@ -93,7 +102,7 @@ pub fn bfs<E: Expander>(engine: &E, source: NodeId) -> BfsRun {
     let mut level = 0u32;
 
     while !frontier.is_empty() {
-        let sinks = launch_expansion(engine, &mut device, &frontier, || QueueSink::new(&visited));
+        let sinks = launch_expansion(engine, device, &frontier, || QueueSink::new(&visited));
         // Take the owned survivor lists so the sinks' borrow of `visited`
         // ends before the contraction merge mutates it.
         let outs: Vec<Vec<(NodeId, NodeId)>> = sinks.into_iter().map(|s| s.out).collect();
@@ -118,7 +127,7 @@ pub fn bfs<E: Expander>(engine: &E, source: NodeId) -> BfsRun {
         depth,
         reached,
         levels: level + 1,
-        stats: device.stats(),
+        stats: device.stats().since(&before),
     }
 }
 
@@ -166,7 +175,11 @@ mod tests {
     fn matches_oracle_on_skewed_graph() {
         let g = social_graph(&SocialParams::twitter_like(600), 5);
         let want = refalgo::bfs(&g, 3);
-        for strategy in [Strategy::TaskStealing, Strategy::WarpCentric, Strategy::Full] {
+        for strategy in [
+            Strategy::TaskStealing,
+            Strategy::WarpCentric,
+            Strategy::Full,
+        ] {
             let got = run_bfs(&g, strategy, 3);
             assert_eq!(got.depth, want.depth, "{strategy:?}");
         }

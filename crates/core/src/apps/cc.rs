@@ -11,7 +11,7 @@
 //! reachability hooks, which is not CC).
 
 use gcgt_graph::NodeId;
-use gcgt_simt::{IterationCost, OpClass, RunStats, Space, WarpSim};
+use gcgt_simt::{Device, IterationCost, OpClass, RunStats, Space, WarpSim};
 
 use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
@@ -65,9 +65,16 @@ impl Sink for HookSink<'_> {
 
 /// Runs connected components. The engine's CGR must encode the symmetrized
 /// graph for true (undirected) components.
-pub fn cc<E: Expander>(engine: &E) -> CcRun {
-    let n = engine.num_nodes();
+pub fn cc<E: Expander + ?Sized>(engine: &E) -> CcRun {
     let mut device = engine.new_device();
+    cc_in(engine, &mut device)
+}
+
+/// [`cc`] on an existing device with the graph already resident. The
+/// returned statistics cover only this run.
+pub fn cc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device) -> CcRun {
+    let n = engine.num_nodes();
+    let before = device.stats();
     let mut comp: Vec<NodeId> = (0..n as NodeId).collect();
     let mut frontier: Vec<NodeId> = (0..n as NodeId).collect();
     let mut iterations = 0u32;
@@ -75,7 +82,7 @@ pub fn cc<E: Expander>(engine: &E) -> CcRun {
     while !frontier.is_empty() {
         iterations += 1;
         let snapshot = comp.clone();
-        let sinks = launch_expansion(engine, &mut device, &frontier, || HookSink {
+        let sinks = launch_expansion(engine, device, &frontier, || HookSink {
             comp: &snapshot,
             out: Vec::new(),
         });
@@ -102,7 +109,7 @@ pub fn cc<E: Expander>(engine: &E) -> CcRun {
         // (each round is its own kernel launch over all nodes).
         loop {
             let mut changed = false;
-            account_jump_launch(engine, &mut device, n);
+            account_jump_launch(engine, device, n);
             for x in 0..n {
                 let p = comp[x] as usize;
                 let gp = comp[p];
@@ -131,13 +138,13 @@ pub fn cc<E: Expander>(engine: &E) -> CcRun {
         component: comp,
         count,
         iterations,
-        stats: device.stats(),
+        stats: device.stats().since(&before),
     }
 }
 
 /// Accounts one pointer-jumping kernel launch: warps stride over all nodes,
 /// each lane reading `comp[x]` (coalesced) and `comp[comp[x]]` (scattered).
-fn account_jump_launch<E: Expander>(engine: &E, device: &mut gcgt_simt::Device, n: usize) {
+fn account_jump_launch<E: Expander + ?Sized>(engine: &E, device: &mut Device, n: usize) {
     let width = engine.device_config().warp_width;
     let warps = n.div_ceil(width);
     let mut cost = IterationCost {

@@ -9,7 +9,7 @@
 //! contraction tallies votes and updates labels host-side.
 
 use gcgt_graph::NodeId;
-use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+use gcgt_simt::{Device, OpClass, RunStats, Space, WarpSim};
 
 use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
@@ -47,9 +47,20 @@ impl Sink for VoteSink {
 }
 
 /// Runs at most `max_rounds` synchronous label-propagation rounds.
-pub fn label_propagation<E: Expander>(engine: &E, max_rounds: usize) -> LabelPropRun {
-    let n = engine.num_nodes();
+pub fn label_propagation<E: Expander + ?Sized>(engine: &E, max_rounds: usize) -> LabelPropRun {
     let mut device = engine.new_device();
+    label_propagation_in(engine, &mut device, max_rounds)
+}
+
+/// [`label_propagation`] on an existing device with the graph already
+/// resident. The returned statistics cover only this run.
+pub fn label_propagation_in<E: Expander + ?Sized>(
+    engine: &E,
+    device: &mut Device,
+    max_rounds: usize,
+) -> LabelPropRun {
+    let n = engine.num_nodes();
+    let before = device.stats();
     let mut label: Vec<NodeId> = (0..n as NodeId).collect();
     let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
     // Per-node ballot: (candidate label, count), rebuilt every round.
@@ -59,9 +70,7 @@ pub fn label_propagation<E: Expander>(engine: &E, max_rounds: usize) -> LabelPro
     let mut rounds = 0usize;
     for _ in 0..max_rounds {
         rounds += 1;
-        let sinks = launch_expansion(engine, &mut device, &all_nodes, || VoteSink {
-            out: Vec::new(),
-        });
+        let sinks = launch_expansion(engine, device, &all_nodes, || VoteSink { out: Vec::new() });
         for b in ballots.iter_mut() {
             b.clear();
         }
@@ -102,7 +111,7 @@ pub fn label_propagation<E: Expander>(engine: &E, max_rounds: usize) -> LabelPro
         communities: distinct.len(),
         labels: label,
         rounds,
-        stats: device.stats(),
+        stats: device.stats().since(&before),
     }
 }
 

@@ -6,7 +6,7 @@
 //! pushed along each edge in the filtering step, then damped host-side.
 
 use gcgt_graph::NodeId;
-use gcgt_simt::{OpClass, RunStats, Space, WarpSim};
+use gcgt_simt::{Device, OpClass, RunStats, Space, WarpSim};
 
 use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
@@ -43,19 +43,32 @@ impl Sink for PushSink {
 
 /// Runs damped PageRank for at most `max_iters` iterations, stopping when
 /// the L1 change drops below `tolerance`.
-pub fn pagerank<E: Expander>(
+pub fn pagerank<E: Expander + ?Sized>(
     engine: &E,
     damping: f64,
     max_iters: usize,
     tolerance: f64,
 ) -> PagerankRun {
-    let n = engine.num_nodes();
     let mut device = engine.new_device();
+    pagerank_in(engine, &mut device, damping, max_iters, tolerance)
+}
+
+/// [`pagerank`] on an existing device with the graph already resident. The
+/// returned statistics cover only this run.
+pub fn pagerank_in<E: Expander + ?Sized>(
+    engine: &E,
+    device: &mut Device,
+    damping: f64,
+    max_iters: usize,
+    tolerance: f64,
+) -> PagerankRun {
+    let n = engine.num_nodes();
+    let before = device.stats();
     if n == 0 {
         return PagerankRun {
             ranks: Vec::new(),
             iterations: 0,
-            stats: device.stats(),
+            stats: device.stats().since(&before),
         };
     }
     let mut rank = vec![1.0 / n as f64; n];
@@ -66,7 +79,7 @@ pub fn pagerank<E: Expander>(
     for _ in 0..max_iters {
         iterations += 1;
         let mut next = vec![0.0f64; n];
-        let sinks = launch_expansion(engine, &mut device, &all_nodes, || PushSink { out: Vec::new() });
+        let sinks = launch_expansion(engine, device, &all_nodes, || PushSink { out: Vec::new() });
         // First iteration discovers degrees from the expansion itself.
         if iterations == 1 {
             for sink in &sinks {
@@ -100,7 +113,7 @@ pub fn pagerank<E: Expander>(
     PagerankRun {
         ranks: rank,
         iterations,
-        stats: device.stats(),
+        stats: device.stats().since(&before),
     }
 }
 

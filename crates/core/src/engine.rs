@@ -43,6 +43,78 @@ pub trait Expander: Sync {
     }
 }
 
+/// The object-safe face of [`Expander`], for runtime engine selection.
+///
+/// `Expander::expand_chunk` is generic over its [`Sink`], which rules out
+/// `dyn Expander`. This companion trait erases that generic behind a
+/// `&mut dyn Sink`, and is blanket-implemented for every `Expander` — so any
+/// engine (GCGT, the CSR baselines, user-defined ones) can be handled as a
+/// `&dyn DynExpander` with no per-call-site match ladders. The reverse
+/// direction also holds: `dyn DynExpander` implements `Expander`, so every
+/// generic app runs on a dynamically chosen engine unchanged.
+pub trait DynExpander: Sync {
+    /// Node count of the resident graph (`dyn_`-prefixed so the blanket
+    /// impl never shadows the [`Expander`] inherent names at call sites).
+    fn dyn_num_nodes(&self) -> usize;
+
+    /// The simulated device's configuration.
+    fn dyn_device_config(&self) -> &DeviceConfig;
+
+    /// Resident bytes (graph + traversal buffers) for OOM accounting.
+    fn dyn_footprint(&self) -> usize;
+
+    /// Type-erased [`Expander::expand_chunk`].
+    fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut dyn Sink);
+
+    /// Creates a per-run device with the graph resident (see
+    /// [`Expander::new_device`]).
+    fn dyn_new_device(&self) -> Device;
+}
+
+impl<E: Expander> DynExpander for E {
+    fn dyn_num_nodes(&self) -> usize {
+        Expander::num_nodes(self)
+    }
+
+    fn dyn_device_config(&self) -> &DeviceConfig {
+        Expander::device_config(self)
+    }
+
+    fn dyn_footprint(&self) -> usize {
+        Expander::footprint(self)
+    }
+
+    fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], mut sink: &mut dyn Sink) {
+        Expander::expand_chunk(self, warp, chunk, &mut sink);
+    }
+
+    fn dyn_new_device(&self) -> Device {
+        Expander::new_device(self)
+    }
+}
+
+impl Expander for dyn DynExpander + '_ {
+    fn num_nodes(&self) -> usize {
+        self.dyn_num_nodes()
+    }
+
+    fn device_config(&self) -> &DeviceConfig {
+        self.dyn_device_config()
+    }
+
+    fn footprint(&self) -> usize {
+        self.dyn_footprint()
+    }
+
+    fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
+        self.expand_chunk_dyn(warp, chunk, sink);
+    }
+
+    fn new_device(&self) -> Device {
+        self.dyn_new_device()
+    }
+}
+
 /// Launches one expansion kernel over `frontier`: chunks it into warps, runs
 /// them host-parallel (deterministically merged in warp order), accounts the
 /// launch on `device`, and returns the per-warp sinks for the contraction
@@ -54,7 +126,7 @@ pub fn launch_expansion<E, S, F>(
     make_sink: F,
 ) -> Vec<S>
 where
-    E: Expander,
+    E: Expander + ?Sized,
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
@@ -195,10 +267,7 @@ mod tests {
 
     #[test]
     fn stats_are_deterministic_across_runs() {
-        let g = gcgt_graph::gen::web_graph(
-            &gcgt_graph::gen::WebParams::uk2002_like(500),
-            3,
-        );
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(500), 3);
         let cfg = Strategy::TaskStealing.cgr_config(&CgrConfig::paper_default());
         let cgr = CgrGraph::encode(&g, &cfg);
         let engine =

@@ -57,7 +57,10 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             .map(|(i, _)| i)
             .collect();
         if !decoding_itv.is_empty() {
-            let addrs: Vec<u64> = decoding_itv.iter().map(|&i| lanes[i].cursor.graph_addr()).collect();
+            let addrs: Vec<u64> = decoding_itv
+                .iter()
+                .map(|&i| lanes[i].cursor.graph_addr())
+                .collect();
             warp.issue_mem(OpClass::ItvDecode, decoding_itv.len(), addrs);
             for &i in &decoding_itv {
                 let (start, len) = lanes[i].cursor.decode_interval(cgr);
@@ -74,7 +77,10 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             .collect();
         let mut res_vals: Vec<(usize, NodeId)> = Vec::with_capacity(decoding_res.len());
         if !decoding_res.is_empty() {
-            let addrs: Vec<u64> = decoding_res.iter().map(|&i| lanes[i].cursor.graph_addr()).collect();
+            let addrs: Vec<u64> = decoding_res
+                .iter()
+                .map(|&i| lanes[i].cursor.graph_addr())
+                .collect();
             warp.issue_mem(OpClass::ResDecode, decoding_res.len(), addrs);
             for &i in &decoding_res {
                 let r = lanes[i].cursor.decode_residual(cgr);

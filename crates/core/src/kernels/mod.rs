@@ -28,6 +28,15 @@ pub trait Sink {
     fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]);
 }
 
+// Mutable references forward, so kernels can be fed a `&mut dyn Sink`
+// through the object-safe [`crate::engine::DynExpander`] dispatch layer.
+impl<S: Sink + ?Sized> Sink for &mut S {
+    #[inline]
+    fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]) {
+        (**self).handle(warp, items);
+    }
+}
+
 /// Per-lane decoding cursor over the **unsegmented** CGR layout. It owns the
 /// bit pointer and the gap-decoding bookkeeping; kernels own the emission
 /// counters (how many neighbours are still due).
@@ -93,7 +102,8 @@ impl LaneCursor {
         let cfg = cgr.config();
         let bits = cgr.bits();
         let (start, p) = if self.itv_decoded == 0 {
-            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("itv start")
+            cfg.read_first_gap(bits, self.bit_ptr, self.u)
+                .expect("itv start")
         } else {
             cfg.read_interval_gap(bits, self.bit_ptr, self.prev_itv_end)
                 .expect("itv gap")
@@ -110,7 +120,8 @@ impl LaneCursor {
         let cfg = cgr.config();
         let bits = cgr.bits();
         let (r, p) = if self.res_decoded == 0 {
-            cfg.read_first_gap(bits, self.bit_ptr, self.u).expect("first res")
+            cfg.read_first_gap(bits, self.bit_ptr, self.u)
+                .expect("first res")
         } else {
             cfg.read_residual_gap(bits, self.bit_ptr, self.prev_res)
                 .expect("res gap")

@@ -63,7 +63,8 @@ impl SegCursor {
         let cfg = cgr.config();
         let bits = cgr.bits();
         let (start, p) = if self.itv_decoded == 0 {
-            cfg.read_first_gap(bits, self.pos, self.u).expect("itv start")
+            cfg.read_first_gap(bits, self.pos, self.u)
+                .expect("itv start")
         } else {
             cfg.read_interval_gap(bits, self.pos, self.prev_itv_end)
                 .expect("itv gap")
@@ -183,7 +184,9 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             for &i in &active {
                 let t = &mut batch[i];
                 let (r, p) = match t.prev {
-                    None => cfg.read_first_gap(cgr.bits(), t.pos, t.u).expect("seg first"),
+                    None => cfg
+                        .read_first_gap(cgr.bits(), t.pos, t.u)
+                        .expect("seg first"),
                     Some(prev) => cfg
                         .read_residual_gap(cgr.bits(), t.pos, prev)
                         .expect("seg gap"),
@@ -241,7 +244,11 @@ mod tests {
         let g = Csr::from_edges(1 << 15, &edges);
         let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
         let cgr = CgrGraph::encode(&g, &cfg);
-        assert!(cgr.stats().segments > 32, "{} segments", cgr.stats().segments);
+        assert!(
+            cgr.stats().segments > 32,
+            "{} segments",
+            cgr.stats().segments
+        );
 
         let mut warp = WarpSim::new(32, 64);
         let mut sink = CollectSink::default();

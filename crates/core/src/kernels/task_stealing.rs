@@ -170,10 +170,7 @@ mod tests {
         let mut res_left = two_phase::handle_intervals(&mut warp, &cgr, &mut cursors, &mut sink);
         two_phase::handle_residuals(&mut warp, &cgr, &mut cursors, &mut res_left, &mut sink);
 
-        let (a, b) = (
-            steal.tally().figure4_steps(),
-            warp.tally().figure4_steps(),
-        );
+        let (a, b) = (steal.tally().figure4_steps(), warp.tally().figure4_steps());
         assert!(a < b, "stealing {a} vs two-phase {b}");
     }
 

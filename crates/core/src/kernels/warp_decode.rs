@@ -31,7 +31,12 @@ pub struct WindowDecode {
 /// Runs Algorithm 4 on `bits[start..]`: lanes speculate on the next
 /// `warp.width()` bit positions and valid decodings are marked by
 /// pointer jumping.
-pub fn parallel_decode(warp: &mut WarpSim, bits: &BitVec, code: Code, start: usize) -> WindowDecode {
+pub fn parallel_decode(
+    warp: &mut WarpSim,
+    bits: &BitVec,
+    code: Code,
+    start: usize,
+) -> WindowDecode {
     let w = warp.width();
     // One cooperative, coalesced read of the window (plus decode slack).
     let window_bits = w + 64;
@@ -261,6 +266,9 @@ mod tests {
         };
         let wc = run(Strategy::WarpCentric);
         let ts = run(Strategy::TaskStealing);
-        assert!(wc < ts, "warp-centric {wc} vs task-stealing {ts} memory steps");
+        assert!(
+            wc < ts,
+            "warp-centric {wc} vs task-stealing {ts} memory steps"
+        );
     }
 }

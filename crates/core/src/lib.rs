@@ -19,6 +19,7 @@
 //! apps ([`apps::bfs`], [`apps::cc`], [`apps::bc`], [`apps::pagerank`])
 //! instantiate the expansion–filtering–contraction pipeline of Section 6.
 
+pub mod algorithm;
 pub mod apps;
 pub mod bitset;
 pub mod engine;
@@ -26,11 +27,12 @@ pub mod kernels;
 pub mod memory;
 pub mod strategy;
 
-pub use apps::bc::{bc, BcRun};
-pub use apps::bfs::{bfs, BfsRun};
-pub use apps::cc::{cc, CcRun};
-pub use apps::labelprop::{label_propagation, LabelPropRun};
-pub use apps::pagerank::{pagerank, PagerankRun};
+pub use algorithm::{Algorithm, Bc, Bfs, Cc, LabelProp, Pagerank, Query, QueryOutput};
+pub use apps::bc::{bc, bc_in, BcRun};
+pub use apps::bfs::{bfs, bfs_in, BfsRun};
+pub use apps::cc::{cc, cc_in, CcRun};
+pub use apps::labelprop::{label_propagation, label_propagation_in, LabelPropRun};
+pub use apps::pagerank::{pagerank, pagerank_in, PagerankRun};
 pub use bitset::BitSet;
-pub use engine::{launch_expansion, Expander, GcgtEngine};
+pub use engine::{launch_expansion, DynExpander, Expander, GcgtEngine};
 pub use strategy::Strategy;

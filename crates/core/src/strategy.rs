@@ -85,12 +85,15 @@ mod tests {
     #[test]
     fn cgr_config_forces_layout() {
         let base = CgrConfig::paper_default();
-        assert!(Strategy::TwoPhase.cgr_config(&base).segment_len_bytes.is_none());
+        assert!(Strategy::TwoPhase
+            .cgr_config(&base)
+            .segment_len_bytes
+            .is_none());
+        assert_eq!(Strategy::Full.cgr_config(&base).segment_len_bytes, Some(32));
+        let unseg = CgrConfig::unsegmented();
         assert_eq!(
-            Strategy::Full.cgr_config(&base).segment_len_bytes,
+            Strategy::Full.cgr_config(&unseg).segment_len_bytes,
             Some(32)
         );
-        let unseg = CgrConfig::unsegmented();
-        assert_eq!(Strategy::Full.cgr_config(&unseg).segment_len_bytes, Some(32));
     }
 }

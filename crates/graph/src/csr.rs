@@ -42,7 +42,10 @@ impl Csr {
     /// Panics if the offsets are not monotone or out of bounds, or if an
     /// adjacency list is unsorted or contains duplicates.
     pub fn from_parts(row_offsets: Vec<usize>, col_indices: Vec<NodeId>) -> Self {
-        assert!(!row_offsets.is_empty(), "row_offsets must have n + 1 entries");
+        assert!(
+            !row_offsets.is_empty(),
+            "row_offsets must have n + 1 entries"
+        );
         assert_eq!(*row_offsets.last().unwrap(), col_indices.len());
         let n = row_offsets.len() - 1;
         for u in 0..n {
@@ -258,7 +261,10 @@ impl CsrBuilder {
     /// A builder for a graph over `n` nodes.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "node count exceeds u32 id space");
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-sizes the edge buffer.
@@ -396,7 +402,10 @@ mod tests {
         assert_eq!(ind[5], 2); // from 1 and 2
         assert_eq!(ind[7], 2); // from 5 and 6
         assert_eq!(ind[0], 0);
-        assert_eq!(ind.iter().map(|&d| d as usize).sum::<usize>(), g.num_edges());
+        assert_eq!(
+            ind.iter().map(|&d| d as usize).sum::<usize>(),
+            g.num_edges()
+        );
     }
 
     #[test]

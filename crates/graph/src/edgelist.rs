@@ -27,7 +27,11 @@ pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> io::Result<Csr
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = n.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     let mut b = CsrBuilder::with_edge_capacity(n, edges.len());
     for (u, v) in edges {
         b.add_edge(u, v);
@@ -38,7 +42,12 @@ pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> io::Result<Csr
 /// Writes a graph as an edge list.
 pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

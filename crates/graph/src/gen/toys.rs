@@ -155,10 +155,7 @@ mod tests {
     #[test]
     fn example_3_1_matches_paper() {
         let g = example_3_1();
-        assert_eq!(
-            g.neighbors(16),
-            &[12, 18, 19, 20, 21, 24, 27, 28, 29, 101]
-        );
+        assert_eq!(g.neighbors(16), &[12, 18, 19, 20, 21, 24, 27, 28, 29, 101]);
         assert_eq!(g.degree(16), 10);
         assert_eq!(g.num_edges(), 10);
     }

@@ -53,15 +53,17 @@ pub fn gorder(graph: &Csr, cfg: &GorderConfig) -> Permutation {
 
     // Start from the node with maximum in-degree (as in the paper).
     let ind = graph.in_degrees();
-    let start = (0..n as NodeId).max_by_key(|&u| (ind[u as usize], u)).unwrap();
+    let start = (0..n as NodeId)
+        .max_by_key(|&u| (ind[u as usize], u))
+        .unwrap();
     heap.push((1, std::cmp::Reverse(start)));
     priority[start as usize] = 1;
 
     let update = |u: NodeId,
-                      delta: i64,
-                      priority: &mut Vec<i64>,
-                      heap: &mut std::collections::BinaryHeap<(i64, std::cmp::Reverse<NodeId>)>,
-                      placed: &[bool]| {
+                  delta: i64,
+                  priority: &mut Vec<i64>,
+                  heap: &mut std::collections::BinaryHeap<(i64, std::cmp::Reverse<NodeId>)>,
+                  placed: &[bool]| {
         // Neighbour score: out-edges of u in both directions.
         for &v in graph.neighbors(u) {
             if !placed[v as usize] {
@@ -158,10 +160,7 @@ mod tests {
     fn clusters_siblings_together() {
         // Two disjoint "fans": hub 0 → {2,3,4}, hub 1 → {5,6,7}; siblings of
         // the same hub should receive consecutive-ish ids.
-        let g = Csr::from_edges(
-            8,
-            &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7)],
-        );
+        let g = Csr::from_edges(8, &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7)]);
         let p = gorder(&g, &GorderConfig::default());
         assert!(is_permutation(&p));
         let span = |ids: &[usize]| {

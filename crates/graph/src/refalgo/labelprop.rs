@@ -82,7 +82,7 @@ mod tests {
     }
 
     #[test]
-    fn isolated_nodes_keep_their_label()    {
+    fn isolated_nodes_keep_their_label() {
         let g = Csr::from_edges(4, &[(0, 1)]);
         let (labels, _) = label_propagation(&g, 5);
         assert_eq!(labels[2], 2);

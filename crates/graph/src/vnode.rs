@@ -127,10 +127,7 @@ fn minhash_groups(adj: &[Vec<NodeId>], cfg: &VnodeConfig, pass: u64) -> Vec<Vec<
         let mh2 = list.iter().map(|&v| hash(v, s2)).min().unwrap();
         map.entry((mh1, mh2)).or_default().push(u as NodeId);
     }
-    let mut groups: Vec<Vec<NodeId>> = map
-        .into_values()
-        .filter(|g| g.len() >= 2)
-        .collect();
+    let mut groups: Vec<Vec<NodeId>> = map.into_values().filter(|g| g.len() >= 2).collect();
     // Deterministic processing order.
     groups.sort_by_key(|g| g[0]);
     groups

@@ -1,0 +1,667 @@
+//! # gcgt-session
+//!
+//! The unified traversal API of the workspace: a [`Session`] owns the whole
+//! pipeline the paper describes — preprocessing (symmetrization, node
+//! reordering), CGR encoding, device-capacity checking and engine
+//! construction — behind one typed builder, and every application runs on it
+//! uniformly through the [`Algorithm`] trait:
+//!
+//! ```
+//! use gcgt_graph::gen::{web_graph, WebParams};
+//! use gcgt_graph::order::LlpConfig;
+//! use gcgt_graph::Reordering;
+//! use gcgt_session::{Bfs, EngineKind, Session};
+//! use gcgt_core::Strategy;
+//! use gcgt_simt::DeviceConfig;
+//!
+//! let graph = web_graph(&WebParams::uk2002_like(2_000), 42);
+//! let session = Session::builder()
+//!     .graph(graph)
+//!     .reorder(Reordering::Llp(LlpConfig::default()))
+//!     .device(DeviceConfig::titan_v_scaled(64 << 20))
+//!     .engine(EngineKind::Gcgt(Strategy::Full))
+//!     .build()
+//!     .unwrap();
+//! let run = session.run(Bfs::from(0));
+//! assert_eq!(run.output.depth[0], 0);
+//! ```
+//!
+//! Underneath, the session dispatches at runtime over the engines of the
+//! workspace — the GCGT compressed engine at any [`Strategy`], and the
+//! uncompressed `GPUCSR` / Gunrock-style baselines — through the object-safe
+//! [`DynExpander`] layer of `gcgt-core`, so adding an engine variant touches
+//! one `match` in this crate instead of every call site.
+//!
+//! For serving-scale workloads, [`Session::run_batch`] executes many queries
+//! against **one device residency**: the graph is uploaded and allocated
+//! once, every query accounts on the same simulated device, and the
+//! [`BatchRun`] reports both per-query and aggregate statistics. This is the
+//! multi-source BFS/BC batching workload (EMOGI-style serving) the ROADMAP
+//! targets.
+
+use std::sync::Arc;
+
+use gcgt_baselines::{GpuCsrEngine, GunrockEngine};
+use gcgt_cgr::{CgrConfig, CgrGraph};
+use gcgt_core::{memory, Algorithm, DynExpander, GcgtEngine, Strategy};
+use gcgt_graph::{Csr, NodeId, Reordering};
+use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, RunStats};
+
+pub use gcgt_core::{Bc, Bfs, Cc, LabelProp, Pagerank, Query, QueryOutput};
+
+/// Which traversal engine a session drives — selected at **runtime**.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's compressed-graph engine, at the given scheduling
+    /// strategy rung (Figure 9 ladder; `Strategy::Full` is the complete
+    /// GCGT).
+    Gcgt(Strategy),
+    /// Merrill-style BFS on uncompressed CSR (the `GPUCSR` baseline).
+    GpuCsr,
+    /// Gunrock-style advance+filter platform (~3× memory footprint).
+    Gunrock,
+}
+
+impl EngineKind {
+    /// The GPU approaches of Figures 8 and 15, in the paper's order.
+    pub const GPU_COMPARISON: [EngineKind; 3] = [
+        EngineKind::Gunrock,
+        EngineKind::GpuCsr,
+        EngineKind::Gcgt(Strategy::Full),
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Gcgt(_) => "GCGT",
+            EngineKind::GpuCsr => "GPUCSR",
+            EngineKind::Gunrock => "Gunrock",
+        }
+    }
+
+    /// The strategy, when this is a GCGT engine.
+    pub fn strategy(&self) -> Option<Strategy> {
+        match self {
+            EngineKind::Gcgt(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Builds a session over `graph` for this engine on `device` — the
+    /// one-liner the experiment harness sweeps engines with (replaces the
+    /// per-call-site engine-construction match ladders).
+    pub fn session(&self, graph: Arc<Csr>, device: DeviceConfig) -> Result<Session, SessionError> {
+        Session::builder()
+            .graph_shared(graph)
+            .device(device)
+            .engine(*self)
+            .build()
+    }
+}
+
+/// Why a session could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// `graph(..)` was never called.
+    MissingGraph,
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// The explicit `compress(..)` configuration's layout (segmented or
+    /// not) contradicts what the selected GCGT strategy traverses.
+    LayoutMismatch {
+        /// The selected strategy.
+        strategy: Strategy,
+        /// Whether the supplied configuration was segmented.
+        config_segmented: bool,
+    },
+    /// `compress(..)` was supplied for an engine that traverses raw CSR
+    /// and would silently ignore it.
+    CompressUnsupported {
+        /// The selected (non-GCGT) engine.
+        engine: EngineKind,
+    },
+    /// Graph plus traversal buffers exceed the device memory.
+    Oom(OomError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingGraph => write!(f, "no graph supplied to the session builder"),
+            SessionError::EmptyGraph => write!(f, "cannot build a session over an empty graph"),
+            SessionError::LayoutMismatch {
+                strategy,
+                config_segmented,
+            } => write!(
+                f,
+                "CGR layout mismatch: strategy {strategy:?} {} a segmented layout but the \
+                 supplied CgrConfig {} (use strategy.cgr_config(..) or drop compress(..))",
+                if strategy.needs_segmented_layout() {
+                    "requires"
+                } else {
+                    "cannot traverse"
+                },
+                if *config_segmented {
+                    "sets segment_len_bytes"
+                } else {
+                    "does not set segment_len_bytes"
+                }
+            ),
+            SessionError::CompressUnsupported { engine } => write!(
+                f,
+                "compress(..) was supplied but the {} engine traverses uncompressed CSR and \
+                 would ignore it (drop compress(..) or select a GCGT engine)",
+                engine.name()
+            ),
+            SessionError::Oom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<OomError> for SessionError {
+    fn from(e: OomError) -> Self {
+        SessionError::Oom(e)
+    }
+}
+
+/// Typed builder for [`Session`] — see the crate docs for the full shape.
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    graph: Option<Arc<Csr>>,
+    symmetrize: bool,
+    reorder: Option<Reordering>,
+    compress: Option<CgrConfig>,
+    device: Option<DeviceConfig>,
+    engine: Option<EngineKind>,
+    pcie: Option<PcieConfig>,
+}
+
+impl SessionBuilder {
+    /// The input graph (owned).
+    #[must_use]
+    pub fn graph(mut self, graph: Csr) -> Self {
+        self.graph = Some(Arc::new(graph));
+        self
+    }
+
+    /// The input graph, shared — lets many sessions (e.g. one per engine in
+    /// a comparison sweep) reuse one in-memory copy.
+    #[must_use]
+    pub fn graph_shared(mut self, graph: Arc<Csr>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Symmetrize before anything else (required for meaningful connected
+    /// components on directed input).
+    #[must_use]
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Apply a node reordering (locality → compression rate). The session
+    /// owns the id mapping: queries and results stay in the caller's
+    /// original id space.
+    #[must_use]
+    pub fn reorder(mut self, reordering: Reordering) -> Self {
+        self.reorder = Some(reordering);
+        self
+    }
+
+    /// Explicit CGR encoding parameters (GCGT engines only). The layout
+    /// must match the strategy — `build` rejects a segmented configuration
+    /// for strategies below `Full` and vice versa. When omitted, the
+    /// session derives `strategy.cgr_config(&CgrConfig::paper_default())`.
+    #[must_use]
+    pub fn compress(mut self, config: CgrConfig) -> Self {
+        self.compress = Some(config);
+        self
+    }
+
+    /// The simulated device (defaults to [`DeviceConfig::default`]).
+    #[must_use]
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Which engine to drive (defaults to the full GCGT).
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The host↔device link model used for upload accounting.
+    #[must_use]
+    pub fn pcie(mut self, pcie: PcieConfig) -> Self {
+        self.pcie = Some(pcie);
+        self
+    }
+
+    /// Runs preprocessing + encoding, verifies device capacity, and returns
+    /// the ready session.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let input = self.graph.ok_or(SessionError::MissingGraph)?;
+        if input.num_nodes() == 0 {
+            return Err(SessionError::EmptyGraph);
+        }
+        let kind = self.engine.unwrap_or(EngineKind::Gcgt(Strategy::Full));
+        let device_config = self.device.unwrap_or_default();
+        let pcie = self.pcie.unwrap_or_default();
+
+        // --- preprocessing (the session owns the id mapping) ---
+        let symmetrized: Arc<Csr> = if self.symmetrize {
+            Arc::new(input.symmetrized())
+        } else {
+            input
+        };
+        let (graph, perm) = match self.reorder {
+            Some(method) => {
+                let perm = method.compute(&symmetrized);
+                (Arc::new(symmetrized.permuted(&perm)), Some(perm))
+            }
+            None => (symmetrized, None),
+        };
+
+        // --- encoding + footprint ---
+        let (cgr, footprint) = match kind {
+            EngineKind::Gcgt(strategy) => {
+                let config = match self.compress {
+                    Some(config) => {
+                        let config_segmented = config.segment_len_bytes.is_some();
+                        if config_segmented != strategy.needs_segmented_layout() {
+                            return Err(SessionError::LayoutMismatch {
+                                strategy,
+                                config_segmented,
+                            });
+                        }
+                        config
+                    }
+                    None => strategy.cgr_config(&CgrConfig::paper_default()),
+                };
+                let cgr = CgrGraph::encode(&graph, &config);
+                let footprint = memory::gcgt_footprint(&cgr);
+                (Some(cgr), footprint)
+            }
+            kind @ (EngineKind::GpuCsr | EngineKind::Gunrock) => {
+                if self.compress.is_some() {
+                    return Err(SessionError::CompressUnsupported { engine: kind });
+                }
+                let footprint = match kind {
+                    EngineKind::GpuCsr => memory::csr_footprint(&graph),
+                    _ => memory::gunrock_footprint(&graph),
+                };
+                (None, footprint)
+            }
+        };
+
+        // --- capacity check (the OOM bars of Figures 8 and 15) ---
+        let mut probe = Device::new(device_config);
+        probe.alloc(footprint)?;
+
+        Ok(Session {
+            kind,
+            device_config,
+            pcie,
+            graph,
+            cgr,
+            perm,
+            footprint,
+        })
+    }
+}
+
+/// One application run: the app's output plus cost accounting.
+#[derive(Clone, Debug)]
+pub struct Run<T> {
+    /// The application result (id-mapped back to the caller's space when
+    /// the session reordered).
+    pub output: T,
+    /// Simulated-device statistics of this run.
+    pub stats: RunStats,
+    /// Host→device upload time paid to make the graph resident.
+    pub upload_ms: f64,
+}
+
+impl<T> Run<T> {
+    /// Upload plus simulated execution, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.upload_ms + self.stats.est_ms
+    }
+}
+
+/// A batch of runs sharing **one** device residency.
+#[derive(Clone, Debug)]
+pub struct BatchRun<T> {
+    /// Per-query outputs, in submission order.
+    pub outputs: Vec<T>,
+    /// Per-query device statistics (each covering only its query).
+    pub per_query: Vec<RunStats>,
+    /// Aggregate device statistics of the whole batch.
+    pub stats: RunStats,
+    /// Graph uploads paid (always 1 — that is the point of batching).
+    pub uploads: u32,
+    /// Host→device upload time paid, once.
+    pub upload_ms: f64,
+}
+
+impl<T> BatchRun<T> {
+    /// Upload plus simulated execution of the whole batch, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.upload_ms + self.stats.est_ms
+    }
+
+    /// Mean simulated latency per query (excluding the shared upload).
+    pub fn mean_query_ms(&self) -> f64 {
+        if self.per_query.is_empty() {
+            0.0
+        } else {
+            self.per_query.iter().map(|s| s.est_ms).sum::<f64>() / self.per_query.len() as f64
+        }
+    }
+}
+
+/// A ready-to-run traversal session: preprocessed graph, encoded structure,
+/// verified device capacity, runtime-selected engine.
+#[derive(Debug)]
+pub struct Session {
+    kind: EngineKind,
+    device_config: DeviceConfig,
+    pcie: PcieConfig,
+    graph: Arc<Csr>,
+    cgr: Option<CgrGraph>,
+    perm: Option<Vec<NodeId>>,
+    footprint: usize,
+}
+
+/// The runtime-selected engine, borrowing the session's structures. All
+/// apps reach it as a `&dyn DynExpander`; this enum is the only place in
+/// the workspace that matches over engine kinds.
+enum EngineHolder<'s> {
+    Gcgt(GcgtEngine<'s>),
+    GpuCsr(GpuCsrEngine<'s>),
+    Gunrock(GunrockEngine<'s>),
+}
+
+impl EngineHolder<'_> {
+    fn as_dyn(&self) -> &dyn DynExpander {
+        match self {
+            EngineHolder::Gcgt(e) => e,
+            EngineHolder::GpuCsr(e) => e,
+            EngineHolder::Gunrock(e) => e,
+        }
+    }
+}
+
+impl Session {
+    /// Starts a builder.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The engine kind this session drives.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The simulated device configuration.
+    pub fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
+    /// The preprocessed graph the engine traverses (post symmetrize /
+    /// reorder — internal id space).
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Node count (identical in original and internal id spaces).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The id mapping applied by reordering (`perm[original] = internal`),
+    /// when one was requested.
+    pub fn permutation(&self) -> Option<&[NodeId]> {
+        self.perm.as_deref()
+    }
+
+    /// The encoded compressed graph (GCGT engines only).
+    pub fn cgr(&self) -> Option<&CgrGraph> {
+        self.cgr.as_ref()
+    }
+
+    /// Resident bytes of the engine's structure plus traversal buffers.
+    pub fn footprint(&self) -> usize {
+        self.footprint
+    }
+
+    /// Compression rate of the resident structure relative to a 32-bit
+    /// edge list (GCGT engines; CSR engines report 1.0).
+    pub fn compression_rate(&self) -> f64 {
+        match &self.cgr {
+            Some(cgr) => cgr.compression_rate(),
+            None => 1.0,
+        }
+    }
+
+    /// Host→device time to make the structure resident, from the session's
+    /// PCIe model.
+    pub fn upload_ms(&self) -> f64 {
+        self.pcie.transfer_ms(self.footprint, 1)
+    }
+
+    fn make_engine(&self) -> EngineHolder<'_> {
+        match self.kind {
+            EngineKind::Gcgt(strategy) => EngineHolder::Gcgt(
+                GcgtEngine::new(
+                    self.cgr.as_ref().expect("GCGT session always encodes"),
+                    self.device_config,
+                    strategy,
+                )
+                .expect("capacity verified at build time"),
+            ),
+            EngineKind::GpuCsr => EngineHolder::GpuCsr(
+                GpuCsrEngine::new(&self.graph, self.device_config)
+                    .expect("capacity verified at build time"),
+            ),
+            EngineKind::Gunrock => EngineHolder::Gunrock(
+                GunrockEngine::new(&self.graph, self.device_config)
+                    .expect("capacity verified at build time"),
+            ),
+        }
+    }
+
+    fn remap<A: Algorithm>(&self, algo: A) -> A {
+        match &self.perm {
+            Some(perm) => algo.remap_sources(perm),
+            None => algo,
+        }
+    }
+
+    fn unpermute<A: Algorithm>(&self, output: A::Output) -> A::Output {
+        match &self.perm {
+            Some(perm) => A::unpermute(output, perm),
+            None => output,
+        }
+    }
+
+    /// Runs one application: uploads the structure, executes, maps results
+    /// back to the caller's id space.
+    ///
+    /// # Panics
+    /// Panics if a node-id parameter (BFS/BC source) is out of range —
+    /// range-check against [`Session::num_nodes`] for untrusted input.
+    pub fn run<A: Algorithm>(&self, algo: A) -> Run<A::Output> {
+        let holder = self.make_engine();
+        let engine = holder.as_dyn();
+        let mut device = engine.dyn_new_device();
+        let algo = self.remap(algo);
+        let output = algo.execute(engine, &mut device);
+        Run {
+            output: self.unpermute::<A>(output),
+            stats: device.stats(),
+            upload_ms: self.upload_ms(),
+        }
+    }
+
+    /// Runs many queries against **one** device residency: the structure is
+    /// uploaded and allocated once, and every query accounts on the same
+    /// device — the serving-scale amortization (compare
+    /// `batch.total_ms()` with the sum of individual `run(..).total_ms()`).
+    pub fn run_batch<A: Algorithm>(&self, queries: &[A]) -> BatchRun<A::Output> {
+        let holder = self.make_engine();
+        let engine = holder.as_dyn();
+        let mut device = engine.dyn_new_device();
+        let mut outputs = Vec::with_capacity(queries.len());
+        let mut per_query = Vec::with_capacity(queries.len());
+        for query in queries {
+            let before = device.stats();
+            let output = self.remap(query.clone()).execute(engine, &mut device);
+            per_query.push(device.stats().since(&before));
+            outputs.push(self.unpermute::<A>(output));
+        }
+        BatchRun {
+            outputs,
+            per_query,
+            stats: device.stats(),
+            uploads: 1,
+            upload_ms: self.upload_ms(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::toys;
+    use gcgt_graph::refalgo;
+
+    fn figure1_session(kind: EngineKind) -> Session {
+        Session::builder()
+            .graph(toys::figure1())
+            .engine(kind)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_engine_kind_matches_the_oracle() {
+        let want = refalgo::bfs(&toys::figure1(), 0);
+        for kind in EngineKind::GPU_COMPARISON {
+            let run = figure1_session(kind).run(Bfs::from(0));
+            assert_eq!(run.output.depth, want.depth, "{}", kind.name());
+        }
+        for strategy in Strategy::LADDER {
+            let run = figure1_session(EngineKind::Gcgt(strategy)).run(Bfs::from(0));
+            assert_eq!(run.output.depth, want.depth, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn missing_graph_is_rejected() {
+        assert_eq!(
+            Session::builder().build().unwrap_err(),
+            SessionError::MissingGraph
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let err = Session::builder()
+            .graph(Csr::from_edges(0, &[]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SessionError::EmptyGraph);
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected_not_panicking() {
+        // paper_default is segmented; TwoPhase traverses the unsegmented
+        // layout. The old API panicked here — the builder returns an error.
+        let err = Session::builder()
+            .graph(toys::figure1())
+            .engine(EngineKind::Gcgt(Strategy::TwoPhase))
+            .compress(CgrConfig::paper_default())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::LayoutMismatch {
+                    strategy: Strategy::TwoPhase,
+                    config_segmented: true,
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("cannot traverse"));
+    }
+
+    #[test]
+    fn compress_with_csr_engines_is_rejected_not_ignored() {
+        for kind in [EngineKind::GpuCsr, EngineKind::Gunrock] {
+            let err = Session::builder()
+                .graph(toys::figure1())
+                .compress(CgrConfig::paper_default())
+                .engine(kind)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, SessionError::CompressUnsupported { engine: kind });
+            assert!(err.to_string().contains(kind.name()));
+        }
+    }
+
+    #[test]
+    fn oom_is_reported_with_sizes() {
+        let device = DeviceConfig {
+            mem_capacity: 16,
+            ..DeviceConfig::default()
+        };
+        let err = Session::builder()
+            .graph(toys::figure1())
+            .device(device)
+            .build()
+            .unwrap_err();
+        match err {
+            SessionError::Oom(oom) => assert_eq!(oom.capacity, 16),
+            other => panic!("expected Oom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reordered_session_answers_in_original_ids() {
+        let g = toys::binary_tree(6);
+        let want = refalgo::bfs(&g, 0);
+        let session = Session::builder()
+            .graph(g)
+            .reorder(Reordering::DegSort)
+            .build()
+            .unwrap();
+        assert!(session.permutation().is_some());
+        let run = session.run(Bfs::from(0));
+        assert_eq!(run.output.depth, want.depth);
+    }
+
+    #[test]
+    fn batch_reuses_one_residency() {
+        let session = Session::builder()
+            .graph(toys::grid(12, 12))
+            .build()
+            .unwrap();
+        let sources: Vec<Bfs> = (0..8).map(Bfs::from).collect();
+        let batch = session.run_batch(&sources);
+        assert_eq!(batch.uploads, 1);
+        assert_eq!(batch.outputs.len(), 8);
+        // One residency: allocated bytes equal a single run's, not 8×.
+        let single = session.run(Bfs::from(0));
+        assert_eq!(batch.stats.allocated_bytes, single.stats.allocated_bytes);
+        // The batch total is cheaper than eight standalone uploads.
+        let standalone: f64 = (0..8).map(|s| session.run(Bfs::from(s)).total_ms()).sum();
+        assert!(batch.total_ms() < standalone);
+    }
+}

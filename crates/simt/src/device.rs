@@ -268,6 +268,24 @@ impl RunStats {
     pub fn issues_by_class(&self) -> [u64; NUM_CLASSES] {
         self.tally.issues
     }
+
+    /// The statistics accumulated since `earlier` — a snapshot taken on the
+    /// *same* device earlier in its life. This is how batched traversal
+    /// attributes per-query cost while the graph stays resident on one
+    /// device: snapshot before the query, subtract after.
+    ///
+    /// `allocated_bytes` is carried over as-is (residency is a level, not a
+    /// flow).
+    pub fn since(&self, earlier: &RunStats) -> RunStats {
+        RunStats {
+            est_ms: (self.est_ms - earlier.est_ms).max(0.0),
+            cycles: (self.cycles - earlier.cycles).max(0.0),
+            launches: self.launches.saturating_sub(earlier.launches),
+            tally: self.tally.since(&earlier.tally),
+            mem: self.mem.since(&earlier.mem),
+            allocated_bytes: self.allocated_bytes,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,17 @@ impl MemStats {
         self.mem_steps += other.mem_steps;
         self.lines_touched += other.lines_touched;
     }
+
+    /// The counters accumulated since `earlier` (a previous snapshot of the
+    /// same counter set).
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            transactions: self.transactions.saturating_sub(earlier.transactions),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            mem_steps: self.mem_steps.saturating_sub(earlier.mem_steps),
+            lines_touched: self.lines_touched.saturating_sub(earlier.lines_touched),
+        }
+    }
 }
 
 /// Per-warp memory simulator: coalescing plus a direct-mapped line cache

@@ -31,12 +31,12 @@ where
     let cursor = AtomicUsize::new(0);
     let slots_ptr = SendPtr(slots.as_mut_ptr());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(count) {
             let f = &f;
             let cursor = &cursor;
             let slots_ptr = &slots_ptr;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
@@ -50,8 +50,7 @@ where
                 }
             });
         }
-    })
-    .expect("warp worker panicked");
+    });
 
     slots
         .into_iter()

@@ -113,6 +113,17 @@ impl Tally {
         self.lane_work += other.lane_work;
         self.width = self.width.max(other.width);
     }
+
+    /// The counters accumulated since `earlier` (a previous snapshot of the
+    /// same tally). Used to attribute per-query costs on a shared device.
+    pub fn since(&self, earlier: &Tally) -> Tally {
+        let mut out = *self;
+        for i in 0..NUM_CLASSES {
+            out.issues[i] = self.issues[i].saturating_sub(earlier.issues[i]);
+        }
+        out.lane_work = self.lane_work.saturating_sub(earlier.lane_work);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,12 @@ impl WarpSim {
     /// Records one warp step that also touches memory: the lane addresses
     /// are coalesced into transactions.
     #[inline]
-    pub fn issue_mem<I: IntoIterator<Item = u64>>(&mut self, class: OpClass, active: usize, addrs: I) {
+    pub fn issue_mem<I: IntoIterator<Item = u64>>(
+        &mut self,
+        class: OpClass,
+        active: usize,
+        addrs: I,
+    ) {
         self.tally.issue(class, active);
         self.mem.access_step(addrs);
     }

@@ -12,7 +12,11 @@ fn main() {
     let graph = match std::env::args().nth(1) {
         Some(path) => {
             let g = edgelist::load(&path).expect("readable edge list");
-            println!("loaded {path}: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+            println!(
+                "loaded {path}: {} nodes, {} edges",
+                g.num_nodes(),
+                g.num_edges()
+            );
             g
         }
         None => {
@@ -33,7 +37,12 @@ fn main() {
         let g = graph.permuted(&perm);
         let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
         let rate = cgr.compression_rate();
-        println!("  {:<10} {:>6.2}x  ({:.2} bits/edge)", method.name(), rate, cgr.bits_per_edge());
+        println!(
+            "  {:<10} {:>6.2}x  ({:.2} bits/edge)",
+            method.name(),
+            rate,
+            cgr.bits_per_edge()
+        );
         if best.as_ref().map(|(_, r, _)| rate > *r).unwrap_or(true) {
             best = Some((method.name().to_string(), rate, g));
         }
@@ -58,7 +67,9 @@ fn main() {
             ..CgrConfig::paper_default()
         };
         let cgr = CgrGraph::encode(&ordered, &cfg);
-        let label = min_itv.map(|v| v.to_string()).unwrap_or_else(|| "inf".into());
+        let label = min_itv
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "inf".into());
         println!(
             "  {:<4} {:>6.2}x  (interval coverage {:.0}%)",
             label,
@@ -70,13 +81,18 @@ fn main() {
     println!("\n-- residual segment length (Figure 14) --");
     let device = DeviceConfig::titan_v_scaled(256 << 20);
     for seg in [Some(8u32), Some(16), Some(32), Some(64), Some(128)] {
-        let cfg = CgrConfig {
-            segment_len_bytes: seg,
-            ..CgrConfig::paper_default()
-        };
-        let cgr = CgrGraph::encode(&ordered, &cfg);
-        let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
-        let ms = bfs(&engine, 0).stats.est_ms;
+        let session = Session::builder()
+            .graph(ordered.clone())
+            .compress(CgrConfig {
+                segment_len_bytes: seg,
+                ..CgrConfig::paper_default()
+            })
+            .device(device)
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .build()
+            .unwrap();
+        let ms = session.run(Bfs::from(0)).stats.est_ms;
+        let cgr = session.cgr().unwrap();
         println!(
             "  {:>3}B {:>6.2}x  BFS {:.3} sim ms  (blank space {:.1}%)",
             seg.unwrap(),

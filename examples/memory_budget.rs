@@ -18,22 +18,26 @@ fn main() {
         "pages", "CSR MB", "Gunrock MB", "CGR MB", "rate", "GCGT BFS ms"
     );
 
+    let device = DeviceConfig::titan_v_scaled(budget);
     for nodes in [10_000usize, 20_000, 40_000, 80_000, 160_000] {
         let raw = web_graph(&WebParams::uk2007_like(nodes), 1);
+
+        // Preprocess once (LLP is the expensive step) and hand the session
+        // the finished graph; the competing CSR/Gunrock footprints are
+        // computed on the same preprocessed structure.
         let perm = Reordering::Llp(LlpConfig::default()).compute(&raw);
         let graph = raw.permuted(&perm);
-        let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-        let cgr = CgrGraph::encode(&graph, &cfg);
-
         let csr = memory::csr_footprint(&graph);
         let gunrock = memory::gunrock_footprint(&graph);
-        let gcgt = memory::gcgt_footprint(&cgr);
 
-        let device = DeviceConfig::titan_v_scaled(budget);
-        let bfs_ms = match GcgtEngine::new(&cgr, device, Strategy::Full) {
-            Ok(engine) => format!("{:.3}", bfs(&engine, 0).stats.est_ms),
-            Err(_) => "OOM".to_string(),
-        };
+        // The session owns encoding and the capacity check; `build` returns
+        // `Err(SessionError::Oom)` for graphs beyond the budget.
+        let session = Session::builder()
+            .graph(graph)
+            .device(device)
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .build();
+
         let fits = |b: usize| {
             if b <= budget {
                 format!("{:.1}", b as f64 / 1e6)
@@ -41,13 +45,21 @@ fn main() {
                 format!("{:.1}!", b as f64 / 1e6)
             }
         };
+        let (gcgt_mb, rate, bfs_ms) = match &session {
+            Ok(s) => (
+                fits(s.footprint()),
+                format!("{:.1}x", s.compression_rate()),
+                format!("{:.3}", s.run(Bfs::from(0)).stats.est_ms),
+            ),
+            Err(e) => (format!("({e})"), "-".into(), "OOM".to_string()),
+        };
         println!(
-            "{:>9}  {:>10} {:>10} {:>10}  {:>6.1}x  {:>12}",
+            "{:>9}  {:>10} {:>10} {:>10}  {:>7}  {:>12}",
             nodes,
             fits(csr),
             fits(gunrock),
-            fits(gcgt),
-            cgr.compression_rate(),
+            gcgt_mb,
+            rate,
             bfs_ms
         );
     }

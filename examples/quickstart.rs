@@ -1,4 +1,5 @@
-//! Quickstart: compress a graph into CGR and run BFS on the simulated GPU.
+//! Quickstart: build a `Session` over a compressed graph and run BFS on the
+//! simulated GPU.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,22 +10,28 @@ use gcgt::prelude::*;
 fn main() {
     // A synthetic web crawl standing in for real data; swap in
     // `edgelist::load("my-graph.txt")` for your own edge list.
-    let raw = web_graph(&WebParams::uk2002_like(20_000), 42);
+    let graph = web_graph(&WebParams::uk2002_like(20_000), 42);
     println!(
         "graph: {} nodes, {} edges (avg degree {:.1})",
-        raw.num_nodes(),
-        raw.num_edges(),
-        raw.avg_degree()
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.avg_degree()
     );
 
-    // Preprocess as the paper does: LLP reordering for locality.
-    let perm = Reordering::Llp(LlpConfig::default()).compute(&raw);
-    let graph = raw.permuted(&perm);
+    // One builder owns the paper's whole pipeline: LLP reordering for
+    // locality, CGR encoding with the Table 2 parameters (ζ3 code, min
+    // interval 4, 32-byte segments), device-capacity checking, and engine
+    // selection. Everything is validated before anything runs.
+    let session = Session::builder()
+        .graph(graph.clone())
+        .reorder(Reordering::Llp(LlpConfig::default()))
+        .compress(Strategy::Full.cgr_config(&CgrConfig::paper_default()))
+        .device(DeviceConfig::titan_v_scaled(256 << 20))
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .build()
+        .expect("graph fits device memory");
 
-    // Encode into the Compressed Graph Representation with the paper's
-    // Table 2 parameters (ζ3 code, min interval 4, 32-byte segments).
-    let config = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-    let cgr = CgrGraph::encode(&graph, &config);
+    let cgr = session.cgr().expect("GCGT sessions encode");
     println!(
         "CGR: {:.2} bits/edge → compression rate {:.1}x (CSR would use 32 bits/edge)",
         cgr.bits_per_edge(),
@@ -36,21 +43,32 @@ fn main() {
         cgr.stats().segments
     );
 
-    // Traverse the compressed graph directly on the simulated GPU.
-    let device = DeviceConfig::titan_v_scaled(256 << 20);
-    let engine = GcgtEngine::new(&cgr, device, Strategy::Full).expect("graph fits device memory");
-    let run = bfs(&engine, 0);
+    // Traverse the compressed graph directly on the simulated GPU. The
+    // session reordered internally, but sources and results are in the
+    // original node ids.
+    let run = session.run(Bfs::from(0));
     println!(
         "BFS from node 0: reached {} nodes in {} levels — {:.3} simulated ms \
          ({} kernel launches, {} memory transactions)",
-        run.reached,
-        run.levels,
+        run.output.reached,
+        run.output.levels,
         run.stats.est_ms,
         run.stats.launches,
         run.stats.mem.transactions
     );
 
-    // Sanity: identical to the serial oracle.
-    assert_eq!(run.depth, refalgo::bfs(&graph, 0).depth);
+    // Sanity: identical to the serial oracle on the *original* graph.
+    assert_eq!(run.output.depth, refalgo::bfs(&graph, 0).depth);
     println!("depths verified against the serial reference ✓");
+
+    // Serving workloads batch queries over one device residency.
+    let sources: Vec<Bfs> = (0..16).map(Bfs::from).collect();
+    let batch = session.run_batch(&sources);
+    println!(
+        "batch of {}: {:.3} ms total ({} upload, mean query {:.3} ms)",
+        batch.outputs.len(),
+        batch.total_ms(),
+        batch.uploads,
+        batch.mean_query_ms()
+    );
 }

@@ -1,6 +1,7 @@
 //! Social-network influence analysis on compressed graphs: single-source
-//! betweenness centrality (Figure 15's BC workload) over a skewed
-//! follower network, comparing the GCGT strategies on super-node handling.
+//! betweenness centrality (Figure 15's BC workload) over a skewed follower
+//! network, comparing the GCGT strategies on super-node handling — all
+//! through the `Session` API, one builder line per engine variant.
 //!
 //! ```sh
 //! cargo run --release --example social_influence
@@ -25,10 +26,13 @@ fn main() {
     // (The paper's Figure 9: everything except segmentation stays
     // super-node-bound on twitter.)
     for strategy in [Strategy::TaskStealing, Strategy::Full] {
-        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
-        let cgr = CgrGraph::encode(&graph, &cfg);
-        let engine = GcgtEngine::new(&cgr, device, strategy).unwrap();
-        let run = bfs(&engine, source);
+        let session = Session::builder()
+            .graph(graph.clone())
+            .device(device)
+            .engine(EngineKind::Gcgt(strategy))
+            .build()
+            .unwrap();
+        let run = session.run(Bfs::from(source));
         println!(
             "  {:<30} BFS {:.3} sim ms ({} launches)",
             strategy.name(),
@@ -39,27 +43,43 @@ fn main() {
 
     // Betweenness centrality from the source: who brokers the information
     // flow out of this account?
-    let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-    let cgr = CgrGraph::encode(&graph, &cfg);
-    let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
-    let run = bc(&engine, source);
+    let session = Session::builder()
+        .graph(graph.clone())
+        .device(device)
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .build()
+        .unwrap();
+    let run = session.run(Bc::from(source));
     println!(
         "BC from user {source}: forward+backward passes in {:.3} sim ms",
         run.stats.est_ms
     );
 
-    let mut brokers: Vec<(usize, f64)> = run.delta.iter().copied().enumerate().collect();
+    let bc = &run.output;
+    let mut brokers: Vec<(usize, f64)> = bc.delta.iter().copied().enumerate().collect();
     brokers.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top information brokers (dependency δ):");
     for (user, delta) in brokers.into_iter().take(5) {
         println!(
             "  user {user:>6}  δ = {delta:.1}  (σ = {:.0}, depth {})",
-            run.sigma[user], run.depth[user]
+            bc.sigma[user], bc.depth[user]
         );
     }
 
     // Verify against the serial Brandes oracle.
     let oracle = refalgo::betweenness_from_source(&graph, source);
-    assert_eq!(run.sigma, oracle.sigma, "σ must be exact");
+    assert_eq!(bc.sigma, oracle.sigma, "σ must be exact");
     println!("σ verified against serial Brandes ✓");
+
+    // Serving view: centrality for a whole panel of accounts, batched on
+    // one device residency instead of re-uploading per account.
+    let panel: Vec<Bc> = (0..8).map(Bc::from).collect();
+    let batch = session.run_batch(&panel);
+    println!(
+        "panel of {} accounts: {:.3} ms batched (mean {:.3} ms per account, {} upload)",
+        batch.outputs.len(),
+        batch.total_ms(),
+        batch.mean_query_ms(),
+        batch.uploads
+    );
 }

@@ -1,9 +1,9 @@
 //! Web-archive analysis: the paper's motivating scenario — a crawl larger
 //! than device memory becomes tractable once stored as CGR.
 //!
-//! We build a uk-2007-shaped crawl, show that the uncompressed CSR does
-//! *not* fit the (scaled) device while the CGR does, then run connected
-//! components and PageRank over the compressed structure.
+//! We build a uk-2007-shaped crawl, show that the uncompressed CSR session
+//! does *not* fit the (scaled) device while the compressed one does, then
+//! run connected components and PageRank over the compressed structure.
 //!
 //! ```sh
 //! cargo run --release --example web_archive
@@ -24,59 +24,77 @@ fn main() {
 
     // A device sized like the paper's 12 GB card relative to its graphs:
     // big enough for the compressed crawl, too small for raw CSR.
-    let capacity = memory::csr_footprint(&graph) * 2 / 3;
-    let device = DeviceConfig::titan_v_scaled(capacity);
-
     let csr_need = memory::csr_footprint(&graph);
+    let capacity = csr_need * 2 / 3;
+    let device = DeviceConfig::titan_v_scaled(capacity);
     println!(
         "device memory {:.1} MB — raw CSR needs {:.1} MB: {}",
         capacity as f64 / 1e6,
         csr_need as f64 / 1e6,
-        if csr_need > capacity { "DOES NOT FIT" } else { "fits" }
-    );
-    assert!(
-        GpuCsrEngine::new(&graph, device).is_err(),
-        "CSR should exceed this device"
+        if csr_need > capacity {
+            "DOES NOT FIT"
+        } else {
+            "fits"
+        }
     );
 
-    let config = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-    let cgr = CgrGraph::encode(&graph, &config);
+    // The CSR session is rejected at build time — no panic mid-run.
+    let csr_session = EngineKind::GpuCsr.session(std::sync::Arc::new(graph.clone()), device);
+    match &csr_session {
+        Err(SessionError::Oom(oom)) => println!("GPUCSR session refused: {oom}"),
+        other => panic!("CSR should exceed this device, got {other:?}"),
+    }
+
+    // The compressed session fits.
+    let session = Session::builder()
+        .graph(graph.clone())
+        .device(device)
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .build()
+        .expect("compressed graph must fit");
     println!(
         "CGR needs {:.1} MB ({:.1}x compression) — fits",
-        memory::gcgt_footprint(&cgr) as f64 / 1e6,
-        cgr.compression_rate()
+        session.footprint() as f64 / 1e6,
+        session.compression_rate()
     );
-    let engine = GcgtEngine::new(&cgr, device, Strategy::Full)
-        .expect("compressed graph must fit");
 
     // Connected components over the undirected view: how fragmented is the
-    // archive?
-    let sym = graph.symmetrized();
-    let cgr_sym = CgrGraph::encode(&sym, &config);
-    let engine_sym = GcgtEngine::new(&cgr_sym, device, Strategy::Full).unwrap();
-    let comps = cc(&engine_sym);
+    // archive? The session symmetrizes internally.
+    let cc_session = Session::builder()
+        .graph(graph.clone())
+        .symmetrize(true)
+        .device(device)
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .build()
+        .unwrap();
+    let comps = cc_session.run(Cc);
     println!(
         "connected components: {} (largest structure spans the crawl) — {:.3} sim ms",
-        comps.count, comps.stats.est_ms
+        comps.output.count, comps.stats.est_ms
     );
 
     // Section 3.2's second benefit: even when data must move over PCIe,
-    // the compressed structure transfers ~rate× faster.
+    // the compressed structure transfers ~rate× faster. The session's
+    // upload accounting uses the same model.
     let pcie = PcieConfig::default();
     println!(
         "PCIe upload: CSR {:.2} ms vs CGR {:.2} ms ({:.1}x faster)",
         pcie.transfer_ms(csr_need, 1),
-        pcie.transfer_ms(memory::gcgt_footprint(&cgr), 1),
-        pcie.speedup(csr_need, memory::gcgt_footprint(&cgr))
+        session.upload_ms(),
+        pcie.speedup(csr_need, session.footprint())
     );
 
     // PageRank over the compressed crawl: the top authority pages.
-    let pr = pagerank(&engine, 0.85, 30, 1e-8);
-    let mut top: Vec<(usize, f64)> = pr.ranks.iter().copied().enumerate().collect();
+    let pr = session.run(Pagerank {
+        damping: 0.85,
+        max_iters: 30,
+        tolerance: 1e-8,
+    });
+    let mut top: Vec<(usize, f64)> = pr.output.ranks.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "PageRank ({} iterations, {:.3} sim ms) — top pages:",
-        pr.iterations, pr.stats.est_ms
+        pr.output.iterations, pr.stats.est_ms
     );
     for (page, rank) in top.into_iter().take(5) {
         println!("  page {page:>6}  rank {rank:.6}");

@@ -6,10 +6,14 @@
 //! Warp-centric Decoding, Residual Segmentation), a deterministic SIMT
 //! simulator standing in for the GPU, CPU and GPU baselines, and an
 //! experiment harness regenerating every table and figure of the paper's
-//! evaluation. See `DESIGN.md` for the architecture and `EXPERIMENTS.md`
-//! for paper-vs-measured results.
+//! evaluation.
 //!
 //! ## Quickstart
+//!
+//! Everything runs through a [`prelude::Session`]: a typed builder that owns
+//! preprocessing (reordering, symmetrization), CGR encoding, device-capacity
+//! checking and engine selection; applications then run uniformly via the
+//! [`prelude::Algorithm`] trait.
 //!
 //! ```
 //! use gcgt::prelude::*;
@@ -17,19 +21,30 @@
 //! // 1. A graph (here: a synthetic web crawl; use your own edge list).
 //! let graph = web_graph(&WebParams::uk2002_like(2_000), 42);
 //!
-//! // 2. Improve locality and compress into CGR (Table 2 parameters).
-//! let perm = Reordering::Llp(LlpConfig::default()).compute(&graph);
-//! let graph = graph.permuted(&perm);
-//! let config = Strategy::Full.cgr_config(&CgrConfig::paper_default());
-//! let cgr = CgrGraph::encode(&graph, &config);
-//! assert!(cgr.compression_rate() > 2.0);
+//! // 2. One builder owns the paper's whole pipeline: LLP reordering for
+//! //    locality, CGR encoding (Table 2 parameters), capacity checking,
+//! //    and engine selection — all validated before anything runs.
+//! let session = Session::builder()
+//!     .graph(graph)
+//!     .reorder(Reordering::Llp(LlpConfig::default()))
+//!     .compress(Strategy::Full.cgr_config(&CgrConfig::paper_default()))
+//!     .device(DeviceConfig::titan_v_scaled(64 << 20))
+//!     .engine(EngineKind::Gcgt(Strategy::Full))
+//!     .build()
+//!     .expect("graph fits the device");
+//! assert!(session.compression_rate() > 2.0);
 //!
-//! // 3. Traverse the compressed graph on the simulated GPU.
-//! let device = DeviceConfig::titan_v_scaled(64 << 20);
-//! let engine = GcgtEngine::new(&cgr, device, Strategy::Full).unwrap();
-//! let run = bfs(&engine, 0);
-//! assert_eq!(run.depth[0], 0);
-//! println!("BFS: {} nodes in {:.3} simulated ms", run.reached, run.stats.est_ms);
+//! // 3. Run applications uniformly — results come back in your own node
+//! //    ids even though the session reordered internally.
+//! let run = session.run(Bfs::from(0));
+//! assert_eq!(run.output.depth[0], 0);
+//! println!("BFS: {} nodes in {:.3} simulated ms", run.output.reached, run.stats.est_ms);
+//!
+//! // 4. Serving workloads batch many queries over ONE device residency.
+//! let sources: Vec<Bfs> = (0..8).map(Bfs::from).collect();
+//! let batch = session.run_batch(&sources);
+//! assert_eq!(batch.uploads, 1);
+//! assert!(batch.total_ms() < (0..8).map(|s| session.run(Bfs::from(s)).total_ms()).sum());
 //! ```
 
 pub use gcgt_baselines as baselines;
@@ -38,17 +53,86 @@ pub use gcgt_bits as bits;
 pub use gcgt_cgr as cgr;
 pub use gcgt_core as core;
 pub use gcgt_graph as graph;
+pub use gcgt_session as session;
 pub use gcgt_simt as simt;
+
+/// Deprecated free-function shims from the pre-`Session` API.
+///
+/// These wire one engine to one app per call, re-verifying residency every
+/// time; [`session::Session`] (and [`session::Session::run_batch`] for many
+/// queries) replaces them. Kept for one release so downstream code keeps
+/// compiling with a warning.
+pub mod shim {
+    use gcgt_core::{BcRun, BfsRun, CcRun, Expander, LabelPropRun, PagerankRun};
+    use gcgt_graph::NodeId;
+
+    /// BFS from `source` on an ad-hoc engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session and call session.run(Bfs::from(source))"
+    )]
+    pub fn bfs<E: Expander + ?Sized>(engine: &E, source: NodeId) -> BfsRun {
+        gcgt_core::bfs(engine, source)
+    }
+
+    /// Connected components on an ad-hoc engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session with .symmetrize(true) and call session.run(Cc)"
+    )]
+    pub fn cc<E: Expander + ?Sized>(engine: &E) -> CcRun {
+        gcgt_core::cc(engine)
+    }
+
+    /// Betweenness centrality from `source` on an ad-hoc engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session and call session.run(Bc::from(source))"
+    )]
+    pub fn bc<E: Expander + ?Sized>(engine: &E, source: NodeId) -> BcRun {
+        gcgt_core::bc(engine, source)
+    }
+
+    /// PageRank on an ad-hoc engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session and call session.run(Pagerank::default())"
+    )]
+    pub fn pagerank<E: Expander + ?Sized>(
+        engine: &E,
+        damping: f64,
+        max_iters: usize,
+        tolerance: f64,
+    ) -> PagerankRun {
+        gcgt_core::pagerank(engine, damping, max_iters, tolerance)
+    }
+
+    /// Label propagation on an ad-hoc engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session and call session.run(LabelProp::default())"
+    )]
+    pub fn label_propagation<E: Expander + ?Sized>(engine: &E, max_rounds: usize) -> LabelPropRun {
+        gcgt_core::label_propagation(engine, max_rounds)
+    }
+}
 
 /// The commonly-used types and functions in one import.
 pub mod prelude {
+    // --- the Session API (the primary interface) ---
+    pub use gcgt_core::{
+        Algorithm, Bc, BcRun, Bfs, BfsRun, Cc, CcRun, LabelProp, LabelPropRun, Pagerank,
+        PagerankRun, Query, QueryOutput,
+    };
+    pub use gcgt_session::{BatchRun, EngineKind, Run, Session, SessionBuilder, SessionError};
+
+    // --- the engine layer (for building custom engines / direct control) ---
     pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
+    pub use gcgt_core::{DynExpander, Expander, GcgtEngine, Strategy};
+
+    // --- substrate ---
     pub use gcgt_bits::Code;
     pub use gcgt_cgr::{ByteRleGraph, CgrConfig, CgrGraph, CompressionStats};
-    pub use gcgt_core::{
-        bc, bfs, cc, label_propagation, pagerank, BcRun, BfsRun, CcRun, Expander, GcgtEngine,
-        LabelPropRun, PagerankRun, Strategy,
-    };
     pub use gcgt_graph::edgelist;
     pub use gcgt_graph::gen::{
         brain_like, erdos_renyi, rmat, social_graph, toys, web_graph, BrainParams, RmatParams,
@@ -57,6 +141,11 @@ pub mod prelude {
     pub use gcgt_graph::order::{GorderConfig, LlpConfig, SlashBurnConfig};
     pub use gcgt_graph::{refalgo, Csr, CsrBuilder, NodeId, Reordering, VnodeConfig, VnodeGraph};
     pub use gcgt_simt::{Device, DeviceConfig, PcieConfig, RunStats};
+
+    // --- deprecated free-function shims (pre-Session API); the allow is
+    // for the re-export itself — call sites still get the warning ---
+    #[allow(deprecated)]
+    pub use crate::shim::{bc, bfs, cc, label_propagation, pagerank};
 }
 
 #[cfg(test)]
@@ -65,6 +154,19 @@ mod tests {
 
     #[test]
     fn facade_reexports_work_together() {
+        let g = toys::figure1();
+        let session = Session::builder()
+            .graph(g.clone())
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .build()
+            .unwrap();
+        let run = session.run(Bfs::from(0));
+        assert_eq!(run.output.depth, refalgo::bfs(&g, 0).depth);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
         let g = toys::figure1();
         let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
         let cgr = CgrGraph::encode(&g, &cfg);

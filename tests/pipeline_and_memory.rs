@@ -3,6 +3,9 @@
 //! relies on.
 
 use gcgt::core::memory;
+// The low-level engine layer is exercised deliberately here; `bfs` must be
+// the non-deprecated `gcgt::core` one, not the prelude shim.
+use gcgt::core::bfs;
 use gcgt::prelude::*;
 
 fn device(capacity: usize) -> DeviceConfig {
@@ -70,7 +73,11 @@ fn compressed_traversal_overhead_is_bounded() {
     let a = bfs(&gcgt, 0).stats.est_ms;
     let b = bfs(&gpucsr, 0).stats.est_ms;
     assert!(a < 3.0 * b, "GCGT {a} ms vs GPUCSR {b} ms");
-    assert!(cgr.compression_rate() > 5.0, "rate {}", cgr.compression_rate());
+    assert!(
+        cgr.compression_rate() > 5.0,
+        "rate {}",
+        cgr.compression_rate()
+    );
 }
 
 #[test]

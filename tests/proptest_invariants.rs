@@ -5,13 +5,12 @@
 
 // Explicit imports: both `gcgt::prelude` and `proptest::prelude` export a
 // `Strategy`, and glob-importing both is ambiguous.
+use gcgt::core::{bfs, cc};
 use gcgt::prelude::{
-    bfs, cc, refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine,
-    Reordering, Strategy, VnodeConfig, VnodeGraph,
+    refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine, Reordering,
+    Strategy, VnodeConfig, VnodeGraph,
 };
-use proptest::prelude::{
-    prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
-};
+use proptest::prelude::{prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig};
 use proptest::strategy::Strategy as PropStrategy;
 
 /// An arbitrary small graph as (node count, edge list).
@@ -31,7 +30,13 @@ fn arb_config() -> impl PropStrategy<Value = CgrConfig> {
             (1u8..6).prop_map(Code::Zeta),
         ],
         prop_oneof![Just(None), (1u32..12).prop_map(Some)],
-        prop_oneof![Just(None), Just(Some(8u32)), Just(Some(16)), Just(Some(32)), Just(Some(64))],
+        prop_oneof![
+            Just(None),
+            Just(Some(8u32)),
+            Just(Some(16)),
+            Just(Some(32)),
+            Just(Some(64))
+        ],
     )
         .prop_map(|(code, min_interval_len, segment_len_bytes)| CgrConfig {
             code,

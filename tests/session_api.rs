@@ -1,0 +1,257 @@
+//! The Session API contract: builder validation, cross-engine equivalence,
+//! id-space ownership under reordering, and batched multi-query residency.
+
+use gcgt::prelude::*;
+
+fn web() -> Csr {
+    web_graph(&WebParams::uk2002_like(900), 5)
+}
+
+fn all_engine_kinds() -> Vec<EngineKind> {
+    let mut kinds: Vec<EngineKind> = Strategy::LADDER.into_iter().map(EngineKind::Gcgt).collect();
+    kinds.push(EngineKind::GpuCsr);
+    kinds.push(EngineKind::Gunrock);
+    kinds
+}
+
+// --- builder validation -------------------------------------------------
+
+#[test]
+fn builder_rejects_missing_and_empty_graphs() {
+    assert_eq!(
+        Session::builder().build().unwrap_err(),
+        SessionError::MissingGraph
+    );
+    assert_eq!(
+        Session::builder()
+            .graph(Csr::from_edges(0, &[]))
+            .build()
+            .unwrap_err(),
+        SessionError::EmptyGraph
+    );
+}
+
+#[test]
+fn builder_rejects_oom_devices_for_every_engine_kind() {
+    let g = web();
+    let device = DeviceConfig {
+        mem_capacity: 64,
+        ..DeviceConfig::default()
+    };
+    for kind in all_engine_kinds() {
+        let err = Session::builder()
+            .graph(g.clone())
+            .device(device)
+            .engine(kind)
+            .build()
+            .unwrap_err();
+        match err {
+            SessionError::Oom(oom) => {
+                assert_eq!(oom.capacity, 64, "{}", kind.name());
+                assert!(oom.requested > oom.capacity, "{}", kind.name());
+            }
+            other => panic!("{}: expected Oom, got {other:?}", kind.name()),
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_layout_mismatches_both_ways() {
+    let g = toys::figure1();
+    // Segmented config × strategy that reads the unsegmented layout.
+    let err = Session::builder()
+        .graph(g.clone())
+        .engine(EngineKind::Gcgt(Strategy::TaskStealing))
+        .compress(CgrConfig::paper_default()) // segmented
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SessionError::LayoutMismatch {
+            strategy: Strategy::TaskStealing,
+            config_segmented: true,
+        }
+    ));
+    // Unsegmented config × the full (segment-traversing) GCGT.
+    let err = Session::builder()
+        .graph(g)
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .compress(CgrConfig::unsegmented())
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SessionError::LayoutMismatch {
+            strategy: Strategy::Full,
+            config_segmented: false,
+        }
+    ));
+}
+
+// --- cross-engine equivalence -------------------------------------------
+
+#[test]
+fn bfs_matches_the_serial_oracle_for_every_engine_kind() {
+    let g = web();
+    let want = refalgo::bfs(&g, 0);
+    let shared = std::sync::Arc::new(g);
+    for kind in all_engine_kinds() {
+        let session = kind
+            .session(shared.clone(), DeviceConfig::titan_v_scaled(1 << 30))
+            .unwrap();
+        let run = session.run(Bfs::from(0));
+        assert_eq!(run.output.depth, want.depth, "{kind:?}");
+        assert_eq!(run.output.reached, want.reached, "{kind:?}");
+    }
+}
+
+#[test]
+fn reordered_sessions_answer_in_original_ids_for_every_engine_kind() {
+    let g = web();
+    let source = 17u32;
+    let want = refalgo::bfs(&g, source);
+    for kind in all_engine_kinds() {
+        let session = Session::builder()
+            .graph(g.clone())
+            .reorder(Reordering::DegSort)
+            .device(DeviceConfig::titan_v_scaled(1 << 30))
+            .engine(kind)
+            .build()
+            .unwrap();
+        assert!(session.permutation().is_some());
+        let run = session.run(Bfs::from(source));
+        assert_eq!(run.output.depth, want.depth, "{kind:?}");
+    }
+}
+
+#[test]
+fn cc_and_bc_and_pagerank_match_oracles_through_sessions() {
+    let g = social_graph(&SocialParams::ljournal_like(500), 6);
+
+    let cc_session = Session::builder()
+        .graph(g.clone())
+        .symmetrize(true)
+        .build()
+        .unwrap();
+    let got = cc_session.run(Cc);
+    let want = refalgo::connected_components(&g.symmetrized());
+    assert_eq!(got.output.component, want.component);
+    assert_eq!(got.output.count, want.count);
+
+    let session = Session::builder().graph(g.clone()).build().unwrap();
+    let bc_run = session.run(Bc::from(0));
+    let bc_want = refalgo::betweenness_from_source(&g, 0);
+    assert_eq!(bc_run.output.sigma, bc_want.sigma);
+
+    let pr_run = session.run(Pagerank::default());
+    let (pr_want, _) = refalgo::pagerank(&g, refalgo::PagerankConfig::default());
+    for (i, (&a, &b)) in pr_run.output.ranks.iter().zip(&pr_want).enumerate() {
+        assert!((a - b).abs() < 1e-6, "rank[{i}] {a} vs {b}");
+    }
+}
+
+#[test]
+fn cc_through_a_reordered_session_matches_the_oracle() {
+    // The session symmetrizes, reorders, traverses, and maps component
+    // labels back to canonical original-id representatives.
+    let g = social_graph(&SocialParams::ljournal_like(400), 9);
+    let want = refalgo::connected_components(&g.symmetrized());
+    let session = Session::builder()
+        .graph(g)
+        .symmetrize(true)
+        .reorder(Reordering::DegSort)
+        .build()
+        .unwrap();
+    let got = session.run(Cc);
+    assert_eq!(got.output.component, want.component);
+    assert_eq!(got.output.count, want.count);
+}
+
+// --- batched multi-query traversal --------------------------------------
+
+#[test]
+fn batch_over_eight_sources_reuses_one_device_residency() {
+    let g = web();
+    let session = Session::builder().graph(g).build().unwrap();
+    let sources: Vec<Bfs> = (0..10).map(Bfs::from).collect();
+    let batch = session.run_batch(&sources);
+
+    // One upload, one residency: the aggregate RunStats reports exactly
+    // one structure's worth of allocated bytes — identical to a single
+    // run's — while the work of all queries accumulated on that device.
+    assert_eq!(batch.uploads, 1);
+    let single = session.run(Bfs::from(0));
+    assert_eq!(batch.stats.allocated_bytes, single.stats.allocated_bytes);
+    assert_eq!(batch.stats.allocated_bytes, session.footprint());
+    assert_eq!(
+        batch.stats.launches,
+        batch.per_query.iter().map(|s| s.launches).sum::<u64>()
+    );
+    assert!(batch.stats.launches > single.stats.launches);
+
+    // Per-query outputs are real per-query results.
+    assert_eq!(batch.outputs.len(), 10);
+    for (i, out) in batch.outputs.iter().enumerate() {
+        assert_eq!(out.depth[i], 0, "query {i} starts at its own source");
+    }
+
+    // Amortization: one upload beats ten.
+    let standalone: f64 = (0..10).map(|s| session.run(Bfs::from(s)).total_ms()).sum();
+    assert!(
+        batch.total_ms() < standalone,
+        "batched {} ms vs standalone {} ms",
+        batch.total_ms(),
+        standalone
+    );
+}
+
+#[test]
+fn heterogeneous_query_batches_run_on_one_residency() {
+    let g = social_graph(&SocialParams::ljournal_like(300), 3);
+    let session = Session::builder()
+        .graph(g.clone())
+        .symmetrize(true)
+        .build()
+        .unwrap();
+    let queries = [
+        Query::Bfs(0),
+        Query::Cc,
+        Query::Bc(1),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+    ];
+    let batch = session.run_batch(&queries);
+    assert_eq!(batch.uploads, 1);
+    assert_eq!(batch.outputs.len(), queries.len());
+    let sym = g.symmetrized();
+    match &batch.outputs[0] {
+        QueryOutput::Bfs(run) => assert_eq!(run.depth, refalgo::bfs(&sym, 0).depth),
+        other => panic!("expected Bfs output, got {other:?}"),
+    }
+    match &batch.outputs[1] {
+        QueryOutput::Cc(run) => {
+            assert_eq!(run.component, refalgo::connected_components(&sym).component)
+        }
+        other => panic!("expected Cc output, got {other:?}"),
+    }
+    // Per-query stats partition the aggregate.
+    let total: f64 = batch.per_query.iter().map(|s| s.est_ms).sum();
+    assert!((total - batch.stats.est_ms).abs() < 1e-9);
+}
+
+#[test]
+fn batch_per_query_stats_are_deterministic_and_match_standalone_runs() {
+    let g = web();
+    let session = Session::builder().graph(g).build().unwrap();
+    let sources: Vec<Bfs> = (0..4).map(Bfs::from).collect();
+    let batch = session.run_batch(&sources);
+    for (i, per) in batch.per_query.iter().enumerate() {
+        let single = session.run(Bfs::from(i as u32));
+        assert_eq!(per.launches, single.stats.launches, "query {i}");
+        assert_eq!(per.tally, single.stats.tally, "query {i}");
+        assert!(
+            (per.est_ms - single.stats.est_ms).abs() < 1e-12,
+            "query {i}"
+        );
+    }
+}

@@ -2,6 +2,9 @@
 //! baseline must produce oracle-identical results for every application,
 //! across the structurally distinct graph families.
 
+// The low-level engine layer is exercised deliberately here; the apps must
+// be the non-deprecated `gcgt::core` ones, not the prelude shims.
+use gcgt::core::{bc, bfs, cc, pagerank};
 use gcgt::prelude::*;
 
 fn families() -> Vec<(&'static str, Csr)> {
@@ -133,7 +136,11 @@ fn warp_width_does_not_affect_results() {
             let cfg = strategy.cgr_config(&CgrConfig::paper_default());
             let cgr = CgrGraph::encode(&graph, &cfg);
             let engine = GcgtEngine::new(&cgr, dc, strategy).unwrap();
-            assert_eq!(bfs(&engine, 0).depth, want.depth, "width {width} {strategy:?}");
+            assert_eq!(
+                bfs(&engine, 0).depth,
+                want.depth,
+                "width {width} {strategy:?}"
+            );
         }
     }
 }

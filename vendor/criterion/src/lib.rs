@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the surface the `gcgt-bench` benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`Throughput`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — as a simple
+//! wall-clock timer: warm up once, run `sample_size` timed samples, report
+//! mean / min / max per benchmark to stdout. No statistics, no HTML reports,
+//! no baselines; the real value of these benches in this repo is the tables
+//! the simulator prints, which are deterministic regardless of timer quality.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&id, 10, None, f);
+        self
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting happens per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per configured run.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up (also primes caches/allocations out of the timed region).
+        std_black_box(f());
+        for _ in 0..self.per_sample {
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        per_sample: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples — closure never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let rate = throughput
+        .map(|t| {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / secs),
+            }
+        })
+        .unwrap_or_default();
+    println!("{id:<50} mean {mean:>12?}  min {min:>12?}  max {max:>12?}{rate}");
+}
+
+/// Declares a benchmark-group function over `fn(&mut Criterion)` benches.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn group_runs_and_samples() {
+        benches();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            per_sample: 4,
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 4);
+    }
+}

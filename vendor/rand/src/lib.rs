@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this in-repo shim
+//! provides exactly the surface the workspace uses — [`Rng::gen`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`rngs::StdRng`] and
+//! [`SeedableRng::seed_from_u64`] — on a deterministic SplitMix64 core.
+//! The graph generators only need a seeded, well-mixed stream, not
+//! cryptographic quality, and determinism across platforms is a feature
+//! here (every figure and test regenerates the same graphs).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a seed. Only `seed_from_u64` is supported.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A value uniformly sampleable from one 64-bit draw.
+pub trait Standard: Sized {
+    /// Maps a full-entropy 64-bit word to a uniform value.
+    fn from_u64(word: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(word: u64) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(word: u64) -> Self {
+        (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+
+/// Ranges sampleable with one 64-bit draw (modulo reduction — the bias is
+/// negligible at the span sizes the generators use).
+pub trait SampleRange<T> {
+    /// Draws one value in the range.
+    fn sample_from(self, word: u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, word: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (word % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, word: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (word % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, usize);
+
+impl SampleRange<u64> for Range<u64> {
+    #[inline]
+    fn sample_from(self, word: u64) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + word % (self.end - self.start)
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    #[inline]
+    fn sample_from(self, word: u64) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((word % span) as i64)
+    }
+}
+
+impl SampleRange<i32> for Range<i32> {
+    #[inline]
+    fn sample_from(self, word: u64) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((word % span) as i32)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, word: u64) -> f64 {
+        self.start + f64::from_u64(word) * (self.end - self.start)
+    }
+}
+
+/// The random-value interface: a 64-bit source plus convenience samplers.
+pub trait Rng {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of `T` (`f64` in `[0, 1)`, full-range integers).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform value in `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s `StdRng`.
+    ///
+    /// Passes the statistical needs of the synthetic generators (uniformity,
+    /// independence across the sampled dimensions) and is reproducible
+    /// everywhere from a single `u64` seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-advance once so seed 0 does not emit word 0 first.
+            let mut rng = StdRng { state };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+}
