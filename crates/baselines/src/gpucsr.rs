@@ -53,6 +53,10 @@ impl Expander for GpuCsrEngine<'_> {
         memory::csr_footprint(self.graph)
     }
 
+    fn structure_bytes(&self) -> usize {
+        memory::csr_structure_bytes(self.graph)
+    }
+
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         expand_csr_chunk(self.graph, warp, chunk, sink);
     }

@@ -71,6 +71,10 @@ impl Expander for GunrockEngine<'_> {
         memory::gunrock_footprint(self.graph)
     }
 
+    fn structure_bytes(&self) -> usize {
+        memory::gunrock_structure_bytes(self.graph)
+    }
+
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         let mut wrapped = FilterOverhead { inner: sink };
         expand_csr_chunk(self.graph, warp, chunk, &mut wrapped);

@@ -1,23 +1,26 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [EXPERIMENT...] [--scale F] [--sources N]
+//! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ablations all          (default: all)
+//!             ooc ablations all      (default: all)
 //! --scale F   dataset scale factor   (default: 1.0)
 //! --sources N BFS sources averaged   (default: 3)
+//! --smoke     CI smoke mode: tiny scale, one source (overrides both)
 //! ```
 
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, fig11, fig12, fig13, fig14, fig15, fig8, fig9, table1, table3, ExperimentContext,
+    ablations, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, table1, table3,
+    ExperimentContext,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut sources = 3usize;
+    let mut smoke = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -34,15 +37,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--sources needs an integer");
             }
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "repro [EXPERIMENT...] [--scale F] [--sources N]\n\
-                     experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ablations all"
+                    "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
+                     experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
+                     ablations all"
                 );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    // Smoke mode wins regardless of flag order, as the help text promises.
+    if smoke {
+        scale = Scale::TEST.0;
+        sources = 1;
     }
     if wanted.is_empty() {
         wanted.push("all".to_string());
@@ -69,6 +79,7 @@ fn main() {
         "fig13",
         "fig14",
         "fig15",
+        "ooc",
         "ablations",
     ]
     .iter()
@@ -99,6 +110,7 @@ fn main() {
     run_one("fig13", &fig13::run);
     run_one("fig14", &fig14::run);
     run_one("fig15", &fig15::run);
+    run_one("ooc", &ooc::run);
     if want("ablations") {
         println!("{}", ablations::warp_width(&ctx).render());
         println!("{}", ablations::cache_size(&ctx).render());

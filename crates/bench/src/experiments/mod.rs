@@ -11,6 +11,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig8;
 pub mod fig9;
+pub mod ooc;
 pub mod table1;
 pub mod table3;
 

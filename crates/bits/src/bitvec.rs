@@ -154,6 +154,35 @@ impl BitVec {
         }
     }
 
+    /// Rebuilds a bit array from its raw word storage (the inverse of
+    /// [`BitVec::words`] + [`BitVec::len`]) — the deserialization path of
+    /// binary CGR files.
+    ///
+    /// # Panics
+    /// Panics on the inputs [`BitVec::try_from_words`] rejects.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        Self::try_from_words(words, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BitVec::from_words`]: rejects a word count other than
+    /// `len.div_ceil(64)`, or any set bit past `len` in the last word (the
+    /// writer always leaves trailing padding zeroed, so set padding
+    /// indicates a corrupt stream). This is the one place that knows the
+    /// MSB-first padding layout — deserializers map the error instead of
+    /// re-deriving the mask.
+    pub fn try_from_words(words: Vec<u64>, len: usize) -> Result<Self, &'static str> {
+        if words.len() != len.div_ceil(64) {
+            return Err("word count does not match the declared bit length");
+        }
+        if !len.is_multiple_of(64) && words[words.len() - 1] & (u64::MAX >> (len % 64)) != 0 {
+            return Err("nonzero bits past the declared length");
+        }
+        Ok(Self {
+            words: words.into_boxed_slice(),
+            len,
+        })
+    }
+
     /// Builds a bit array from an ASCII string of `0`/`1` characters
     /// (whitespace ignored). Handy for transcribing the paper's figures.
     ///
@@ -367,6 +396,18 @@ mod tests {
     fn from_bit_str_ignores_whitespace() {
         let v = BitVec::from_bit_str("10 1\n0 1");
         assert_eq!(v.to_bit_string(), "10101");
+    }
+
+    #[test]
+    fn from_words_round_trips() {
+        let s = "110100111000111101";
+        let v = BitVec::from_bit_str(s);
+        let rebuilt = BitVec::from_words(v.words().to_vec(), v.len());
+        assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt.to_bit_string(), s);
+        // Dirty padding is rejected.
+        let r = std::panic::catch_unwind(|| BitVec::from_words(vec![u64::MAX], 3));
+        assert!(r.is_err());
     }
 
     #[test]

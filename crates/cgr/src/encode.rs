@@ -44,10 +44,37 @@ impl CgrGraph {
         }
     }
 
+    /// Reassembles a graph from previously encoded parts — the
+    /// deserialization path of [`crate::io`]. Callers guarantee the parts
+    /// came from a real encode (offsets monotone and covering `bits`).
+    pub(crate) fn from_parts(
+        config: CgrConfig,
+        bits: BitVec,
+        offsets: Box<[usize]>,
+        num_edges: usize,
+        stats: CompressionStats,
+    ) -> CgrGraph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), bits.len());
+        CgrGraph {
+            config,
+            bits,
+            offsets,
+            num_edges,
+            stats,
+        }
+    }
+
     /// The encoding parameters.
     #[inline]
     pub fn config(&self) -> &CgrConfig {
         &self.config
+    }
+
+    /// The `n + 1` per-node bit offsets (the paper's `bitStart` array).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
     }
 
     /// The compressed bit array.

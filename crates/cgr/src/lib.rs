@@ -30,6 +30,7 @@ pub mod config;
 pub mod decode;
 pub mod encode;
 pub mod intervals;
+pub mod io;
 pub mod stats;
 
 pub use byterle::ByteRleGraph;

@@ -89,6 +89,7 @@ pub fn bc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Node
     let n = engine.num_nodes();
     assert!((source as usize) < n);
     let before = device.stats();
+    let scratch = crate::apps::alloc_scratch(engine, device);
     let mut depth = vec![UNREACHED; n];
     let mut sigma = vec![0.0f64; n];
     depth[source as usize] = 0;
@@ -145,6 +146,7 @@ pub fn bc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Node
         }
     }
 
+    device.free(scratch);
     BcRun {
         depth,
         sigma,

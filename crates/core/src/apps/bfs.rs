@@ -93,6 +93,7 @@ pub fn bfs_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Nod
     let n = engine.num_nodes();
     assert!((source as usize) < n, "source out of range");
     let before = device.stats();
+    let scratch = crate::apps::alloc_scratch(engine, device);
     let mut depth = vec![UNREACHED; n];
     let mut visited = BitSet::new(n);
     visited.set(source);
@@ -123,6 +124,7 @@ pub fn bfs_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Nod
         frontier = next;
     }
 
+    device.free(scratch);
     BfsRun {
         depth,
         reached,

@@ -75,6 +75,7 @@ pub fn cc<E: Expander + ?Sized>(engine: &E) -> CcRun {
 pub fn cc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device) -> CcRun {
     let n = engine.num_nodes();
     let before = device.stats();
+    let scratch = crate::apps::alloc_scratch(engine, device);
     let mut comp: Vec<NodeId> = (0..n as NodeId).collect();
     let mut frontier: Vec<NodeId> = (0..n as NodeId).collect();
     let mut iterations = 0u32;
@@ -134,6 +135,7 @@ pub fn cc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device) -> CcRun {
             count += 1;
         }
     }
+    device.free(scratch);
     CcRun {
         component: comp,
         count,

@@ -61,6 +61,7 @@ pub fn label_propagation_in<E: Expander + ?Sized>(
 ) -> LabelPropRun {
     let n = engine.num_nodes();
     let before = device.stats();
+    let scratch = crate::apps::alloc_scratch(engine, device);
     let mut label: Vec<NodeId> = (0..n as NodeId).collect();
     let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
     // Per-node ballot: (candidate label, count), rebuilt every round.
@@ -107,6 +108,7 @@ pub fn label_propagation_in<E: Expander + ?Sized>(
     let mut distinct: Vec<NodeId> = label.clone();
     distinct.sort_unstable();
     distinct.dedup();
+    device.free(scratch);
     LabelPropRun {
         communities: distinct.len(),
         labels: label,

@@ -22,3 +22,18 @@ pub mod bfs;
 pub mod cc;
 pub mod labelprop;
 pub mod pagerank;
+
+use crate::engine::Expander;
+use gcgt_simt::Device;
+
+/// Shared app prologue: registers the engine's per-query scratch (frontier
+/// queues, output buffers, label arrays) on the device, returning the byte
+/// count the matching `device.free(..)` must release on exit. Engines verify
+/// at construction that structure + scratch fit, so this cannot OOM.
+pub(crate) fn alloc_scratch<E: Expander + ?Sized>(engine: &E, device: &mut Device) -> usize {
+    let scratch = engine.scratch_bytes();
+    device
+        .alloc(scratch)
+        .expect("device capacity must be verified at engine construction");
+    scratch
+}

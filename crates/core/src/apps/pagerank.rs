@@ -71,6 +71,7 @@ pub fn pagerank_in<E: Expander + ?Sized>(
             stats: device.stats().since(&before),
         };
     }
+    let scratch = crate::apps::alloc_scratch(engine, device);
     let mut rank = vec![1.0 / n as f64; n];
     let mut degree = vec![0u32; n];
     let all_nodes: Vec<NodeId> = (0..n as NodeId).collect();
@@ -110,6 +111,7 @@ pub fn pagerank_in<E: Expander + ?Sized>(
             break;
         }
     }
+    device.free(scratch);
     PagerankRun {
         ranks: rank,
         iterations,

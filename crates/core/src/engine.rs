@@ -23,21 +23,48 @@ pub trait Expander: Sync {
     /// The simulated device's configuration.
     fn device_config(&self) -> &DeviceConfig;
 
-    /// Resident bytes (graph + traversal buffers) for OOM accounting.
+    /// Peak resident bytes (graph structure **plus** per-query traversal
+    /// scratch) for OOM accounting — what a capacity check must admit.
     fn footprint(&self) -> usize;
+
+    /// The query-invariant part of [`Expander::footprint`]: the uploaded
+    /// graph structure that stays resident for the engine's whole life.
+    /// The default (everything) suits engines with no per-query scratch.
+    fn structure_bytes(&self) -> usize {
+        self.footprint()
+    }
+
+    /// Per-query scratch (frontier queues, output buffers, label arrays):
+    /// apps allocate this on entry and free it on exit, so
+    /// [`gcgt_simt::Device::allocated`] returns to the post-upload baseline
+    /// between batched queries.
+    fn scratch_bytes(&self) -> usize {
+        self.footprint() - self.structure_bytes()
+    }
+
+    /// Hook called once per kernel launch, before any warp expands, with the
+    /// whole frontier. In-core engines ignore it (default no-op);
+    /// out-of-core engines fault the frontier's partitions onto the device
+    /// here, charging allocations and streamed-transfer time on `device`.
+    /// Running it serially (not per warp) keeps residency and its statistics
+    /// deterministic.
+    fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
+        let _ = (device, frontier);
+    }
 
     /// Expands one warp's chunk of frontier nodes, feeding `sink`.
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S);
 
-    /// Creates a per-run device with the graph resident.
+    /// Creates a per-run device with the graph structure resident (apps add
+    /// and remove their scratch around each query).
     ///
     /// # Panics
-    /// Panics if the footprint exceeds capacity — engines are expected to
+    /// Panics if the structure exceeds capacity — engines are expected to
     /// verify capacity at construction.
     fn new_device(&self) -> Device {
         let mut device = Device::new(*self.device_config());
         device
-            .alloc(self.footprint())
+            .alloc(self.structure_bytes())
             .expect("device capacity must be verified at engine construction");
         device
     }
@@ -63,6 +90,15 @@ pub trait DynExpander: Sync {
     /// Resident bytes (graph + traversal buffers) for OOM accounting.
     fn dyn_footprint(&self) -> usize;
 
+    /// Query-invariant structure bytes (see [`Expander::structure_bytes`]).
+    fn dyn_structure_bytes(&self) -> usize;
+
+    /// Per-query scratch bytes (see [`Expander::scratch_bytes`]).
+    fn dyn_scratch_bytes(&self) -> usize;
+
+    /// Pre-launch residency hook (see [`Expander::prepare_frontier`]).
+    fn dyn_prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]);
+
     /// Type-erased [`Expander::expand_chunk`].
     fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut dyn Sink);
 
@@ -82,6 +118,18 @@ impl<E: Expander> DynExpander for E {
 
     fn dyn_footprint(&self) -> usize {
         Expander::footprint(self)
+    }
+
+    fn dyn_structure_bytes(&self) -> usize {
+        Expander::structure_bytes(self)
+    }
+
+    fn dyn_scratch_bytes(&self) -> usize {
+        Expander::scratch_bytes(self)
+    }
+
+    fn dyn_prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
+        Expander::prepare_frontier(self, device, frontier);
     }
 
     fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], mut sink: &mut dyn Sink) {
@@ -104,6 +152,18 @@ impl Expander for dyn DynExpander + '_ {
 
     fn footprint(&self) -> usize {
         self.dyn_footprint()
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.dyn_structure_bytes()
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.dyn_scratch_bytes()
+    }
+
+    fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
+        self.dyn_prepare_frontier(device, frontier);
     }
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
@@ -130,6 +190,9 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
+    // Residency first: out-of-core engines fault the frontier's partitions
+    // onto the device before any warp decodes (serial, hence deterministic).
+    expander.prepare_frontier(device, frontier);
     let width = expander.device_config().warp_width;
     let cache_lines = expander.device_config().cache_lines_per_warp;
     let chunks: Vec<&[NodeId]> = frontier.chunks(width).collect();
@@ -210,6 +273,10 @@ impl Expander for GcgtEngine<'_> {
 
     fn footprint(&self) -> usize {
         memory::gcgt_footprint(self.cgr)
+    }
+
+    fn structure_bytes(&self) -> usize {
+        memory::gcgt_structure_bytes(self.cgr)
     }
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {

@@ -15,13 +15,25 @@ pub fn traversal_buffers_bytes(n: usize) -> usize {
 
 /// Resident footprint of GCGT: the compressed graph plus traversal buffers.
 pub fn gcgt_footprint(cgr: &CgrGraph) -> usize {
-    cgr.size_bytes() + traversal_buffers_bytes(cgr.num_nodes())
+    gcgt_structure_bytes(cgr) + traversal_buffers_bytes(cgr.num_nodes())
+}
+
+/// The part of [`gcgt_footprint`] that stays resident across queries: the
+/// compressed structure itself. The traversal buffers are per-query scratch,
+/// allocated on app entry and freed on exit.
+pub fn gcgt_structure_bytes(cgr: &CgrGraph) -> usize {
+    cgr.size_bytes()
 }
 
 /// Resident footprint of a CSR-based GPU traversal (the `GPUCSR` baseline):
 /// 32-bit column indices and row offsets plus traversal buffers.
 pub fn csr_footprint(graph: &Csr) -> usize {
-    graph.csr_bytes() + traversal_buffers_bytes(graph.num_nodes())
+    csr_structure_bytes(graph) + traversal_buffers_bytes(graph.num_nodes())
+}
+
+/// The query-invariant part of [`csr_footprint`] (the CSR arrays).
+pub fn csr_structure_bytes(graph: &Csr) -> usize {
+    graph.csr_bytes()
 }
 
 /// Resident footprint of a Gunrock-style platform: CSR plus the framework's
@@ -30,7 +42,14 @@ pub fn csr_footprint(graph: &Csr) -> usize {
 /// for its platform design" on uk-2007 and twitter; a 3× structure multiple
 /// reproduces that threshold behaviour at our scales.
 pub fn gunrock_footprint(graph: &Csr) -> usize {
-    3 * graph.csr_bytes() + 2 * traversal_buffers_bytes(graph.num_nodes())
+    gunrock_structure_bytes(graph) + traversal_buffers_bytes(graph.num_nodes())
+}
+
+/// The query-invariant part of [`gunrock_footprint`]: the 3× platform
+/// structures plus the framework's own persistent buffer set (one of the two
+/// buffer sets is per-query scratch, like every other engine).
+pub fn gunrock_structure_bytes(graph: &Csr) -> usize {
+    3 * graph.csr_bytes() + traversal_buffers_bytes(graph.num_nodes())
 }
 
 #[cfg(test)]
@@ -55,5 +74,24 @@ mod tests {
     #[test]
     fn buffer_formula() {
         assert_eq!(traversal_buffers_bytes(8), 64 + 1 + 32);
+    }
+
+    #[test]
+    fn footprint_is_structure_plus_scratch() {
+        let g = web_graph(&WebParams::uk2002_like(1000), 4);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let n = g.num_nodes();
+        assert_eq!(
+            gcgt_footprint(&cgr),
+            gcgt_structure_bytes(&cgr) + traversal_buffers_bytes(n)
+        );
+        assert_eq!(
+            csr_footprint(&g),
+            csr_structure_bytes(&g) + traversal_buffers_bytes(n)
+        );
+        assert_eq!(
+            gunrock_footprint(&g),
+            gunrock_structure_bytes(&g) + traversal_buffers_bytes(n)
+        );
     }
 }

@@ -1,0 +1,240 @@
+//! LRU device-residency cache over compressed partitions.
+//!
+//! The cache owns *which* partitions are resident and charges every state
+//! change on the simulated [`Device`]: faults `alloc` the partition's
+//! compressed bytes and pay a chunked [`PcieConfig::transfer_ms`] upload;
+//! evictions `free` them. Streamed milliseconds, fault and eviction counts
+//! all land in [`gcgt_simt::RunStats`], so an out-of-core run's extra cost
+//! is fully attributable.
+
+use gcgt_simt::{Device, PcieConfig};
+
+use crate::partition::PartitionMap;
+
+/// Tuning knobs of the streaming model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OocConfig {
+    /// Upload granularity in bytes: a partition of `b` bytes is moved in
+    /// `ceil(b / chunk_bytes)` PCIe transfers, each paying the link's setup
+    /// latency. Smaller chunks start decode earlier (more overlap) but pay
+    /// more latency.
+    pub chunk_bytes: usize,
+    /// Fraction of a fault's transfer time hidden under decode compute
+    /// (double-buffering: while the device decodes resident partitions, the
+    /// next upload streams). The **first** fault of a run is cold — nothing
+    /// is decoding yet — and always pays full price. `0.0` = fully
+    /// synchronous, `1.0` = transfers entirely hidden.
+    pub overlap: f64,
+}
+
+impl Default for OocConfig {
+    fn default() -> Self {
+        Self {
+            chunk_bytes: 1 << 20,
+            overlap: 0.5,
+        }
+    }
+}
+
+/// Aggregate counters of one cache lifetime (one engine, i.e. one
+/// `Session::run`/`run_batch` call).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Partitions requested and already resident.
+    pub hits: u64,
+    /// Partitions uploaded.
+    pub faults: u64,
+    /// Partitions evicted to make room.
+    pub evictions: u64,
+    /// Compressed bytes streamed over the link.
+    pub bytes_streamed: u64,
+    /// Milliseconds of transfer charged (post-overlap).
+    pub transfer_ms: f64,
+}
+
+/// LRU residency manager with a hard byte budget.
+#[derive(Debug)]
+pub struct PartitionCache {
+    budget: usize,
+    used: usize,
+    /// Resident partition ids, least-recently-used first.
+    lru: Vec<usize>,
+    stats: CacheStats,
+}
+
+impl PartitionCache {
+    /// A cache allowed to keep at most `budget` partition bytes resident.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            used: 0,
+            lru: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Ensures partition `pid` is resident, evicting least-recently-used
+    /// partitions as needed. Charges allocation, eviction and streamed
+    /// transfer on `device`.
+    ///
+    /// # Panics
+    /// Panics if the partition alone exceeds the budget — sessions verify
+    /// `max_partition_bytes <= budget` before constructing an engine.
+    pub fn fault(
+        &mut self,
+        pid: usize,
+        parts: &PartitionMap,
+        device: &mut Device,
+        pcie: &PcieConfig,
+        config: &OocConfig,
+    ) {
+        if let Some(idx) = self.lru.iter().position(|&p| p == pid) {
+            // Hit: refresh recency.
+            self.lru.remove(idx);
+            self.lru.push(pid);
+            self.stats.hits += 1;
+            return;
+        }
+        let bytes = parts.parts()[pid].bytes;
+        assert!(
+            bytes <= self.budget,
+            "partition {pid} ({bytes} bytes) exceeds the residency budget ({} bytes)",
+            self.budget
+        );
+        while self.used + bytes > self.budget {
+            let victim = self.lru.remove(0);
+            let victim_bytes = parts.parts()[victim].bytes;
+            self.used -= victim_bytes;
+            device.free(victim_bytes);
+            device.charge_partition_eviction();
+            self.stats.evictions += 1;
+        }
+        device
+            .alloc(bytes)
+            .expect("partition budget must fit device capacity (verified at build)");
+        self.used += bytes;
+        self.lru.push(pid);
+
+        let chunks = bytes.div_ceil(config.chunk_bytes.max(1));
+        let raw_ms = pcie.transfer_ms(bytes, chunks);
+        // The first fault of a run is cold; later uploads overlap with the
+        // decode of already-resident partitions.
+        let cold = self.stats.faults == 0;
+        let charged = if cold {
+            raw_ms
+        } else {
+            raw_ms * (1.0 - config.overlap.clamp(0.0, 1.0))
+        };
+        device.charge_partition_fault(charged);
+        self.stats.faults += 1;
+        self.stats.bytes_streamed += bytes as u64;
+        self.stats.transfer_ms += charged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_cgr::{CgrConfig, CgrGraph};
+    use gcgt_graph::gen::{web_graph, WebParams};
+    use gcgt_simt::DeviceConfig;
+
+    fn fixtures() -> (PartitionMap, Device) {
+        let g = web_graph(&WebParams::uk2002_like(800), 7);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let map = PartitionMap::build(&cgr, 2 << 10);
+        assert!(map.len() >= 4, "need several partitions, got {}", map.len());
+        let device = Device::new(DeviceConfig::titan_v_scaled(1 << 30));
+        (map, device)
+    }
+
+    #[test]
+    fn faults_then_hits_then_evictions() {
+        let (map, mut device) = fixtures();
+        let budget = map.parts()[0].bytes + map.parts()[1].bytes + map.parts()[2].bytes;
+        let mut cache = PartitionCache::new(budget);
+        let pcie = PcieConfig::default();
+        let cfg = OocConfig::default();
+
+        cache.fault(0, &map, &mut device, &pcie, &cfg);
+        cache.fault(1, &map, &mut device, &pcie, &cfg);
+        cache.fault(0, &map, &mut device, &pcie, &cfg); // hit
+        let s = cache.stats();
+        assert_eq!((s.faults, s.hits, s.evictions), (2, 1, 0));
+        assert_eq!(
+            device.allocated(),
+            map.parts()[0].bytes + map.parts()[1].bytes
+        );
+
+        // Fill past the budget → LRU victim is partition 1 (0 was refreshed).
+        cache.fault(2, &map, &mut device, &pcie, &cfg);
+        cache.fault(3, &map, &mut device, &pcie, &cfg);
+        let s = cache.stats();
+        assert!(s.evictions >= 1);
+        assert!(cache.resident_bytes() <= budget);
+        assert_eq!(device.allocated(), cache.resident_bytes());
+        assert!(!cache.lru.contains(&1));
+        assert!(cache.lru.contains(&0));
+    }
+
+    #[test]
+    fn device_stats_mirror_cache_stats() {
+        let (map, mut device) = fixtures();
+        let mut cache = PartitionCache::new(map.max_partition_bytes());
+        let pcie = PcieConfig::default();
+        let cfg = OocConfig::default();
+        for pid in [0usize, 1, 2, 1, 0] {
+            cache.fault(pid, &map, &mut device, &pcie, &cfg);
+        }
+        let run = device.stats();
+        let s = cache.stats();
+        assert_eq!(run.partition_faults, s.faults);
+        assert_eq!(run.partition_evictions, s.evictions);
+        assert!((run.transfer_ms - s.transfer_ms).abs() < 1e-12);
+        assert!(s.transfer_ms > 0.0);
+        assert!(s.bytes_streamed > 0);
+    }
+
+    #[test]
+    fn overlap_discounts_warm_faults_only() {
+        let (map, mut d_sync) = fixtures();
+        let (_, mut d_overlap) = fixtures();
+        let pcie = PcieConfig::default();
+        let sync = OocConfig {
+            overlap: 0.0,
+            ..OocConfig::default()
+        };
+        let hidden = OocConfig {
+            overlap: 1.0,
+            ..OocConfig::default()
+        };
+        let mut c_sync = PartitionCache::new(usize::MAX);
+        let mut c_overlap = PartitionCache::new(usize::MAX);
+        for pid in 0..3 {
+            c_sync.fault(pid, &map, &mut d_sync, &pcie, &sync);
+            c_overlap.fault(pid, &map, &mut d_overlap, &pcie, &hidden);
+        }
+        // Full overlap hides everything except the cold first fault.
+        let first_raw = {
+            let bytes = map.parts()[0].bytes;
+            pcie.transfer_ms(bytes, bytes.div_ceil(sync.chunk_bytes))
+        };
+        assert!((c_overlap.stats().transfer_ms - first_raw).abs() < 1e-12);
+        assert!(c_sync.stats().transfer_ms > c_overlap.stats().transfer_ms);
+    }
+}

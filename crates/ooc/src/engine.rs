@@ -1,0 +1,235 @@
+//! The streaming expander: GCGT traversal over a graph that is **not**
+//! device-resident, faulting compressed partitions in per frontier
+//! iteration.
+
+use std::sync::Mutex;
+
+use gcgt_cgr::CgrGraph;
+use gcgt_core::kernels::{expand_warp, Sink};
+use gcgt_core::{memory, Expander, Strategy};
+use gcgt_graph::NodeId;
+use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, WarpSim};
+
+use crate::cache::{CacheStats, OocConfig, PartitionCache};
+use crate::partition::PartitionMap;
+
+/// An out-of-core GCGT engine: decodes the same compressed representation
+/// as [`gcgt_core::GcgtEngine`] and plugs into the identical
+/// [`Expander`]/`Algorithm` contract, but only a bounded byte budget of
+/// partitions is device-resident at a time. Before every kernel launch the
+/// frontier's partitions are faulted in (LRU, chunked PCIe uploads); BFS,
+/// CC, BC, PageRank and label propagation run unmodified on top.
+pub struct OocEngine<'g> {
+    cgr: &'g CgrGraph,
+    parts: &'g PartitionMap,
+    device_config: DeviceConfig,
+    strategy: Strategy,
+    pcie: PcieConfig,
+    config: OocConfig,
+    cache_budget: usize,
+    cache: Mutex<PartitionCache>,
+}
+
+impl<'g> OocEngine<'g> {
+    /// Binds a streaming engine: partitions stream into `cache_budget`
+    /// bytes of device memory while the per-query traversal scratch stays
+    /// resident beside it. Fails when even one partition (plus scratch)
+    /// cannot fit.
+    pub fn new(
+        cgr: &'g CgrGraph,
+        parts: &'g PartitionMap,
+        device_config: DeviceConfig,
+        strategy: Strategy,
+        pcie: PcieConfig,
+        config: OocConfig,
+        cache_budget: usize,
+    ) -> Result<Self, OomError> {
+        let scratch = memory::traversal_buffers_bytes(cgr.num_nodes());
+        let floor = parts.max_partition_bytes();
+        if floor > cache_budget || scratch + cache_budget > device_config.mem_capacity {
+            return Err(OomError {
+                requested: scratch + floor.max(cache_budget),
+                capacity: device_config.mem_capacity.min(cache_budget),
+            });
+        }
+        Ok(Self {
+            cgr,
+            parts,
+            device_config,
+            strategy,
+            pcie,
+            config,
+            cache_budget,
+            cache: Mutex::new(PartitionCache::new(cache_budget)),
+        })
+    }
+
+    /// The compressed graph being streamed.
+    pub fn cgr(&self) -> &CgrGraph {
+        self.cgr
+    }
+
+    /// The partitioning in use.
+    pub fn partitions(&self) -> &PartitionMap {
+        self.parts
+    }
+
+    /// The residency byte budget of the partition cache.
+    pub fn cache_budget(&self) -> usize {
+        self.cache_budget
+    }
+
+    /// Cache counters accumulated so far (mirrored into
+    /// [`gcgt_simt::RunStats`] via the device).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+}
+
+impl Expander for OocEngine<'_> {
+    fn num_nodes(&self) -> usize {
+        self.cgr.num_nodes()
+    }
+
+    fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
+    /// Peak bytes outside the partition cache: only the per-query traversal
+    /// scratch — nothing is uploaded up front.
+    fn footprint(&self) -> usize {
+        memory::traversal_buffers_bytes(self.cgr.num_nodes())
+    }
+
+    fn structure_bytes(&self) -> usize {
+        0
+    }
+
+    /// Faults the frontier's partitions onto the device (ascending partition
+    /// order, deduplicated) before the launch's warps decode. Runs serially,
+    /// so residency transitions and their statistics are deterministic.
+    fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
+        // Mark-then-sweep over a partition-count bitmask: O(frontier) to
+        // mark, and iterating the mask in index order keeps the fault order
+        // ascending and deterministic (all-nodes frontiers like PageRank's
+        // would pay a sort here otherwise).
+        let mut needed = vec![false; self.parts.len()];
+        for &u in frontier {
+            needed[self.parts.partition_of(u)] = true;
+        }
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        for (pid, _) in needed.iter().enumerate().filter(|(_, &n)| n) {
+            cache.fault(pid, self.parts, device, &self.pcie, &self.config);
+        }
+    }
+
+    fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
+        expand_warp(self.strategy, warp, self.cgr, chunk, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_cgr::CgrConfig;
+    use gcgt_core::{bfs, bfs_in, GcgtEngine};
+    use gcgt_graph::gen::{web_graph, WebParams};
+    use gcgt_graph::refalgo;
+
+    fn encoded() -> (gcgt_graph::Csr, CgrGraph) {
+        let g = web_graph(&WebParams::uk2002_like(600), 13);
+        let cgr = CgrGraph::encode(&g, &Strategy::Full.cgr_config(&CgrConfig::paper_default()));
+        (g, cgr)
+    }
+
+    fn tight_engine<'g>(cgr: &'g CgrGraph, parts: &'g PartitionMap) -> OocEngine<'g> {
+        // Room for roughly two partitions → plenty of eviction churn.
+        let budget = parts.max_partition_bytes() * 2;
+        OocEngine::new(
+            cgr,
+            parts,
+            DeviceConfig::titan_v_scaled(1 << 30),
+            Strategy::Full,
+            PcieConfig::default(),
+            OocConfig::default(),
+            budget,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_bfs_matches_oracle_and_faults() {
+        let (g, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        assert!(parts.len() > 4);
+        let engine = tight_engine(&cgr, &parts);
+        let run = bfs(&engine, 0);
+        assert_eq!(run.depth, refalgo::bfs(&g, 0).depth);
+        assert!(run.stats.partition_faults >= parts.len() as u64);
+        assert!(run.stats.partition_evictions >= 1);
+        assert!(run.stats.transfer_ms > 0.0);
+        let cs = engine.cache_stats();
+        assert_eq!(cs.faults, run.stats.partition_faults);
+    }
+
+    #[test]
+    fn streaming_is_deterministic() {
+        let (_, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        let run = || {
+            let engine = tight_engine(&cgr, &parts);
+            let r = bfs(&engine, 3);
+            (
+                r.stats.partition_faults,
+                r.stats.partition_evictions,
+                r.stats.transfer_ms.to_bits(),
+                r.stats.est_ms.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn decode_cost_identical_to_in_core() {
+        // Streaming changes residency and transfer, not the decode work:
+        // the execution estimate must match the in-core engine exactly.
+        let (_, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        let ooc = tight_engine(&cgr, &parts);
+        let config = DeviceConfig::titan_v_scaled(1 << 30);
+        let incore = GcgtEngine::new(&cgr, config, Strategy::Full).unwrap();
+        let a = bfs(&ooc, 0);
+        let b = bfs(&incore, 0);
+        assert_eq!(a.stats.est_ms.to_bits(), b.stats.est_ms.to_bits());
+        assert_eq!(b.stats.partition_faults, 0);
+        assert_eq!(b.stats.transfer_ms, 0.0);
+    }
+
+    #[test]
+    fn allocated_stays_within_budget_plus_scratch() {
+        let (_, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        let engine = tight_engine(&cgr, &parts);
+        let mut device = engine.new_device();
+        assert_eq!(device.allocated(), 0);
+        let _ = bfs_in(&engine, &mut device, 0);
+        // After the query: scratch freed, only cached partitions remain.
+        assert!(device.allocated() <= engine.cache_budget());
+    }
+
+    #[test]
+    fn too_small_budget_is_an_error() {
+        let (_, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        let err = OocEngine::new(
+            &cgr,
+            &parts,
+            DeviceConfig::titan_v_scaled(1 << 30),
+            Strategy::Full,
+            PcieConfig::default(),
+            OocConfig::default(),
+            parts.max_partition_bytes() - 1,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # gcgt-ooc
+//!
+//! Out-of-core traversal: graphs **larger than device memory** run by
+//! streaming compressed partitions over the host link, EMOGI-style
+//! (arXiv:2006.06890), with the transfer budget shrunk by the paper's own
+//! CGR compression — the representation is moved compressed and decoded in
+//! place, never inflated.
+//!
+//! Three pieces compose the subsystem:
+//!
+//! * [`PartitionMap`] — splits a [`gcgt_cgr::CgrGraph`] into contiguous
+//!   vertex ranges of bounded compressed size (adjacency lists are never
+//!   split);
+//! * [`PartitionCache`] — LRU residency under a hard byte budget, charging
+//!   `alloc`/`free` and chunked [`gcgt_simt::PcieConfig::transfer_ms`]
+//!   uploads (overlappable with decode, see [`OocConfig::overlap`]) on the
+//!   simulated device;
+//! * [`OocEngine`] — an [`gcgt_core::Expander`] whose `prepare_frontier`
+//!   hook faults the frontier's partitions in per iteration, so every
+//!   application (BFS/CC/BC/PageRank/label propagation) runs unmodified.
+//!
+//! Faults, evictions and streamed milliseconds surface in
+//! [`gcgt_simt::RunStats`], making the fit→stream transition measurable
+//! (see the `ooc` experiment in `gcgt-bench`). Sessions select this engine
+//! through `EngineKind::OutOfCore` + `SessionBuilder::memory_budget` in
+//! `gcgt-session`.
+
+pub mod cache;
+pub mod engine;
+pub mod partition;
+
+pub use cache::{CacheStats, OocConfig, PartitionCache};
+pub use engine::OocEngine;
+pub use partition::{Partition, PartitionMap};

@@ -1,0 +1,182 @@
+//! Fixed-budget compressed partitions over a [`CgrGraph`].
+//!
+//! A partition is a contiguous vertex range together with the slice of the
+//! compressed bit array and offset array that covers it — exactly what a
+//! real out-of-core runtime would `cudaMemcpyAsync` as one unit. Because the
+//! payload is *compressed*, a partition's transfer cost already benefits
+//! from the CGR compression rate, which is the paper's own argument for
+//! streaming compressed adjacency (Section 3.2 / Appendix A).
+
+use gcgt_cgr::CgrGraph;
+use gcgt_graph::NodeId;
+
+/// One contiguous vertex range of the compressed graph, sized to a byte
+/// budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First node of the range (inclusive).
+    pub first_node: NodeId,
+    /// End of the range (exclusive).
+    pub end_node: NodeId,
+    /// Bit offset where the range's compressed payload starts.
+    pub bit_start: usize,
+    /// Bit offset where it ends.
+    pub bit_end: usize,
+    /// Device bytes this partition occupies when resident: the compressed
+    /// payload plus its slice of the 64-bit offset array.
+    pub bytes: usize,
+}
+
+impl Partition {
+    /// Number of nodes in the range.
+    pub fn num_nodes(&self) -> usize {
+        (self.end_node - self.first_node) as usize
+    }
+}
+
+/// The partitioning of a compressed graph: contiguous vertex ranges, each
+/// within a byte target (except where a single node's compressed adjacency
+/// alone exceeds it — lists are never split across partitions).
+#[derive(Clone, Debug)]
+pub struct PartitionMap {
+    parts: Vec<Partition>,
+}
+
+fn range_bytes(cgr: &CgrGraph, first: usize, end: usize) -> usize {
+    let payload_bits = cgr.offsets()[end] - cgr.offsets()[first];
+    // Offset slice: one 64-bit entry per node plus the closing bound.
+    payload_bits.div_ceil(8) + 8 * (end - first + 1)
+}
+
+impl PartitionMap {
+    /// Splits `cgr` greedily into contiguous partitions of at most
+    /// `target_bytes` each (one node minimum per partition). The whole node
+    /// range is always covered; an empty graph yields one empty partition.
+    pub fn build(cgr: &CgrGraph, target_bytes: usize) -> PartitionMap {
+        let n = cgr.num_nodes();
+        let mut parts = Vec::new();
+        let mut first = 0usize;
+        let mut u = 0usize;
+        while u < n {
+            let next = u + 1;
+            if next - first > 1 && range_bytes(cgr, first, next) > target_bytes {
+                // `u` no longer fits: close [first, u) and start a fresh
+                // partition at `u`.
+                parts.push(Self::make(cgr, first, u));
+                first = u;
+            } else {
+                u = next;
+            }
+        }
+        if first < n || parts.is_empty() {
+            parts.push(Self::make(cgr, first, n));
+        }
+        PartitionMap { parts }
+    }
+
+    fn make(cgr: &CgrGraph, first: usize, end: usize) -> Partition {
+        Partition {
+            first_node: first as NodeId,
+            end_node: end as NodeId,
+            bit_start: cgr.offsets()[first],
+            bit_end: cgr.offsets()[end],
+            bytes: range_bytes(cgr, first, end),
+        }
+    }
+
+    /// The partitions, in node order.
+    pub fn parts(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether there are no partitions (never true for a built map).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Index of the partition holding node `u`.
+    pub fn partition_of(&self, u: NodeId) -> usize {
+        // Last partition whose first_node <= u.
+        self.parts.partition_point(|p| p.first_node <= u) - 1
+    }
+
+    /// The largest single partition — the floor any residency budget must
+    /// clear.
+    pub fn max_partition_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.bytes).max().unwrap_or(0)
+    }
+
+    /// Total resident bytes if every partition were loaded at once.
+    pub fn total_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_cgr::CgrConfig;
+    use gcgt_graph::gen::{web_graph, WebParams};
+
+    fn sample() -> CgrGraph {
+        let g = web_graph(&WebParams::uk2002_like(800), 7);
+        CgrGraph::encode(&g, &CgrConfig::paper_default())
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes_contiguously() {
+        let cgr = sample();
+        let map = PartitionMap::build(&cgr, 4 << 10);
+        assert!(map.len() > 1);
+        assert_eq!(map.parts()[0].first_node, 0);
+        assert_eq!(
+            map.parts().last().unwrap().end_node as usize,
+            cgr.num_nodes()
+        );
+        for w in map.parts().windows(2) {
+            assert_eq!(w[0].end_node, w[1].first_node);
+            assert_eq!(w[0].bit_end, w[1].bit_start);
+        }
+    }
+
+    #[test]
+    fn partition_of_finds_the_owner() {
+        let cgr = sample();
+        let map = PartitionMap::build(&cgr, 4 << 10);
+        for (i, p) in map.parts().iter().enumerate() {
+            assert_eq!(map.partition_of(p.first_node), i);
+            assert_eq!(map.partition_of(p.end_node - 1), i);
+        }
+    }
+
+    #[test]
+    fn partitions_respect_target_except_single_oversize_lists() {
+        let cgr = sample();
+        let target = 4 << 10;
+        let map = PartitionMap::build(&cgr, target);
+        for p in map.parts() {
+            assert!(p.bytes <= target || p.num_nodes() == 1, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn tighter_targets_make_more_partitions() {
+        let cgr = sample();
+        let coarse = PartitionMap::build(&cgr, 64 << 10);
+        let fine = PartitionMap::build(&cgr, 2 << 10);
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn single_partition_when_budget_is_huge() {
+        let cgr = sample();
+        let map = PartitionMap::build(&cgr, usize::MAX);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.parts()[0].num_nodes(), cgr.num_nodes());
+    }
+}

@@ -38,6 +38,38 @@
 //! [`BatchRun`] reports both per-query and aggregate statistics. This is the
 //! multi-source BFS/BC batching workload (EMOGI-style serving) the ROADMAP
 //! targets.
+//!
+//! ## Graphs larger than the device
+//!
+//! [`SessionBuilder::memory_budget`] plus [`EngineKind::OutOfCore`] lifts
+//! the hard capacity wall: when the compressed graph fits the budget the
+//! session behaves exactly like the in-core engine, and when it does not,
+//! `build` still succeeds — the graph is split into compressed partitions
+//! (`gcgt-ooc`) that stream over the PCIe link per frontier iteration, with
+//! faults, evictions and streamed milliseconds reported in
+//! [`RunStats`]:
+//!
+//! ```
+//! use gcgt_graph::gen::{web_graph, WebParams};
+//! use gcgt_session::{Bfs, EngineKind, Session};
+//! use gcgt_core::Strategy;
+//!
+//! let graph = web_graph(&WebParams::uk2002_like(3_000), 42);
+//! let incore = Session::builder().graph(graph.clone()).build().unwrap();
+//! let budget = incore.footprint() * 2 / 3; // the graph does NOT fit this
+//! let session = Session::builder()
+//!     .graph(graph)
+//!     .memory_budget(budget)
+//!     .engine(EngineKind::OutOfCore {
+//!         inner: Strategy::Full,
+//!     })
+//!     .build()
+//!     .unwrap(); // would be SessionError::Oom with EngineKind::Gcgt
+//! assert!(session.is_streaming());
+//! let run = session.run(Bfs::from(0));
+//! assert!(run.stats.partition_faults > 0);
+//! assert!(run.stats.transfer_ms > 0.0);
+//! ```
 
 use std::sync::Arc;
 
@@ -45,9 +77,11 @@ use gcgt_baselines::{GpuCsrEngine, GunrockEngine};
 use gcgt_cgr::{CgrConfig, CgrGraph};
 use gcgt_core::{memory, Algorithm, DynExpander, GcgtEngine, Strategy};
 use gcgt_graph::{Csr, NodeId, Reordering};
+use gcgt_ooc::{OocEngine, PartitionMap};
 use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, RunStats};
 
 pub use gcgt_core::{Bc, Bfs, Cc, LabelProp, Pagerank, Query, QueryOutput};
+pub use gcgt_ooc::OocConfig;
 
 /// Which traversal engine a session drives — selected at **runtime**.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,6 +94,15 @@ pub enum EngineKind {
     GpuCsr,
     /// Gunrock-style advance+filter platform (~3× memory footprint).
     Gunrock,
+    /// Out-of-core GCGT: compressed partitions streamed over the PCIe link
+    /// when the graph exceeds the session's memory budget; identical to
+    /// `Gcgt(inner)` when it fits. Combine with
+    /// [`SessionBuilder::memory_budget`].
+    OutOfCore {
+        /// The GCGT scheduling strategy used to decode whatever is
+        /// resident.
+        inner: Strategy,
+    },
 }
 
 impl EngineKind {
@@ -76,13 +119,14 @@ impl EngineKind {
             EngineKind::Gcgt(_) => "GCGT",
             EngineKind::GpuCsr => "GPUCSR",
             EngineKind::Gunrock => "Gunrock",
+            EngineKind::OutOfCore { .. } => "GCGT-OOC",
         }
     }
 
-    /// The strategy, when this is a GCGT engine.
+    /// The strategy, when this is a GCGT engine (in-core or out-of-core).
     pub fn strategy(&self) -> Option<Strategy> {
         match self {
-            EngineKind::Gcgt(s) => Some(*s),
+            EngineKind::Gcgt(s) | EngineKind::OutOfCore { inner: s } => Some(*s),
             _ => None,
         }
     }
@@ -176,6 +220,8 @@ pub struct SessionBuilder {
     device: Option<DeviceConfig>,
     engine: Option<EngineKind>,
     pcie: Option<PcieConfig>,
+    memory_budget: Option<usize>,
+    ooc: Option<OocConfig>,
 }
 
 impl SessionBuilder {
@@ -242,6 +288,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Caps how many device bytes this session may occupy (defaults to the
+    /// device's full capacity; the effective budget is the smaller of the
+    /// two). In-core engines treat it as a tighter OOM wall; with
+    /// [`EngineKind::OutOfCore`] a graph that exceeds it still builds and
+    /// **streams** compressed partitions within the budget instead.
+    #[must_use]
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Streaming parameters of the out-of-core engine (chunk granularity,
+    /// transfer/decode overlap). Only meaningful with
+    /// [`EngineKind::OutOfCore`]; defaults to [`OocConfig::default`].
+    #[must_use]
+    pub fn ooc_config(mut self, config: OocConfig) -> Self {
+        self.ooc = Some(config);
+        self
+    }
+
     /// Runs preprocessing + encoding, verifies device capacity, and returns
     /// the ready session.
     pub fn build(self) -> Result<Session, SessionError> {
@@ -268,8 +334,8 @@ impl SessionBuilder {
         };
 
         // --- encoding + footprint ---
-        let (cgr, footprint) = match kind {
-            EngineKind::Gcgt(strategy) => {
+        let (cgr, footprint, structure) = match kind {
+            EngineKind::Gcgt(strategy) | EngineKind::OutOfCore { inner: strategy } => {
                 let config = match self.compress {
                     Some(config) => {
                         let config_segmented = config.segment_len_bytes.is_some();
@@ -285,23 +351,55 @@ impl SessionBuilder {
                 };
                 let cgr = CgrGraph::encode(&graph, &config);
                 let footprint = memory::gcgt_footprint(&cgr);
-                (Some(cgr), footprint)
+                let structure = memory::gcgt_structure_bytes(&cgr);
+                (Some(cgr), footprint, structure)
             }
             kind @ (EngineKind::GpuCsr | EngineKind::Gunrock) => {
                 if self.compress.is_some() {
                     return Err(SessionError::CompressUnsupported { engine: kind });
                 }
-                let footprint = match kind {
-                    EngineKind::GpuCsr => memory::csr_footprint(&graph),
-                    _ => memory::gunrock_footprint(&graph),
+                let (footprint, structure) = match kind {
+                    EngineKind::GpuCsr => (
+                        memory::csr_footprint(&graph),
+                        memory::csr_structure_bytes(&graph),
+                    ),
+                    _ => (
+                        memory::gunrock_footprint(&graph),
+                        memory::gunrock_structure_bytes(&graph),
+                    ),
                 };
-                (None, footprint)
+                (None, footprint, structure)
             }
         };
 
-        // --- capacity check (the OOM bars of Figures 8 and 15) ---
-        let mut probe = Device::new(device_config);
-        probe.alloc(footprint)?;
+        // --- capacity / budget check (the OOM bars of Figures 8 and 15) ---
+        // The effective ceiling is the device capacity, tightened by an
+        // explicit memory budget when one was given.
+        let budget = self
+            .memory_budget
+            .unwrap_or(device_config.mem_capacity)
+            .min(device_config.mem_capacity);
+        let fits = {
+            let mut probe = Device::new(DeviceConfig {
+                mem_capacity: budget,
+                ..device_config
+            });
+            probe.alloc(footprint)
+        };
+        let ooc = match (kind, fits) {
+            // Everything fits: out-of-core sessions degenerate to the
+            // in-core engine and behave identically to `Gcgt(inner)`.
+            (_, Ok(())) => None,
+            (EngineKind::OutOfCore { .. }, Err(_)) => {
+                let cgr = cgr.as_ref().expect("OutOfCore always encodes");
+                Some(Self::plan_streaming(
+                    cgr,
+                    budget,
+                    self.ooc.unwrap_or_default(),
+                )?)
+            }
+            (_, Err(oom)) => return Err(SessionError::Oom(oom)),
+        };
 
         Ok(Session {
             kind,
@@ -311,8 +409,55 @@ impl SessionBuilder {
             cgr,
             perm,
             footprint,
+            structure,
+            budget,
+            ooc,
         })
     }
+
+    /// Partitions the compressed graph for streaming under `budget` device
+    /// bytes: per-query scratch stays resident, and the rest is the
+    /// partition cache, split into ~quarter-cache partitions so the LRU has
+    /// room to rotate. Fails when even one partition plus scratch cannot
+    /// fit.
+    fn plan_streaming(
+        cgr: &CgrGraph,
+        budget: usize,
+        config: OocConfig,
+    ) -> Result<OocPlan, SessionError> {
+        let scratch = memory::traversal_buffers_bytes(cgr.num_nodes());
+        let cache_budget = match budget.checked_sub(scratch) {
+            Some(bytes) if bytes > 0 => bytes,
+            _ => {
+                return Err(SessionError::Oom(OomError {
+                    requested: scratch + 1,
+                    capacity: budget,
+                }))
+            }
+        };
+        let target = (cache_budget / 4).max(1);
+        let parts = PartitionMap::build(cgr, target);
+        if parts.max_partition_bytes() > cache_budget {
+            return Err(SessionError::Oom(OomError {
+                requested: scratch + parts.max_partition_bytes(),
+                capacity: budget,
+            }));
+        }
+        Ok(OocPlan {
+            parts,
+            cache_budget,
+            config,
+        })
+    }
+}
+
+/// The streaming plan of an out-of-core session whose graph does not fit:
+/// computed once at build, instantiated as an [`OocEngine`] per run.
+#[derive(Clone, Debug)]
+struct OocPlan {
+    parts: PartitionMap,
+    cache_budget: usize,
+    config: OocConfig,
 }
 
 /// One application run: the app's output plus cost accounting.
@@ -328,9 +473,10 @@ pub struct Run<T> {
 }
 
 impl<T> Run<T> {
-    /// Upload plus simulated execution, milliseconds.
+    /// Upload plus simulated execution plus streamed partition transfers,
+    /// milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.upload_ms + self.stats.est_ms
+        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms
     }
 }
 
@@ -350,9 +496,10 @@ pub struct BatchRun<T> {
 }
 
 impl<T> BatchRun<T> {
-    /// Upload plus simulated execution of the whole batch, milliseconds.
+    /// Upload plus simulated execution plus streamed partition transfers of
+    /// the whole batch, milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.upload_ms + self.stats.est_ms
+        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms
     }
 
     /// Mean simulated latency per query (excluding the shared upload).
@@ -376,6 +523,9 @@ pub struct Session {
     cgr: Option<CgrGraph>,
     perm: Option<Vec<NodeId>>,
     footprint: usize,
+    structure: usize,
+    budget: usize,
+    ooc: Option<OocPlan>,
 }
 
 /// The runtime-selected engine, borrowing the session's structures. All
@@ -385,6 +535,7 @@ enum EngineHolder<'s> {
     Gcgt(GcgtEngine<'s>),
     GpuCsr(GpuCsrEngine<'s>),
     Gunrock(GunrockEngine<'s>),
+    Ooc(OocEngine<'s>),
 }
 
 impl EngineHolder<'_> {
@@ -393,6 +544,7 @@ impl EngineHolder<'_> {
             EngineHolder::Gcgt(e) => e,
             EngineHolder::GpuCsr(e) => e,
             EngineHolder::Gunrock(e) => e,
+            EngineHolder::Ooc(e) => e,
         }
     }
 }
@@ -435,9 +587,40 @@ impl Session {
         self.cgr.as_ref()
     }
 
-    /// Resident bytes of the engine's structure plus traversal buffers.
+    /// Resident bytes of the engine's structure plus traversal buffers —
+    /// what an in-core run needs at its peak. A streaming session's actual
+    /// residency is bounded by [`Session::memory_budget`] instead.
     pub fn footprint(&self) -> usize {
         self.footprint
+    }
+
+    /// The query-invariant structure bytes (graph representation without
+    /// per-query scratch) — the device allocation level between batched
+    /// queries. Zero for a streaming session (partitions come and go).
+    pub fn structure_bytes(&self) -> usize {
+        if self.is_streaming() {
+            0
+        } else {
+            self.structure
+        }
+    }
+
+    /// The effective device-byte ceiling of this session: the explicit
+    /// [`SessionBuilder::memory_budget`] tightened to the device capacity.
+    pub fn memory_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether runs stream compressed partitions over the link (the graph
+    /// exceeded the budget) instead of residing wholly on the device.
+    pub fn is_streaming(&self) -> bool {
+        self.ooc.is_some()
+    }
+
+    /// The number of compressed partitions a streaming session rotates
+    /// through (`None` when the graph fits in-core).
+    pub fn num_partitions(&self) -> Option<usize> {
+        self.ooc.as_ref().map(|plan| plan.parts.len())
     }
 
     /// Compression rate of the resident structure relative to a 32-bit
@@ -450,9 +633,15 @@ impl Session {
     }
 
     /// Host→device time to make the structure resident, from the session's
-    /// PCIe model.
+    /// PCIe model. A streaming session uploads nothing up front (transfers
+    /// happen during the run and appear in [`RunStats::transfer_ms`]), so
+    /// this is 0.
     pub fn upload_ms(&self) -> f64 {
-        self.pcie.transfer_ms(self.footprint, 1)
+        if self.is_streaming() {
+            0.0
+        } else {
+            self.pcie.transfer_ms(self.footprint, 1)
+        }
     }
 
     fn make_engine(&self) -> EngineHolder<'_> {
@@ -473,6 +662,28 @@ impl Session {
                 GunrockEngine::new(&self.graph, self.device_config)
                     .expect("capacity verified at build time"),
             ),
+            EngineKind::OutOfCore { inner } => {
+                let cgr = self.cgr.as_ref().expect("OutOfCore session always encodes");
+                match &self.ooc {
+                    // The graph fits: identical to the in-core engine.
+                    None => EngineHolder::Gcgt(
+                        GcgtEngine::new(cgr, self.device_config, inner)
+                            .expect("capacity verified at build time"),
+                    ),
+                    Some(plan) => EngineHolder::Ooc(
+                        OocEngine::new(
+                            cgr,
+                            &plan.parts,
+                            self.device_config,
+                            inner,
+                            self.pcie,
+                            plan.config,
+                            plan.cache_budget,
+                        )
+                        .expect("budget verified at build time"),
+                    ),
+                }
+            }
         }
     }
 
@@ -645,6 +856,101 @@ mod tests {
         assert!(session.permutation().is_some());
         let run = session.run(Bfs::from(0));
         assert_eq!(run.output.depth, want.depth);
+    }
+
+    #[test]
+    fn out_of_core_streams_when_the_graph_does_not_fit() {
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(2_000), 5);
+        let incore = Session::builder().graph(g.clone()).build().unwrap();
+        let want = incore.run(Bfs::from(0));
+        // A capacity below the in-core footprint: the plain GCGT engine
+        // OOMs, the out-of-core engine builds and streams.
+        let capacity = incore.footprint() * 7 / 10;
+        let device = DeviceConfig::titan_v_scaled(capacity);
+        let err = Session::builder()
+            .graph(g.clone())
+            .device(device)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Oom(_)));
+
+        let session = Session::builder()
+            .graph(g)
+            .device(device)
+            .memory_budget(capacity)
+            .engine(EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            })
+            .build()
+            .unwrap();
+        assert!(session.is_streaming());
+        assert!(session.num_partitions().unwrap() > 1);
+        assert_eq!(session.upload_ms(), 0.0);
+        let run = session.run(Bfs::from(0));
+        assert_eq!(run.output.depth, want.output.depth);
+        assert!(run.stats.partition_faults >= 1);
+        assert!(run.stats.partition_evictions >= 1);
+        assert!(run.stats.transfer_ms > 0.0);
+        assert!(run.total_ms() > run.stats.est_ms);
+    }
+
+    #[test]
+    fn out_of_core_degenerates_to_in_core_when_it_fits() {
+        let g = toys::grid(12, 12);
+        let incore = Session::builder()
+            .graph(g.clone())
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .build()
+            .unwrap();
+        let ooc = Session::builder()
+            .graph(g)
+            .engine(EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            })
+            .build()
+            .unwrap();
+        assert!(!ooc.is_streaming());
+        assert_eq!(ooc.num_partitions(), None);
+        let a = incore.run(Bfs::from(0));
+        let b = ooc.run(Bfs::from(0));
+        assert_eq!(a.output.depth, b.output.depth);
+        assert_eq!(a.stats.est_ms.to_bits(), b.stats.est_ms.to_bits());
+        assert_eq!(b.stats.partition_faults, 0);
+        assert_eq!(b.stats.transfer_ms, 0.0);
+        assert_eq!(a.upload_ms, b.upload_ms);
+    }
+
+    #[test]
+    fn memory_budget_tightens_in_core_engines_too() {
+        let g = toys::grid(12, 12);
+        let footprint = Session::builder()
+            .graph(g.clone())
+            .build()
+            .unwrap()
+            .footprint();
+        let err = Session::builder()
+            .graph(g)
+            .memory_budget(footprint - 1)
+            .build()
+            .unwrap_err();
+        match err {
+            SessionError::Oom(oom) => assert_eq!(oom.capacity, footprint - 1),
+            other => panic!("expected Oom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hopeless_budget_is_rejected_not_panicking() {
+        let g = toys::grid(12, 12);
+        let err = Session::builder()
+            .graph(g)
+            .memory_budget(64) // smaller than even the per-query scratch
+            .engine(EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Oom(_)));
     }
 
     #[test]

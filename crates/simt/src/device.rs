@@ -168,6 +168,9 @@ pub struct Device {
     tally: Tally,
     mem: MemStats,
     allocated: usize,
+    partition_faults: u64,
+    partition_evictions: u64,
+    transfer_ms: f64,
 }
 
 impl Device {
@@ -180,6 +183,9 @@ impl Device {
             tally: Tally::new(config.warp_width),
             mem: MemStats::default(),
             allocated: 0,
+            partition_faults: 0,
+            partition_evictions: 0,
+            transfer_ms: 0.0,
         }
     }
 
@@ -203,9 +209,36 @@ impl Device {
         Ok(())
     }
 
+    /// Releases a resident allocation (per-query scratch freed between
+    /// batched queries, or an evicted out-of-core partition).
+    ///
+    /// Frees are clamped at zero in release builds; a free that exceeds the
+    /// currently allocated total is an accounting bug and asserts in debug
+    /// builds.
+    pub fn free(&mut self, bytes: usize) {
+        debug_assert!(
+            bytes <= self.allocated,
+            "freeing {bytes} bytes with only {} allocated",
+            self.allocated
+        );
+        self.allocated = self.allocated.saturating_sub(bytes);
+    }
+
     /// Currently allocated bytes.
     pub fn allocated(&self) -> usize {
         self.allocated
+    }
+
+    /// Records one out-of-core partition fault whose upload stalled the run
+    /// for `transfer_ms` milliseconds of host-link time (post-overlap).
+    pub fn charge_partition_fault(&mut self, transfer_ms: f64) {
+        self.partition_faults += 1;
+        self.transfer_ms += transfer_ms;
+    }
+
+    /// Records one out-of-core partition eviction.
+    pub fn charge_partition_eviction(&mut self) {
+        self.partition_evictions += 1;
     }
 
     /// Folds one kernel launch into the running cost.
@@ -242,6 +275,9 @@ impl Device {
             tally: self.tally,
             mem: self.mem,
             allocated_bytes: self.allocated,
+            partition_faults: self.partition_faults,
+            partition_evictions: self.partition_evictions,
+            transfer_ms: self.transfer_ms,
         }
     }
 }
@@ -261,6 +297,15 @@ pub struct RunStats {
     pub mem: MemStats,
     /// Resident allocation at the end of the run.
     pub allocated_bytes: usize,
+    /// Out-of-core partitions faulted onto the device (0 for in-core runs).
+    pub partition_faults: u64,
+    /// Out-of-core partitions evicted to make room (0 for in-core runs).
+    pub partition_evictions: u64,
+    /// Milliseconds of host-link transfer streamed during the run (partition
+    /// uploads, post-overlap; 0 for in-core runs). The up-front whole-graph
+    /// upload of an in-core session is *not* included — that is
+    /// `upload_ms` at the session layer.
+    pub transfer_ms: f64,
 }
 
 impl RunStats {
@@ -284,6 +329,13 @@ impl RunStats {
             tally: self.tally.since(&earlier.tally),
             mem: self.mem.since(&earlier.mem),
             allocated_bytes: self.allocated_bytes,
+            partition_faults: self
+                .partition_faults
+                .saturating_sub(earlier.partition_faults),
+            partition_evictions: self
+                .partition_evictions
+                .saturating_sub(earlier.partition_evictions),
+            transfer_ms: (self.transfer_ms - earlier.transfer_ms).max(0.0),
         }
     }
 }
@@ -354,6 +406,33 @@ mod tests {
         assert!(err.to_string().contains("out of device memory"));
         // Allocation state unchanged after failure.
         assert_eq!(d.allocated(), 900);
+    }
+
+    #[test]
+    fn free_returns_capacity_for_reuse() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1000));
+        d.alloc(900).unwrap();
+        assert!(d.alloc(200).is_err());
+        d.free(400);
+        assert_eq!(d.allocated(), 500);
+        assert!(d.alloc(200).is_ok());
+        assert_eq!(d.allocated(), 700);
+    }
+
+    #[test]
+    fn stream_counters_accumulate_and_subtract() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 20));
+        let before = d.stats();
+        d.charge_partition_fault(1.5);
+        d.charge_partition_fault(0.5);
+        d.charge_partition_eviction();
+        let s = d.stats().since(&before);
+        assert_eq!(s.partition_faults, 2);
+        assert_eq!(s.partition_evictions, 1);
+        assert!((s.transfer_ms - 2.0).abs() < 1e-12);
+        // The estimated execution time is unaffected: transfer is reported
+        // separately so the cost stays attributable.
+        assert_eq!(s.est_ms, 0.0);
     }
 
     #[test]

@@ -29,9 +29,21 @@ impl Default for PcieConfig {
 
 impl PcieConfig {
     /// Milliseconds to move `bytes` across the link in `chunks` transfers.
+    ///
+    /// The model is `bytes / bandwidth + chunks × latency`, with `bytes` in
+    /// bytes, `bandwidth_gb_s` in 10⁹ bytes per second, `latency_us` in
+    /// microseconds per chunk, and the result in **milliseconds**. Every
+    /// chunk pays one setup latency, so splitting a transfer never makes it
+    /// cheaper — chunking exists so out-of-core streaming can overlap
+    /// partial uploads with decode.
+    ///
+    /// `chunks == 0` means "no transfer happened" and returns 0 regardless
+    /// of `bytes` (it used to silently behave as one chunk).
     pub fn transfer_ms(&self, bytes: usize, chunks: usize) -> f64 {
-        let chunks = chunks.max(1) as f64;
-        bytes as f64 / (self.bandwidth_gb_s * 1e9) * 1e3 + chunks * self.latency_us / 1e3
+        if chunks == 0 {
+            return 0.0;
+        }
+        bytes as f64 / (self.bandwidth_gb_s * 1e9) * 1e3 + chunks as f64 * self.latency_us / 1e3
     }
 
     /// Transfer-time ratio of an uncompressed structure over a compressed
@@ -74,5 +86,26 @@ mod tests {
         let one = p.transfer_ms(1 << 20, 1);
         let many = p.transfer_ms(1 << 20, 100);
         assert!(many > one + 0.9);
+    }
+
+    #[test]
+    fn zero_chunks_means_no_transfer() {
+        let p = PcieConfig::default();
+        assert_eq!(p.transfer_ms(0, 0), 0.0);
+        assert_eq!(p.transfer_ms(12 << 30, 0), 0.0);
+    }
+
+    #[test]
+    fn formula_is_bandwidth_plus_per_chunk_latency() {
+        // Pin the exact latency/bandwidth formula: bytes / (GB/s · 1e9) in
+        // ms, plus chunks × latency_us / 1e3.
+        let p = PcieConfig {
+            bandwidth_gb_s: 12.0,
+            latency_us: 10.0,
+        };
+        let ms = p.transfer_ms(3_000_000_000, 4);
+        let want = 3_000_000_000.0 / (12.0 * 1e9) * 1e3 + 4.0 * 10.0 / 1e3;
+        assert!((ms - want).abs() < 1e-12, "{ms} vs {want}");
+        assert!((want - 250.04).abs() < 1e-9);
     }
 }

@@ -53,6 +53,7 @@ pub use gcgt_bits as bits;
 pub use gcgt_cgr as cgr;
 pub use gcgt_core as core;
 pub use gcgt_graph as graph;
+pub use gcgt_ooc as ooc;
 pub use gcgt_session as session;
 pub use gcgt_simt as simt;
 
@@ -129,6 +130,7 @@ pub mod prelude {
     // --- the engine layer (for building custom engines / direct control) ---
     pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
     pub use gcgt_core::{DynExpander, Expander, GcgtEngine, Strategy};
+    pub use gcgt_ooc::{OocConfig, OocEngine, PartitionMap};
 
     // --- substrate ---
     pub use gcgt_bits::Code;

@@ -1,0 +1,157 @@
+//! Out-of-core oracle equivalence: every application produces **identical**
+//! output when the graph streams through a tiny memory budget (constant
+//! eviction churn) as when it is fully device-resident. Streaming changes
+//! residency and transfer cost — never results.
+
+use gcgt::prelude::*;
+
+fn graph() -> Csr {
+    // Symmetrized so connected components are meaningful; big enough that a
+    // tiny budget forces many partitions and evictions.
+    web_graph(&WebParams::uk2002_like(1_200), 23).symmetrized()
+}
+
+/// An in-core session and a streaming session over the same graph; the
+/// streaming one gets a budget of per-query scratch plus an eighth of the
+/// compressed structure, so most of the graph is non-resident at any time.
+fn session_pair() -> (Session, Session) {
+    let g = graph();
+    let incore = Session::builder()
+        .graph(g.clone())
+        .engine(EngineKind::Gcgt(Strategy::Full))
+        .build()
+        .unwrap();
+    let scratch = incore.footprint() - incore.structure_bytes();
+    let budget = scratch + (incore.structure_bytes() / 8).max(1);
+    let ooc = Session::builder()
+        .graph(g)
+        .memory_budget(budget)
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .build()
+        .expect("tiny budgets still build out-of-core");
+    assert!(ooc.is_streaming());
+    assert!(
+        ooc.num_partitions().unwrap() >= 8,
+        "eighth-of-structure budget should force many partitions"
+    );
+    (incore, ooc)
+}
+
+#[test]
+fn bfs_identical_under_eviction_churn() {
+    let (incore, ooc) = session_pair();
+    for source in [0, 7, 311] {
+        let a = incore.run(Bfs::from(source));
+        let b = ooc.run(Bfs::from(source));
+        assert_eq!(a.output.depth, b.output.depth, "source {source}");
+        assert_eq!(a.output.reached, b.output.reached);
+        assert!(b.stats.partition_evictions >= 1, "budget too generous");
+    }
+}
+
+#[test]
+fn cc_identical_under_eviction_churn() {
+    let (incore, ooc) = session_pair();
+    let a = incore.run(Cc);
+    let b = ooc.run(Cc);
+    assert_eq!(a.output.component, b.output.component);
+    assert_eq!(a.output.count, b.output.count);
+    assert!(b.stats.partition_evictions >= 1);
+}
+
+#[test]
+fn bc_identical_under_eviction_churn() {
+    let (incore, ooc) = session_pair();
+    let a = incore.run(Bc::from(2));
+    let b = ooc.run(Bc::from(2));
+    assert_eq!(a.output.depth, b.output.depth);
+    assert_eq!(a.output.sigma, b.output.sigma);
+    assert_eq!(a.output.delta, b.output.delta);
+    assert!(b.stats.partition_evictions >= 1);
+}
+
+#[test]
+fn pagerank_identical_under_eviction_churn() {
+    let (incore, ooc) = session_pair();
+    let a = incore.run(Pagerank::default());
+    let b = ooc.run(Pagerank::default());
+    // Bitwise equality: streaming must not perturb the float pipeline.
+    assert_eq!(a.output.ranks, b.output.ranks);
+    assert_eq!(a.output.iterations, b.output.iterations);
+    assert!(b.stats.partition_evictions >= 1);
+}
+
+#[test]
+fn labelprop_identical_under_eviction_churn() {
+    let (incore, ooc) = session_pair();
+    let a = incore.run(LabelProp::default());
+    let b = ooc.run(LabelProp::default());
+    assert_eq!(a.output.labels, b.output.labels);
+    assert_eq!(a.output.communities, b.output.communities);
+    assert!(b.stats.partition_evictions >= 1);
+}
+
+#[test]
+fn heterogeneous_batch_identical_and_shares_the_cache() {
+    let (incore, ooc) = session_pair();
+    let queries = [
+        Query::Bfs(0),
+        Query::Cc,
+        Query::Bc(5),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+        Query::Bfs(42),
+    ];
+    let a = incore.run_batch(&queries);
+    let b = ooc.run_batch(&queries);
+    for (i, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+        match (x, y) {
+            (QueryOutput::Bfs(p), QueryOutput::Bfs(q)) => assert_eq!(p.depth, q.depth, "query {i}"),
+            (QueryOutput::Cc(p), QueryOutput::Cc(q)) => {
+                assert_eq!(p.component, q.component, "query {i}")
+            }
+            (QueryOutput::Bc(p), QueryOutput::Bc(q)) => assert_eq!(p.sigma, q.sigma, "query {i}"),
+            (QueryOutput::Pagerank(p), QueryOutput::Pagerank(q)) => {
+                assert_eq!(p.ranks, q.ranks, "query {i}")
+            }
+            (QueryOutput::LabelProp(p), QueryOutput::LabelProp(q)) => {
+                assert_eq!(p.labels, q.labels, "query {i}")
+            }
+            _ => panic!("query {i}: mismatched output variants"),
+        }
+    }
+    // The batch shares one partition cache: later queries hit partitions
+    // the earlier ones faulted, so faults grow sublinearly vs standalone.
+    let standalone: u64 = queries
+        .iter()
+        .map(|&q| ooc.run(q).stats.partition_faults)
+        .sum();
+    assert!(
+        b.stats.partition_faults < standalone,
+        "batched faults {} should undercut standalone {}",
+        b.stats.partition_faults,
+        standalone
+    );
+}
+
+#[test]
+fn reordered_streaming_session_answers_in_original_ids() {
+    let g = graph();
+    let want = refalgo::bfs(&g, 17);
+    let incore = Session::builder().graph(g.clone()).build().unwrap();
+    let scratch = incore.footprint() - incore.structure_bytes();
+    let session = Session::builder()
+        .graph(g)
+        .reorder(Reordering::DegSort)
+        .memory_budget(scratch + (incore.structure_bytes() / 8).max(1))
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .build()
+        .unwrap();
+    assert!(session.is_streaming());
+    let run = session.run(Bfs::from(17));
+    assert_eq!(run.output.depth, want.depth);
+}

@@ -57,6 +57,45 @@ fn oom_ladder_matches_footprints() {
 }
 
 #[test]
+fn per_query_scratch_released_between_queries() {
+    // The Device::alloc audit: an engine's device starts at the uploaded
+    // structure, every app adds its frontier/output scratch for the
+    // duration of its query only, and `allocated()` returns to the
+    // post-upload baseline between queries of a batch.
+    let graph = web_graph(&WebParams::uk2002_like(900), 2).symmetrized();
+    let cfg = Strategy::Full.cgr_config(&CgrConfig::paper_default());
+    let cgr = CgrGraph::encode(&graph, &cfg);
+    let engine = GcgtEngine::new(&cgr, device(1 << 30), Strategy::Full).unwrap();
+
+    let mut dev = Expander::new_device(&engine);
+    let baseline = dev.allocated();
+    assert_eq!(baseline, Expander::structure_bytes(&engine));
+    assert_eq!(
+        Expander::scratch_bytes(&engine),
+        Expander::footprint(&engine) - baseline
+    );
+
+    for query in [
+        Query::Bfs(0),
+        Query::Cc,
+        Query::Bc(1),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+        Query::Bfs(3),
+    ] {
+        let out = query.execute(&engine, &mut dev);
+        assert_eq!(
+            dev.allocated(),
+            baseline,
+            "{} left scratch allocated",
+            query.name()
+        );
+        // The per-query snapshot agrees with the live device.
+        assert_eq!(out.stats().allocated_bytes, baseline);
+    }
+}
+
+#[test]
 fn compressed_traversal_overhead_is_bounded() {
     // The paper's headline trade-off: GCGT pays a bounded latency overhead
     // over GPUCSR (54% worst case in the paper) in exchange for the

@@ -176,13 +176,24 @@ fn batch_over_eight_sources_reuses_one_device_residency() {
     let sources: Vec<Bfs> = (0..10).map(Bfs::from).collect();
     let batch = session.run_batch(&sources);
 
-    // One upload, one residency: the aggregate RunStats reports exactly
-    // one structure's worth of allocated bytes — identical to a single
-    // run's — while the work of all queries accumulated on that device.
+    // One upload, one residency: after every query its scratch is freed,
+    // so the aggregate RunStats reports exactly one structure's worth of
+    // allocated bytes — identical to a single run's — while the work of
+    // all queries accumulated on that device.
     assert_eq!(batch.uploads, 1);
     let single = session.run(Bfs::from(0));
     assert_eq!(batch.stats.allocated_bytes, single.stats.allocated_bytes);
-    assert_eq!(batch.stats.allocated_bytes, session.footprint());
+    assert_eq!(batch.stats.allocated_bytes, session.structure_bytes());
+    assert!(session.structure_bytes() < session.footprint());
+    // Between queries the device sits at the post-upload baseline: every
+    // per-query snapshot reports the structure alone, scratch released.
+    for (i, q) in batch.per_query.iter().enumerate() {
+        assert_eq!(
+            q.allocated_bytes,
+            session.structure_bytes(),
+            "query {i} left scratch allocated"
+        );
+    }
     assert_eq!(
         batch.stats.launches,
         batch.per_query.iter().map(|s| s.launches).sum::<u64>()
