@@ -12,6 +12,7 @@ pub mod fig15;
 pub mod fig8;
 pub mod fig9;
 pub mod ooc;
+pub mod serve;
 pub mod table1;
 pub mod table3;
 

@@ -30,9 +30,14 @@ use crate::engine::Expander;
 
 /// A graph application runnable on any [`Expander`] against a device the
 /// caller owns (so multiple queries can share one graph residency).
-pub trait Algorithm: Clone {
+///
+/// `Send + Sync` is part of the contract (and `Send` for the output):
+/// queries travel from the submitting thread to pool workers in the
+/// concurrent serving layer, and results travel back. Every application is
+/// a small plain value, so the bounds are free.
+pub trait Algorithm: Clone + Send + Sync {
     /// The application's result type (one of the `*Run` structs).
-    type Output;
+    type Output: Send;
 
     /// Display name (reports, traces).
     fn name(&self) -> &'static str;
@@ -271,7 +276,11 @@ pub enum Query {
 }
 
 /// Result of one [`Query`].
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares the wrapped run bitwise (outputs **and** statistics)
+/// — the equality the differential concurrency suite asserts between pool
+/// and serial execution.
+#[derive(Clone, Debug, PartialEq)]
 pub enum QueryOutput {
     /// BFS result.
     Bfs(BfsRun),

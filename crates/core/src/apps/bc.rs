@@ -16,7 +16,7 @@ use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
 
 /// Result of a simulated single-source BC run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BcRun {
     /// BFS depth from the source.
     pub depth: Vec<u32>,

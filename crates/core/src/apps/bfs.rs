@@ -8,7 +8,7 @@ use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
 
 /// Result of a simulated BFS run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BfsRun {
     /// Depth per node ([`UNREACHED`] when not reachable).
     pub depth: Vec<u32>,

@@ -17,7 +17,7 @@ use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
 
 /// Result of a simulated CC run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CcRun {
     /// Component label per node (smallest node id in the component).
     pub component: Vec<NodeId>,

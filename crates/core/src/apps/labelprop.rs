@@ -15,7 +15,7 @@ use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
 
 /// Result of a simulated label-propagation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LabelPropRun {
     /// Final label per node.
     pub labels: Vec<NodeId>,

@@ -12,7 +12,7 @@ use crate::engine::{launch_expansion, Expander};
 use crate::kernels::Sink;
 
 /// Result of a simulated PageRank run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PagerankRun {
     /// Final ranks (sum ≈ 1).
     pub ranks: Vec<f64>,

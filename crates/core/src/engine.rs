@@ -16,7 +16,12 @@ use crate::memory;
 use crate::strategy::Strategy;
 
 /// A device-resident graph structure that can expand frontier chunks.
-pub trait Expander: Sync {
+///
+/// `Send + Sync` is part of the contract: engines are shared across host
+/// warp threads within a launch (`Sync`) and handed to pool workers by the
+/// concurrent serving layer (`Send`). Engines hold plain data or interior
+/// mutability behind locks, so the bounds cost implementors nothing.
+pub trait Expander: Send + Sync {
     /// Node count of the resident graph.
     fn num_nodes(&self) -> usize;
 
@@ -55,6 +60,16 @@ pub trait Expander: Sync {
     /// Expands one warp's chunk of frontier nodes, feeding `sink`.
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S);
 
+    /// Releases whatever query-spanning residency this engine still holds
+    /// on `device` — called by serving workers when a query ends, so the
+    /// device returns to its post-upload baseline and the next query starts
+    /// from a known state. In-core engines hold nothing beyond the uploaded
+    /// structure (default no-op); the out-of-core engine frees its resident
+    /// partitions here.
+    fn release_residency(&self, device: &mut Device) {
+        let _ = device;
+    }
+
     /// Creates a per-run device with the graph structure resident (apps add
     /// and remove their scratch around each query).
     ///
@@ -62,7 +77,7 @@ pub trait Expander: Sync {
     /// Panics if the structure exceeds capacity — engines are expected to
     /// verify capacity at construction.
     fn new_device(&self) -> Device {
-        let mut device = Device::new(*self.device_config());
+        let mut device = self.device_config().new_device();
         device
             .alloc(self.structure_bytes())
             .expect("device capacity must be verified at engine construction");
@@ -79,7 +94,11 @@ pub trait Expander: Sync {
 /// `&dyn DynExpander` with no per-call-site match ladders. The reverse
 /// direction also holds: `dyn DynExpander` implements `Expander`, so every
 /// generic app runs on a dynamically chosen engine unchanged.
-pub trait DynExpander: Sync {
+///
+/// `Send + Sync` supertraits make the *object* type thread-safe too:
+/// `dyn DynExpander` crosses worker-thread boundaries in the concurrent
+/// serving layer without per-call-site `+ Send + Sync` bounds.
+pub trait DynExpander: Send + Sync {
     /// Node count of the resident graph (`dyn_`-prefixed so the blanket
     /// impl never shadows the [`Expander`] inherent names at call sites).
     fn dyn_num_nodes(&self) -> usize;
@@ -98,6 +117,9 @@ pub trait DynExpander: Sync {
 
     /// Pre-launch residency hook (see [`Expander::prepare_frontier`]).
     fn dyn_prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]);
+
+    /// End-of-query residency release (see [`Expander::release_residency`]).
+    fn dyn_release_residency(&self, device: &mut Device);
 
     /// Type-erased [`Expander::expand_chunk`].
     fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut dyn Sink);
@@ -132,6 +154,10 @@ impl<E: Expander> DynExpander for E {
         Expander::prepare_frontier(self, device, frontier);
     }
 
+    fn dyn_release_residency(&self, device: &mut Device) {
+        Expander::release_residency(self, device);
+    }
+
     fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], mut sink: &mut dyn Sink) {
         Expander::expand_chunk(self, warp, chunk, &mut sink);
     }
@@ -164,6 +190,10 @@ impl Expander for dyn DynExpander + '_ {
 
     fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
         self.dyn_prepare_frontier(device, frontier);
+    }
+
+    fn release_residency(&self, device: &mut Device) {
+        self.dyn_release_residency(device);
     }
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {

@@ -145,6 +145,19 @@ impl PartitionCache {
         self.stats.bytes_streamed += bytes as u64;
         self.stats.transfer_ms += charged;
     }
+
+    /// Releases every resident partition, freeing its bytes on `device` —
+    /// the end-of-query teardown of a serving worker, returning the device
+    /// to its post-upload baseline. Releases are not evictions: nothing is
+    /// counted or charged, because no traffic moves (device memory is
+    /// simply reclaimed).
+    pub fn drain(&mut self, parts: &PartitionMap, device: &mut Device) {
+        for &pid in &self.lru {
+            device.free(parts.parts()[pid].bytes);
+        }
+        self.lru.clear();
+        self.used = 0;
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +221,29 @@ mod tests {
         assert!((run.transfer_ms - s.transfer_ms).abs() < 1e-12);
         assert!(s.transfer_ms > 0.0);
         assert!(s.bytes_streamed > 0);
+    }
+
+    #[test]
+    fn drain_frees_everything_without_counting_evictions() {
+        let (map, mut device) = fixtures();
+        let mut cache = PartitionCache::new(usize::MAX);
+        let pcie = PcieConfig::default();
+        let cfg = OocConfig::default();
+        for pid in 0..3 {
+            cache.fault(pid, &map, &mut device, &pcie, &cfg);
+        }
+        assert!(cache.resident_bytes() > 0);
+        let before = cache.stats();
+        cache.drain(&map, &mut device);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(device.allocated(), 0);
+        // A drain is reclamation, not traffic: no counter moves.
+        assert_eq!(cache.stats(), before);
+        assert_eq!(device.stats().partition_evictions, 0);
+        // The cache stays usable: the next fault re-uploads from cold state.
+        cache.fault(0, &map, &mut device, &pcie, &cfg);
+        assert_eq!(cache.stats().faults, before.faults + 1);
+        assert_eq!(device.allocated(), map.parts()[0].bytes);
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl Expander for OocEngine<'_> {
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         expand_warp(self.strategy, warp, self.cgr, chunk, sink);
     }
+
+    /// Frees every partition this engine's **private** cache (one per
+    /// engine instance — serving constructs an engine per query) still
+    /// holds on the device. Serving workers call this when a query ends so
+    /// the next query starts from the post-upload baseline — which is what
+    /// keeps per-query fault statistics independent of scheduling.
+    fn release_residency(&self, device: &mut Device) {
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .drain(self.parts, device);
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +227,27 @@ mod tests {
         let _ = bfs_in(&engine, &mut device, 0);
         // After the query: scratch freed, only cached partitions remain.
         assert!(device.allocated() <= engine.cache_budget());
+    }
+
+    #[test]
+    fn release_residency_returns_the_device_to_baseline() {
+        let (_, cgr) = encoded();
+        let parts = PartitionMap::build(&cgr, 2 << 10);
+        let engine = tight_engine(&cgr, &parts);
+        let mut device = engine.new_device();
+        let _ = bfs_in(&engine, &mut device, 0);
+        assert!(device.allocated() > 0, "cached partitions should remain");
+        Expander::release_residency(&engine, &mut device);
+        assert_eq!(device.allocated(), 0);
+        // A second query after the release behaves exactly like the first
+        // did: the cache is cold again, so fault counts repeat bitwise.
+        let a = {
+            let e = tight_engine(&cgr, &parts);
+            bfs(&e, 0).stats
+        };
+        let b = bfs_in(&engine, &mut device, 0).stats;
+        assert_eq!(a.partition_faults, b.partition_faults);
+        assert_eq!(a.partition_evictions, b.partition_evictions);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! # gcgt-serve
+//!
+//! Concurrent query serving over one shared compressed graph — the ROADMAP's
+//! "heavy traffic from millions of users" layer. A [`ServePool`] owns `N`
+//! worker devices over a single `Arc<PreparedGraph>` (the immutable,
+//! `Send + Sync` build product of `gcgt-session`): the structure is built
+//! once, every worker makes it resident on its own simulated device, and
+//! queries flow through a bounded FIFO submission queue to whichever worker
+//! frees up first.
+//!
+//! **Determinism contract.** Concurrency changes *when* a query runs, never
+//! *what it computes or costs*: each query executes from its worker's
+//! post-upload baseline on a fresh accounting view, so its output and its
+//! [`RunStats`](gcgt_simt::RunStats) are bitwise identical to a serial
+//! `Session::run` — and the aggregate [`ServeStats`] (throughput, p50/p95/p99
+//! latency) are replayed from a deterministic FIFO timeline rather than the
+//! host thread race. The differential suite in `tests/serve_oracle.rs` pins
+//! this for every engine kind, including out-of-core streaming.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcgt_graph::gen::toys;
+//! use gcgt_serve::ServePool;
+//! use gcgt_session::{Pagerank, Query, Session};
+//!
+//! // Build once, share everywhere: `prepared()` hands out the Arc.
+//! let prepared = Session::builder()
+//!     .graph(toys::grid(8, 8))
+//!     .build()
+//!     .unwrap()
+//!     .prepared();
+//!
+//! // Four workers over the one structure; a mixed BFS + PageRank workload.
+//! let pool = ServePool::new(prepared.clone(), 4).unwrap();
+//! let queries: Vec<Query> = (0..6)
+//!     .map(Query::Bfs)
+//!     .chain([Query::Pagerank(Pagerank::default())])
+//!     .collect();
+//! let report = pool.serve(&queries);
+//!
+//! // Outputs and per-query statistics are bitwise those of serial runs.
+//! let serial = prepared.run(queries[0]);
+//! assert_eq!(report.outputs[0], serial.output);
+//! assert_eq!(report.per_query[0], serial.stats);
+//!
+//! // Aggregates are deterministic and attributable.
+//! assert_eq!(report.stats.queries, 7);
+//! assert!(report.stats.throughput_qps() > 0.0);
+//! assert!(report.stats.p50_ms <= report.stats.p99_ms);
+//! // After the drain every worker is back at its post-upload baseline.
+//! assert!(report.workers.iter().all(|w| w.allocated == w.baseline));
+//! ```
+
+mod pool;
+mod queue;
+mod stats;
+
+pub use pool::{ServePool, ServeReport};
+pub use stats::{ServeStats, WorkerReport};
+
+/// Why a pool could not be built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A pool needs at least one worker.
+    ZeroWorkers,
+    /// The submission queue needs room for at least one query.
+    ZeroQueueCapacity,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ZeroWorkers => write!(f, "a serve pool needs at least one worker"),
+            ServeError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "the submission queue needs capacity for at least one query"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcgt_graph::gen::{toys, web_graph, WebParams};
+    use gcgt_session::{Bfs, PreparedGraph, Query, Session};
+    use std::sync::Arc;
+
+    fn prepared(nodes: usize) -> Arc<PreparedGraph> {
+        Session::builder()
+            .graph(web_graph(&WebParams::uk2002_like(nodes), 7))
+            .build()
+            .unwrap()
+            .prepared()
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let p = prepared(200);
+        assert_eq!(ServePool::new(p, 0).unwrap_err(), ServeError::ZeroWorkers);
+    }
+
+    #[test]
+    fn zero_queue_capacity_is_a_typed_error() {
+        let p = prepared(200);
+        assert_eq!(
+            ServePool::with_queue_capacity(p, 2, 0).unwrap_err(),
+            ServeError::ZeroQueueCapacity
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let pool = ServePool::new(prepared(200), 3).unwrap();
+        let report = pool.serve::<Query>(&[]);
+        assert!(report.outputs.is_empty());
+        assert!(report.per_query.is_empty());
+        assert_eq!(report.workers.len(), 3);
+        assert_eq!(report.stats.queries, 0);
+        assert_eq!(report.stats.mean_query_ms(), 0.0);
+        assert_eq!(report.stats.throughput_qps(), 0.0);
+        for w in &report.workers {
+            assert_eq!(w.allocated, w.baseline);
+            assert_eq!(w.queries, 0);
+        }
+    }
+
+    #[test]
+    fn pool_outputs_match_serial_runs_bitwise() {
+        let p = prepared(600);
+        let pool = ServePool::new(p.clone(), 4).unwrap();
+        let queries: Vec<Bfs> = (0..12).map(Bfs::from).collect();
+        let report = pool.serve(&queries);
+        assert_eq!(report.outputs.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let serial = p.run(*q);
+            assert_eq!(report.outputs[i], serial.output, "query {i}");
+            assert_eq!(report.per_query[i], serial.stats, "query {i}");
+        }
+        // Every query was really executed by some worker of the pool.
+        let served: u64 = report.workers.iter().map(|w| w.queries).sum();
+        assert_eq!(served, queries.len() as u64);
+        assert!(report.assigned.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn aggregate_stats_are_scheduling_independent() {
+        let p = prepared(500);
+        let queries: Vec<Bfs> = (0..10).map(Bfs::from).collect();
+        let four = ServePool::new(p.clone(), 4).unwrap().serve(&queries);
+        let again = ServePool::new(p.clone(), 4).unwrap().serve(&queries);
+        // The thread race may assign differently; the stats cannot differ.
+        assert_eq!(four.stats, again.stats);
+
+        let one = ServePool::new(p, 1).unwrap().serve(&queries);
+        // Work is conserved exactly across worker counts…
+        assert_eq!(four.stats.work_ms.to_bits(), one.stats.work_ms.to_bits());
+        assert_eq!(four.stats.launches, one.stats.launches);
+        // …while the pool finishes strictly sooner than one worker.
+        assert!(four.stats.makespan_ms < one.stats.makespan_ms);
+        assert!(four.stats.p99_ms <= one.stats.p99_ms);
+        assert!(four.stats.speedup() > one.stats.speedup());
+    }
+
+    #[test]
+    fn single_worker_pool_latencies_are_prefix_sums() {
+        let p = prepared(300);
+        let pool = ServePool::new(p, 1).unwrap();
+        let queries: Vec<Bfs> = (0..5).map(Bfs::from).collect();
+        let report = pool.serve(&queries);
+        let total: f64 = report
+            .per_query
+            .iter()
+            .map(|s| s.est_ms + s.transfer_ms)
+            .sum();
+        assert!((report.stats.makespan_ms - total).abs() < 1e-12);
+        // p99 on one worker is the completion of the last query.
+        assert!((report.stats.p99_ms - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_queue_capacity_still_serves_everything() {
+        let p = prepared(300);
+        let pool = ServePool::with_queue_capacity(p.clone(), 3, 1).unwrap();
+        let queries: Vec<Query> = (0..9).map(Query::Bfs).collect();
+        let report = pool.serve(&queries);
+        assert_eq!(report.outputs.len(), 9);
+        for (i, out) in report.outputs.iter().enumerate() {
+            assert_eq!(*out, p.run(queries[i]).output, "query {i}");
+        }
+    }
+
+    #[test]
+    fn panicking_query_propagates_instead_of_deadlocking() {
+        // A 1-worker pool with a 1-slot queue and more queries than fit:
+        // if the worker died un-caught on the bad query, the submitting
+        // thread would block forever on the full queue. Instead the pool
+        // drains everything and re-raises the panic, like the serial path.
+        let p = prepared(200);
+        let nodes = p.num_nodes() as u32;
+        let pool = ServePool::with_queue_capacity(p, 1, 1).unwrap();
+        let mut queries = vec![Query::Bfs(nodes + 5)]; // out of range: panics
+        queries.extend((0..6).map(Query::Bfs));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.serve(&queries)));
+        let payload = result.expect_err("the bad source must panic the serve call");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("source out of range"),
+            "unexpected panic payload: {message:?}"
+        );
+    }
+
+    #[test]
+    fn workers_return_to_baseline_after_drain() {
+        let pool = ServePool::new(prepared(400), 4).unwrap();
+        let queries: Vec<Query> = (0..8).map(Query::Bfs).collect();
+        let report = pool.serve(&queries);
+        for w in &report.workers {
+            assert_eq!(w.allocated, w.baseline, "worker {}", w.worker);
+        }
+    }
+
+    #[test]
+    fn pool_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServePool>();
+        let pool = ServePool::new(
+            Session::builder()
+                .graph(toys::figure1())
+                .build()
+                .unwrap()
+                .prepared(),
+            2,
+        )
+        .unwrap();
+        let clone = pool.clone();
+        assert_eq!(clone.workers(), 2);
+        assert!(Arc::ptr_eq(pool.prepared(), clone.prepared()));
+    }
+}

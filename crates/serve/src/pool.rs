@@ -1,0 +1,234 @@
+//! The worker pool: `N` executors over one shared `PreparedGraph`, fed
+//! through a bounded FIFO submission queue.
+
+use std::sync::Arc;
+
+use gcgt_core::Algorithm;
+use gcgt_session::{Executor, PreparedGraph};
+use gcgt_simt::RunStats;
+
+use crate::queue::BoundedQueue;
+use crate::stats::{ServeStats, WorkerReport};
+use crate::ServeError;
+
+/// A pool of worker devices serving queries over one shared, immutable
+/// [`PreparedGraph`].
+///
+/// Each worker owns an [`Executor`]: its own simulated device (structure
+/// made resident at spawn) and, for out-of-core graphs, a cold private
+/// partition cache per query over the shared partition map — caches are
+/// never shared across queries or workers. Queries are submitted through a
+/// bounded FIFO queue — the submitting thread blocks when the queue is
+/// full, so a burst cannot buffer unboundedly — and every query's output
+/// and [`RunStats`] are bitwise identical to a serial
+/// [`PreparedGraph::run`], whatever the worker count (see
+/// [`crate::stats::ServeStats`] for why the aggregates are deterministic
+/// too).
+#[derive(Clone, Debug)]
+pub struct ServePool {
+    prepared: Arc<PreparedGraph>,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+/// Everything one [`ServePool::serve`] call produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport<T> {
+    /// Per-query outputs, in submission order — bitwise identical to
+    /// serial execution.
+    pub outputs: Vec<T>,
+    /// Per-query simulated statistics, in submission order — bitwise
+    /// identical to serial execution (scheduling never changes simulated
+    /// work).
+    pub per_query: Vec<RunStats>,
+    /// Which worker really executed each query. Scheduling-dependent
+    /// (like the per-worker `queries`/`busy_ms` tallies it induces), kept
+    /// for tracing; no aggregate statistic is derived from it.
+    pub assigned: Vec<usize>,
+    /// Per-worker residency and utilization after the drain.
+    pub workers: Vec<WorkerReport>,
+    /// Deterministic aggregate statistics.
+    pub stats: ServeStats,
+}
+
+impl ServePool {
+    /// A pool of `workers` devices over `prepared`, with a submission
+    /// queue bounded at `2 × workers`.
+    pub fn new(prepared: Arc<PreparedGraph>, workers: usize) -> Result<Self, ServeError> {
+        Self::with_queue_capacity(prepared, workers, 2 * workers)
+    }
+
+    /// A pool with an explicit submission-queue bound.
+    pub fn with_queue_capacity(
+        prepared: Arc<PreparedGraph>,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Result<Self, ServeError> {
+        if workers == 0 {
+            return Err(ServeError::ZeroWorkers);
+        }
+        if queue_capacity == 0 {
+            return Err(ServeError::ZeroQueueCapacity);
+        }
+        Ok(Self {
+            prepared,
+            workers,
+            queue_capacity,
+        })
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submission-queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The shared structure the workers execute over.
+    pub fn prepared(&self) -> &Arc<PreparedGraph> {
+        &self.prepared
+    }
+
+    /// Serves `queries` to completion: spawns the workers, feeds the
+    /// bounded queue in submission order, joins, and reassembles results in
+    /// submission order. Blocks until every query is answered.
+    ///
+    /// An empty batch is a no-op that still reports the per-worker
+    /// baselines (and all-zero aggregate statistics — the guards in
+    /// [`ServeStats`] keep every derived ratio finite).
+    ///
+    /// # Panics
+    /// Panics like the serial path does when a query itself panics (e.g.
+    /// an out-of-range BFS source): the panic is caught on the worker,
+    /// every remaining query is still drained (so the submitting thread
+    /// never deadlocks against a dead consumer), and the first panicking
+    /// query's payload — lowest submission index, deterministically — is
+    /// re-raised after the pool joins.
+    pub fn serve<A: Algorithm>(&self, queries: &[A]) -> ServeReport<A::Output> {
+        let prepared: &PreparedGraph = &self.prepared;
+        if queries.is_empty() {
+            // No workers are spawned for a no-op: their reports are
+            // synthesized from the prepared graph (a fresh worker sits at
+            // the structure baseline having served nothing).
+            let workers = (0..self.workers)
+                .map(|worker| WorkerReport {
+                    worker,
+                    queries: 0,
+                    busy_ms: 0.0,
+                    allocated: prepared.structure_bytes(),
+                    baseline: prepared.structure_bytes(),
+                    upload_ms: prepared.upload_ms(),
+                })
+                .collect();
+            return ServeReport {
+                outputs: Vec::new(),
+                per_query: Vec::new(),
+                assigned: Vec::new(),
+                workers,
+                stats: ServeStats::compute(&[], self.workers, prepared.upload_ms()),
+            };
+        }
+
+        type Panic = Box<dyn std::any::Any + Send + 'static>;
+        type WorkerYield<T> = (
+            Vec<(usize, gcgt_session::Run<T>)>,
+            Vec<(usize, Panic)>,
+            WorkerReport,
+        );
+        let queue: BoundedQueue<(usize, A)> = BoundedQueue::new(self.queue_capacity);
+        let mut finished: Vec<WorkerYield<A::Output>> = Vec::with_capacity(self.workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|worker| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut executor = Executor::new(prepared);
+                        let mut local = Vec::new();
+                        let mut panics: Vec<(usize, Panic)> = Vec::new();
+                        while let Some((index, query)) = queue.pop() {
+                            // Catch per-query panics so this consumer keeps
+                            // draining: were every worker to die, the
+                            // submitting thread would block forever on a
+                            // full queue. The payload is re-raised below.
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    executor.run(query)
+                                }));
+                            match attempt {
+                                Ok(run) => local.push((index, run)),
+                                // The executor is still valid: a query runs
+                                // on a local `query_view` that unwinding
+                                // simply drops, and worker state commits
+                                // only on success — no rebuild needed.
+                                Err(payload) => panics.push((index, payload)),
+                            }
+                        }
+                        let report = snapshot(worker, &executor);
+                        (local, panics, report)
+                    })
+                })
+                .collect();
+            for (index, query) in queries.iter().enumerate() {
+                queue.push((index, query.clone()));
+            }
+            queue.close();
+            for handle in handles {
+                finished.push(handle.join().expect("serve worker thread died"));
+            }
+        });
+
+        // Re-raise the first panicking query (lowest submission index —
+        // deterministic whatever the racing assignment was).
+        if let Some((_, payload)) = finished
+            .iter_mut()
+            .flat_map(|(_, panics, _)| panics.drain(..))
+            .min_by_key(|(index, _)| *index)
+        {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut outputs: Vec<Option<A::Output>> = Vec::with_capacity(queries.len());
+        outputs.resize_with(queries.len(), || None);
+        let mut per_query_slots: Vec<Option<RunStats>> = vec![None; queries.len()];
+        let mut assigned = vec![0usize; queries.len()];
+        let mut workers = Vec::with_capacity(self.workers);
+        for (local, _, report) in finished {
+            for (index, run) in local {
+                assigned[index] = report.worker;
+                per_query_slots[index] = Some(run.stats);
+                outputs[index] = Some(run.output);
+            }
+            workers.push(report);
+        }
+        workers.sort_by_key(|w| w.worker);
+        let per_query: Vec<RunStats> = per_query_slots
+            .into_iter()
+            .map(|s| s.expect("every query is answered exactly once"))
+            .collect();
+        let stats = ServeStats::compute(&per_query, self.workers, prepared.upload_ms());
+        ServeReport {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every query is answered exactly once"))
+                .collect(),
+            per_query,
+            assigned,
+            workers,
+            stats,
+        }
+    }
+}
+
+fn snapshot(worker: usize, executor: &Executor<'_>) -> WorkerReport {
+    WorkerReport {
+        worker,
+        queries: executor.queries_served(),
+        busy_ms: executor.busy_ms(),
+        allocated: executor.allocated(),
+        baseline: executor.baseline(),
+        upload_ms: executor.upload_ms(),
+    }
+}

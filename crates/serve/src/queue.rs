@@ -1,0 +1,142 @@
+//! A bounded multi-producer/multi-consumer FIFO built on `Mutex` +
+//! `Condvar` (the workspace takes no external dependencies).
+//!
+//! The submitting thread blocks in [`BoundedQueue::push`] while the queue
+//! is at capacity — that is the serving layer's backpressure: a flood of
+//! queries cannot buffer unboundedly ahead of the workers. Workers block in
+//! [`BoundedQueue::pop`] until an item or [`BoundedQueue::close`] arrives;
+//! after close, pops drain the remaining items and then return `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking FIFO queue.
+pub(crate) struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` in-flight items (`capacity` is
+    /// validated positive by the pool builder).
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Panics
+    /// Panics if called after [`BoundedQueue::close`] — submission after
+    /// shutdown is a caller bug.
+    pub(crate) fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        assert!(!state.closed, "push after close");
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Marks the queue closed: blocked and future pops drain what remains
+    /// and then return `None`.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Dequeues the oldest item, blocking until one arrives; `None` once
+    /// the queue is closed and drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.push(i);
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.pop(), None, "closed and drained stays None");
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let q = BoundedQueue::new(2);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while q.pop().is_some() {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // 100 pushes through a 2-slot queue: the producer must block
+            // and interleave with the consumer; everything still arrives.
+            for i in 0..100 {
+                q.push(i);
+            }
+            q.close();
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn many_consumers_drain_everything_exactly_once() {
+        let q = BoundedQueue::new(4);
+        let sum = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..200usize {
+                q.push(i);
+            }
+            q.close();
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 200);
+        assert_eq!(sum.load(Ordering::SeqCst), (0..200).sum());
+    }
+}

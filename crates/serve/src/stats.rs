@@ -1,0 +1,206 @@
+//! Aggregate serving statistics, computed **deterministically** from
+//! per-query costs.
+//!
+//! Real worker threads race for queue items, but no reported number depends
+//! on that race: each query's [`RunStats`] are bitwise those of a serial
+//! run (see `gcgt_session::Executor`), and the latency/throughput figures
+//! come from a simulated FIFO dispatch timeline replayed host-side — all
+//! queries arrive at t = 0 in submission order and each goes to the
+//! earliest-free worker (ties to the lowest id). Same queries, same worker
+//! count → same statistics, every run, regardless of host scheduling. This
+//! mirrors how the rest of the workspace treats host threads: an execution
+//! substrate, never an input to the model.
+
+use gcgt_simt::RunStats;
+
+/// Aggregate statistics of one [`crate::ServePool::serve`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeStats {
+    /// Queries served.
+    pub queries: u64,
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Structure uploads paid — one per worker (zero workers never
+    /// happens; zero for streaming graphs, which upload on demand).
+    pub uploads: u32,
+    /// Host→device upload milliseconds paid across all workers.
+    pub upload_ms: f64,
+    /// Total simulated execution time across queries (sum of per-query
+    /// `est_ms`) — the *work*, conserved whatever the worker count.
+    pub work_ms: f64,
+    /// Total streamed partition-transfer milliseconds across queries.
+    pub transfer_ms: f64,
+    /// Total kernel launches across queries.
+    pub launches: u64,
+    /// Simulated wall-clock of the pool: when the last worker finishes its
+    /// last query on the deterministic FIFO timeline.
+    pub makespan_ms: f64,
+    /// Median simulated query latency (queue wait + service) on the FIFO
+    /// timeline.
+    pub p50_ms: f64,
+    /// 95th-percentile simulated query latency.
+    pub p95_ms: f64,
+    /// 99th-percentile simulated query latency.
+    pub p99_ms: f64,
+}
+
+impl ServeStats {
+    /// Builds the aggregate from per-query statistics (submission order)
+    /// and the per-worker upload cost. Deterministic; guards every
+    /// division against an empty batch.
+    pub(crate) fn compute(per_query: &[RunStats], workers: usize, upload_each_ms: f64) -> Self {
+        let costs: Vec<f64> = per_query.iter().map(|s| s.est_ms + s.transfer_ms).collect();
+        let timeline = fifo_timeline(&costs, workers);
+        let mut sorted = timeline.latencies;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        ServeStats {
+            queries: per_query.len() as u64,
+            workers,
+            uploads: if upload_each_ms > 0.0 {
+                workers as u32
+            } else {
+                0
+            },
+            upload_ms: upload_each_ms * workers as f64,
+            work_ms: per_query.iter().map(|s| s.est_ms).sum(),
+            transfer_ms: per_query.iter().map(|s| s.transfer_ms).sum(),
+            launches: per_query.iter().map(|s| s.launches).sum(),
+            makespan_ms: timeline.makespan_ms,
+            p50_ms: percentile(&sorted, 0.50),
+            p95_ms: percentile(&sorted, 0.95),
+            p99_ms: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// Mean simulated service time per query (`est_ms + transfer_ms`,
+    /// excluding queue wait); 0 for an empty batch — never a division by
+    /// zero.
+    pub fn mean_query_ms(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.work_ms + self.transfer_ms) / self.queries as f64
+        }
+    }
+
+    /// Simulated throughput in queries per second
+    /// (`queries / makespan`); 0 for an empty batch or zero-cost queries.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.makespan_ms / 1e3)
+        }
+    }
+
+    /// How much faster the pool finishes than one worker doing everything
+    /// serially (`(work + transfer) / makespan`); 1.0 for an empty batch.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            1.0
+        } else {
+            (self.work_ms + self.transfer_ms) / self.makespan_ms
+        }
+    }
+}
+
+/// One worker's view of a drained pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerReport {
+    /// Worker id, `0..workers`.
+    pub worker: usize,
+    /// Queries this worker actually executed. Real assignment: this and
+    /// [`WorkerReport::busy_ms`] vary with host scheduling — every
+    /// aggregate [`ServeStats`] number is computed from the deterministic
+    /// timeline instead.
+    pub queries: u64,
+    /// Simulated milliseconds this worker spent executing the queries it
+    /// really raced to pop (scheduling-dependent, like `queries`).
+    pub busy_ms: f64,
+    /// Device bytes still allocated after the drain.
+    pub allocated: usize,
+    /// The worker's post-upload baseline — `allocated` must equal this
+    /// after every drain (the alloc-audit contract).
+    pub baseline: usize,
+    /// Host→device upload paid by this worker at spawn.
+    pub upload_ms: f64,
+}
+
+struct Timeline {
+    /// Per-query completion time (= latency, since all arrive at t = 0),
+    /// submission order.
+    latencies: Vec<f64>,
+    makespan_ms: f64,
+}
+
+/// Replays the deterministic dispatch: queries in submission order, each to
+/// the earliest-free worker, ties to the lowest worker id.
+fn fifo_timeline(costs: &[f64], workers: usize) -> Timeline {
+    let mut clocks = vec![0.0f64; workers.max(1)];
+    let mut latencies = Vec::with_capacity(costs.len());
+    for &cost in costs {
+        // Strict `<` keeps ties on the lowest worker id.
+        let mut next = 0;
+        for (i, &clock) in clocks.iter().enumerate().skip(1) {
+            if clock < clocks[next] {
+                next = i;
+            }
+        }
+        clocks[next] += cost;
+        latencies.push(clocks[next]);
+    }
+    Timeline {
+        makespan_ms: clocks.iter().cloned().fold(0.0, f64::max),
+        latencies,
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_timeline_packs_earliest_free_worker() {
+        // Costs 4,3,2,1 on 2 workers: w0 gets 4, w1 gets 3, then w1 (free
+        // at 3) gets 2 → 5, then w0 (free at 4) gets 1 → 5.
+        let t = fifo_timeline(&[4.0, 3.0, 2.0, 1.0], 2);
+        assert_eq!(t.latencies, vec![4.0, 3.0, 5.0, 5.0]);
+        assert_eq!(t.makespan_ms, 5.0);
+        // One worker serializes: prefix sums.
+        let t = fifo_timeline(&[4.0, 3.0, 2.0, 1.0], 1);
+        assert_eq!(t.latencies, vec![4.0, 7.0, 9.0, 10.0]);
+        assert_eq!(t.makespan_ms, 10.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_stats_and_guarded_ratios() {
+        let s = ServeStats::compute(&[], 4, 1.5);
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.work_ms, 0.0);
+        assert_eq!(s.makespan_ms, 0.0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.mean_query_ms(), 0.0);
+        assert_eq!(s.throughput_qps(), 0.0);
+        assert_eq!(s.speedup(), 1.0);
+        assert!(s.mean_query_ms().is_finite());
+    }
+}

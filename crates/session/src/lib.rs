@@ -39,6 +39,37 @@
 //! multi-source BFS/BC batching workload (EMOGI-style serving) the ROADMAP
 //! targets.
 //!
+//! ## Shared immutable graphs, per-worker execution
+//!
+//! Everything a builder computes — reordering, CGR encoding, footprints, the
+//! streaming partition plan — lands in an immutable, `Send + Sync`
+//! [`PreparedGraph`]. A `Session` is a thin single-worker wrapper around an
+//! `Arc<PreparedGraph>`; concurrent consumers (the `gcgt-serve` worker pool)
+//! share the same `Arc` and give each worker its own [`Executor`]: a
+//! per-worker simulated device holding the structure resident, plus
+//! per-query engine state (each query gets a cold out-of-core partition
+//! cache of its own — never shared across queries or workers, which is
+//! what keeps fault statistics reproducible). Every query executes from
+//! the worker's post-upload
+//! baseline on a fresh accounting view, so its output **and** its
+//! [`RunStats`] are bitwise identical to a serial [`Session::run`] — worker
+//! count and scheduling can never change a simulated number.
+//!
+//! ```
+//! use gcgt_graph::gen::toys;
+//! use gcgt_session::{Bfs, Executor, PreparedGraph, Session};
+//! use std::sync::Arc;
+//!
+//! let prepared: Arc<PreparedGraph> =
+//!     Session::builder().graph(toys::figure1()).build().unwrap().prepared();
+//! let mut worker = Executor::new(&prepared);
+//! let a = worker.run(Bfs::from(0));
+//! let b = worker.run(Bfs::from(0));
+//! assert_eq!(a.output, b.output);
+//! assert_eq!(a.stats, b.stats); // bitwise — history never leaks into a query
+//! assert_eq!(worker.allocated(), worker.baseline());
+//! ```
+//!
 //! ## Graphs larger than the device
 //!
 //! [`SessionBuilder::memory_budget`] plus [`EngineKind::OutOfCore`] lifts
@@ -309,8 +340,20 @@ impl SessionBuilder {
     }
 
     /// Runs preprocessing + encoding, verifies device capacity, and returns
-    /// the ready session.
+    /// the ready single-worker session (an [`Arc`]-wrapped
+    /// [`PreparedGraph`] underneath — see [`SessionBuilder::prepare`]).
     pub fn build(self) -> Result<Session, SessionError> {
+        Ok(Session {
+            prepared: Arc::new(self.prepare()?),
+        })
+    }
+
+    /// Runs preprocessing + encoding, verifies device capacity, and returns
+    /// the immutable build product itself. Wrap it in an `Arc` to share it
+    /// between a [`Session`], [`Executor`]s, or a `gcgt-serve` worker pool
+    /// — [`PreparedGraph`] is `Send + Sync` and never mutated after this
+    /// point.
+    pub fn prepare(self) -> Result<PreparedGraph, SessionError> {
         let input = self.graph.ok_or(SessionError::MissingGraph)?;
         if input.num_nodes() == 0 {
             return Err(SessionError::EmptyGraph);
@@ -319,7 +362,7 @@ impl SessionBuilder {
         let device_config = self.device.unwrap_or_default();
         let pcie = self.pcie.unwrap_or_default();
 
-        // --- preprocessing (the session owns the id mapping) ---
+        // --- preprocessing (the prepared graph owns the id mapping) ---
         let symmetrized: Arc<Csr> = if self.symmetrize {
             Arc::new(input.symmetrized())
         } else {
@@ -401,7 +444,7 @@ impl SessionBuilder {
             (_, Err(oom)) => return Err(SessionError::Oom(oom)),
         };
 
-        Ok(Session {
+        Ok(PreparedGraph {
             kind,
             device_config,
             pcie,
@@ -451,8 +494,9 @@ impl SessionBuilder {
     }
 }
 
-/// The streaming plan of an out-of-core session whose graph does not fit:
-/// computed once at build, instantiated as an [`OocEngine`] per run.
+/// The streaming plan of an out-of-core prepared graph whose structure does
+/// not fit: computed once at build, instantiated as an [`OocEngine`] (with
+/// a private partition cache) per query or worker.
 #[derive(Clone, Debug)]
 struct OocPlan {
     parts: PartitionMap,
@@ -468,7 +512,9 @@ pub struct Run<T> {
     pub output: T,
     /// Simulated-device statistics of this run.
     pub stats: RunStats,
-    /// Host→device upload time paid to make the graph resident.
+    /// Host→device upload time paid to make the graph resident. Zero for
+    /// runs through an [`Executor`], whose worker paid the upload once at
+    /// construction ([`Executor::upload_ms`]).
     pub upload_ms: f64,
 }
 
@@ -512,10 +558,18 @@ impl<T> BatchRun<T> {
     }
 }
 
-/// A ready-to-run traversal session: preprocessed graph, encoded structure,
-/// verified device capacity, runtime-selected engine.
+/// Everything a traversal needs, computed once and never mutated again:
+/// the preprocessed graph, the encoded compressed structure, the verified
+/// capacity/budget plan and the runtime-selected engine kind.
+///
+/// `PreparedGraph` is `Send + Sync` by construction — it holds only plain
+/// data — so one `Arc<PreparedGraph>` can back any number of concurrent
+/// consumers: a single-worker [`Session`], ad-hoc [`Executor`]s, or the
+/// `gcgt-serve` worker pool. All *mutable* traversal state (the simulated
+/// device, per-query scratch, the out-of-core partition cache) lives in the
+/// per-worker [`Executor`], never here.
 #[derive(Debug)]
-pub struct Session {
+pub struct PreparedGraph {
     kind: EngineKind,
     device_config: DeviceConfig,
     pcie: PcieConfig,
@@ -528,9 +582,9 @@ pub struct Session {
     ooc: Option<OocPlan>,
 }
 
-/// The runtime-selected engine, borrowing the session's structures. All
-/// apps reach it as a `&dyn DynExpander`; this enum is the only place in
-/// the workspace that matches over engine kinds.
+/// The runtime-selected engine, borrowing the prepared graph's structures.
+/// All apps reach it as a `&dyn DynExpander`; this enum is the only place
+/// in the workspace that matches over engine kinds.
 enum EngineHolder<'s> {
     Gcgt(GcgtEngine<'s>),
     GpuCsr(GpuCsrEngine<'s>),
@@ -549,18 +603,14 @@ impl EngineHolder<'_> {
     }
 }
 
-impl Session {
-    /// Starts a builder.
-    pub fn builder() -> SessionBuilder {
-        SessionBuilder::default()
-    }
-
-    /// The engine kind this session drives.
+impl PreparedGraph {
+    /// The engine kind this prepared graph drives.
     pub fn kind(&self) -> EngineKind {
         self.kind
     }
 
-    /// The simulated device configuration.
+    /// The simulated device configuration every worker derives its device
+    /// from.
     pub fn device_config(&self) -> &DeviceConfig {
         &self.device_config
     }
@@ -589,7 +639,7 @@ impl Session {
 
     /// Resident bytes of the engine's structure plus traversal buffers —
     /// what an in-core run needs at its peak. A streaming session's actual
-    /// residency is bounded by [`Session::memory_budget`] instead.
+    /// residency is bounded by [`PreparedGraph::memory_budget`] instead.
     pub fn footprint(&self) -> usize {
         self.footprint
     }
@@ -605,7 +655,7 @@ impl Session {
         }
     }
 
-    /// The effective device-byte ceiling of this session: the explicit
+    /// The effective device-byte ceiling: the explicit
     /// [`SessionBuilder::memory_budget`] tightened to the device capacity.
     pub fn memory_budget(&self) -> usize {
         self.budget
@@ -632,10 +682,11 @@ impl Session {
         }
     }
 
-    /// Host→device time to make the structure resident, from the session's
-    /// PCIe model. A streaming session uploads nothing up front (transfers
-    /// happen during the run and appear in [`RunStats::transfer_ms`]), so
-    /// this is 0.
+    /// Host→device time to make the structure resident, from the prepared
+    /// graph's PCIe model — paid once per device residency (one `run`, one
+    /// `run_batch`, or one pool worker). A streaming session uploads
+    /// nothing up front (transfers happen during the run and appear in
+    /// [`RunStats::transfer_ms`]), so this is 0.
     pub fn upload_ms(&self) -> f64 {
         if self.is_streaming() {
             0.0
@@ -644,7 +695,12 @@ impl Session {
         }
     }
 
-    fn make_engine(&self) -> EngineHolder<'_> {
+    /// Instantiates the runtime-selected engine over this immutable
+    /// structure. Cheap: engines borrow the graph; only per-engine mutable
+    /// state (the out-of-core partition cache) is constructed fresh — which
+    /// is exactly why engines are built per query or per worker, never
+    /// shared.
+    fn engine(&self) -> EngineHolder<'_> {
         match self.kind {
             EngineKind::Gcgt(strategy) => EngineHolder::Gcgt(
                 GcgtEngine::new(
@@ -701,31 +757,28 @@ impl Session {
         }
     }
 
-    /// Runs one application: uploads the structure, executes, maps results
-    /// back to the caller's id space.
+    /// Runs one application on a fresh single-query worker: uploads the
+    /// structure, executes, maps results back to the caller's id space.
     ///
     /// # Panics
     /// Panics if a node-id parameter (BFS/BC source) is out of range —
-    /// range-check against [`Session::num_nodes`] for untrusted input.
+    /// range-check against [`PreparedGraph::num_nodes`] for untrusted
+    /// input.
     pub fn run<A: Algorithm>(&self, algo: A) -> Run<A::Output> {
-        let holder = self.make_engine();
-        let engine = holder.as_dyn();
-        let mut device = engine.dyn_new_device();
-        let algo = self.remap(algo);
-        let output = algo.execute(engine, &mut device);
-        Run {
-            output: self.unpermute::<A>(output),
-            stats: device.stats(),
-            upload_ms: self.upload_ms(),
-        }
+        let mut worker = Executor::new(self);
+        let mut run = worker.run(algo);
+        run.upload_ms = self.upload_ms();
+        run
     }
 
     /// Runs many queries against **one** device residency: the structure is
     /// uploaded and allocated once, and every query accounts on the same
     /// device — the serving-scale amortization (compare
     /// `batch.total_ms()` with the sum of individual `run(..).total_ms()`).
+    /// Out-of-core batches also share one partition cache, so later queries
+    /// hit partitions earlier ones faulted.
     pub fn run_batch<A: Algorithm>(&self, queries: &[A]) -> BatchRun<A::Output> {
-        let holder = self.make_engine();
+        let holder = self.engine();
         let engine = holder.as_dyn();
         let mut device = engine.dyn_new_device();
         let mut outputs = Vec::with_capacity(queries.len());
@@ -743,6 +796,223 @@ impl Session {
             uploads: 1,
             upload_ms: self.upload_ms(),
         }
+    }
+}
+
+/// Per-worker execution state over a shared [`PreparedGraph`]: a simulated
+/// device with the structure resident, created once per worker, plus
+/// per-query engine state instantiated fresh for every query.
+///
+/// The execution contract that makes concurrent serving provable:
+///
+/// * each query runs on [`Device::query_view`] — the worker's residency
+///   with zeroed counters — so its [`RunStats`] are **bitwise identical**
+///   to the same query through a serial [`PreparedGraph::run`], no matter
+///   which worker runs it or what ran before;
+/// * each query gets a fresh engine (for out-of-core, a fresh cold
+///   partition cache over the shared partition map), and the engine's
+///   residency is released when the query ends — the device returns to the
+///   post-upload [`Executor::baseline`] between queries, which the
+///   alloc-audit suite pins.
+pub struct Executor<'p> {
+    prepared: &'p PreparedGraph,
+    device: Device,
+    baseline: usize,
+    served: u64,
+    busy_ms: f64,
+}
+
+impl<'p> Executor<'p> {
+    /// Spawns a worker over `prepared`: derives its own device from the
+    /// shared [`DeviceConfig`] and makes the structure resident (paying
+    /// [`Executor::upload_ms`] once).
+    pub fn new(prepared: &'p PreparedGraph) -> Self {
+        let holder = prepared.engine();
+        let device = holder.as_dyn().dyn_new_device();
+        let baseline = device.allocated();
+        Self {
+            prepared,
+            device,
+            baseline,
+            served: 0,
+            busy_ms: 0.0,
+        }
+    }
+
+    /// The shared structure this worker executes over.
+    pub fn prepared(&self) -> &'p PreparedGraph {
+        self.prepared
+    }
+
+    /// The post-upload allocation level: the query-invariant structure
+    /// bytes this worker keeps resident for its whole life.
+    pub fn baseline(&self) -> usize {
+        self.baseline
+    }
+
+    /// Currently allocated bytes on this worker's device. Equals
+    /// [`Executor::baseline`] between queries — per-query scratch and
+    /// streamed partitions are released when each query ends.
+    pub fn allocated(&self) -> usize {
+        self.device.allocated()
+    }
+
+    /// Queries this worker has executed.
+    pub fn queries_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total simulated milliseconds this worker has spent executing
+    /// (per-query `est_ms + transfer_ms`, summed in service order).
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Host→device upload paid once at worker construction.
+    pub fn upload_ms(&self) -> f64 {
+        self.prepared.upload_ms()
+    }
+
+    /// Executes one query from the post-upload baseline. The returned
+    /// statistics are bitwise identical to the same query through
+    /// [`PreparedGraph::run`]; `upload_ms` is 0 because the worker paid the
+    /// upload at construction.
+    ///
+    /// # Panics
+    /// Panics if a node-id parameter (BFS/BC source) is out of range.
+    pub fn run<A: Algorithm>(&mut self, algo: A) -> Run<A::Output> {
+        let holder = self.prepared.engine();
+        let engine = holder.as_dyn();
+        let mut device = self.device.query_view();
+        let output = self.prepared.remap(algo).execute(engine, &mut device);
+        let stats = device.stats();
+        // Release what the query held beyond the structure (streamed
+        // partitions; scratch was already freed by the app) so the next
+        // query starts from the same baseline this one did.
+        engine.dyn_release_residency(&mut device);
+        debug_assert_eq!(
+            device.allocated(),
+            self.baseline,
+            "query left residency beyond the post-upload baseline"
+        );
+        self.device = device;
+        self.served += 1;
+        self.busy_ms += stats.est_ms + stats.transfer_ms;
+        Run {
+            output: self.prepared.unpermute::<A>(output),
+            stats,
+            upload_ms: 0.0,
+        }
+    }
+}
+
+/// A ready-to-run traversal session: a thin single-worker wrapper around an
+/// [`Arc<PreparedGraph>`]. Cloning a session shares the underlying
+/// structure; [`Session::prepared`] hands the `Arc` to concurrent consumers
+/// (the `gcgt-serve` pool).
+#[derive(Clone, Debug)]
+pub struct Session {
+    prepared: Arc<PreparedGraph>,
+}
+
+impl Session {
+    /// Starts a builder.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The shared immutable build product backing this session.
+    pub fn prepared(&self) -> Arc<PreparedGraph> {
+        Arc::clone(&self.prepared)
+    }
+
+    /// A single-worker executor borrowing this session's structure (for
+    /// callers that want explicit control over worker lifetime).
+    pub fn executor(&self) -> Executor<'_> {
+        Executor::new(&self.prepared)
+    }
+
+    /// The engine kind this session drives.
+    pub fn kind(&self) -> EngineKind {
+        self.prepared.kind()
+    }
+
+    /// The simulated device configuration.
+    pub fn device_config(&self) -> &DeviceConfig {
+        self.prepared.device_config()
+    }
+
+    /// The preprocessed graph the engine traverses (post symmetrize /
+    /// reorder — internal id space).
+    pub fn graph(&self) -> &Csr {
+        self.prepared.graph()
+    }
+
+    /// Node count (identical in original and internal id spaces).
+    pub fn num_nodes(&self) -> usize {
+        self.prepared.num_nodes()
+    }
+
+    /// The id mapping applied by reordering (`perm[original] = internal`),
+    /// when one was requested.
+    pub fn permutation(&self) -> Option<&[NodeId]> {
+        self.prepared.permutation()
+    }
+
+    /// The encoded compressed graph (GCGT engines only).
+    pub fn cgr(&self) -> Option<&CgrGraph> {
+        self.prepared.cgr()
+    }
+
+    /// Resident bytes of the engine's structure plus traversal buffers —
+    /// see [`PreparedGraph::footprint`].
+    pub fn footprint(&self) -> usize {
+        self.prepared.footprint()
+    }
+
+    /// The query-invariant structure bytes — see
+    /// [`PreparedGraph::structure_bytes`].
+    pub fn structure_bytes(&self) -> usize {
+        self.prepared.structure_bytes()
+    }
+
+    /// The effective device-byte ceiling of this session.
+    pub fn memory_budget(&self) -> usize {
+        self.prepared.memory_budget()
+    }
+
+    /// Whether runs stream compressed partitions over the link.
+    pub fn is_streaming(&self) -> bool {
+        self.prepared.is_streaming()
+    }
+
+    /// The number of compressed partitions a streaming session rotates
+    /// through (`None` when the graph fits in-core).
+    pub fn num_partitions(&self) -> Option<usize> {
+        self.prepared.num_partitions()
+    }
+
+    /// Compression rate of the resident structure relative to a 32-bit
+    /// edge list (GCGT engines; CSR engines report 1.0).
+    pub fn compression_rate(&self) -> f64 {
+        self.prepared.compression_rate()
+    }
+
+    /// Host→device time to make the structure resident — see
+    /// [`PreparedGraph::upload_ms`].
+    pub fn upload_ms(&self) -> f64 {
+        self.prepared.upload_ms()
+    }
+
+    /// Runs one application — see [`PreparedGraph::run`].
+    pub fn run<A: Algorithm>(&self, algo: A) -> Run<A::Output> {
+        self.prepared.run(algo)
+    }
+
+    /// Runs many queries against one device residency — see
+    /// [`PreparedGraph::run_batch`].
+    pub fn run_batch<A: Algorithm>(&self, queries: &[A]) -> BatchRun<A::Output> {
+        self.prepared.run_batch(queries)
     }
 }
 
@@ -771,6 +1041,72 @@ mod tests {
             let run = figure1_session(EngineKind::Gcgt(strategy)).run(Bfs::from(0));
             assert_eq!(run.output.depth, want.depth, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn prepared_graph_is_send_sync_and_shared_by_clones() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedGraph>();
+        assert_send_sync::<Arc<PreparedGraph>>();
+        assert_send_sync::<Session>();
+
+        let session = figure1_session(EngineKind::Gcgt(Strategy::Full));
+        let clone = session.clone();
+        assert!(Arc::ptr_eq(&session.prepared(), &clone.prepared()));
+    }
+
+    #[test]
+    fn executor_stats_are_bitwise_those_of_a_serial_run() {
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(700), 11);
+        let session = Session::builder().graph(g).build().unwrap();
+        let mut worker = session.executor();
+        // History independence: interleave other queries, then re-ask.
+        let first = worker.run(Bfs::from(3));
+        let _ = worker.run(Bfs::from(0));
+        let _ = worker.run(Pagerank::default());
+        let again = worker.run(Bfs::from(3));
+        assert_eq!(first.output, again.output);
+        assert_eq!(first.stats, again.stats);
+        // And identical to the serial session path.
+        let serial = session.run(Bfs::from(3));
+        assert_eq!(serial.output, first.output);
+        assert_eq!(serial.stats, first.stats);
+        assert_eq!(worker.queries_served(), 4);
+        assert!(worker.busy_ms() > 0.0);
+    }
+
+    #[test]
+    fn executor_returns_to_baseline_between_queries() {
+        let session = figure1_session(EngineKind::Gcgt(Strategy::Full));
+        let mut worker = session.executor();
+        assert_eq!(worker.baseline(), session.structure_bytes());
+        for source in [0u32, 3, 5] {
+            let _ = worker.run(Bfs::from(source));
+            assert_eq!(worker.allocated(), worker.baseline());
+        }
+    }
+
+    #[test]
+    fn streaming_executor_drops_partitions_between_queries() {
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(2_000), 5);
+        let incore = Session::builder().graph(g.clone()).build().unwrap();
+        let session = Session::builder()
+            .graph(g)
+            .memory_budget(incore.footprint() * 7 / 10)
+            .engine(EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            })
+            .build()
+            .unwrap();
+        assert!(session.is_streaming());
+        let mut worker = session.executor();
+        assert_eq!(worker.baseline(), 0);
+        let a = worker.run(Bfs::from(0));
+        assert!(a.stats.partition_faults > 0);
+        assert_eq!(worker.allocated(), 0, "partitions released at query end");
+        // Cold cache each query: fault statistics repeat bitwise.
+        let b = worker.run(Bfs::from(0));
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -106,6 +106,15 @@ impl DeviceConfig {
         self.weighted_cycles(tally) + mem.mem_steps as f64 * self.serial_mem_lat_cycles
     }
 
+    /// A fresh [`Device`] under this configuration — the construction hook
+    /// every engine's `new_device` routes through: each run (and each
+    /// serving-pool worker) derives its own simulated device from the one
+    /// shared configuration of a prepared graph, so residency and cost
+    /// accounting never cross worker boundaries.
+    pub fn new_device(&self) -> Device {
+        Device::new(*self)
+    }
+
     /// A tiny warp configuration for unit tests and the Figure 4 example
     /// (the paper's walk-through uses an 8-lane warp).
     pub fn test_tiny() -> Self {
@@ -229,6 +238,19 @@ impl Device {
         self.allocated
     }
 
+    /// A fresh accounting view of the **same residency**: the allocation
+    /// level carries over, every counter starts at zero. This is how a
+    /// serving worker gives each query its own attributable [`RunStats`] —
+    /// the uploaded structure stays resident across queries, but a query's
+    /// statistics start from nothing, so they are bitwise identical to what
+    /// the same query reports on a freshly built device. Scheduling can
+    /// therefore never change a reported number.
+    pub fn query_view(&self) -> Device {
+        let mut view = Device::new(self.config);
+        view.allocated = self.allocated;
+        view
+    }
+
     /// Records one out-of-core partition fault whose upload stalled the run
     /// for `transfer_ms` milliseconds of host-link time (post-overlap).
     pub fn charge_partition_fault(&mut self, transfer_ms: f64) {
@@ -283,7 +305,12 @@ impl Device {
 }
 
 /// Aggregated result of a simulated run.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` compares every counter, including the floating-point cost
+/// fields — the simulator is bit-deterministic, so two runs of the same
+/// query on the same starting state compare equal. The concurrency suite
+/// relies on this to prove scheduling never changes simulated work.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunStats {
     /// Estimated elapsed time, milliseconds.
     pub est_ms: f64,
@@ -433,6 +460,35 @@ mod tests {
         // The estimated execution time is unaffected: transfer is reported
         // separately so the cost stays attributable.
         assert_eq!(s.est_ms, 0.0);
+    }
+
+    #[test]
+    fn query_view_keeps_residency_and_zeroes_counters() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 20);
+        let mut d = cfg.new_device();
+        d.alloc(4096).unwrap();
+        d.account_launch(&launch(100, 50, 4));
+        d.charge_partition_fault(0.25);
+
+        let view = d.query_view();
+        assert_eq!(view.allocated(), 4096);
+        let s = view.stats();
+        assert_eq!(s.launches, 0);
+        assert_eq!(s.cycles, 0.0);
+        assert_eq!(s.partition_faults, 0);
+        assert_eq!(s.transfer_ms, 0.0);
+        assert_eq!(s.allocated_bytes, 4096);
+
+        // A query on the view reports bitwise what it would report on a
+        // fresh device with the same residency — independent of the
+        // original device's history.
+        let mut fresh = cfg.new_device();
+        fresh.alloc(4096).unwrap();
+        let mut replay = d.query_view();
+        let c = launch(321, 77, 8);
+        fresh.account_launch(&c);
+        replay.account_launch(&c);
+        assert_eq!(fresh.stats(), replay.stats());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub use gcgt_cgr as cgr;
 pub use gcgt_core as core;
 pub use gcgt_graph as graph;
 pub use gcgt_ooc as ooc;
+pub use gcgt_serve as serve;
 pub use gcgt_session as session;
 pub use gcgt_simt as simt;
 
@@ -125,7 +126,12 @@ pub mod prelude {
         Algorithm, Bc, BcRun, Bfs, BfsRun, Cc, CcRun, LabelProp, LabelPropRun, Pagerank,
         PagerankRun, Query, QueryOutput,
     };
-    pub use gcgt_session::{BatchRun, EngineKind, Run, Session, SessionBuilder, SessionError};
+    pub use gcgt_session::{
+        BatchRun, EngineKind, Executor, PreparedGraph, Run, Session, SessionBuilder, SessionError,
+    };
+
+    // --- the concurrent serving layer (N workers over one PreparedGraph) ---
+    pub use gcgt_serve::{ServeError, ServePool, ServeReport, ServeStats, WorkerReport};
 
     // --- the engine layer (for building custom engines / direct control) ---
     pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};

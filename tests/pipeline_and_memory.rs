@@ -96,6 +96,83 @@ fn per_query_scratch_released_between_queries() {
 }
 
 #[test]
+fn prepared_graph_thread_safety_is_a_compile_time_contract() {
+    // `assert_send_sync` only compiles if the bound holds — this test pins
+    // the contract that lets one Arc<PreparedGraph> back a whole worker
+    // pool (and that the pool itself can be shared and moved).
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedGraph>();
+    assert_send_sync::<std::sync::Arc<PreparedGraph>>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<ServePool>();
+    assert_send_sync::<ServeStats>();
+    assert_send_sync::<ServeError>();
+}
+
+#[test]
+fn pool_workers_return_to_their_post_upload_baseline_after_draining() {
+    // The concurrency extension of the per-query scratch audit below: after
+    // a pool drains a mixed workload, every worker's device must sit at its
+    // post-upload baseline — scratch freed by each app, streamed partitions
+    // released at each query's end.
+    let graph = web_graph(&WebParams::uk2002_like(900), 2).symmetrized();
+    let queries = [
+        Query::Bfs(0),
+        Query::Cc,
+        Query::Bc(1),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+        Query::Bfs(3),
+        Query::Bfs(7),
+        Query::Bfs(11),
+    ];
+
+    // In-core: the baseline is the uploaded structure.
+    let incore = Session::builder().graph(graph.clone()).build().unwrap();
+    let report = ServePool::new(incore.prepared(), 3)
+        .unwrap()
+        .serve(&queries);
+    for w in &report.workers {
+        assert_eq!(w.baseline, incore.structure_bytes(), "worker {}", w.worker);
+        assert_eq!(
+            w.allocated, w.baseline,
+            "worker {} left scratch or partitions allocated",
+            w.worker
+        );
+    }
+
+    // Streaming: nothing is uploaded up front, so the baseline is zero and
+    // the drain must have released every faulted partition.
+    let scratch = incore.footprint() - incore.structure_bytes();
+    let streaming = Session::builder()
+        .graph(graph)
+        .memory_budget(scratch + (incore.footprint() - scratch) / 8)
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .build()
+        .unwrap();
+    assert!(streaming.is_streaming());
+    let report = ServePool::new(streaming.prepared(), 3)
+        .unwrap()
+        .serve(&queries);
+    let mut faulted = 0u64;
+    for (i, s) in report.per_query.iter().enumerate() {
+        assert!(s.partition_faults > 0, "query {i} never streamed");
+        faulted += s.partition_faults;
+    }
+    assert!(faulted > 0);
+    for w in &report.workers {
+        assert_eq!(w.baseline, 0, "worker {}", w.worker);
+        assert_eq!(
+            w.allocated, 0,
+            "worker {} kept partitions resident after the drain",
+            w.worker
+        );
+    }
+}
+
+#[test]
 fn compressed_traversal_overhead_is_bounded() {
     // The paper's headline trade-off: GCGT pays a bounded latency overhead
     // over GPUCSR (54% worst case in the paper) in exchange for the

@@ -7,8 +7,8 @@
 // `Strategy`, and glob-importing both is ambiguous.
 use gcgt::core::{bfs, cc};
 use gcgt::prelude::{
-    refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine, Reordering,
-    Strategy, VnodeConfig, VnodeGraph,
+    refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine, LabelProp,
+    Pagerank, Query, Reordering, ServePool, Session, Strategy, VnodeConfig, VnodeGraph,
 };
 use proptest::prelude::{prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig};
 use proptest::strategy::Strategy as PropStrategy;
@@ -43,6 +43,18 @@ fn arb_config() -> impl PropStrategy<Value = CgrConfig> {
             min_interval_len,
             segment_len_bytes,
         })
+}
+
+/// An arbitrary application query (sources are reduced modulo the node
+/// count at the use site).
+fn arb_query() -> impl PropStrategy<Value = Query> {
+    prop_oneof![
+        (0u32..1000).prop_map(Query::Bfs),
+        Just(Query::Cc),
+        (0u32..1000).prop_map(Query::Bc),
+        Just(Query::Pagerank(Pagerank::default())),
+        Just(Query::LabelProp(LabelProp::default())),
+    ]
 }
 
 proptest! {
@@ -174,6 +186,47 @@ proptest! {
             prop_assert!(win.rounds <= (width as u32).ilog2() + 2);
         }
         prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn serve_pool_equals_serial_oracles_and_conserves_work(
+        graph in arb_graph(),
+        raw_queries in proptest::collection::vec(arb_query(), 1..10),
+        workers in 1usize..5,
+    ) {
+        // Arbitrary graph, arbitrary mixed query set, arbitrary worker
+        // count: every pooled answer and per-query statistic must be
+        // bitwise the serial `run` oracle's, and the aggregate work must
+        // conserve the sum of per-query `est_ms` exactly.
+        let sym = graph.symmetrized(); // Cc may appear in the mix
+        let n = sym.num_nodes() as u32;
+        let queries: Vec<Query> = raw_queries
+            .into_iter()
+            .map(|q| match q {
+                Query::Bfs(s) => Query::Bfs(s % n),
+                Query::Bc(s) => Query::Bc(s % n),
+                other => other,
+            })
+            .collect();
+        let prepared = Session::builder().graph(sym).build().unwrap().prepared();
+        let report = ServePool::new(prepared.clone(), workers).unwrap().serve(&queries);
+        prop_assert_eq!(report.outputs.len(), queries.len());
+        let mut work = 0.0f64;
+        let mut transfer = 0.0f64;
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = prepared.run(*q);
+            prop_assert_eq!(&report.outputs[i], &oracle.output);
+            prop_assert_eq!(&report.per_query[i], &oracle.stats);
+            work += oracle.stats.est_ms;
+            transfer += oracle.stats.transfer_ms;
+        }
+        prop_assert_eq!(report.stats.work_ms.to_bits(), work.to_bits());
+        prop_assert_eq!(report.stats.transfer_ms.to_bits(), transfer.to_bits());
+        prop_assert_eq!(report.stats.queries, queries.len() as u64);
+        // The drained pool sits at its post-upload baselines.
+        for w in &report.workers {
+            prop_assert_eq!(w.allocated, w.baseline);
+        }
     }
 
     #[test]
