@@ -12,7 +12,7 @@
 //! Merrill-BFS with Soman-CC and Sriram-BC under the `GPUCSR` label.
 
 use gcgt_core::kernels::Sink;
-use gcgt_core::{memory, Expander};
+use gcgt_core::{memory, DirectionMode, Expander, Frontier};
 use gcgt_graph::{Csr, NodeId};
 use gcgt_simt::{Device, DeviceConfig, OomError, OpClass, Space, WarpSim};
 
@@ -20,6 +20,7 @@ use gcgt_simt::{Device, DeviceConfig, OomError, OpClass, Space, WarpSim};
 pub struct GpuCsrEngine<'g> {
     graph: &'g Csr,
     device_config: DeviceConfig,
+    direction: DirectionMode,
 }
 
 impl<'g> GpuCsrEngine<'g> {
@@ -31,7 +32,16 @@ impl<'g> GpuCsrEngine<'g> {
         Ok(Self {
             graph,
             device_config,
+            direction: DirectionMode::Push,
         })
+    }
+
+    /// Sets the expansion-direction policy. Pull semantics require
+    /// symmetric adjacency — the session layer verifies this.
+    #[must_use]
+    pub fn with_direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = direction;
+        self
     }
 
     /// The resident graph.
@@ -43,6 +53,18 @@ impl<'g> GpuCsrEngine<'g> {
 impl Expander for GpuCsrEngine<'_> {
     fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+
+    fn direction(&self) -> DirectionMode {
+        self.direction
     }
 
     fn device_config(&self) -> &DeviceConfig {
@@ -60,6 +82,85 @@ impl Expander for GpuCsrEngine<'_> {
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         expand_csr_chunk(self.graph, warp, chunk, sink);
     }
+
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        pull_csr_chunk(self.graph, warp, chunk, frontier, out)
+    }
+}
+
+/// Pull-mode (bottom-up) expansion over raw CSR: each lane walks its
+/// unvisited candidate's column range in lock-step rounds — one coalesced-
+/// per-lane column read plus one frontier-bitmap probe per round — and
+/// retires at the first frontier parent. Shared by both CSR baselines.
+pub(crate) fn pull_csr_chunk(
+    graph: &Csr,
+    warp: &mut WarpSim,
+    chunk: &[NodeId],
+    frontier: &Frontier,
+    out: &mut Vec<(NodeId, NodeId)>,
+) -> u64 {
+    let k = chunk.len();
+    // Prologue: the candidates come from a visited-bitmap scan, then the
+    // row-offset gather.
+    warp.issue_mem(
+        OpClass::Header,
+        k,
+        chunk.iter().map(|&v| Space::Visited.addr(u64::from(v) / 8)),
+    );
+    warp.access(
+        chunk
+            .iter()
+            .flat_map(|&u| [u64::from(u), u64::from(u) + 1])
+            .map(|o| Space::Offsets.addr(4 * o)),
+    );
+
+    // Per-lane cursor: (candidate, col index, remaining).
+    let mut lanes: Vec<(NodeId, usize, usize)> = chunk
+        .iter()
+        .map(|&v| (v, graph.row_offsets()[v as usize], graph.degree(v)))
+        .collect();
+    let mut done = vec![false; k];
+    let mut examined = 0u64;
+    loop {
+        let active: Vec<usize> = (0..k).filter(|&i| !done[i] && lanes[i].2 > 0).collect();
+        if active.is_empty() {
+            break;
+        }
+        // One column index per active lane (scattered by candidate).
+        warp.issue_mem(
+            OpClass::Generic,
+            active.len(),
+            active
+                .iter()
+                .map(|&i| Space::Graph.addr(4 * lanes[i].1 as u64)),
+        );
+        // Frontier-bitmap probe for the fetched neighbours.
+        warp.issue_mem(
+            OpClass::Handle,
+            active.len(),
+            active
+                .iter()
+                .map(|&i| Frontier::bitmap_addr(graph.col_indices()[lanes[i].1])),
+        );
+        examined += active.len() as u64;
+        for &i in &active {
+            let (v, idx, rem) = lanes[i];
+            let nbr = graph.col_indices()[idx];
+            if frontier.contains(nbr) {
+                done[i] = true;
+                out.push((nbr, v));
+            } else {
+                lanes[i] = (v, idx + 1, rem - 1);
+            }
+        }
+    }
+    examined
 }
 
 /// Merrill-style expansion of one warp's frontier chunk over CSR. Shared

@@ -13,9 +13,9 @@
 //!   the 3× footprint of [`gcgt_core::memory::gunrock_footprint`], which
 //!   makes it the first engine to OOM as datasets grow (Figures 8, 15).
 
-use crate::gpucsr::expand_csr_chunk;
+use crate::gpucsr::{expand_csr_chunk, pull_csr_chunk};
 use gcgt_core::kernels::Sink;
-use gcgt_core::{memory, Expander};
+use gcgt_core::{memory, DirectionMode, Expander, Frontier};
 use gcgt_graph::{Csr, NodeId};
 use gcgt_simt::{Device, DeviceConfig, OomError, OpClass, Space, WarpSim};
 
@@ -23,6 +23,7 @@ use gcgt_simt::{Device, DeviceConfig, OomError, OpClass, Space, WarpSim};
 pub struct GunrockEngine<'g> {
     graph: &'g Csr,
     device_config: DeviceConfig,
+    direction: DirectionMode,
 }
 
 impl<'g> GunrockEngine<'g> {
@@ -34,7 +35,17 @@ impl<'g> GunrockEngine<'g> {
         Ok(Self {
             graph,
             device_config,
+            direction: DirectionMode::Push,
         })
+    }
+
+    /// Sets the expansion-direction policy (Gunrock's advance operator
+    /// supports both directions). Pull needs symmetric adjacency — the
+    /// session layer verifies this.
+    #[must_use]
+    pub fn with_direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = direction;
+        self
     }
 }
 
@@ -63,6 +74,18 @@ impl Expander for GunrockEngine<'_> {
         self.graph.num_nodes()
     }
 
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+
+    fn direction(&self) -> DirectionMode {
+        self.direction
+    }
+
     fn device_config(&self) -> &DeviceConfig {
         &self.device_config
     }
@@ -78,6 +101,23 @@ impl Expander for GunrockEngine<'_> {
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         let mut wrapped = FilterOverhead { inner: sink };
         expand_csr_chunk(self.graph, warp, chunk, &mut wrapped);
+    }
+
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        // The platform's filter pass re-reads the candidate frontier slots
+        // once per pull chunk before the advance runs backward.
+        warp.issue_mem(
+            OpClass::Generic,
+            chunk.len(),
+            (0..chunk.len() as u64).map(|i| Space::Output.addr((1 << 32) + 4 * i)),
+        );
+        pull_csr_chunk(self.graph, warp, chunk, frontier, out)
     }
 }
 

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ooc serve ablations all      (default: all)
+//!             ooc serve direction ablations all      (default: all)
 //! --scale F   dataset scale factor   (default: 1.0)
 //! --sources N BFS sources averaged   (default: 3)
 //! --smoke     CI smoke mode: tiny scale, one source (overrides both)
@@ -12,8 +12,8 @@
 
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, table1, table3,
-    ExperimentContext,
+    ablations, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, table1,
+    table3, ExperimentContext,
 };
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
                 println!(
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
-                     serve ablations all"
+                     serve direction ablations all"
                 );
                 return;
             }
@@ -81,6 +81,7 @@ fn main() {
         "fig15",
         "ooc",
         "serve",
+        "direction",
         "ablations",
     ]
     .iter()
@@ -113,6 +114,7 @@ fn main() {
     run_one("fig15", &fig15::run);
     run_one("ooc", &ooc::run);
     run_one("serve", &serve::run);
+    run_one("direction", &direction::run);
     if want("ablations") {
         println!("{}", ablations::warp_width(&ctx).render());
         println!("{}", ablations::cache_size(&ctx).render());

@@ -157,6 +157,12 @@ impl Code {
                 if p >= limit {
                     return None;
                 }
+                // 64+ zeros cannot start a valid γ codeword (values are
+                // u64); corrupt payloads can present one, so refuse instead
+                // of overflowing the shift below.
+                if zeros >= 64 {
+                    return None;
+                }
                 p += 1; // the terminating 1
                 let l = zeros + 1;
                 let rest = bits.get_bits(p, l - 1);

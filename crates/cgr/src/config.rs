@@ -70,7 +70,10 @@ impl CgrConfig {
     #[inline]
     pub fn read_count(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        Some((v - 1, p))
+        // Valid encodes never produce codeword value 0 (every code maps
+        // positive integers); a corrupt payload can, so treat it as a
+        // decode failure instead of underflowing the shift.
+        Some((v.checked_sub(1)?, p))
     }
 
     /// Encodes a first gap (interval start or first residual) relative to
@@ -90,8 +93,9 @@ impl CgrConfig {
         source: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        let gap = unfold_sign(v - 1);
-        Some(((i64::from(source) + gap) as NodeId, p))
+        let gap = unfold_sign(v.checked_sub(1)?);
+        let target = i64::from(source).checked_add(gap)?;
+        Some((NodeId::try_from(target).ok()?, p))
     }
 
     /// Encodes the gap between an interval start and the previous interval's
@@ -113,7 +117,8 @@ impl CgrConfig {
         prev_end: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        Some((prev_end + (v + 1) as NodeId, p))
+        let start = u64::from(prev_end).checked_add(v.checked_add(1)?)?;
+        Some((NodeId::try_from(start).ok()?, p))
     }
 
     /// Encodes an interval length; lengths are at least
@@ -130,7 +135,7 @@ impl CgrConfig {
     pub fn read_interval_len(&self, bits: &BitVec, pos: usize) -> Option<(u32, usize)> {
         let min = self.min_interval_len.expect("intervals disabled");
         let (v, p) = self.code.decode_at(bits, pos)?;
-        Some(((v - 1) as u32 + min, p))
+        Some((u32::try_from(v.checked_sub(1)?).ok()?.checked_add(min)?, p))
     }
 
     /// Encodes the gap between consecutive residuals (`>= 1` since lists are
@@ -151,7 +156,8 @@ impl CgrConfig {
         prev: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        Some((prev + v as NodeId, p))
+        let next = u64::from(prev).checked_add(v)?;
+        Some((NodeId::try_from(next).ok()?, p))
     }
 
     /// Maps a raw VLC codeword value from a residual stream to the residual

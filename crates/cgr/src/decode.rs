@@ -45,6 +45,7 @@ pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
             Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
         };
         let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        debug_assert!(len >= 1, "zero-length interval in node {u}");
         total += len as usize;
         prev_end = Some(s + len - 1);
         pos = p2;
@@ -75,6 +76,7 @@ fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
             Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
         };
         let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        debug_assert!(len >= 1, "zero-length interval in node {u}");
         out.extend(s..s + len);
         prev_end = Some(s + len - 1);
         pos = p2;
@@ -197,6 +199,7 @@ impl Iterator for NeighborIter<'_> {
                     .expect("itv gap")
             };
             let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+            debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
             self.bit_ptr = p2;
             self.itv_left -= 1;
             self.cur_itv_ptr = start + 1;
@@ -220,6 +223,346 @@ impl Iterator for NeighborIter<'_> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         (self.deg_left as usize, Some(self.deg_left as usize))
     }
+}
+
+/// What producing the next neighbour cost the decoder — the branch classes a
+/// pull-mode kernel serializes into warp steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// Decoded an interval gap plus length (two codewords).
+    IntervalStart,
+    /// Continued inside an interval run — register arithmetic, no codeword.
+    IntervalRun,
+    /// Decoded one residual gap codeword (per-segment `resNum` headers are
+    /// folded into the first residual of each segment).
+    Residual,
+}
+
+/// Streaming decoder over **either** CGR layout with O(1) work per
+/// neighbour — the early-exit primitive of direction-optimizing traversal:
+/// a pull pass stops consuming at the first frontier parent instead of
+/// materializing the whole adjacency list, and the saving is exactly the
+/// neighbours never decoded.
+///
+/// Every decode is bounds-checked against the node's bit range and the node
+/// count, so the same machinery backs [`validate_structure`] (and through
+/// it [`crate::io::read_cgr`]'s structural validation of untrusted
+/// payloads). [`NeighborScanner::next_with_step`] reports the branch class
+/// of each neighbour so simulated kernels can charge the right warp-step
+/// cost; the plain [`Iterator`] face yields neighbours only.
+pub struct NeighborScanner<'a> {
+    cgr: &'a CgrGraph,
+    u: NodeId,
+    end: usize,
+    pos: usize,
+    /// Neighbours still due (`None` for the segmented layout, which has no
+    /// up-front degree and is driven by segment counts instead).
+    deg_left: Option<u64>,
+    itv_left: u64,
+    first_itv: bool,
+    prev_itv_end: NodeId,
+    run_next: NodeId,
+    run_left: u32,
+    res: ResState,
+    prev_res: Option<NodeId>,
+    examined: u64,
+}
+
+/// Residual-area progress of a [`NeighborScanner`].
+enum ResState {
+    /// Unsegmented: residuals stream until `deg_left` runs out.
+    Unseg,
+    /// Segmented, `segNum` not read yet (intervals still streaming).
+    SegPending,
+    /// Segmented, inside the fixed-stride segment area.
+    Seg {
+        base: usize,
+        seg_bits: usize,
+        segs_left: u64,
+        next_seg: usize,
+        in_seg: u64,
+    },
+}
+
+impl<'a> NeighborScanner<'a> {
+    /// Starts scanning node `u`'s adjacency (either layout).
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid payload — encode output and
+    /// [`validate_structure`]-checked loads never are.
+    pub fn new(cgr: &'a CgrGraph, u: NodeId) -> Self {
+        Self::try_new(cgr, u).expect("structurally invalid CGR payload")
+    }
+
+    /// Fallible [`NeighborScanner::new`] for payloads of unknown
+    /// provenance.
+    pub fn try_new(cgr: &'a CgrGraph, u: NodeId) -> Result<Self, String> {
+        let cfg = cgr.config();
+        let (start, end) = cgr.node_range(u);
+        let mut s = NeighborScanner {
+            cgr,
+            u,
+            end,
+            pos: start,
+            deg_left: None,
+            itv_left: 0,
+            first_itv: true,
+            prev_itv_end: u,
+            run_next: u,
+            run_left: 0,
+            res: if cfg.segment_len_bytes.is_none() {
+                ResState::Unseg
+            } else {
+                ResState::SegPending
+            },
+            prev_res: None,
+            examined: 0,
+        };
+        if start == end {
+            s.deg_left = Some(0);
+            return Ok(s);
+        }
+        if cfg.segment_len_bytes.is_none() {
+            let deg = s.read_count("degNum")?;
+            if deg == 0 {
+                s.deg_left = Some(0);
+                return Ok(s);
+            }
+            let itv = s.read_count("itvNum")?;
+            s.deg_left = Some(deg);
+            s.itv_left = itv;
+        } else {
+            s.itv_left = s.read_count("itvNum")?;
+        }
+        Ok(s)
+    }
+
+    /// Current bit position (for simulated graph-memory addressing).
+    #[inline]
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Neighbours produced so far — the "edges examined before early exit"
+    /// a pull pass reports.
+    #[inline]
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// The next neighbour and the decode branch that produced it.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid payload; use
+    /// [`NeighborScanner::try_next_with_step`] for untrusted data.
+    pub fn next_with_step(&mut self) -> Option<(NodeId, DecodeStep)> {
+        self.try_next_with_step()
+            .expect("structurally invalid CGR payload")
+    }
+
+    fn read_count(&mut self, what: &str) -> Result<u64, String> {
+        let (v, p) = self
+            .cgr
+            .config()
+            .read_count(self.cgr.bits(), self.checked_pos(what)?)
+            .ok_or_else(|| format!("truncated {what} codeword"))?;
+        self.pos = p;
+        self.checked_consumed(what)?;
+        Ok(v)
+    }
+
+    /// The read position, verified to lie inside the node's bit range.
+    fn checked_pos(&self, what: &str) -> Result<usize, String> {
+        if self.pos >= self.end {
+            Err(format!("{what} read starts past the node's bit range"))
+        } else {
+            Ok(self.pos)
+        }
+    }
+
+    /// Verifies the last read did not run into the next node's bits.
+    fn checked_consumed(&self, what: &str) -> Result<(), String> {
+        if self.pos > self.end {
+            Err(format!("{what} codeword runs past the node's bit range"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn checked_neighbor(&self, v: NodeId) -> Result<NodeId, String> {
+        if (v as usize) < self.cgr.num_nodes() {
+            Ok(v)
+        } else {
+            Err(format!("decoded neighbour {v} out of range"))
+        }
+    }
+
+    /// Fallible [`NeighborScanner::next_with_step`]: `Ok(None)` when the
+    /// adjacency is exhausted, `Err` on the first structural violation
+    /// (truncated codeword, out-of-range neighbour, non-monotonic gaps,
+    /// zero-length interval, reads escaping the node's bit range).
+    pub fn try_next_with_step(&mut self) -> Result<Option<(NodeId, DecodeStep)>, String> {
+        if self.deg_left == Some(0) {
+            return Ok(None);
+        }
+        let cfg = *self.cgr.config();
+        let bits = self.cgr.bits();
+        // Branch (i): inside an interval run.
+        if self.run_left > 0 {
+            let v = self.run_next;
+            self.run_next += 1;
+            self.run_left -= 1;
+            return Ok(Some((self.emit(v), DecodeStep::IntervalRun)));
+        }
+        // Branch (ii): at the beginning of an interval.
+        if self.itv_left > 0 {
+            let (start, p) = if self.first_itv {
+                self.first_itv = false;
+                cfg.read_first_gap(bits, self.checked_pos("interval start")?, self.u)
+            } else {
+                cfg.read_interval_gap(bits, self.checked_pos("interval gap")?, self.prev_itv_end)
+            }
+            .ok_or("truncated interval codeword")?;
+            self.pos = p;
+            self.checked_consumed("interval gap")?;
+            let (len, p2) = cfg
+                .read_interval_len(bits, self.checked_pos("interval len")?)
+                .ok_or("truncated interval length")?;
+            self.pos = p2;
+            self.checked_consumed("interval len")?;
+            if len == 0 {
+                return Err("zero-length interval".into());
+            }
+            let last = u64::from(start) + u64::from(len) - 1;
+            if last >= self.cgr.num_nodes() as u64 {
+                return Err(format!("interval [{start}; {len}] out of range"));
+            }
+            // Monotonicity across intervals is enforced by the gap shift
+            // itself (gap >= 2); a u32 wrap lands the run out of range and
+            // trips the check above.
+            self.itv_left -= 1;
+            self.prev_itv_end = start + len - 1;
+            self.run_next = start + 1;
+            self.run_left = len - 1;
+            return Ok(Some((self.emit(start), DecodeStep::IntervalStart)));
+        }
+        // Branch (iii): the residual area.
+        loop {
+            match self.res {
+                ResState::Unseg => {
+                    // deg_left > 0 guaranteed by the entry check.
+                }
+                ResState::SegPending => {
+                    let seg_num = self.read_count("segNum")?;
+                    let seg_bits = cfg.segment_len_bits().expect("segmented layout");
+                    self.res = ResState::Seg {
+                        base: self.pos,
+                        seg_bits,
+                        segs_left: seg_num,
+                        next_seg: 0,
+                        in_seg: 0,
+                    };
+                    continue;
+                }
+                ResState::Seg {
+                    base,
+                    seg_bits,
+                    segs_left,
+                    next_seg,
+                    in_seg,
+                } => {
+                    if in_seg == 0 {
+                        if segs_left == 0 {
+                            self.deg_left = Some(0);
+                            return Ok(None);
+                        }
+                        // Jump to the next fixed-stride segment header.
+                        self.pos = base + next_seg * seg_bits;
+                        self.prev_res = None;
+                        let res_num = self.read_count("resNum")?;
+                        self.res = ResState::Seg {
+                            base,
+                            seg_bits,
+                            segs_left: segs_left - 1,
+                            next_seg: next_seg + 1,
+                            in_seg: res_num,
+                        };
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        let (r, p) = match self.prev_res {
+            None => cfg.read_first_gap(bits, self.checked_pos("first residual")?, self.u),
+            Some(prev) => cfg.read_residual_gap(bits, self.checked_pos("residual gap")?, prev),
+        }
+        .ok_or("truncated residual codeword")?;
+        self.pos = p;
+        self.checked_consumed("residual")?;
+        let r = self.checked_neighbor(r)?;
+        if let Some(prev) = self.prev_res {
+            if r <= prev {
+                return Err(format!("non-monotonic residual {r} after {prev}"));
+            }
+        }
+        self.prev_res = Some(r);
+        if let ResState::Seg { in_seg, .. } = &mut self.res {
+            *in_seg -= 1;
+        }
+        Ok(Some((self.emit(r), DecodeStep::Residual)))
+    }
+
+    #[inline]
+    fn emit(&mut self, v: NodeId) -> NodeId {
+        if let Some(left) = &mut self.deg_left {
+            *left -= 1;
+        }
+        self.examined += 1;
+        v
+    }
+}
+
+impl Iterator for NeighborScanner<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.next_with_step().map(|(v, _)| v)
+    }
+}
+
+/// Structural validation of a CGR payload of unknown provenance (a loaded
+/// file whose magic and version checked out but whose bits may be truncated
+/// or flipped): streams **every** node's compressed adjacency with
+/// bounds-checked decoding and confirms decoded degrees sum to the declared
+/// edge count. O(edges) — the price of turning the serial decoders' 24
+/// would-be panic sites into one typed load error.
+pub fn validate_structure(cgr: &CgrGraph) -> Result<(), String> {
+    let declared = cgr.num_edges();
+    let mut edges = 0usize;
+    for u in 0..cgr.num_nodes() as NodeId {
+        let mut scan = NeighborScanner::try_new(cgr, u).map_err(|e| format!("node {u}: {e}"))?;
+        loop {
+            match scan.try_next_with_step() {
+                Ok(Some(_)) => {
+                    edges += 1;
+                    if edges > declared {
+                        return Err(format!(
+                            "payload decodes more than the declared {declared} edges"
+                        ));
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return Err(format!("node {u}: {e}")),
+            }
+        }
+    }
+    if edges != declared {
+        return Err(format!(
+            "payload decodes {edges} edges but the header declares {declared}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -317,5 +660,88 @@ mod tests {
             let cgr = CgrGraph::encode(&g, &cfg);
             assert_eq!(decode_all(&cgr), g);
         }
+    }
+
+    #[test]
+    fn scanner_matches_storage_order_on_every_config() {
+        let g = web_graph(&WebParams::uk2002_like(300), 5);
+        for cfg in all_configs() {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            for u in 0..g.num_nodes() as NodeId {
+                let scanned: Vec<NodeId> = NeighborScanner::new(&cgr, u).collect();
+                assert_eq!(scanned, decode_node_unsorted(&cgr, u), "{cfg:?} node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_early_exit_examines_a_prefix() {
+        // The whole point of the scanner: stopping after k neighbours costs
+        // exactly k decodes, and those k are the storage-order prefix.
+        let g = web_graph(&WebParams::uk2002_like(300), 9);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let u = (0..g.num_nodes() as NodeId)
+            .max_by_key(|&u| g.degree(u))
+            .unwrap();
+        let full: Vec<NodeId> = NeighborScanner::new(&cgr, u).collect();
+        assert!(full.len() >= 4, "pick a denser test graph");
+        let mut s = NeighborScanner::new(&cgr, u);
+        let prefix: Vec<NodeId> = (&mut s).take(3).collect();
+        assert_eq!(prefix, full[..3]);
+        assert_eq!(s.examined(), 3);
+    }
+
+    #[test]
+    fn scanner_reports_branch_classes() {
+        let g = toys::example_3_1();
+        let cfg = CgrConfig {
+            code: gcgt_bits::Code::Gamma,
+            min_interval_len: Some(3),
+            segment_len_bytes: None,
+        };
+        let cgr = CgrGraph::encode(&g, &cfg);
+        // Node 16 (Figure 2): intervals (18,4) and (27,3), residuals
+        // 12, 24, 101 — so the step classes are pinned.
+        let mut s = NeighborScanner::new(&cgr, 16);
+        let steps: Vec<(NodeId, DecodeStep)> = std::iter::from_fn(|| s.next_with_step()).collect();
+        use DecodeStep::*;
+        assert_eq!(
+            steps,
+            vec![
+                (18, IntervalStart),
+                (19, IntervalRun),
+                (20, IntervalRun),
+                (21, IntervalRun),
+                (27, IntervalStart),
+                (28, IntervalRun),
+                (29, IntervalRun),
+                (12, Residual),
+                (24, Residual),
+                (101, Residual),
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_structure_accepts_every_encode() {
+        let g = web_graph(&WebParams::uk2002_like(400), 13);
+        for cfg in all_configs() {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            assert_eq!(validate_structure(&cgr), Ok(()), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn validate_structure_rejects_wrong_edge_count() {
+        // Same payload, lying header: the degree-sum cross-check fires.
+        let g = toys::figure1();
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        crate::io::write_cgr(&cgr, &mut buf).unwrap();
+        // num_edges is the second u64 after the config block.
+        let edges_at = 4 + 4 + 2 + 5 + 5 + 8;
+        buf[edges_at..edges_at + 8].copy_from_slice(&(g.num_edges() as u64 + 1).to_le_bytes());
+        let err = crate::io::read_cgr(std::io::Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("edges"), "{err}");
     }
 }

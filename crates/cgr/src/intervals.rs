@@ -146,6 +146,34 @@ mod tests {
         assert_eq!(ir.intervals, vec![(1, 3), (5, 3)]);
     }
 
+    /// Encoder invariant pinned for the decode paths: every emitted interval
+    /// is at least `max(min_interval_len, 1)` long — the decoders' `len - 1`
+    /// / `start + len - 1` arithmetic (now debug-asserted at each site)
+    /// relies on no zero-length interval ever being encoded.
+    #[test]
+    fn split_never_emits_intervals_shorter_than_the_floor() {
+        let lists: Vec<Vec<NodeId>> = vec![
+            vec![],
+            vec![7],
+            vec![1, 2, 3, 5, 6, 7, 20, 21, 40],
+            (0..200).collect(),
+            (0..60).map(|i| i * 3).collect(), // no runs at all
+        ];
+        for list in &lists {
+            for min in [Some(0u32), Some(1), Some(2), Some(4), Some(100), None] {
+                let ir = split_intervals(list, min);
+                let floor = min.map_or(1, |m| m.max(1));
+                for &(start, len) in &ir.intervals {
+                    assert!(
+                        len >= floor.max(1),
+                        "interval ({start}, {len}) below floor {floor} for min {min:?}"
+                    );
+                }
+                assert_eq!(ir.expand(), *list, "min {min:?}");
+            }
+        }
+    }
+
     #[test]
     fn min_one_turns_every_neighbor_into_interval() {
         let list = [2u32, 9, 40];

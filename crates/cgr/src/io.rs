@@ -198,13 +198,17 @@ pub fn read_cgr<R: Read>(reader: R) -> io::Result<CgrGraph> {
     }
     let bits = BitVec::try_from_words(words, bit_len).map_err(bad)?;
 
-    Ok(CgrGraph::from_parts(
-        config,
-        bits,
-        offsets.into_boxed_slice(),
-        num_edges,
-        stats,
-    ))
+    let cgr = CgrGraph::from_parts(config, bits, offsets.into_boxed_slice(), num_edges, stats);
+
+    // Structural validation: a payload whose magic, version and offsets all
+    // check out can still be truncated or bit-flipped, and the serial
+    // decoders (and every kernel built on them) would panic mid-traversal.
+    // Stream-decode every adjacency once here so corruption surfaces as a
+    // typed load error instead. O(edges) — paid once per load.
+    crate::decode::validate_structure(&cgr)
+        .map_err(|e| bad(format!("corrupt CGR payload: {e}")))?;
+
+    Ok(cgr)
 }
 
 /// Saves a compressed graph to a file path.
@@ -295,5 +299,64 @@ mod tests {
         let node_count_at = 4 + 4 + 2 + 5 + 5; // magic, version, code, 2 × opt u32
         huge[node_count_at..node_count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_cgr(io::Cursor::new(huge)).is_err());
+    }
+
+    /// Regression for the decode-path hardening: flipping **payload** bits
+    /// (not just header bytes) used to pass the magic/version/offset checks
+    /// and then panic inside the serial decoders' `.expect()` sites at
+    /// first traversal. `read_cgr` must instead return a typed
+    /// `InvalidData` error — or, when a flip happens to decode cleanly,
+    /// load a graph whose every adjacency is still fully decodable.
+    #[test]
+    fn flipped_payload_bits_are_a_typed_error_not_a_panic() {
+        let g = web_graph(&WebParams::uk2002_like(200), 7);
+        for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            let mut buf = Vec::new();
+            write_cgr(&cgr, &mut buf).unwrap();
+            let payload_start = buf.len() - cgr.bits().words().len() * 8;
+
+            let mut rejected = 0usize;
+            // Every eighth payload bit keeps the sweep fast while covering
+            // headers, interval areas and residual segments of many nodes.
+            for bit in (0..(buf.len() - payload_start) * 8).step_by(8) {
+                let mut corrupt = buf.clone();
+                corrupt[payload_start + bit / 8] ^= 1 << (bit % 8);
+                match read_cgr(io::Cursor::new(corrupt)) {
+                    Err(e) => {
+                        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "bit {bit}");
+                        rejected += 1;
+                    }
+                    // A lucky flip that still decodes structurally (e.g.
+                    // inside blank segment padding): the load succeeded, so
+                    // full decoding must too — that is what validation
+                    // guarantees downstream engines.
+                    Ok(loaded) => {
+                        for u in 0..loaded.num_nodes() as u32 {
+                            let _ = decode_node(&loaded, u);
+                        }
+                    }
+                }
+            }
+            assert!(
+                rejected > 0,
+                "no payload corruption detected for {cfg:?} — validation is not running"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        // A payload cut short *in units of whole words* keeps bit_len
+        // consistent only if we also shrink the declared length; instead cut
+        // the byte stream mid-payload so the word read fails cleanly.
+        let g = web_graph(&WebParams::uk2002_like(150), 3);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        write_cgr(&cgr, &mut buf).unwrap();
+        for cut in [1usize, 7, 64] {
+            let truncated = &buf[..buf.len() - cut];
+            assert!(read_cgr(io::Cursor::new(truncated)).is_err(), "cut {cut}");
+        }
     }
 }

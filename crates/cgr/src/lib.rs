@@ -35,7 +35,7 @@ pub mod stats;
 
 pub use byterle::ByteRleGraph;
 pub use config::CgrConfig;
-pub use decode::NeighborIter;
+pub use decode::{validate_structure, DecodeStep, NeighborIter, NeighborScanner};
 pub use encode::CgrGraph;
 pub use intervals::{split_intervals, IntervalsResiduals};
 pub use stats::CompressionStats;

@@ -1,11 +1,21 @@
-//! Breadth-first search on the GCGT pipeline — the paper's primary workload.
+//! Breadth-first search on the GCGT pipeline — the paper's primary
+//! workload, with direction-optimizing expansion (Beamer-style push/pull)
+//! layered on top: per level the traversal either **pushes** the frontier's
+//! out-edges through `appendIfUnvisited`, or **pulls** — every unvisited
+//! node scans its compressed adjacency for a frontier parent with early
+//! exit. The engine's [`Expander::direction`] policy picks the mode;
+//! [`crate::strategy::DirectionMode::Adaptive`] applies the Ligra/Beamer
+//! density heuristic per level. Push-only engines behave bitwise exactly
+//! as before.
 
 use gcgt_graph::{NodeId, UNREACHED};
 use gcgt_simt::{Device, OpClass, RunStats, Space, WarpSim};
 
 use crate::bitset::BitSet;
-use crate::engine::{launch_expansion, Expander};
+use crate::engine::{launch_expansion, launch_pull, Expander};
+use crate::frontier::Frontier;
 use crate::kernels::Sink;
+use crate::strategy::{DirectionMode, PULL_ALPHA};
 
 /// Result of a simulated BFS run.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +39,8 @@ pub(crate) struct QueueSink<'v> {
     visited: &'v BitSet,
     /// Survivor pairs in emission order.
     pub out: Vec<(NodeId, NodeId)>,
+    /// Candidate pairs seen (pre-filter) — the level's expanded-edge count.
+    pub seen: u64,
 }
 
 impl<'v> QueueSink<'v> {
@@ -36,12 +48,14 @@ impl<'v> QueueSink<'v> {
         Self {
             visited,
             out: Vec::new(),
+            seen: 0,
         }
     }
 }
 
 impl Sink for QueueSink<'_> {
     fn handle(&mut self, warp: &mut WarpSim, items: &[(NodeId, NodeId)]) {
+        self.seen += items.len() as u64;
         // Status lookup: one bitmap byte per candidate (scattered).
         warp.issue_mem(
             OpClass::Handle,
@@ -89,9 +103,18 @@ pub fn bfs<E: Expander + ?Sized>(engine: &E, source: NodeId) -> BfsRun {
 /// [`bfs`] on an existing device with the graph already resident — the
 /// multi-query building block. The returned statistics cover only this run
 /// (counters accumulated since entry).
+///
+/// Direction follows [`Expander::direction`]: push levels expand the
+/// frontier's out-edges, pull levels scan unvisited nodes' compressed
+/// adjacency with early exit, and `Adaptive` switches per level when the
+/// frontier's out-degree sum exceeds `num_edges / `[`PULL_ALPHA`]. The
+/// per-level decision is host-side (it charges nothing), so a run whose
+/// heuristic always picks push is bitwise identical to a `Push` run.
 pub fn bfs_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: NodeId) -> BfsRun {
     let n = engine.num_nodes();
     assert!((source as usize) < n, "source out of range");
+    let mode = engine.direction();
+    let total_edges = engine.num_edges();
     let before = device.stats();
     let scratch = crate::apps::alloc_scratch(engine, device);
     let mut depth = vec![UNREACHED; n];
@@ -103,19 +126,61 @@ pub fn bfs_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Nod
     let mut level = 0u32;
 
     while !frontier.is_empty() {
-        let sinks = launch_expansion(engine, device, &frontier, || QueueSink::new(&visited));
-        // Take the owned survivor lists so the sinks' borrow of `visited`
-        // ends before the contraction merge mutates it.
-        let outs: Vec<Vec<(NodeId, NodeId)>> = sinks.into_iter().map(|s| s.out).collect();
-        let mut next = Vec::new();
-        for out in outs {
-            for (_, v) in out {
-                if visited.set(v) {
-                    depth[v as usize] = level + 1;
-                    next.push(v);
+        let pull = match mode {
+            DirectionMode::Push => false,
+            DirectionMode::Pull => true,
+            DirectionMode::Adaptive => {
+                // Ligra/Beamer density heuristic, multiplication-side so
+                // small graphs never divide the threshold to zero.
+                let frontier_edges: usize = frontier.iter().map(|&u| engine.out_degree(u)).sum();
+                frontier_edges.saturating_mul(PULL_ALPHA) > total_edges
+            }
+        };
+        let next: Vec<NodeId> = if pull {
+            let candidates: Vec<NodeId> = (0..n as NodeId).filter(|&v| !visited.get(v)).collect();
+            if candidates.is_empty() {
+                Vec::new()
+            } else {
+                // The dense membership view is built only for pull levels —
+                // push levels never probe it, so the default push schedule
+                // pays nothing for the bitmap.
+                let dense = Frontier::from_nodes(n, std::mem::take(&mut frontier));
+                let (pairs, examined) = launch_pull(engine, device, &candidates, &dense);
+                device.charge_pull_step(examined);
+                let mut next = Vec::with_capacity(pairs.len());
+                for (_, v) in pairs {
+                    if visited.set(v) {
+                        depth[v as usize] = level + 1;
+                        next.push(v);
+                    }
+                }
+                next
+            }
+        } else {
+            let sinks = launch_expansion(engine, device, &frontier, || QueueSink::new(&visited));
+            // Take the owned survivor lists (and the expanded-edge tally)
+            // so the sinks' borrow of `visited` ends before the contraction
+            // merge mutates it.
+            let mut expanded = 0u64;
+            let outs: Vec<Vec<(NodeId, NodeId)>> = sinks
+                .into_iter()
+                .map(|s| {
+                    expanded += s.seen;
+                    s.out
+                })
+                .collect();
+            device.charge_push_step(expanded);
+            let mut next = Vec::new();
+            for out in outs {
+                for (_, v) in out {
+                    if visited.set(v) {
+                        depth[v as usize] = level + 1;
+                        next.push(v);
+                    }
                 }
             }
-        }
+            next
+        };
         if next.is_empty() {
             break;
         }
@@ -203,6 +268,100 @@ mod tests {
         let b = run_bfs(&g, Strategy::Full, 0);
         assert_eq!(a.stats.est_ms.to_bits(), b.stats.est_ms.to_bits());
         assert_eq!(a.stats.tally, b.stats.tally);
+    }
+
+    fn run_bfs_direction(
+        graph: &Csr,
+        strategy: Strategy,
+        direction: crate::strategy::DirectionMode,
+        source: NodeId,
+    ) -> BfsRun {
+        let cfg = strategy.cgr_config(&CgrConfig::paper_default());
+        let cgr = CgrGraph::encode(graph, &cfg);
+        let engine = GcgtEngine::new(&cgr, DeviceConfig::default(), strategy)
+            .unwrap()
+            .with_direction(direction);
+        bfs(&engine, source)
+    }
+
+    #[test]
+    fn pull_and_adaptive_match_oracle_on_symmetric_graphs() {
+        use crate::strategy::DirectionMode;
+        let graphs = [
+            toys::figure1().symmetrized(),
+            social_graph(&SocialParams::twitter_like(500), 4).symmetrized(),
+            web_graph(&WebParams::uk2002_like(600), 11).symmetrized(),
+        ];
+        for g in &graphs {
+            let want = refalgo::bfs(g, 0);
+            for strategy in [Strategy::Full, Strategy::TwoPhase] {
+                for direction in [DirectionMode::Pull, DirectionMode::Adaptive] {
+                    let got = run_bfs_direction(g, strategy, direction, 0);
+                    assert_eq!(got.depth, want.depth, "{strategy:?} {direction:?}");
+                    assert_eq!(got.reached, want.reached, "{strategy:?} {direction:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pull_levels_charge_pull_counters() {
+        use crate::strategy::DirectionMode;
+        let g = toys::figure1().symmetrized();
+        let run = run_bfs_direction(&g, Strategy::Full, DirectionMode::Pull, 0);
+        assert!(run.stats.pull_steps >= 1);
+        assert!(run.stats.pulled_edges >= 1);
+        assert_eq!(run.stats.push_steps, 0);
+        assert_eq!(run.stats.pushed_edges, 0);
+    }
+
+    #[test]
+    fn push_counts_every_reachable_edge() {
+        let g = web_graph(&WebParams::uk2002_like(400), 6);
+        let run = run_bfs(&g, Strategy::Full, 0);
+        // Pure push expands each reached node's full out-adjacency once.
+        let expanded: u64 = run
+            .depth
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != gcgt_graph::UNREACHED)
+            .map(|(u, _)| g.degree(u as NodeId) as u64)
+            .sum();
+        assert_eq!(run.stats.pushed_edges, expanded);
+        assert_eq!(run.stats.push_steps as usize, run.levels as usize);
+        assert_eq!(run.stats.pull_steps, 0);
+    }
+
+    #[test]
+    fn adaptive_pulls_fewer_edges_on_a_low_diameter_graph() {
+        use crate::strategy::DirectionMode;
+        let g = social_graph(&SocialParams::twitter_like(800), 3).symmetrized();
+        let push = run_bfs_direction(&g, Strategy::Full, DirectionMode::Push, 0);
+        let adaptive = run_bfs_direction(&g, Strategy::Full, DirectionMode::Adaptive, 0);
+        assert_eq!(push.depth, adaptive.depth);
+        assert!(adaptive.stats.pull_steps >= 1, "heuristic never fired");
+        let push_total = push.stats.pushed_edges + push.stats.pulled_edges;
+        let adaptive_total = adaptive.stats.pushed_edges + adaptive.stats.pulled_edges;
+        assert!(
+            adaptive_total < push_total,
+            "adaptive {adaptive_total} vs push {push_total} expanded edges"
+        );
+    }
+
+    #[test]
+    fn adaptive_is_bitwise_push_when_the_heuristic_never_fires() {
+        use crate::strategy::DirectionMode;
+        // A long path: every frontier is one node, far below |E| / alpha.
+        let n = 600usize;
+        let edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1)
+            .flat_map(|i| [(i, i + 1), (i + 1, i)])
+            .collect();
+        let g = Csr::from_edges(n, &edges);
+        let push = run_bfs_direction(&g, Strategy::Full, DirectionMode::Push, 0);
+        let adaptive = run_bfs_direction(&g, Strategy::Full, DirectionMode::Adaptive, 0);
+        assert_eq!(push.depth, adaptive.depth);
+        assert_eq!(push.stats, adaptive.stats, "adaptive must cost nothing");
+        assert_eq!(adaptive.stats.pull_steps, 0);
     }
 
     #[test]

@@ -9,11 +9,12 @@
 
 use gcgt_cgr::CgrGraph;
 use gcgt_graph::NodeId;
-use gcgt_simt::{parallel_warps, Device, DeviceConfig, IterationCost, OomError, WarpSim};
+use gcgt_simt::{parallel_warps, Device, DeviceConfig, IterationCost, OomError, OpClass, WarpSim};
 
-use crate::kernels::{expand_warp, Sink};
+use crate::frontier::Frontier;
+use crate::kernels::{expand_warp, CollectSink, Sink};
 use crate::memory;
-use crate::strategy::Strategy;
+use crate::strategy::{DirectionMode, Strategy};
 
 /// A device-resident graph structure that can expand frontier chunks.
 ///
@@ -24,6 +25,24 @@ use crate::strategy::Strategy;
 pub trait Expander: Send + Sync {
     /// Node count of the resident graph.
     fn num_nodes(&self) -> usize;
+
+    /// Edge count of the resident graph — the denominator of the adaptive
+    /// push/pull density heuristic.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of node `u`, decoded without materializing neighbours —
+    /// the per-level frontier-density sum of the adaptive heuristic. Host-
+    /// side bookkeeping: charges nothing on the simulated device (like
+    /// Ligra's threshold computation).
+    fn out_degree(&self, u: NodeId) -> usize;
+
+    /// The expansion-direction policy direction-aware apps (BFS) follow.
+    /// Defaults to push-only — exactly the pre-direction-optimization
+    /// behaviour, bitwise. Pull/adaptive engines must only be constructed
+    /// over symmetric adjacency (the session layer verifies this).
+    fn direction(&self) -> DirectionMode {
+        DirectionMode::Push
+    }
 
     /// The simulated device's configuration.
     fn device_config(&self) -> &DeviceConfig;
@@ -59,6 +78,51 @@ pub trait Expander: Send + Sync {
 
     /// Expands one warp's chunk of frontier nodes, feeding `sink`.
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S);
+
+    /// Pull-mode expansion of one warp's chunk of **unvisited candidates**:
+    /// for each candidate, find its first neighbour in `frontier` and push
+    /// `(parent, candidate)` onto `out`. Returns the number of neighbours
+    /// examined (the `RunStats::pulled_edges` contribution).
+    ///
+    /// The default is a correct-everywhere fallback: expand the candidates'
+    /// full adjacency through the push machinery and select each
+    /// candidate's first frontier parent in emission order — no early-exit
+    /// saving. Engines with a native streaming decode (GCGT, the CSR
+    /// baselines) override it with a real early-exit scan.
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        let mut sink = CollectSink::default();
+        self.expand_chunk(warp, chunk, &mut sink);
+        // Membership probes over the dense frontier bitmap, one Handle
+        // step per warp-width batch of candidates.
+        for batch in sink.pairs.chunks(warp.width().max(1)) {
+            warp.issue_mem(
+                OpClass::Handle,
+                batch.len(),
+                batch.iter().map(|&(_, v)| Frontier::bitmap_addr(v)),
+            );
+        }
+        let examined = sink.pairs.len() as u64;
+        let mut taken = vec![false; chunk.len()];
+        for &(u, v) in &sink.pairs {
+            if frontier.contains(v) {
+                let idx = chunk
+                    .iter()
+                    .position(|&c| c == u)
+                    .expect("expanded pair outside the chunk");
+                if !taken[idx] {
+                    taken[idx] = true;
+                    out.push((v, u));
+                }
+            }
+        }
+        examined
+    }
 
     /// Releases whatever query-spanning residency this engine still holds
     /// on `device` — called by serving workers when a query ends, so the
@@ -103,6 +167,15 @@ pub trait DynExpander: Send + Sync {
     /// impl never shadows the [`Expander`] inherent names at call sites).
     fn dyn_num_nodes(&self) -> usize;
 
+    /// Edge count (see [`Expander::num_edges`]).
+    fn dyn_num_edges(&self) -> usize;
+
+    /// Out-degree of `u` (see [`Expander::out_degree`]).
+    fn dyn_out_degree(&self, u: NodeId) -> usize;
+
+    /// Expansion-direction policy (see [`Expander::direction`]).
+    fn dyn_direction(&self) -> DirectionMode;
+
     /// The simulated device's configuration.
     fn dyn_device_config(&self) -> &DeviceConfig;
 
@@ -124,6 +197,16 @@ pub trait DynExpander: Send + Sync {
     /// Type-erased [`Expander::expand_chunk`].
     fn expand_chunk_dyn(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut dyn Sink);
 
+    /// Type-erased [`Expander::pull_chunk`] (already object-safe — the
+    /// frontier and output are concrete types).
+    fn pull_chunk_dyn(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64;
+
     /// Creates a per-run device with the graph resident (see
     /// [`Expander::new_device`]).
     fn dyn_new_device(&self) -> Device;
@@ -132,6 +215,18 @@ pub trait DynExpander: Send + Sync {
 impl<E: Expander> DynExpander for E {
     fn dyn_num_nodes(&self) -> usize {
         Expander::num_nodes(self)
+    }
+
+    fn dyn_num_edges(&self) -> usize {
+        Expander::num_edges(self)
+    }
+
+    fn dyn_out_degree(&self, u: NodeId) -> usize {
+        Expander::out_degree(self, u)
+    }
+
+    fn dyn_direction(&self) -> DirectionMode {
+        Expander::direction(self)
     }
 
     fn dyn_device_config(&self) -> &DeviceConfig {
@@ -162,6 +257,16 @@ impl<E: Expander> DynExpander for E {
         Expander::expand_chunk(self, warp, chunk, &mut sink);
     }
 
+    fn pull_chunk_dyn(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        Expander::pull_chunk(self, warp, chunk, frontier, out)
+    }
+
     fn dyn_new_device(&self) -> Device {
         Expander::new_device(self)
     }
@@ -170,6 +275,18 @@ impl<E: Expander> DynExpander for E {
 impl Expander for dyn DynExpander + '_ {
     fn num_nodes(&self) -> usize {
         self.dyn_num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.dyn_num_edges()
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.dyn_out_degree(u)
+    }
+
+    fn direction(&self) -> DirectionMode {
+        self.dyn_direction()
     }
 
     fn device_config(&self) -> &DeviceConfig {
@@ -198,6 +315,16 @@ impl Expander for dyn DynExpander + '_ {
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         self.expand_chunk_dyn(warp, chunk, sink);
+    }
+
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        self.pull_chunk_dyn(warp, chunk, frontier, out)
     }
 
     fn new_device(&self) -> Device {
@@ -250,11 +377,62 @@ where
     sinks
 }
 
+/// Launches one pull-mode kernel over the unvisited `candidates`: chunks
+/// them into warps, scans each candidate's compressed adjacency for a
+/// frontier parent (early exit), merges discoveries in warp order and
+/// accounts the launch on `device`. Returns the `(parent, candidate)`
+/// discoveries plus the total neighbours examined.
+///
+/// Out-of-core composition falls out of the shared
+/// [`Expander::prepare_frontier`] hook: a pull level faults the partitions
+/// holding the **candidates'** adjacency (not the frontier's), which is
+/// most of the structure on early dense levels — the residency tradeoff the
+/// adaptive heuristic's push levels avoid.
+pub fn launch_pull<E>(
+    expander: &E,
+    device: &mut Device,
+    candidates: &[NodeId],
+    frontier: &Frontier,
+) -> (Vec<(NodeId, NodeId)>, u64)
+where
+    E: Expander + ?Sized,
+{
+    expander.prepare_frontier(device, candidates);
+    let width = expander.device_config().warp_width;
+    let cache_lines = expander.device_config().cache_lines_per_warp;
+    let chunks: Vec<&[NodeId]> = candidates.chunks(width).collect();
+    let results = parallel_warps(chunks.len(), |w| {
+        let mut warp = WarpSim::new(width, cache_lines);
+        let mut out = Vec::new();
+        let examined = expander.pull_chunk(&mut warp, chunks[w], frontier, &mut out);
+        (warp.into_counters(), (out, examined))
+    });
+
+    let mut cost = IterationCost {
+        warps: chunks.len(),
+        ..Default::default()
+    };
+    let mut pairs = Vec::new();
+    let mut examined = 0u64;
+    let device_config = expander.device_config();
+    for ((tally, mem), (out, seen)) in results {
+        let critical = device_config.warp_critical_cycles(&tally, &mem);
+        cost.max_warp_cycles = cost.max_warp_cycles.max(critical);
+        cost.tally.merge(&tally);
+        cost.mem.merge(&mem);
+        pairs.extend(out);
+        examined += seen;
+    }
+    device.account_launch(&cost);
+    (pairs, examined)
+}
+
 /// A GCGT traversal engine bound to one compressed graph.
 pub struct GcgtEngine<'g> {
     cgr: &'g CgrGraph,
     device_config: DeviceConfig,
     strategy: Strategy,
+    direction: DirectionMode,
 }
 
 impl<'g> GcgtEngine<'g> {
@@ -278,7 +456,20 @@ impl<'g> GcgtEngine<'g> {
             cgr,
             device_config,
             strategy,
+            direction: DirectionMode::Push,
         })
+    }
+
+    /// Sets the expansion-direction policy (defaults to
+    /// [`DirectionMode::Push`], the pre-direction-optimization behaviour).
+    ///
+    /// Pull semantics require the encoded adjacency to be symmetric —
+    /// construct over a symmetrized graph (the session layer checks this;
+    /// direct engine users own the invariant).
+    #[must_use]
+    pub fn with_direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = direction;
+        self
     }
 
     /// The compressed graph.
@@ -297,6 +488,18 @@ impl Expander for GcgtEngine<'_> {
         self.cgr.num_nodes()
     }
 
+    fn num_edges(&self) -> usize {
+        self.cgr.num_edges()
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        gcgt_cgr::decode::decode_degree(self.cgr, u)
+    }
+
+    fn direction(&self) -> DirectionMode {
+        self.direction
+    }
+
     fn device_config(&self) -> &DeviceConfig {
         &self.device_config
     }
@@ -311,6 +514,16 @@ impl Expander for GcgtEngine<'_> {
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         expand_warp(self.strategy, warp, self.cgr, chunk, sink);
+    }
+
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        crate::kernels::pull::pull_expand(warp, self.cgr, chunk, frontier, out)
     }
 }
 

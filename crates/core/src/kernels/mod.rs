@@ -5,6 +5,7 @@
 //! `tests/figure4_steps.rs`).
 
 pub mod intuitive;
+pub mod pull;
 pub mod segmented;
 pub mod task_stealing;
 pub mod two_phase;
@@ -109,6 +110,7 @@ impl LaneCursor {
                 .expect("itv gap")
         };
         let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
         self.bit_ptr = p2;
         self.itv_decoded += 1;
         self.prev_itv_end = start + len - 1;

@@ -70,6 +70,7 @@ impl SegCursor {
                 .expect("itv gap")
         };
         let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
         self.pos = p2;
         self.itv_decoded += 1;
         self.prev_itv_end = start + len - 1;

@@ -23,6 +23,7 @@ pub mod algorithm;
 pub mod apps;
 pub mod bitset;
 pub mod engine;
+pub mod frontier;
 pub mod kernels;
 pub mod memory;
 pub mod strategy;
@@ -34,5 +35,6 @@ pub use apps::cc::{cc, cc_in, CcRun};
 pub use apps::labelprop::{label_propagation, label_propagation_in, LabelPropRun};
 pub use apps::pagerank::{pagerank, pagerank_in, PagerankRun};
 pub use bitset::BitSet;
-pub use engine::{launch_expansion, DynExpander, Expander, GcgtEngine};
-pub use strategy::Strategy;
+pub use engine::{launch_expansion, launch_pull, DynExpander, Expander, GcgtEngine};
+pub use frontier::Frontier;
+pub use strategy::{DirectionMode, Strategy, PULL_ALPHA};

@@ -1,6 +1,55 @@
-//! The optimization ladder of the Figure 9 ablation study.
+//! The optimization ladder of the Figure 9 ablation study, plus the
+//! direction-optimization axis (Beamer-style push/pull) layered on top
+//! of every rung.
 
 use gcgt_cgr::CgrConfig;
+
+/// The frontier-expansion direction of a traversal level — the
+/// direction-optimizing BFS of Beamer et al. (and Ligra's `edgeMap`,
+/// Gunrock's advance), applied to **compressed** adjacency.
+///
+/// * **Push** expands the frontier's out-edges (`appendIfUnvisited`,
+///   Algorithm 1) — the only mode the paper's GCGT engine had.
+/// * **Pull** walks every *unvisited* node's compressed adjacency via the
+///   early-exit [`gcgt_cgr::NeighborScanner`], stopping at the first
+///   frontier parent. On dense frontiers of low-diameter graphs this
+///   examines a small fraction of the edges push would expand.
+/// * **Adaptive** picks per level with the Beamer/Ligra density heuristic:
+///   pull when the frontier's out-degree sum exceeds
+///   `num_edges / `[`PULL_ALPHA`], push otherwise. On a graph where the
+///   heuristic never fires, an adaptive run is **bitwise identical** to a
+///   push run — output and [`gcgt_simt::RunStats`] alike.
+///
+/// Pull semantics require a *symmetric* graph (stored adjacency =
+/// in-neighbours); the session layer verifies this, rejecting `Pull` and
+/// degrading `Adaptive` to `Push` on asymmetric inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DirectionMode {
+    /// Always expand frontier out-edges (the classic top-down BFS).
+    #[default]
+    Push,
+    /// Always scan unvisited nodes for frontier parents (bottom-up).
+    Pull,
+    /// Per-level Beamer/Ligra density switch between the two.
+    Adaptive,
+}
+
+/// The α of the adaptive density heuristic: a level pulls when the
+/// frontier's out-degree sum exceeds `num_edges / PULL_ALPHA` (Ligra uses
+/// 20, Beamer's α ≈ 14 on the same order). Compared multiplication-side
+/// (`frontier_edges × α > num_edges`) so tiny graphs never divide to zero.
+pub const PULL_ALPHA: usize = 20;
+
+impl DirectionMode {
+    /// Display name for tables and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirectionMode::Push => "push",
+            DirectionMode::Pull => "pull",
+            DirectionMode::Adaptive => "adaptive",
+        }
+    }
+}
 
 /// Which scheduling strategies a traversal uses. Each variant includes all
 /// the optimizations of its predecessors, matching the incremental

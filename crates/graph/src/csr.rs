@@ -179,6 +179,15 @@ impl Csr {
         }
     }
 
+    /// Whether every edge `(u, v)` has its reverse `(v, u)` — i.e. the
+    /// out-adjacency doubles as the in-adjacency. Pull-mode (direction-
+    /// optimizing) traversal scans a node's *stored* adjacency for frontier
+    /// parents, which is only the in-neighbour set on a symmetric graph;
+    /// the session layer checks this before enabling pull. O(V + E).
+    pub fn is_symmetric(&self) -> bool {
+        self.transpose() == *self
+    }
+
     /// The symmetrized graph: for every edge `(u, v)` both directions exist.
     pub fn symmetrized(&self) -> Csr {
         let mut b = CsrBuilder::new(self.num_nodes());

@@ -5,8 +5,8 @@
 use std::sync::Mutex;
 
 use gcgt_cgr::CgrGraph;
-use gcgt_core::kernels::{expand_warp, Sink};
-use gcgt_core::{memory, Expander, Strategy};
+use gcgt_core::kernels::{expand_warp, pull::pull_expand, Sink};
+use gcgt_core::{memory, DirectionMode, Expander, Frontier, Strategy};
 use gcgt_graph::NodeId;
 use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, WarpSim};
 
@@ -27,6 +27,7 @@ pub struct OocEngine<'g> {
     pcie: PcieConfig,
     config: OocConfig,
     cache_budget: usize,
+    direction: DirectionMode,
     cache: Mutex<PartitionCache>,
 }
 
@@ -60,8 +61,22 @@ impl<'g> OocEngine<'g> {
             pcie,
             config,
             cache_budget,
+            direction: DirectionMode::Push,
             cache: Mutex::new(PartitionCache::new(cache_budget)),
         })
+    }
+
+    /// Sets the expansion-direction policy. **Residency tradeoff**: a pull
+    /// level faults the partitions holding every *unvisited candidate's*
+    /// adjacency through the shared `prepare_frontier` hook — on an early
+    /// dense level that is most of the structure, so under a tight budget
+    /// pulling trades expanded-edge savings for extra partition churn. The
+    /// adaptive heuristic only pulls on dense frontiers, where the whole
+    /// structure was about to be touched anyway.
+    #[must_use]
+    pub fn with_direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = direction;
+        self
     }
 
     /// The compressed graph being streamed.
@@ -89,6 +104,18 @@ impl<'g> OocEngine<'g> {
 impl Expander for OocEngine<'_> {
     fn num_nodes(&self) -> usize {
         self.cgr.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.cgr.num_edges()
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        gcgt_cgr::decode::decode_degree(self.cgr, u)
+    }
+
+    fn direction(&self) -> DirectionMode {
+        self.direction
     }
 
     fn device_config(&self) -> &DeviceConfig {
@@ -125,6 +152,19 @@ impl Expander for OocEngine<'_> {
 
     fn expand_chunk<S: Sink>(&self, warp: &mut WarpSim, chunk: &[NodeId], sink: &mut S) {
         expand_warp(self.strategy, warp, self.cgr, chunk, sink);
+    }
+
+    /// Pull over whatever `prepare_frontier` made resident: the launcher
+    /// passed the pull candidates to that hook, so the partitions holding
+    /// their compressed adjacency are on the device before any lane scans.
+    fn pull_chunk(
+        &self,
+        warp: &mut WarpSim,
+        chunk: &[NodeId],
+        frontier: &Frontier,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) -> u64 {
+        pull_expand(warp, self.cgr, chunk, frontier, out)
     }
 
     /// Frees every partition this engine's **private** cache (one per

@@ -70,6 +70,41 @@
 //! assert_eq!(worker.allocated(), worker.baseline());
 //! ```
 //!
+//! ## Direction-optimizing traversal
+//!
+//! [`SessionBuilder::direction`] layers Beamer-style push/pull switching
+//! over every engine: push levels expand the frontier's out-edges, pull
+//! levels scan *unvisited* nodes' compressed adjacency with early exit,
+//! and [`DirectionMode::Adaptive`] picks per level with the Ligra density
+//! heuristic (pull when the frontier's out-degree sum exceeds
+//! `num_edges / `[`PULL_ALPHA`]). Pull requires symmetric adjacency —
+//! add [`SessionBuilder::symmetrize`]; the saving is reported in
+//! [`RunStats`] (`push_steps`/`pull_steps`/`pushed_edges`/`pulled_edges`):
+//!
+//! ```
+//! use gcgt_graph::gen::{social_graph, SocialParams};
+//! use gcgt_session::{Bfs, DirectionMode, Session};
+//!
+//! let graph = social_graph(&SocialParams::twitter_like(600), 7);
+//! let run_with = |direction| {
+//!     Session::builder()
+//!         .graph(graph.clone())
+//!         .symmetrize(true)
+//!         .direction(direction)
+//!         .build()
+//!         .unwrap()
+//!         .run(Bfs::from(0))
+//! };
+//! let push = run_with(DirectionMode::Push);
+//! let adaptive = run_with(DirectionMode::Adaptive);
+//! assert_eq!(push.output.depth, adaptive.output.depth); // identical answers
+//! assert!(adaptive.stats.pull_steps >= 1);
+//! assert!(
+//!     adaptive.stats.pushed_edges + adaptive.stats.pulled_edges
+//!         < push.stats.pushed_edges
+//! );
+//! ```
+//!
 //! ## Graphs larger than the device
 //!
 //! [`SessionBuilder::memory_budget`] plus [`EngineKind::OutOfCore`] lifts
@@ -111,7 +146,9 @@ use gcgt_graph::{Csr, NodeId, Reordering};
 use gcgt_ooc::{OocEngine, PartitionMap};
 use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, RunStats};
 
-pub use gcgt_core::{Bc, Bfs, Cc, LabelProp, Pagerank, Query, QueryOutput};
+pub use gcgt_core::{
+    Bc, Bfs, Cc, DirectionMode, LabelProp, Pagerank, Query, QueryOutput, PULL_ALPHA,
+};
 pub use gcgt_ooc::OocConfig;
 
 /// Which traversal engine a session drives — selected at **runtime**.
@@ -195,6 +232,11 @@ pub enum SessionError {
         /// The selected (non-GCGT) engine.
         engine: EngineKind,
     },
+    /// [`DirectionMode::Pull`] was requested over a graph whose adjacency
+    /// is not symmetric: pull scans a node's *stored* adjacency for
+    /// frontier parents, which is only its in-neighbour set when every edge
+    /// has its reverse. (`Adaptive` degrades to push instead of erroring.)
+    AsymmetricPull,
     /// Graph plus traversal buffers exceed the device memory.
     Oom(OomError),
 }
@@ -228,6 +270,12 @@ impl std::fmt::Display for SessionError {
                  would ignore it (drop compress(..) or select a GCGT engine)",
                 engine.name()
             ),
+            SessionError::AsymmetricPull => write!(
+                f,
+                "DirectionMode::Pull requires symmetric adjacency (stored neighbours must be \
+                 the in-neighbours); add .symmetrize(true) or use DirectionMode::Adaptive, \
+                 which degrades to push on asymmetric graphs"
+            ),
             SessionError::Oom(e) => write!(f, "{e}"),
         }
     }
@@ -253,6 +301,7 @@ pub struct SessionBuilder {
     pcie: Option<PcieConfig>,
     memory_budget: Option<usize>,
     ooc: Option<OocConfig>,
+    direction: Option<DirectionMode>,
 }
 
 impl SessionBuilder {
@@ -309,6 +358,26 @@ impl SessionBuilder {
     #[must_use]
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// The frontier-expansion direction BFS levels use (defaults to
+    /// [`DirectionMode::Push`], the paper's original behaviour).
+    ///
+    /// * `Push` — classic top-down expansion, bitwise identical to the
+    ///   pre-direction API.
+    /// * `Pull` — every level scans unvisited nodes' compressed adjacency
+    ///   for frontier parents with early exit. Requires symmetric
+    ///   adjacency; `build` returns [`SessionError::AsymmetricPull`]
+    ///   otherwise (add [`SessionBuilder::symmetrize`]).
+    /// * `Adaptive` — the Beamer/Ligra density heuristic picks per level
+    ///   (pull when the frontier's out-degree sum exceeds
+    ///   `num_edges / `[`PULL_ALPHA`]); on an asymmetric graph it degrades
+    ///   to pure push, and on a graph where the heuristic never fires the
+    ///   run is bitwise identical to `Push` — outputs and `RunStats` alike.
+    #[must_use]
+    pub fn direction(mut self, direction: DirectionMode) -> Self {
+        self.direction = Some(direction);
         self
     }
 
@@ -374,6 +443,25 @@ impl SessionBuilder {
                 (Arc::new(symmetrized.permuted(&perm)), Some(perm))
             }
             None => (symmetrized, None),
+        };
+
+        // --- direction resolution (pull needs in-neighbours = stored
+        // adjacency, i.e. a symmetric graph; checked on the preprocessed
+        // graph, and only when a non-push direction was asked for) ---
+        let direction = match self.direction.unwrap_or_default() {
+            DirectionMode::Push => DirectionMode::Push,
+            requested => {
+                if graph.is_symmetric() {
+                    requested
+                } else {
+                    match requested {
+                        DirectionMode::Pull => return Err(SessionError::AsymmetricPull),
+                        // Adaptive means "the best *correct* schedule":
+                        // without symmetric adjacency that is pure push.
+                        _ => DirectionMode::Push,
+                    }
+                }
+            }
         };
 
         // --- encoding + footprint ---
@@ -455,6 +543,7 @@ impl SessionBuilder {
             structure,
             budget,
             ooc,
+            direction,
         })
     }
 
@@ -580,6 +669,7 @@ pub struct PreparedGraph {
     structure: usize,
     budget: usize,
     ooc: Option<OocPlan>,
+    direction: DirectionMode,
 }
 
 /// The runtime-selected engine, borrowing the prepared graph's structures.
@@ -607,6 +697,13 @@ impl PreparedGraph {
     /// The engine kind this prepared graph drives.
     pub fn kind(&self) -> EngineKind {
         self.kind
+    }
+
+    /// The **effective** frontier-expansion direction: what the builder
+    /// requested, with `Adaptive` degraded to `Push` when the preprocessed
+    /// graph turned out asymmetric.
+    pub fn direction(&self) -> DirectionMode {
+        self.direction
     }
 
     /// The simulated device configuration every worker derives its device
@@ -708,15 +805,18 @@ impl PreparedGraph {
                     self.device_config,
                     strategy,
                 )
-                .expect("capacity verified at build time"),
+                .expect("capacity verified at build time")
+                .with_direction(self.direction),
             ),
             EngineKind::GpuCsr => EngineHolder::GpuCsr(
                 GpuCsrEngine::new(&self.graph, self.device_config)
-                    .expect("capacity verified at build time"),
+                    .expect("capacity verified at build time")
+                    .with_direction(self.direction),
             ),
             EngineKind::Gunrock => EngineHolder::Gunrock(
                 GunrockEngine::new(&self.graph, self.device_config)
-                    .expect("capacity verified at build time"),
+                    .expect("capacity verified at build time")
+                    .with_direction(self.direction),
             ),
             EngineKind::OutOfCore { inner } => {
                 let cgr = self.cgr.as_ref().expect("OutOfCore session always encodes");
@@ -724,7 +824,8 @@ impl PreparedGraph {
                     // The graph fits: identical to the in-core engine.
                     None => EngineHolder::Gcgt(
                         GcgtEngine::new(cgr, self.device_config, inner)
-                            .expect("capacity verified at build time"),
+                            .expect("capacity verified at build time")
+                            .with_direction(self.direction),
                     ),
                     Some(plan) => EngineHolder::Ooc(
                         OocEngine::new(
@@ -736,7 +837,8 @@ impl PreparedGraph {
                             plan.config,
                             plan.cache_budget,
                         )
-                        .expect("budget verified at build time"),
+                        .expect("budget verified at build time")
+                        .with_direction(self.direction),
                     ),
                 }
             }
@@ -935,6 +1037,12 @@ impl Session {
     /// The engine kind this session drives.
     pub fn kind(&self) -> EngineKind {
         self.prepared.kind()
+    }
+
+    /// The effective frontier-expansion direction — see
+    /// [`PreparedGraph::direction`].
+    pub fn direction(&self) -> DirectionMode {
+        self.prepared.direction()
     }
 
     /// The simulated device configuration.
@@ -1287,6 +1395,132 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, SessionError::Oom(_)));
+    }
+
+    #[test]
+    fn pull_on_an_asymmetric_graph_is_a_typed_error() {
+        let err = Session::builder()
+            .graph(toys::binary_tree(4)) // edges point away from the root
+            .direction(DirectionMode::Pull)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SessionError::AsymmetricPull);
+        assert!(err.to_string().contains("symmetrize"), "{err}");
+        // Symmetrizing fixes it, and the effective direction sticks.
+        let session = Session::builder()
+            .graph(toys::binary_tree(4))
+            .symmetrize(true)
+            .direction(DirectionMode::Pull)
+            .build()
+            .unwrap();
+        assert_eq!(session.direction(), DirectionMode::Pull);
+        let want = refalgo::bfs(&toys::binary_tree(4).symmetrized(), 0);
+        assert_eq!(session.run(Bfs::from(0)).output.depth, want.depth);
+    }
+
+    #[test]
+    fn adaptive_degrades_to_push_on_asymmetric_graphs() {
+        let session = Session::builder()
+            .graph(toys::binary_tree(4))
+            .direction(DirectionMode::Adaptive)
+            .build()
+            .unwrap();
+        assert_eq!(session.direction(), DirectionMode::Push);
+        let run = session.run(Bfs::from(0));
+        assert_eq!(
+            run.output.depth,
+            refalgo::bfs(&toys::binary_tree(4), 0).depth
+        );
+        assert_eq!(run.stats.pull_steps, 0);
+    }
+
+    /// A long (symmetric) path: every frontier is one node, so the adaptive
+    /// heuristic never fires — and then an adaptive run must be **bitwise**
+    /// a push run on every engine kind: outputs and `RunStats` alike.
+    #[test]
+    fn adaptive_is_bitwise_push_on_every_engine_kind_when_push_wins() {
+        let n = 500usize;
+        let edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1)
+            .flat_map(|i| [(i, i + 1), (i + 1, i)])
+            .collect();
+        let g = Arc::new(Csr::from_edges(n, &edges));
+        let mut kinds = vec![
+            EngineKind::Gcgt(Strategy::Full),
+            EngineKind::Gcgt(Strategy::TwoPhase),
+            EngineKind::GpuCsr,
+            EngineKind::Gunrock,
+        ];
+        kinds.push(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        });
+        for kind in kinds {
+            let build = |direction: DirectionMode| {
+                let mut b = Session::builder()
+                    .graph_shared(Arc::clone(&g))
+                    .engine(kind)
+                    .direction(direction);
+                if matches!(kind, EngineKind::OutOfCore { .. }) {
+                    // Tight enough to really stream on both sides.
+                    let incore = Session::builder()
+                        .graph_shared(Arc::clone(&g))
+                        .build()
+                        .unwrap();
+                    let scratch = incore.footprint() - incore.structure_bytes();
+                    b = b.memory_budget(scratch + (incore.structure_bytes() / 4).max(1));
+                }
+                b.build().unwrap()
+            };
+            let push = build(DirectionMode::Push).run(Bfs::from(0));
+            let adaptive = build(DirectionMode::Adaptive).run(Bfs::from(0));
+            assert_eq!(push.output, adaptive.output, "{}", kind.name());
+            assert_eq!(push.stats, adaptive.stats, "{}", kind.name());
+            assert_eq!(adaptive.stats.pull_steps, 0, "{}", kind.name());
+        }
+    }
+
+    /// The direction-optimization payoff, end to end through the session:
+    /// on a low-diameter social graph the adaptive schedule answers
+    /// identically while expanding strictly fewer edges than pure push —
+    /// in-core and streaming out-of-core alike.
+    #[test]
+    fn adaptive_expands_fewer_edges_on_low_diameter_graphs() {
+        let g = gcgt_graph::gen::social_graph(&gcgt_graph::gen::SocialParams::twitter_like(900), 7);
+        for kind in [
+            EngineKind::Gcgt(Strategy::Full),
+            EngineKind::GpuCsr,
+            EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            },
+        ] {
+            let build = |direction: DirectionMode| {
+                let mut b = Session::builder()
+                    .graph(g.clone())
+                    .symmetrize(true)
+                    .engine(kind)
+                    .direction(direction);
+                if matches!(kind, EngineKind::OutOfCore { .. }) {
+                    let incore = Session::builder()
+                        .graph(g.clone())
+                        .symmetrize(true)
+                        .build()
+                        .unwrap();
+                    let scratch = incore.footprint() - incore.structure_bytes();
+                    b = b.memory_budget(scratch + (incore.structure_bytes() / 3).max(1));
+                }
+                b.build().unwrap()
+            };
+            let push = build(DirectionMode::Push).run(Bfs::from(0));
+            let adaptive = build(DirectionMode::Adaptive).run(Bfs::from(0));
+            assert_eq!(push.output.depth, adaptive.output.depth, "{}", kind.name());
+            assert!(adaptive.stats.pull_steps >= 1, "{}", kind.name());
+            let push_total = push.stats.pushed_edges + push.stats.pulled_edges;
+            let adaptive_total = adaptive.stats.pushed_edges + adaptive.stats.pulled_edges;
+            assert!(
+                adaptive_total < push_total,
+                "{}: adaptive {adaptive_total} vs push {push_total}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -180,6 +180,10 @@ pub struct Device {
     partition_faults: u64,
     partition_evictions: u64,
     transfer_ms: f64,
+    push_steps: u64,
+    pull_steps: u64,
+    pushed_edges: u64,
+    pulled_edges: u64,
 }
 
 impl Device {
@@ -195,6 +199,10 @@ impl Device {
             partition_faults: 0,
             partition_evictions: 0,
             transfer_ms: 0.0,
+            push_steps: 0,
+            pull_steps: 0,
+            pushed_edges: 0,
+            pulled_edges: 0,
         }
     }
 
@@ -263,6 +271,22 @@ impl Device {
         self.partition_evictions += 1;
     }
 
+    /// Records one push-mode (frontier out-edge) expansion level that
+    /// expanded `edges` candidate pairs — direction-optimizing BFS
+    /// observability ([`RunStats::push_steps`] / [`RunStats::pushed_edges`]).
+    pub fn charge_push_step(&mut self, edges: u64) {
+        self.push_steps += 1;
+        self.pushed_edges += edges;
+    }
+
+    /// Records one pull-mode (unvisited in-edge scan) expansion level that
+    /// examined `edges` compressed neighbours before early exit
+    /// ([`RunStats::pull_steps`] / [`RunStats::pulled_edges`]).
+    pub fn charge_pull_step(&mut self, edges: u64) {
+        self.pull_steps += 1;
+        self.pulled_edges += edges;
+    }
+
     /// Folds one kernel launch into the running cost.
     pub fn account_launch(&mut self, cost: &IterationCost) {
         let issue_cycles = self.config.weighted_cycles(&cost.tally);
@@ -300,6 +324,10 @@ impl Device {
             partition_faults: self.partition_faults,
             partition_evictions: self.partition_evictions,
             transfer_ms: self.transfer_ms,
+            push_steps: self.push_steps,
+            pull_steps: self.pull_steps,
+            pushed_edges: self.pushed_edges,
+            pulled_edges: self.pulled_edges,
         }
     }
 }
@@ -333,6 +361,20 @@ pub struct RunStats {
     /// upload of an in-core session is *not* included — that is
     /// `upload_ms` at the session layer.
     pub transfer_ms: f64,
+    /// Push-mode (frontier out-edge) expansion levels executed. Maintained
+    /// by direction-aware applications (BFS); 0 for the other apps.
+    pub push_steps: u64,
+    /// Pull-mode (unvisited in-edge scan) expansion levels executed —
+    /// non-zero only when direction-optimizing BFS actually switched.
+    pub pull_steps: u64,
+    /// Candidate edges expanded by push levels (the frontier out-degree
+    /// sum over push levels). With [`RunStats::pulled_edges`] this makes
+    /// the direction-optimization saving observable: a pure-push run
+    /// expands every reachable edge, an adaptive run strictly fewer.
+    pub pushed_edges: u64,
+    /// Compressed neighbours examined by pull levels before each lane's
+    /// early exit on its first frontier parent.
+    pub pulled_edges: u64,
 }
 
 impl RunStats {
@@ -363,6 +405,10 @@ impl RunStats {
                 .partition_evictions
                 .saturating_sub(earlier.partition_evictions),
             transfer_ms: (self.transfer_ms - earlier.transfer_ms).max(0.0),
+            push_steps: self.push_steps.saturating_sub(earlier.push_steps),
+            pull_steps: self.pull_steps.saturating_sub(earlier.pull_steps),
+            pushed_edges: self.pushed_edges.saturating_sub(earlier.pushed_edges),
+            pulled_edges: self.pulled_edges.saturating_sub(earlier.pulled_edges),
         }
     }
 }
@@ -460,6 +506,25 @@ mod tests {
         // The estimated execution time is unaffected: transfer is reported
         // separately so the cost stays attributable.
         assert_eq!(s.est_ms, 0.0);
+    }
+
+    #[test]
+    fn direction_counters_accumulate_and_subtract() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 20));
+        let before = d.stats();
+        d.charge_push_step(100);
+        d.charge_push_step(40);
+        d.charge_pull_step(7);
+        let s = d.stats().since(&before);
+        assert_eq!(s.push_steps, 2);
+        assert_eq!(s.pushed_edges, 140);
+        assert_eq!(s.pull_steps, 1);
+        assert_eq!(s.pulled_edges, 7);
+        // Direction bookkeeping is host-side: it never changes the
+        // simulated execution estimate.
+        assert_eq!(s.est_ms, 0.0);
+        // query_view zeroes them like every other counter.
+        assert_eq!(d.query_view().stats().push_steps, 0);
     }
 
     #[test]

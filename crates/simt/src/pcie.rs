@@ -47,10 +47,23 @@ impl PcieConfig {
     }
 
     /// Transfer-time ratio of an uncompressed structure over a compressed
-    /// one of the same graph — approaches the compression rate for large
-    /// transfers.
-    pub fn speedup(&self, uncompressed_bytes: usize, compressed_bytes: usize) -> f64 {
-        self.transfer_ms(uncompressed_bytes, 1) / self.transfer_ms(compressed_bytes, 1)
+    /// one of the same graph, both moved in the **same** number of `chunks`
+    /// (it used to hardcode one chunk, silently ignoring chunked-transfer
+    /// latency). Approaches the compression rate for large transfers; for
+    /// many tiny chunks the per-chunk latency dominates both sides and the
+    /// ratio decays toward 1.
+    ///
+    /// # Panics
+    /// Panics when `chunks == 0` — a zero-chunk transfer takes 0 ms on both
+    /// sides and has no meaningful ratio.
+    pub fn speedup(
+        &self,
+        uncompressed_bytes: usize,
+        compressed_bytes: usize,
+        chunks: usize,
+    ) -> f64 {
+        assert!(chunks > 0, "speedup of a zero-chunk transfer is undefined");
+        self.transfer_ms(uncompressed_bytes, chunks) / self.transfer_ms(compressed_bytes, chunks)
     }
 }
 
@@ -76,8 +89,32 @@ mod tests {
     #[test]
     fn speedup_approaches_compression_rate() {
         let p = PcieConfig::default();
-        let s = p.speedup(1 << 30, (1 << 30) / 10);
+        let s = p.speedup(1 << 30, (1 << 30) / 10, 1);
         assert!(s > 9.0 && s < 10.1, "{s}");
+    }
+
+    #[test]
+    fn speedup_accounts_chunk_latency() {
+        // Pin the formula: both sides pay `chunks` setup latencies, so the
+        // ratio is (U/bw + c·lat) / (C/bw + c·lat) — strictly below the
+        // 1-chunk ratio and decaying toward 1 as chunks grow.
+        let p = PcieConfig {
+            bandwidth_gb_s: 12.0,
+            latency_us: 10.0,
+        };
+        let (u, c) = (1usize << 30, (1usize << 30) / 10);
+        let chunks = 50_000;
+        let want = p.transfer_ms(u, chunks) / p.transfer_ms(c, chunks);
+        let got = p.speedup(u, c, chunks);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        assert!(got < p.speedup(u, c, 1));
+        assert!(got > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-chunk")]
+    fn speedup_of_zero_chunks_is_rejected() {
+        let _ = PcieConfig::default().speedup(1 << 20, 1 << 10, 0);
     }
 
     #[test]

@@ -21,9 +21,22 @@ pub struct WarpSim {
 }
 
 impl WarpSim {
+    /// The widest warp the simulator supports. The cap is load-bearing, not
+    /// cosmetic: [`WarpSim::ballot`] packs one lane per bit of a `u64`, so a
+    /// 65-lane warp would shift past the mask and panic (debug) or silently
+    /// drop lanes (release). Guarded here, once, with a typed assert.
+    pub const MAX_WIDTH: usize = u64::BITS as usize;
+
     /// A warp of `width` lanes with a `cache_lines`-slot memory cache.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= width <= MAX_WIDTH` (64): ballot masks are `u64`.
     pub fn new(width: usize, cache_lines: usize) -> Self {
-        assert!((1..=64).contains(&width), "warp width out of range");
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "warp width {width} out of range 1..={} (ballot packs one lane per u64 bit)",
+            Self::MAX_WIDTH
+        );
         Self {
             width,
             tally: Tally::new(width),
@@ -114,13 +127,16 @@ impl WarpSim {
         !preds.iter().any(|&p| p)
     }
 
-    /// Ballot: bitmask of lanes whose predicate holds.
+    /// Ballot: bitmask of lanes whose predicate holds. Lane indices are
+    /// guaranteed `< MAX_WIDTH` by the constructor, so the per-lane shift
+    /// can never overflow the `u64` mask.
     pub fn ballot(&mut self, preds: &[bool]) -> u64 {
+        debug_assert!(preds.len() <= self.width);
         self.issue(OpClass::Sync, self.width);
         preds
             .iter()
             .enumerate()
-            .fold(0u64, |m, (i, &p)| if p { m | (1 << i) } else { m })
+            .fold(0u64, |m, (i, &p)| if p { m | (1u64 << i) } else { m })
     }
 
     /// One atomic RMW issued by a single lane on behalf of the warp
@@ -202,5 +218,25 @@ mod tests {
     #[should_panic(expected = "warp width")]
     fn zero_width_rejected() {
         let _ = WarpSim::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp width 65 out of range")]
+    fn width_past_ballot_mask_rejected() {
+        // Regression: ballot packs one lane per u64 bit, so a 65-lane warp
+        // would overflow `1 << i` at lane 64. The constructor must refuse it
+        // rather than let ballot panic (debug) or lose lanes (release).
+        let _ = WarpSim::new(WarpSim::MAX_WIDTH + 1, 4);
+    }
+
+    #[test]
+    fn ballot_at_full_width_sets_the_top_bit() {
+        // Lane 63 maps to bit 63 — the shift that makes MAX_WIDTH = 64 the
+        // hard cap.
+        let mut w = WarpSim::new(WarpSim::MAX_WIDTH, 16);
+        let mut preds = vec![false; WarpSim::MAX_WIDTH];
+        preds[0] = true;
+        preds[63] = true;
+        assert_eq!(w.ballot(&preds), (1u64 << 63) | 1);
     }
 }

@@ -1,0 +1,53 @@
+//! Direction-optimizing traversal on compressed graphs.
+//!
+//! The GCGT engine historically only *pushed*: every level expands the
+//! frontier's out-edges. On low-diameter graphs (social networks) a couple
+//! of dense levels hold nearly all edges, and the Beamer-style *pull*
+//! schedule — every unvisited node scans its own compressed adjacency and
+//! stops at the first frontier parent — examines a fraction of them.
+//! `DirectionMode::Adaptive` switches per level with the Ligra/Beamer
+//! density heuristic (pull when the frontier's out-degree sum exceeds
+//! `|E| / PULL_ALPHA`).
+//!
+//! Run with: `cargo run --release --example direction`
+
+use gcgt::prelude::*;
+
+fn main() {
+    // A low-diameter, hub-heavy social graph. Pull requires symmetric
+    // adjacency (stored neighbours double as in-neighbours), so the
+    // session symmetrizes during preprocessing.
+    let graph = social_graph(&SocialParams::twitter_like(20_000), 42);
+
+    let run_with = |direction: DirectionMode| {
+        let session = Session::builder()
+            .graph(graph.clone())
+            .symmetrize(true)
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .direction(direction)
+            .build()
+            .expect("graph fits the default device");
+        session.run(Bfs::from(0))
+    };
+
+    let push = run_with(DirectionMode::Push);
+    let adaptive = run_with(DirectionMode::Adaptive);
+    assert_eq!(push.output.depth, adaptive.output.depth);
+
+    println!(
+        "BFS over {} nodes, alpha = {PULL_ALPHA}: both schedules reach {} nodes in {} levels\n",
+        graph.num_nodes(),
+        push.output.reached,
+        push.output.levels
+    );
+    for (name, run) in [("push", &push), ("adaptive", &adaptive)] {
+        let expanded = run.stats.pushed_edges + run.stats.pulled_edges;
+        println!(
+            "{name:>8}: {expanded:>9} edges expanded  ({} push / {} pull levels)  {:.3} sim ms",
+            run.stats.push_steps, run.stats.pull_steps, run.stats.est_ms
+        );
+    }
+    let saving = (push.stats.pushed_edges + push.stats.pulled_edges) as f64
+        / (adaptive.stats.pushed_edges + adaptive.stats.pulled_edges) as f64;
+    println!("\nadaptive expands {saving:.1}x fewer edges — identical answers, bitwise.");
+}

@@ -81,7 +81,7 @@ fn main() {
         "PCIe upload: CSR {:.2} ms vs CGR {:.2} ms ({:.1}x faster)",
         pcie.transfer_ms(csr_need, 1),
         session.upload_ms(),
-        pcie.speedup(csr_need, session.footprint())
+        pcie.speedup(csr_need, session.footprint(), 1)
     );
 
     // PageRank over the compressed crawl: the top authority pages.

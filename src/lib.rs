@@ -135,7 +135,9 @@ pub mod prelude {
 
     // --- the engine layer (for building custom engines / direct control) ---
     pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
-    pub use gcgt_core::{DynExpander, Expander, GcgtEngine, Strategy};
+    pub use gcgt_core::{
+        DirectionMode, DynExpander, Expander, Frontier, GcgtEngine, Strategy, PULL_ALPHA,
+    };
     pub use gcgt_ooc::{OocConfig, OocEngine, PartitionMap};
 
     // --- substrate ---

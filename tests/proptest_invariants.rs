@@ -7,8 +7,8 @@
 // `Strategy`, and glob-importing both is ambiguous.
 use gcgt::core::{bfs, cc};
 use gcgt::prelude::{
-    refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, GcgtEngine, LabelProp,
-    Pagerank, Query, Reordering, ServePool, Session, Strategy, VnodeConfig, VnodeGraph,
+    refalgo, ByteRleGraph, CgrConfig, CgrGraph, Code, Csr, DeviceConfig, EngineKind, GcgtEngine,
+    LabelProp, Pagerank, Query, Reordering, ServePool, Session, Strategy, VnodeConfig, VnodeGraph,
 };
 use proptest::prelude::{prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig};
 use proptest::strategy::Strategy as PropStrategy;
@@ -117,6 +117,51 @@ proptest! {
             passes: 2,
         });
         prop_assert_eq!(vg.expand(), graph);
+    }
+
+    #[test]
+    fn pull_equals_push_oracle(
+        graph in arb_graph(),
+        source_seed in 0u32..1000,
+        direction_idx in 0usize..3,
+        kind_idx in 0usize..5,
+    ) {
+        // Arbitrary graphs × sources × DirectionMode × every EngineKind
+        // (including OutOfCore under a small streaming budget): the BFS
+        // QueryOutput must be bitwise identical to the serial session
+        // oracle, and every mode's depths must match the reference BFS.
+        use gcgt::prelude::DirectionMode;
+        let direction = [DirectionMode::Push, DirectionMode::Pull, DirectionMode::Adaptive]
+            [direction_idx];
+        let kind = [
+            EngineKind::Gcgt(Strategy::Full),
+            EngineKind::Gcgt(Strategy::TaskStealing),
+            EngineKind::GpuCsr,
+            EngineKind::Gunrock,
+            EngineKind::OutOfCore { inner: Strategy::Full },
+        ][kind_idx];
+        // Symmetrized: pull requires in-neighbours = stored adjacency.
+        let sym = graph.symmetrized();
+        let n = sym.num_nodes() as u32;
+        let source = source_seed % n;
+        let want = refalgo::bfs(&sym, source);
+
+        let mut builder = Session::builder()
+            .graph(sym.clone())
+            .direction(direction)
+            .engine(kind);
+        if matches!(kind, EngineKind::OutOfCore { .. }) {
+            let incore = Session::builder().graph(sym.clone()).build().unwrap();
+            let scratch = incore.footprint() - incore.structure_bytes();
+            builder = builder.memory_budget(scratch + (incore.structure_bytes() / 4).max(1));
+        }
+        let session = builder.build().unwrap();
+        let a = session.run(Query::Bfs(source));
+        prop_assert_eq!(a.output.as_bfs().unwrap().depth.clone(), want.depth);
+        // Determinism: a second run is bitwise identical, QueryOutput's
+        // PartialEq covering the embedded RunStats too.
+        let b = session.run(Query::Bfs(source));
+        prop_assert_eq!(a.output, b.output);
     }
 
     #[test]

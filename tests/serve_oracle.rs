@@ -127,6 +127,51 @@ fn out_of_core_streaming_is_scheduling_independent() {
     }
 }
 
+/// Direction-optimizing sessions keep the determinism contract: the same
+/// adaptive (push/pull-switching) BFS mix through 1- and 4-worker pools is
+/// bitwise the serial oracle — outputs **and** per-query `RunStats`,
+/// including the new `pull_steps` / `pulled_edges` counters — at any worker
+/// count, in-core and streaming out-of-core alike.
+#[test]
+fn direction_optimizing_pools_are_scheduling_independent() {
+    // Low diameter + symmetrized so the adaptive heuristic really pulls.
+    let g = social_graph(&SocialParams::twitter_like(700), 23).symmetrized();
+    let queries: Vec<Query> = vec![Query::Bfs(0), Query::Bfs(5), Query::Bfs(31), Query::Bfs(0)];
+    for kind in [
+        EngineKind::Gcgt(Strategy::Full),
+        EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        },
+    ] {
+        let mut builder = Session::builder()
+            .graph(g.clone())
+            .device(DeviceConfig::titan_v_scaled(1 << 30))
+            .direction(DirectionMode::Adaptive)
+            .engine(kind);
+        if matches!(kind, EngineKind::OutOfCore { .. }) {
+            let incore = Session::builder().graph(g.clone()).build().unwrap();
+            let scratch = incore.footprint() - incore.structure_bytes();
+            builder = builder.memory_budget(scratch + (incore.structure_bytes() / 8).max(1));
+        }
+        let prepared = builder.build().unwrap().prepared();
+
+        let one = ServePool::new(prepared.clone(), 1).unwrap().serve(&queries);
+        let four = ServePool::new(prepared.clone(), 4).unwrap().serve(&queries);
+        for (i, query) in queries.iter().enumerate() {
+            let oracle = prepared.run(*query);
+            assert_eq!(one.outputs[i], oracle.output, "{kind:?} query {i} (1w)");
+            assert_eq!(four.outputs[i], oracle.output, "{kind:?} query {i} (4w)");
+            assert_eq!(one.per_query[i], oracle.stats, "{kind:?} query {i} (1w)");
+            assert_eq!(four.per_query[i], oracle.stats, "{kind:?} query {i} (4w)");
+        }
+        // The mode switch really happened — this suite is not vacuous.
+        assert!(
+            four.per_query.iter().any(|s| s.pull_steps >= 1),
+            "{kind:?}: no query ever pulled"
+        );
+    }
+}
+
 #[test]
 fn duplicate_queries_answer_identically_within_one_report() {
     let g = graph();

@@ -266,3 +266,86 @@ fn batch_per_query_stats_are_deterministic_and_match_standalone_runs() {
         );
     }
 }
+
+// --- direction-optimizing traversal (acceptance) ------------------------
+
+/// The PR's acceptance contract: `DirectionMode::Adaptive` BFS output is
+/// bitwise `DirectionMode::Push`'s on **every** engine kind (and so are the
+/// per-query `RunStats` whenever the density heuristic picks push at every
+/// level — here forced by a sparse-frontier graph); on the low-diameter
+/// generator the adaptive schedule must expand strictly fewer edges.
+#[test]
+fn adaptive_direction_acceptance_across_engine_kinds() {
+    // High-diameter symmetric chain: the heuristic never fires, so
+    // adaptive == push bitwise, output and statistics alike.
+    let chain = {
+        let n = 400u32;
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect();
+        Csr::from_edges(n as usize, &edges)
+    };
+    for kind in all_engine_kinds() {
+        let run_with = |direction: DirectionMode| {
+            Session::builder()
+                .graph(chain.clone())
+                .engine(kind)
+                .direction(direction)
+                .build()
+                .unwrap()
+                .run(Bfs::from(0))
+        };
+        let push = run_with(DirectionMode::Push);
+        let adaptive = run_with(DirectionMode::Adaptive);
+        assert_eq!(push.output, adaptive.output, "{kind:?}");
+        assert_eq!(push.stats, adaptive.stats, "{kind:?}");
+    }
+
+    // Low-diameter social graph: adaptive pulls and saves expanded edges
+    // while answering identically (output depths bitwise equal).
+    let social = social_graph(&SocialParams::twitter_like(800), 12);
+    for kind in all_engine_kinds() {
+        let run_with = |direction: DirectionMode| {
+            Session::builder()
+                .graph(social.clone())
+                .symmetrize(true)
+                .engine(kind)
+                .direction(direction)
+                .build()
+                .unwrap()
+                .run(Bfs::from(0))
+        };
+        let push = run_with(DirectionMode::Push);
+        let adaptive = run_with(DirectionMode::Adaptive);
+        assert_eq!(push.output.depth, adaptive.output.depth, "{kind:?}");
+        assert!(adaptive.stats.pull_steps >= 1, "{kind:?}");
+        assert!(
+            adaptive.stats.pushed_edges + adaptive.stats.pulled_edges
+                < push.stats.pushed_edges + push.stats.pulled_edges,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn direction_defaults_to_push_and_run_batch_composes() {
+    let session = Session::builder().graph(web()).build().unwrap();
+    assert_eq!(session.direction(), DirectionMode::Push);
+
+    // Batched adaptive queries share one residency and keep per-query
+    // direction counters attributable.
+    let sym = Session::builder()
+        .graph(web())
+        .symmetrize(true)
+        .direction(DirectionMode::Adaptive)
+        .build()
+        .unwrap();
+    let sources: Vec<Bfs> = (0..4).map(Bfs::from).collect();
+    let batch = sym.run_batch(&sources);
+    assert_eq!(batch.uploads, 1);
+    for (i, per) in batch.per_query.iter().enumerate() {
+        let solo = sym.run(sources[i]);
+        assert_eq!(solo.output.depth, batch.outputs[i].depth, "query {i}");
+        assert_eq!(solo.stats.pull_steps, per.pull_steps, "query {i}");
+        assert_eq!(solo.stats.pushed_edges, per.pushed_edges, "query {i}");
+    }
+}
