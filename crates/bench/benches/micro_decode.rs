@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
             let mut pos = 0usize;
             let mut n = 0u64;
             while pos + 64 < bits.len() && n < 50_000 {
-                let win = parallel_decode(&mut warp, bits, CgrConfig::paper_default().code, pos);
+                let win = parallel_decode(&mut warp, bits, unseg.table(), pos);
                 if win.values.is_empty() {
                     break;
                 }

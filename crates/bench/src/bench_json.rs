@@ -1,0 +1,161 @@
+//! `BENCH.json` — the machine-readable perf baseline emitted by
+//! `repro -- bench-json`.
+//!
+//! One entry per experiment, each with two numbers:
+//!
+//! * `modeled_ms` — the experiment's simulated-cost headline (the sum of
+//!   the `ms` columns of its table, see `Table::modeled_ms_sum`), which is
+//!   **bit-deterministic**: any change is a real cost-model or algorithm
+//!   change, so regressions diff cleanly across commits;
+//! * `host_ms` — wall-clock milliseconds the experiment took on this
+//!   machine, the noisy-but-honest end-to-end number.
+//!
+//! The file is versioned with a `schema` field and records the scale and
+//! source count it was measured at, so baselines are only compared
+//! like-for-like.
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::experiments::{
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve,
+    table1, table3, ExperimentContext,
+};
+use crate::table::Table;
+
+/// One experiment's baseline numbers.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Experiment name (matches the `repro` CLI name).
+    pub name: String,
+    /// Deterministic modeled milliseconds (`None` when the experiment's
+    /// table reports no time column, e.g. pure compression-rate sweeps).
+    pub modeled_ms: Option<f64>,
+    /// Host wall-clock milliseconds spent producing the experiment.
+    pub host_ms: f64,
+}
+
+/// Runs the full experiment suite, timing each and extracting its modeled
+/// headline. The suite mirrors `repro all` plus the decode fast-path
+/// experiment's two tables.
+pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
+    type Runner<'a> = (&'a str, Box<dyn Fn(&ExperimentContext) -> Table>);
+    let runners: Vec<Runner> = vec![
+        ("table3", Box::new(|_| table3::run())),
+        ("table1", Box::new(table1::run)),
+        ("fig8", Box::new(fig8::run)),
+        ("fig9", Box::new(fig9::run)),
+        ("fig11", Box::new(fig11::run)),
+        ("fig12", Box::new(fig12::run)),
+        ("fig13", Box::new(fig13::run)),
+        ("fig14", Box::new(fig14::run)),
+        ("fig15", Box::new(fig15::run)),
+        ("ooc", Box::new(ooc::run)),
+        ("serve", Box::new(serve::run)),
+        ("direction", Box::new(direction::run)),
+        ("decode", Box::new(decode::run)),
+        (
+            "decode-throughput",
+            Box::new(|ctx| decode::render_host(&decode::host_rows(ctx))),
+        ),
+        ("ablations-warp-width", Box::new(ablations::warp_width)),
+        ("ablations-cache-size", Box::new(ablations::cache_size)),
+        ("ablations-delta-code", Box::new(ablations::delta_code)),
+    ];
+    runners
+        .into_iter()
+        .map(|(name, run)| {
+            let t = Instant::now();
+            let table = run(ctx);
+            let host_ms = t.elapsed().as_secs_f64() * 1e3;
+            BenchEntry {
+                name: name.to_string(),
+                modeled_ms: table.modeled_ms_sum(),
+                host_ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders the baseline as pretty-printed JSON (hand-rolled: names are
+/// fixed ASCII identifiers, no escaping needed).
+pub fn render(entries: &[BenchEntry], scale: f64, sources: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"sources\": {sources},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let modeled = match e.modeled_ms {
+            Some(ms) => format!("{ms:.6}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"modeled_ms\": {}, \"host_ms\": {:.3}}}{}\n",
+            e.name,
+            modeled,
+            e.host_ms,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH.json` at `path`.
+pub fn write_file(
+    path: &std::path::Path,
+    entries: &[BenchEntry],
+    scale: f64,
+    sources: usize,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render(entries, scale, sources).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_json() {
+        let entries = vec![
+            BenchEntry {
+                name: "fig8".into(),
+                modeled_ms: Some(12.5),
+                host_ms: 340.2,
+            },
+            BenchEntry {
+                name: "fig11".into(),
+                modeled_ms: None,
+                host_ms: 10.0,
+            },
+        ];
+        let json = render(&entries, 0.05, 1);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"name\": \"fig8\""));
+        assert!(json.contains("\"modeled_ms\": 12.5"));
+        assert!(json.contains("\"modeled_ms\": null"));
+        assert!(json.contains("\"scale\": 0.05"));
+        // Brace/bracket balance (cheap well-formedness check without a
+        // JSON parser in the dependency-free build).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"), "trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn table_ms_sum_extraction() {
+        let mut t = Table::new("demo", &["Name", "Push ms", "Rate"]);
+        t.row(vec!["a".into(), "10.5".into(), "3.1x".into()]);
+        t.row(vec!["b".into(), "OOM".into(), "2.0x".into()]);
+        t.row(vec!["c".into(), "4.5".into(), "1.0x".into()]);
+        assert_eq!(t.modeled_ms_sum(), Some(15.0));
+        let no_ms = Table::new("demo", &["Name", "Rate"]);
+        assert_eq!(no_ms.modeled_ms_sum(), None);
+    }
+}

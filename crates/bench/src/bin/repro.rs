@@ -4,16 +4,21 @@
 //! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ooc serve direction ablations all      (default: all)
+//!             ooc serve direction decode ablations all   (default: all)
+//!             bench-json  (runs the whole suite, times each experiment,
+//!                          and writes the machine-readable BENCH.json
+//!                          perf baseline: per-experiment modeled ms +
+//!                          host wall-clock)
 //! --scale F   dataset scale factor   (default: 1.0)
 //! --sources N BFS sources averaged   (default: 3)
 //! --smoke     CI smoke mode: tiny scale, one source (overrides both)
 //! ```
 
+use gcgt_bench::bench_json;
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, table1,
-    table3, ExperimentContext,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve,
+    table1, table3, ExperimentContext,
 };
 
 fn main() {
@@ -42,7 +47,8 @@ fn main() {
                 println!(
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
-                     serve direction ablations all"
+                     serve direction decode ablations all\n\
+                     bench-json: run the suite and write the BENCH.json perf baseline"
                 );
                 return;
             }
@@ -82,10 +88,12 @@ fn main() {
         "ooc",
         "serve",
         "direction",
+        "decode",
         "ablations",
+        "bench-json",
     ]
     .iter()
-    .any(|e| want(e));
+    .any(|e| wanted.iter().any(|w| w == e) || (all && *e != "bench-json"));
     if !needs_ctx {
         return;
     }
@@ -115,9 +123,31 @@ fn main() {
     run_one("ooc", &ooc::run);
     run_one("serve", &serve::run);
     run_one("direction", &direction::run);
+    if want("decode") {
+        let t = std::time::Instant::now();
+        println!("{}", decode::render_host(&decode::host_rows(&ctx)).render());
+        println!("{}", decode::run(&ctx).render());
+        eprintln!("[decode] done in {:.1}s\n", t.elapsed().as_secs_f64());
+    }
     if want("ablations") {
         println!("{}", ablations::warp_width(&ctx).render());
         println!("{}", ablations::cache_size(&ctx).render());
         println!("{}", ablations::delta_code(&ctx).render());
+    }
+    // bench-json runs only when asked for by name ("all" excludes it: it
+    // re-runs the whole suite with per-experiment timing).
+    if wanted.iter().any(|w| w == "bench-json") {
+        let t = std::time::Instant::now();
+        eprintln!("running the bench-json suite ...");
+        let entries = bench_json::run_suite(&ctx);
+        let path = std::path::Path::new("BENCH.json");
+        bench_json::write_file(path, &entries, scale, sources).expect("write BENCH.json");
+        println!("{}", bench_json::render(&entries, scale, sources));
+        eprintln!(
+            "[bench-json] wrote {} entries to {} in {:.1}s",
+            entries.len(),
+            path.display(),
+            t.elapsed().as_secs_f64()
+        );
     }
 }

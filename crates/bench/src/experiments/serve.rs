@@ -135,16 +135,18 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<ServeRow> {
 pub fn render(rows: &[ServeRow]) -> Table {
     let mut t = Table::new(
         "Serve — mixed BFS/PageRank throughput vs worker count (one shared PreparedGraph)",
+        // Time columns spell out "ms": `Table::modeled_ms_sum` keys the
+        // BENCH.json regression baseline off that suffix.
         &[
             "Engine",
             "Workers",
             "Queries",
             "Thr (q/s)",
-            "Makespan",
-            "p50",
-            "p95",
-            "p99",
-            "Work",
+            "Makespan ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "Work ms",
             "Speedup",
         ],
     );

@@ -7,6 +7,7 @@
 //! `benches/` time the underlying operations and print the same tables into
 //! the bench log.
 
+pub mod bench_json;
 pub mod datasets;
 pub mod experiments;
 pub mod table;

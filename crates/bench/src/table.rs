@@ -64,6 +64,38 @@ impl Table {
     }
 }
 
+impl Table {
+    /// The table's modeled-milliseconds headline: the sum of every numeric
+    /// cell in columns whose header mentions `ms` (case-insensitive).
+    /// `None` when the table has no such column or no parseable cell
+    /// (`OOM` markers and the like are skipped). This is what
+    /// `repro -- bench-json` records per experiment so future changes have
+    /// a machine-readable modeled-cost baseline to regress against.
+    pub fn modeled_ms_sum(&self) -> Option<f64> {
+        let ms_cols: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.to_lowercase().contains("ms"))
+            .map(|(i, _)| i)
+            .collect();
+        if ms_cols.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0f64;
+        let mut any = false;
+        for row in &self.rows {
+            for &c in &ms_cols {
+                if let Ok(v) = row[c].trim().parse::<f64>() {
+                    sum += v;
+                    any = true;
+                }
+            }
+        }
+        any.then_some(sum)
+    }
+}
+
 /// Formats a millisecond value like the paper's plots (3 significant-ish
 /// digits, `OOM` handled by callers).
 pub fn fmt_ms(ms: f64) -> String {

@@ -1,0 +1,90 @@
+//! Encode/decode throughput per VLC code, table fast path vs broadword slow
+//! path (the `webgraph-rs benches/codes.rs` counterpart). The headline row
+//! is `decode-table/zeta3`: ζ3 residual-gap streams are the hot input of
+//! every GCGT traversal, and the table path must beat the slow path by ≥2×
+//! there (checked numerically by the `decode` repro experiment; this bench
+//! is the standalone measurement).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gcgt_bits::{residual_gap_values, BitWriter, Code, DecodeTable};
+
+fn bench(c: &mut Criterion) {
+    let values = residual_gap_values(20_000);
+    let mut group = c.benchmark_group("codes");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(values.len() as u64));
+
+    for code in Code::FIGURE11_SWEEP {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            code.encode(&mut w, v);
+        }
+        let bits = w.into_bitvec();
+        let table = DecodeTable::shared(code);
+
+        group.bench_function(format!("encode/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut w = BitWriter::with_capacity(values.len() * 16);
+                for &v in &values {
+                    code.encode(&mut w, v);
+                }
+                w.len()
+            })
+        });
+
+        group.bench_function(format!("decode-slow/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut pos = 0usize;
+                let mut acc = 0u64;
+                for _ in 0..values.len() {
+                    let (v, p) = code.decode_at(black_box(&bits), pos).unwrap();
+                    acc = acc.wrapping_add(v);
+                    pos = p;
+                }
+                acc
+            })
+        });
+
+        group.bench_function(format!("decode-table/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut pos = 0usize;
+                let mut acc = 0u64;
+                for _ in 0..values.len() {
+                    let (v, p) = table.decode_at(black_box(&bits), pos).unwrap();
+                    acc = acc.wrapping_add(v);
+                    pos = p;
+                }
+                acc
+            })
+        });
+
+        group.bench_function(format!("decode-table-packed/{}", code.name()), |b| {
+            b.iter(|| {
+                let mut pos = 0usize;
+                let mut n = 0usize;
+                let mut acc = 0u64;
+                while n < values.len() {
+                    let run = table.decode_packed_at(black_box(&bits), pos);
+                    if run.is_empty() {
+                        let (v, p) = table.decode_at(&bits, pos).unwrap();
+                        acc = acc.wrapping_add(v);
+                        pos = p;
+                        n += 1;
+                        continue;
+                    }
+                    let take = run.len().min(values.len() - n);
+                    for i in 0..take {
+                        acc = acc.wrapping_add(run.value(i));
+                    }
+                    pos += run.end(take - 1);
+                    n += take;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

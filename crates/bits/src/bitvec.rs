@@ -249,6 +249,25 @@ impl BitVec {
         }
     }
 
+    /// Reads the 64 bits starting at `pos` as one MSB-first word via a
+    /// two-word fetch + shift — the broadword primitive underneath
+    /// [`BitReader::peek_word`] and the table-driven decoders. Bits past the
+    /// end of the array read as zero (trailing padding inside the last word
+    /// is zero by construction, and words past the storage read as zero),
+    /// mirroring how a GPU kernel over-reads a padded device buffer.
+    #[inline]
+    pub fn peek_word(&self, pos: usize) -> u64 {
+        let word = pos / 64;
+        let off = (pos % 64) as u32;
+        let w0 = self.words.get(word).copied().unwrap_or(0);
+        if off == 0 {
+            w0
+        } else {
+            let w1 = self.words.get(word + 1).copied().unwrap_or(0);
+            (w0 << off) | (w1 >> (64 - off))
+        }
+    }
+
     /// Raw word storage (MSB-first within each word).
     #[inline]
     pub fn words(&self) -> &[u64] {
@@ -263,9 +282,41 @@ impl BitVec {
     }
 }
 
-/// Cursor over a [`BitVec`] used by every serial decoder. The GPU-simulated
+/// Why a bounded unary read failed — see [`BitReader::read_unary_zeros`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryError {
+    /// The stream ended before the terminating one bit.
+    Truncated,
+    /// The zero run exceeded the caller's limit: no valid codeword of the
+    /// decoding context can start with that many zeros, so the stream is
+    /// corrupt (e.g. the adversarial ≥64-zero γ prefix the CGR loaders
+    /// reject).
+    LimitExceeded {
+        /// The limit that was exceeded.
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for UnaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnaryError::Truncated => write!(f, "unary run truncated by end of stream"),
+            UnaryError::LimitExceeded { limit } => {
+                write!(f, "unary run exceeds the limit of {limit} zeros")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnaryError {}
+
+/// Cursor over a [`BitVec`] used by every serial decoder, built on broadword
+/// primitives: [`BitReader::peek_word`] fetches up to 64 bits ahead with a
+/// two-word fetch + shift, unary scanning uses `leading_zeros` instead of a
+/// per-bit loop, and multi-bit reads are one shift + mask. The GPU-simulated
 /// decoders keep their own integer bit pointers and use [`BitVec::get_bits`]
-/// directly, mirroring the `bitPtr` of the paper's pseudocode.
+/// / [`BitVec::peek_word`] directly, mirroring the `bitPtr` of the paper's
+/// pseudocode.
 #[derive(Clone, Debug)]
 pub struct BitReader<'a> {
     bits: &'a BitVec,
@@ -296,10 +347,24 @@ impl<'a> BitReader<'a> {
         self.pos = pos;
     }
 
+    /// Advances the cursor by `n` bits without reading them (the fast-path
+    /// companion of a table probe that already knows the codeword length).
+    #[inline]
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
     /// Bits remaining until the end of the array.
     #[inline]
     pub fn remaining(&self) -> usize {
         self.bits.len().saturating_sub(self.pos)
+    }
+
+    /// The next 64 bits at the cursor, MSB-first, zero-padded past the end
+    /// of the array (two-word fetch + shift; does not advance the cursor).
+    #[inline]
+    pub fn peek_word(&self) -> u64 {
+        self.bits.peek_word(self.pos)
     }
 
     /// Reads one bit; `None` at end of stream.
@@ -319,21 +384,67 @@ impl<'a> BitReader<'a> {
         if self.remaining() < n as usize {
             return None;
         }
-        let v = self.bits.get_bits(self.pos, n);
+        Some(self.read_bits_padded(n))
+    }
+
+    /// Reads `n` bits MSB-first with GPU-buffer semantics: bits past the
+    /// end of the array read as zero and the cursor advances regardless.
+    /// This is the payload read of [`crate::Code::decode_at`]-style padded
+    /// decoding.
+    #[inline]
+    pub fn read_bits_padded(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let v = if n == 0 {
+            0
+        } else {
+            self.peek_word() >> (64 - n)
+        };
         self.pos += n as usize;
-        Some(v)
+        v
     }
 
     /// Counts zero bits up to and including the terminating one bit,
-    /// returning the count of zeros. `None` if the stream ends first.
+    /// returning the count of zeros — broadword: `leading_zeros` over
+    /// 64-bit windows instead of a per-bit loop.
+    ///
+    /// `limit` bounds the run **independently of any caller-side guard**: a
+    /// run longer than `limit` zeros returns
+    /// [`UnaryError::LimitExceeded`] without scanning further (the cursor
+    /// is left inside the run), and a stream that ends before the
+    /// terminating one bit returns [`UnaryError::Truncated`] with the
+    /// cursor at the end. Decoders pass the longest prefix any valid
+    /// codeword of their code can have (63 for γ — values are `u64`), so
+    /// corrupt payloads are rejected in O(limit/64) instead of scanned to
+    /// the end of the array.
     #[inline]
-    pub fn read_unary_zeros(&mut self) -> Option<u32> {
+    pub fn read_unary_zeros(&mut self, limit: u32) -> Result<u32, UnaryError> {
         let mut zeros = 0u32;
         loop {
-            match self.read_bit()? {
-                true => return Some(zeros),
-                false => zeros += 1,
+            if self.pos >= self.bits.len() {
+                return Err(UnaryError::Truncated);
             }
+            let w = self.peek_word();
+            if w == 0 {
+                // Up to 64 genuine zero bits (set bits never appear in the
+                // zero padding past `len`, so an all-zero window is real up
+                // to the end of the stream).
+                let run = 64.min(self.bits.len() - self.pos) as u32;
+                zeros += run;
+                self.pos += run as usize;
+                if zeros > limit {
+                    return Err(UnaryError::LimitExceeded { limit });
+                }
+                continue;
+            }
+            let lz = w.leading_zeros();
+            zeros += lz;
+            if zeros > limit {
+                self.pos += lz as usize;
+                return Err(UnaryError::LimitExceeded { limit });
+            }
+            // The one bit is a real bit (padding is zero), consume it too.
+            self.pos += lz as usize + 1;
+            return Ok(zeros);
         }
     }
 }
@@ -428,8 +539,70 @@ mod tests {
     fn reader_unary() {
         let v = BitVec::from_bit_str("0001" /* 3 zeros */);
         let mut r = BitReader::new(&v);
-        assert_eq!(r.read_unary_zeros(), Some(3));
-        assert_eq!(r.read_unary_zeros(), None);
+        assert_eq!(r.read_unary_zeros(63), Ok(3));
+        assert_eq!(r.read_unary_zeros(63), Err(UnaryError::Truncated));
+    }
+
+    #[test]
+    fn reader_unary_respects_limit() {
+        // 70 zeros then a 1: a limit of 63 must reject without reaching the
+        // terminator; a limit of 70 decodes it.
+        let mut w = BitWriter::new();
+        w.push_zeros(70);
+        w.push_bit(true);
+        let v = w.into_bitvec();
+        let mut r = BitReader::new(&v);
+        assert_eq!(
+            r.read_unary_zeros(63),
+            Err(UnaryError::LimitExceeded { limit: 63 })
+        );
+        let mut r = BitReader::new(&v);
+        assert_eq!(r.read_unary_zeros(70), Ok(70));
+        assert_eq!(r.pos(), 71);
+        // An all-zero stream is truncated, not limit-exceeded, when the
+        // limit is never crossed first.
+        let zeros = BitVec::from_bit_str("00000");
+        let mut r = BitReader::new(&zeros);
+        assert_eq!(r.read_unary_zeros(63), Err(UnaryError::Truncated));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_unary_crosses_word_boundaries() {
+        // The broadword scan must count runs straddling u64 words exactly.
+        for zeros in [0u32, 1, 31, 63, 64, 65, 127, 128, 200] {
+            let mut w = BitWriter::new();
+            w.push_bits(0b101, 3); // misalign the run
+            w.push_zeros(zeros);
+            w.push_bit(true);
+            w.push_bits(0x5A, 8);
+            let v = w.into_bitvec();
+            let mut r = BitReader::at(&v, 3);
+            assert_eq!(r.read_unary_zeros(512), Ok(zeros), "{zeros} zeros");
+            assert_eq!(r.read_bits(8), Some(0x5A), "{zeros} zeros");
+        }
+    }
+
+    #[test]
+    fn peek_word_and_skip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xDEAD_BEEF_0123_4567, 64);
+        w.push_bits(0xFFFF, 16);
+        let v = w.into_bitvec();
+        // Aligned, shifted, and past-the-end peeks.
+        assert_eq!(v.peek_word(0), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(v.peek_word(4), 0xEADB_EEF0_1234_567F);
+        assert_eq!(v.peek_word(64), 0xFFFF_u64 << 48);
+        assert_eq!(v.peek_word(80), 0);
+        assert_eq!(v.peek_word(4096), 0);
+        let mut r = BitReader::new(&v);
+        r.skip(64);
+        assert_eq!(r.peek_word(), 0xFFFF_u64 << 48);
+        assert_eq!(r.read_bits(16), Some(0xFFFF));
+        // Padded reads past the end zero-extend and advance.
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.read_bits_padded(8), 0);
+        assert_eq!(r.pos(), 88);
     }
 
     #[test]

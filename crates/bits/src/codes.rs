@@ -98,108 +98,98 @@ impl Code {
         }
     }
 
-    /// Reads one codeword. Returns `None` on a truncated stream.
+    /// The longest unary zero run any **valid** codeword of this code can
+    /// start with (values are `u64`): 63 for γ (a value has at most 64
+    /// significant bits), and `⌈64/k⌉ - 1` for ζk (at most `⌈64/k⌉`
+    /// k-bit blocks). Longer runs only appear in corrupt payloads, and
+    /// every decoder — slow path and table fast path alike — rejects them
+    /// through [`BitReader::read_unary_zeros`]'s limit instead of
+    /// overflowing a shift. (This subsumes the old γ ≥64-zero guard.)
     #[inline]
-    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
+    pub fn unary_limit(&self) -> u32 {
+        match *self {
+            // δ's unary belongs to the γ-coded length, so γ's limit applies.
+            Code::Gamma | Code::Delta => 63,
+            Code::Zeta(k) => 64u32.div_ceil(u32::from(k).max(1)) - 1,
+        }
+    }
+
+    /// The single decode implementation — the oracle both public faces
+    /// ([`Code::decode`] and [`Code::decode_at`]) and the table builder
+    /// ([`crate::DecodeTable`]) collapse onto. `padded` selects the payload
+    /// semantics: strict readers fail on a truncated payload, padded
+    /// (GPU-buffer) readers zero-extend past the end. The unary prefix is
+    /// identical in both: it must terminate inside the stream (padding
+    /// zeros never produce the one bit) and within [`Code::unary_limit`].
+    #[inline]
+    fn decode_inner(&self, r: &mut BitReader<'_>, padded: bool) -> Option<u64> {
+        #[inline]
+        fn payload(r: &mut BitReader<'_>, n: u32, padded: bool) -> Option<u64> {
+            if padded {
+                Some(r.read_bits_padded(n))
+            } else {
+                r.read_bits(n)
+            }
+        }
         match *self {
             Code::Gamma => {
-                let zeros = r.read_unary_zeros()?;
+                let zeros = r.read_unary_zeros(63).ok()?;
                 let l = zeros + 1;
-                let rest = r.read_bits(l - 1)?;
+                let rest = payload(r, l - 1, padded)?;
                 Some((1u64 << (l - 1)) | rest)
             }
             Code::Delta => {
-                let l = Code::Gamma.decode(r)? as u32;
+                let l = Code::Gamma.decode_inner(r, padded)?;
                 if l == 0 || l > 64 {
                     return None;
                 }
-                let rest = r.read_bits(l - 1)?;
+                let l = l as u32;
+                let rest = payload(r, l - 1, padded)?;
                 Some((1u64 << (l - 1)) | rest)
             }
             Code::Zeta(k) => {
+                if k == 0 {
+                    return None;
+                }
                 let k = u32::from(k);
-                let zeros = r.read_unary_zeros()?;
+                let zeros = r.read_unary_zeros(self.unary_limit()).ok()?;
                 let m = zeros + 1;
                 let width = m * k;
                 if width > 64 {
-                    let pad = width - 64;
-                    let hi = r.read_bits(pad)?;
-                    if hi != 0 {
-                        return None; // value overflows u64
+                    // Only the encoder's explicit zero padding of the
+                    // impossible high bits is valid here.
+                    if payload(r, width - 64, padded)? != 0 {
+                        return None;
                     }
-                    r.read_bits(64)
+                    payload(r, 64, padded)
                 } else {
-                    r.read_bits(width)
+                    payload(r, width, padded)
                 }
             }
         }
     }
 
+    /// Reads one codeword. Returns `None` on a truncated or corrupt stream
+    /// (unary run past [`Code::unary_limit`], δ length out of range, ζ
+    /// value overflowing `u64`).
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u64> {
+        self.decode_inner(r, false)
+    }
+
     /// Decodes starting at absolute bit `pos` of `bits` without a reader,
     /// returning `(value, next_pos)`. This is the form used by the simulated
-    /// GPU kernels (the paper's `decodeNum(bitPtr)`): reads past the end of
-    /// the array see zero bits, and a codeword that would run past
-    /// `bits.len() + 64` is reported as `None`.
+    /// GPU kernels (the paper's `decodeNum(bitPtr)`): payload reads past the
+    /// end of the array see zero bits, while the unary prefix must still
+    /// terminate inside the stream. Same single implementation as
+    /// [`Code::decode`] (only the payload semantics differ), so the two can
+    /// never diverge — and it doubles as the slow-path oracle the
+    /// [`crate::DecodeTable`] fast path is built from and validated against.
     #[inline]
     pub fn decode_at(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
-        // Scan the unary prefix manually so that over-reads behave like a
-        // GPU reading a padded buffer: trailing "zero" bits never terminate
-        // the unary part, so we bail out once we are past the end.
-        let mut p = pos;
-        let limit = bits.len();
-        match *self {
-            Code::Gamma => {
-                let mut zeros = 0u32;
-                while p < limit && !bits.get(p) {
-                    zeros += 1;
-                    p += 1;
-                }
-                if p >= limit {
-                    return None;
-                }
-                // 64+ zeros cannot start a valid γ codeword (values are
-                // u64); corrupt payloads can present one, so refuse instead
-                // of overflowing the shift below.
-                if zeros >= 64 {
-                    return None;
-                }
-                p += 1; // the terminating 1
-                let l = zeros + 1;
-                let rest = bits.get_bits(p, l - 1);
-                p += (l - 1) as usize;
-                Some(((1u64 << (l - 1)) | rest, p))
-            }
-            Code::Delta => {
-                let (l, mut p) = Code::Gamma.decode_at(bits, pos)?;
-                if l == 0 || l > 64 {
-                    return None;
-                }
-                let l = l as u32;
-                let rest = bits.get_bits(p, l - 1);
-                p += (l - 1) as usize;
-                Some(((1u64 << (l - 1)) | rest, p))
-            }
-            Code::Zeta(k) => {
-                let k = u32::from(k);
-                let mut zeros = 0u32;
-                while p < limit && !bits.get(p) {
-                    zeros += 1;
-                    p += 1;
-                }
-                if p >= limit {
-                    return None;
-                }
-                p += 1;
-                let m = zeros + 1;
-                let width = m * k;
-                if width > 64 {
-                    return None;
-                }
-                let v = bits.get_bits(p, width);
-                p += width as usize;
-                Some((v, p))
-            }
-        }
+        let mut r = BitReader::at(bits, pos);
+        let v = self.decode_inner(&mut r, true)?;
+        Some((v, r.pos()))
     }
 
     /// Codeword length in bits for `x` (`x >= 1`), without encoding.

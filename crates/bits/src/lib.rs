@@ -12,6 +12,14 @@
 //! *including* its leading 1. This is validated bit-for-bit against the
 //! paper's Table 3 in the unit tests.
 //!
+//! Decoding has two equivalent paths: the broadword slow path
+//! ([`Code::decode`] / [`Code::decode_at`] — `leading_zeros` unary scans
+//! over [`BitReader::peek_word`] windows) and the table fast path
+//! ([`DecodeTable`] — one 16-bit-window probe per short codeword, with a
+//! multi-gap variant packing up to four consecutive residual-gap codewords
+//! per probe, WebGraph-style). The fast path is built *from* the slow path
+//! and pinned bitwise equal to it by differential property tests.
+//!
 //! ```
 //! use gcgt_bits::{BitWriter, BitReader, Code};
 //!
@@ -30,10 +38,12 @@
 mod bitvec;
 mod bytecode;
 mod codes;
+mod decode_table;
 
-pub use bitvec::{BitReader, BitVec, BitWriter};
+pub use bitvec::{BitReader, BitVec, BitWriter, UnaryError};
 pub use bytecode::{ByteCodeReader, ByteCodeWriter};
 pub use codes::{fold_sign, unfold_sign, Code};
+pub use decode_table::{residual_gap_values, DecodeTable, PackedRun, MAX_PACKED, WINDOW_BITS};
 
 /// Number of significant bits of a positive integer (`bits(1) == 1`,
 /// `bits(6) == 3`). The paper calls this the "length of significant bits".

@@ -57,7 +57,53 @@ impl CgrConfig {
     //
     // One encode/decode pair per field keeps the +1 / sign-fold / minimum
     // shifts in exactly one place; the GPU kernels call the same `read_*`
-    // helpers with raw bit positions.
+    // helpers with raw bit positions. Each decode splits into the raw VLC
+    // decode (the `Code::decode_at` slow-path oracle here; the
+    // `DecodeTable` fast path in `CgrGraph`'s `read_*` twins) and a
+    // `map_*` shift — so both paths share every checked-arithmetic guard:
+    // codeword value 0 from a corrupt payload is a decode failure, never a
+    // shift underflow, and every gap addition is overflow-checked.
+
+    /// Maps a raw count codeword value (`count + 1`) back to the count.
+    #[inline]
+    pub(crate) fn map_count(v: u64) -> Option<u64> {
+        // Valid encodes never produce codeword value 0 (every code maps
+        // positive integers); a corrupt payload can, so treat it as a
+        // decode failure instead of underflowing the shift.
+        v.checked_sub(1)
+    }
+
+    /// Maps a raw first-gap codeword value (sign-folded, then +1) to the
+    /// target node.
+    #[inline]
+    pub(crate) fn map_first_gap(source: NodeId, v: u64) -> Option<NodeId> {
+        let gap = unfold_sign(v.checked_sub(1)?);
+        let target = i64::from(source).checked_add(gap)?;
+        NodeId::try_from(target).ok()
+    }
+
+    /// Maps a raw interval-gap codeword value (`gap - 1`) to the interval
+    /// start.
+    #[inline]
+    pub(crate) fn map_interval_gap(prev_end: NodeId, v: u64) -> Option<NodeId> {
+        let start = u64::from(prev_end).checked_add(v.checked_add(1)?)?;
+        NodeId::try_from(start).ok()
+    }
+
+    /// Maps a raw interval-length codeword value (`len - min + 1`) to the
+    /// length.
+    #[inline]
+    pub(crate) fn map_interval_len(&self, v: u64) -> Option<u32> {
+        let min = self.min_interval_len.expect("intervals disabled");
+        u32::try_from(v.checked_sub(1)?).ok()?.checked_add(min)
+    }
+
+    /// Maps a raw residual-gap codeword value (the gap itself) to the
+    /// residual node.
+    #[inline]
+    pub(crate) fn map_residual_gap(prev: NodeId, v: u64) -> Option<NodeId> {
+        NodeId::try_from(u64::from(prev).checked_add(v)?).ok()
+    }
 
     /// Encodes a count (`degNum`, `itvNum`, `segNum`, per-segment `resNum`);
     /// counts can be zero, hence the +1 shift.
@@ -66,14 +112,12 @@ impl CgrConfig {
         self.code.encode(w, count + 1);
     }
 
-    /// Decodes a count at `pos`; returns `(count, next_pos)`.
+    /// Decodes a count at `pos`; returns `(count, next_pos)`. Slow-path
+    /// oracle — the table-accelerated twin is `CgrGraph::read_count`.
     #[inline]
     pub fn read_count(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        // Valid encodes never produce codeword value 0 (every code maps
-        // positive integers); a corrupt payload can, so treat it as a
-        // decode failure instead of underflowing the shift.
-        Some((v.checked_sub(1)?, p))
+        Some((Self::map_count(v)?, p))
     }
 
     /// Encodes a first gap (interval start or first residual) relative to
@@ -84,7 +128,8 @@ impl CgrConfig {
         self.code.encode(w, fold_sign(gap) + 1);
     }
 
-    /// Decodes a first gap at `pos`; returns `(target, next_pos)`.
+    /// Decodes a first gap at `pos`; returns `(target, next_pos)`. Slow-path
+    /// oracle — the table-accelerated twin is `CgrGraph::read_first_gap`.
     #[inline]
     pub fn read_first_gap(
         &self,
@@ -93,9 +138,7 @@ impl CgrConfig {
         source: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        let gap = unfold_sign(v.checked_sub(1)?);
-        let target = i64::from(source).checked_add(gap)?;
-        Some((NodeId::try_from(target).ok()?, p))
+        Some((Self::map_first_gap(source, v)?, p))
     }
 
     /// Encodes the gap between an interval start and the previous interval's
@@ -109,6 +152,8 @@ impl CgrConfig {
     }
 
     /// Decodes an interval gap at `pos`; returns `(start, next_pos)`.
+    /// Slow-path oracle — the table-accelerated twin is
+    /// `CgrGraph::read_interval_gap`.
     #[inline]
     pub fn read_interval_gap(
         &self,
@@ -117,8 +162,7 @@ impl CgrConfig {
         prev_end: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        let start = u64::from(prev_end).checked_add(v.checked_add(1)?)?;
-        Some((NodeId::try_from(start).ok()?, p))
+        Some((Self::map_interval_gap(prev_end, v)?, p))
     }
 
     /// Encodes an interval length; lengths are at least
@@ -131,11 +175,12 @@ impl CgrConfig {
     }
 
     /// Decodes an interval length at `pos`; returns `(len, next_pos)`.
+    /// Slow-path oracle — the table-accelerated twin is
+    /// `CgrGraph::read_interval_len`.
     #[inline]
     pub fn read_interval_len(&self, bits: &BitVec, pos: usize) -> Option<(u32, usize)> {
-        let min = self.min_interval_len.expect("intervals disabled");
         let (v, p) = self.code.decode_at(bits, pos)?;
-        Some((u32::try_from(v.checked_sub(1)?).ok()?.checked_add(min)?, p))
+        Some((self.map_interval_len(v)?, p))
     }
 
     /// Encodes the gap between consecutive residuals (`>= 1` since lists are
@@ -148,6 +193,8 @@ impl CgrConfig {
     }
 
     /// Decodes a residual gap at `pos`; returns `(residual, next_pos)`.
+    /// Slow-path oracle — the table-accelerated twin is
+    /// `CgrGraph::read_residual_gap`.
     #[inline]
     pub fn read_residual_gap(
         &self,
@@ -156,8 +203,7 @@ impl CgrConfig {
         prev: NodeId,
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
-        let next = u64::from(prev).checked_add(v)?;
-        Some((NodeId::try_from(next).ok()?, p))
+        Some((Self::map_residual_gap(prev, v)?, p))
     }
 
     /// Maps a raw VLC codeword value from a residual stream to the residual

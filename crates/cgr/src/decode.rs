@@ -2,7 +2,9 @@
 //! is validated against, plus the faithful `getNextNeighbor` iterator of the
 //! paper's Algorithm 1.
 
+use crate::config::CgrConfig;
 use crate::encode::CgrGraph;
+use gcgt_bits::PackedRun;
 use gcgt_graph::{Csr, CsrBuilder, NodeId};
 
 /// Decodes node `u`'s adjacency list, sorted ascending.
@@ -30,31 +32,30 @@ pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
     if start == end {
         return 0;
     }
-    let bits = cgr.bits();
     if cfg.segment_len_bytes.is_none() {
-        let (deg, _) = cfg.read_count(bits, start).expect("degNum");
+        let (deg, _) = cgr.read_count(start).expect("degNum");
         return deg as usize;
     }
     // Segmented: sum interval lengths plus per-segment residual counts.
-    let (itv_num, mut pos) = cfg.read_count(bits, start).expect("itvNum");
+    let (itv_num, mut pos) = cgr.read_count(start).expect("itvNum");
     let mut total = 0usize;
     let mut prev_end: Option<NodeId> = None;
     for _ in 0..itv_num {
         let (s, p) = match prev_end {
-            None => cfg.read_first_gap(bits, pos, u).expect("itv start"),
-            Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
+            None => cgr.read_first_gap(pos, u).expect("itv start"),
+            Some(pe) => cgr.read_interval_gap(pos, pe).expect("itv gap"),
         };
-        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        let (len, p2) = cgr.read_interval_len(p).expect("itv len");
         debug_assert!(len >= 1, "zero-length interval in node {u}");
         total += len as usize;
         prev_end = Some(s + len - 1);
         pos = p2;
     }
-    let (seg_num, pos) = cfg.read_count(bits, pos).expect("segNum");
+    let (seg_num, pos) = cgr.read_count(pos).expect("segNum");
     let seg_bits = cfg.segment_len_bits().unwrap();
     for si in 0..seg_num as usize {
         let sp = pos + si * seg_bits;
-        let (res_num, _) = cfg.read_count(bits, sp).expect("resNum");
+        let (res_num, _) = cgr.read_count(sp).expect("resNum");
         total += res_num as usize;
     }
     total
@@ -62,36 +63,35 @@ pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
 
 fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
     let cfg = cgr.config();
-    let bits = cgr.bits();
     let (start, end) = cgr.node_range(u);
     let mut out = Vec::new();
     if start == end {
         return out;
     }
-    let (itv_num, mut pos) = cfg.read_count(bits, start).expect("itvNum");
+    let (itv_num, mut pos) = cgr.read_count(start).expect("itvNum");
     let mut prev_end: Option<NodeId> = None;
     for _ in 0..itv_num {
         let (s, p) = match prev_end {
-            None => cfg.read_first_gap(bits, pos, u).expect("itv start"),
-            Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
+            None => cgr.read_first_gap(pos, u).expect("itv start"),
+            Some(pe) => cgr.read_interval_gap(pos, pe).expect("itv gap"),
         };
-        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        let (len, p2) = cgr.read_interval_len(p).expect("itv len");
         debug_assert!(len >= 1, "zero-length interval in node {u}");
         out.extend(s..s + len);
         prev_end = Some(s + len - 1);
         pos = p2;
     }
-    let (seg_num, pos) = cfg.read_count(bits, pos).expect("segNum");
+    let (seg_num, pos) = cgr.read_count(pos).expect("segNum");
     let seg_bits = cfg.segment_len_bits().unwrap();
     for si in 0..seg_num as usize {
         let mut sp = pos + si * seg_bits;
-        let (res_num, p) = cfg.read_count(bits, sp).expect("resNum");
+        let (res_num, p) = cgr.read_count(sp).expect("resNum");
         sp = p;
         let mut prev: Option<NodeId> = None;
         for _ in 0..res_num {
             let (r, p) = match prev {
-                None => cfg.read_first_gap(bits, sp, u).expect("seg first res"),
-                Some(pr) => cfg.read_residual_gap(bits, sp, pr).expect("res gap"),
+                None => cgr.read_first_gap(sp, u).expect("seg first res"),
+                Some(pr) => cgr.read_residual_gap(sp, pr).expect("res gap"),
             };
             out.push(r);
             prev = Some(r);
@@ -143,11 +143,11 @@ impl<'a> NeighborIter<'a> {
         let (deg, itv, pos) = if start == end {
             (0, 0, start)
         } else {
-            let (deg, p) = cfg.read_count(cgr.bits(), start).expect("degNum");
+            let (deg, p) = cgr.read_count(start).expect("degNum");
             if deg == 0 {
                 (0, 0, p)
             } else {
-                let (itv, p2) = cfg.read_count(cgr.bits(), p).expect("itvNum");
+                let (itv, p2) = cgr.read_count(p).expect("itvNum");
                 (deg, itv, p2)
             }
         };
@@ -179,8 +179,6 @@ impl Iterator for NeighborIter<'_> {
             return None;
         }
         self.deg_left -= 1;
-        let cfg = self.cgr.config();
-        let bits = self.cgr.bits();
         // Branch (i): in the middle of an interval.
         if self.cur_itv_len > 0 {
             let v = self.cur_itv_ptr;
@@ -192,13 +190,15 @@ impl Iterator for NeighborIter<'_> {
         if self.itv_left > 0 {
             let (start, p) = if self.first_interval {
                 self.first_interval = false;
-                cfg.read_first_gap(bits, self.bit_ptr, self.u)
+                self.cgr
+                    .read_first_gap(self.bit_ptr, self.u)
                     .expect("itv start")
             } else {
-                cfg.read_interval_gap(bits, self.bit_ptr, self.cur_itv_ptr - 1)
+                self.cgr
+                    .read_interval_gap(self.bit_ptr, self.cur_itv_ptr - 1)
                     .expect("itv gap")
             };
-            let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+            let (len, p2) = self.cgr.read_interval_len(p).expect("itv len");
             debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
             self.bit_ptr = p2;
             self.itv_left -= 1;
@@ -209,10 +209,12 @@ impl Iterator for NeighborIter<'_> {
         // Branch (iii): in the residual segment.
         let (r, p) = if self.first_residual {
             self.first_residual = false;
-            cfg.read_first_gap(bits, self.bit_ptr, self.u)
+            self.cgr
+                .read_first_gap(self.bit_ptr, self.u)
                 .expect("first res")
         } else {
-            cfg.read_residual_gap(bits, self.bit_ptr, self.cur_res)
+            self.cgr
+                .read_residual_gap(self.bit_ptr, self.cur_res)
                 .expect("res gap")
         };
         self.bit_ptr = p;
@@ -250,6 +252,14 @@ pub enum DecodeStep {
 /// payloads). [`NeighborScanner::next_with_step`] reports the branch class
 /// of each neighbour so simulated kernels can charge the right warp-step
 /// cost; the plain [`Iterator`] face yields neighbours only.
+///
+/// Decoding goes through the graph's [`gcgt_bits::DecodeTable`]: headers,
+/// gaps and lengths resolve in one table probe each, and residual *runs*
+/// are decoded through the multi-gap probe — up to
+/// [`gcgt_bits::MAX_PACKED`] consecutive short gap codewords per probe,
+/// buffered and emitted one neighbour at a time with per-codeword bit
+/// positions, so every bounds check, monotonicity check and error fires on
+/// exactly the neighbour where the slow path would fire it.
 pub struct NeighborScanner<'a> {
     cgr: &'a CgrGraph,
     u: NodeId,
@@ -266,6 +276,15 @@ pub struct NeighborScanner<'a> {
     res: ResState,
     prev_res: Option<NodeId>,
     examined: u64,
+    /// Multi-gap lookahead over the current residual run: one
+    /// [`CgrGraph::decode_packed_at`] probe result, drained per emit with
+    /// per-codeword bit positions relative to `gap_base`. `gap_n` caps the
+    /// usable prefix to the run (never past a segment boundary or the
+    /// declared degree).
+    gap_run: PackedRun,
+    gap_base: usize,
+    gap_n: usize,
+    gap_i: usize,
 }
 
 /// Residual-area progress of a [`NeighborScanner`].
@@ -317,6 +336,10 @@ impl<'a> NeighborScanner<'a> {
             },
             prev_res: None,
             examined: 0,
+            gap_run: PackedRun::default(),
+            gap_base: 0,
+            gap_n: 0,
+            gap_i: 0,
         };
         if start == end {
             s.deg_left = Some(0);
@@ -363,8 +386,7 @@ impl<'a> NeighborScanner<'a> {
     fn read_count(&mut self, what: &str) -> Result<u64, String> {
         let (v, p) = self
             .cgr
-            .config()
-            .read_count(self.cgr.bits(), self.checked_pos(what)?)
+            .read_count(self.checked_pos(what)?)
             .ok_or_else(|| format!("truncated {what} codeword"))?;
         self.pos = p;
         self.checked_consumed(what)?;
@@ -406,7 +428,6 @@ impl<'a> NeighborScanner<'a> {
             return Ok(None);
         }
         let cfg = *self.cgr.config();
-        let bits = self.cgr.bits();
         // Branch (i): inside an interval run.
         if self.run_left > 0 {
             let v = self.run_next;
@@ -418,15 +439,18 @@ impl<'a> NeighborScanner<'a> {
         if self.itv_left > 0 {
             let (start, p) = if self.first_itv {
                 self.first_itv = false;
-                cfg.read_first_gap(bits, self.checked_pos("interval start")?, self.u)
+                self.cgr
+                    .read_first_gap(self.checked_pos("interval start")?, self.u)
             } else {
-                cfg.read_interval_gap(bits, self.checked_pos("interval gap")?, self.prev_itv_end)
+                self.cgr
+                    .read_interval_gap(self.checked_pos("interval gap")?, self.prev_itv_end)
             }
             .ok_or("truncated interval codeword")?;
             self.pos = p;
             self.checked_consumed("interval gap")?;
-            let (len, p2) = cfg
-                .read_interval_len(bits, self.checked_pos("interval len")?)
+            let (len, p2) = self
+                .cgr
+                .read_interval_len(self.checked_pos("interval len")?)
                 .ok_or("truncated interval length")?;
             self.pos = p2;
             self.checked_consumed("interval len")?;
@@ -479,6 +503,11 @@ impl<'a> NeighborScanner<'a> {
                         // Jump to the next fixed-stride segment header.
                         self.pos = base + next_seg * seg_bits;
                         self.prev_res = None;
+                        // The gap buffer is capped per run, so it drains
+                        // before a segment boundary; clear it defensively.
+                        debug_assert_eq!(self.gap_i, self.gap_n, "gap buffer crossed a segment");
+                        self.gap_n = 0;
+                        self.gap_i = 0;
                         let res_num = self.read_count("resNum")?;
                         self.res = ResState::Seg {
                             base,
@@ -493,11 +522,48 @@ impl<'a> NeighborScanner<'a> {
             }
             break;
         }
+        // Residual decode: a single probe for the sign-folded first gap,
+        // multi-gap probes thereafter — one probe resolves up to
+        // `MAX_PACKED` consecutive gap codewords, buffered (capped to the
+        // current run) and emitted with per-codeword bit positions so the
+        // bounds and monotonicity checks below fire exactly where the
+        // unbuffered path would.
         let (r, p) = match self.prev_res {
-            None => cfg.read_first_gap(bits, self.checked_pos("first residual")?, self.u),
-            Some(prev) => cfg.read_residual_gap(bits, self.checked_pos("residual gap")?, prev),
-        }
-        .ok_or("truncated residual codeword")?;
+            None => self
+                .cgr
+                .read_first_gap(self.checked_pos("first residual")?, self.u)
+                .ok_or("truncated residual codeword")?,
+            Some(prev) => {
+                if self.gap_i == self.gap_n {
+                    // Refill from the current position.
+                    let pos = self.checked_pos("residual gap")?;
+                    let run_left = match self.res {
+                        ResState::Unseg => self.deg_left.expect("unseg tracks degree"),
+                        ResState::Seg { in_seg, .. } => in_seg,
+                        ResState::SegPending => unreachable!("segment state resolved above"),
+                    };
+                    self.gap_base = pos;
+                    self.gap_i = 0;
+                    self.gap_run = self.cgr.decode_packed_at(pos);
+                    self.gap_n = self.gap_run.len().min(run_left as usize);
+                }
+                if self.gap_n == 0 {
+                    // Codeword wider than the probe window: slow path.
+                    self.cgr
+                        .read_residual_gap(self.checked_pos("residual gap")?, prev)
+                        .ok_or("truncated residual codeword")?
+                } else {
+                    let v = self.gap_run.value(self.gap_i);
+                    let p = self.gap_base + self.gap_run.end(self.gap_i);
+                    self.gap_i += 1;
+                    // Same shift mapping (and checked arithmetic) as the
+                    // slow path — an overflowing gap is the same failure.
+                    let r = CgrConfig::map_residual_gap(prev, v)
+                        .ok_or("truncated residual codeword")?;
+                    (r, p)
+                }
+            }
+        };
         self.pos = p;
         self.checked_consumed("residual")?;
         let r = self.checked_neighbor(r)?;
@@ -720,6 +786,114 @@ mod tests {
                 (101, Residual),
             ]
         );
+    }
+
+    /// Slow-path reference decoder built **only** on the
+    /// `CgrConfig::read_*` oracles (no decode table): the differential
+    /// baseline the table-routed production decoders must match bitwise.
+    fn decode_node_slow(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
+        let cfg = cgr.config();
+        let bits = cgr.bits();
+        let (start, end) = cgr.node_range(u);
+        let mut out = Vec::new();
+        if start == end {
+            return out;
+        }
+        let _ = end;
+        let (itv_num, mut pos) = if cfg.segment_len_bytes.is_none() {
+            let (deg, p) = cfg.read_count(bits, start).expect("degNum");
+            if deg == 0 {
+                return out;
+            }
+            cfg.read_count(bits, p).expect("itvNum")
+        } else {
+            cfg.read_count(bits, start).expect("itvNum")
+        };
+        let mut prev_end: Option<NodeId> = None;
+        for _ in 0..itv_num {
+            let (s, p) = match prev_end {
+                None => cfg.read_first_gap(bits, pos, u).expect("itv start"),
+                Some(pe) => cfg.read_interval_gap(bits, pos, pe).expect("itv gap"),
+            };
+            let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+            out.extend(s..s + len);
+            prev_end = Some(s + len - 1);
+            pos = p2;
+        }
+        fn residual_run(
+            cfg: &CgrConfig,
+            bits: &gcgt_bits::BitVec,
+            u: NodeId,
+            mut sp: usize,
+            count: u64,
+            out: &mut Vec<NodeId>,
+        ) {
+            let mut prev: Option<NodeId> = None;
+            for _ in 0..count {
+                let (r, p) = match prev {
+                    None => cfg.read_first_gap(bits, sp, u).expect("first res"),
+                    Some(pr) => cfg.read_residual_gap(bits, sp, pr).expect("res gap"),
+                };
+                out.push(r);
+                prev = Some(r);
+                sp = p;
+            }
+        }
+        if cfg.segment_len_bytes.is_none() {
+            let (deg, _) = cfg.read_count(bits, start).expect("degNum");
+            let res = deg - out.len() as u64;
+            residual_run(cfg, bits, u, pos, res, &mut out);
+        } else {
+            let (seg_num, base) = cfg.read_count(bits, pos).expect("segNum");
+            let seg_bits = cfg.segment_len_bits().unwrap();
+            for si in 0..seg_num as usize {
+                let sp = base + si * seg_bits;
+                let (res_num, p) = cfg.read_count(bits, sp).expect("resNum");
+                residual_run(cfg, bits, u, p, res_num, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn table_decoders_match_the_slow_oracle_on_every_config() {
+        // The decode fast path (table probes + multi-gap buffering in the
+        // scanner) against the pure `CgrConfig::read_*` slow path: every
+        // node, every layout, every code — bitwise identical adjacency.
+        let g = web_graph(&WebParams::uk2002_like(350), 17);
+        for cfg in all_configs() {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            for u in 0..g.num_nodes() as NodeId {
+                let slow = decode_node_slow(&cgr, u);
+                assert_eq!(
+                    decode_node_unsorted(&cgr, u),
+                    slow,
+                    "{cfg:?} node {u} (serial decoders)"
+                );
+                let scanned: Vec<NodeId> = NeighborScanner::new(&cgr, u).collect();
+                assert_eq!(scanned, slow, "{cfg:?} node {u} (scanner)");
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_bit_positions_match_the_slow_oracle() {
+        // Multi-gap buffering must not disturb the observable bit cursor:
+        // after every emitted neighbour, `bit_pos()` equals what the
+        // unbuffered Algorithm 1 iterator reports (the pull kernel charges
+        // memory addresses from it).
+        let g = web_graph(&WebParams::uk2002_like(300), 23);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::unsegmented());
+        for u in 0..g.num_nodes() as NodeId {
+            let mut scan = NeighborScanner::new(&cgr, u);
+            let mut iter_ref = NeighborIter::new(&cgr, u);
+            while scan.next_with_step().is_some() {
+                let _ = iter_ref.next();
+                assert_eq!(scan.bit_pos(), iter_ref.bit_ptr(), "node {u}");
+            }
+            let (_, end) = cgr.node_range(u);
+            assert_eq!(scan.bit_pos(), end, "node {u} final position");
+        }
     }
 
     #[test]

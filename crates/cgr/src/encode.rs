@@ -1,14 +1,21 @@
 //! The CGR encoder: CSR → compressed bit array + per-node bit offsets.
 
+use std::sync::Arc;
+
 use crate::config::CgrConfig;
 use crate::intervals::split_intervals;
 use crate::stats::CompressionStats;
-use gcgt_bits::{BitVec, BitWriter};
+use gcgt_bits::{BitVec, BitWriter, DecodeTable, PackedRun};
 use gcgt_graph::{Csr, NodeId};
 
 /// A graph in Compressed Graph Representation: one contiguous bit array and
 /// `n + 1` bit offsets (`offsets[u]..offsets[u+1]` delimits node `u`'s
-/// compressed adjacency, the paper's `bitStart`).
+/// compressed adjacency, the paper's `bitStart`), plus the shared
+/// [`DecodeTable`] for its VLC code — every decoder of this graph (serial,
+/// kernel, validation) resolves short codewords through one table probe
+/// instead of a serial bit-scan. The table is process-wide per code
+/// ([`DecodeTable::shared`]), so cloning the graph, sharing it behind an
+/// `Arc`, or serving it from many workers all reuse one allocation.
 #[derive(Clone, Debug)]
 pub struct CgrGraph {
     config: CgrConfig,
@@ -16,6 +23,7 @@ pub struct CgrGraph {
     offsets: Box<[usize]>,
     num_edges: usize,
     stats: CompressionStats,
+    table: Arc<DecodeTable>,
 }
 
 impl CgrGraph {
@@ -41,6 +49,7 @@ impl CgrGraph {
             offsets: offsets.into_boxed_slice(),
             num_edges: graph.num_edges(),
             stats,
+            table: DecodeTable::shared(config.code),
         }
     }
 
@@ -62,6 +71,7 @@ impl CgrGraph {
             offsets,
             num_edges,
             stats,
+            table: DecodeTable::shared(config.code),
         }
     }
 
@@ -81,6 +91,77 @@ impl CgrGraph {
     #[inline]
     pub fn bits(&self) -> &BitVec {
         &self.bits
+    }
+
+    /// The shared decode table for this graph's VLC code — one 16-bit
+    /// window probe resolves short codewords, the slow path handles the
+    /// tail. See [`DecodeTable`].
+    #[inline]
+    pub fn table(&self) -> &DecodeTable {
+        &self.table
+    }
+
+    /// The `Arc` behind [`CgrGraph::table`], for consumers that outlive
+    /// this graph (e.g. a serving layer caching tables per worker).
+    #[inline]
+    pub fn table_shared(&self) -> Arc<DecodeTable> {
+        Arc::clone(&self.table)
+    }
+
+    // --- table-accelerated field readers ---------------------------------
+    //
+    // Twins of `CgrConfig::read_*` routed through the decode table: the
+    // raw VLC decode is a table probe (slow path only past 16-bit
+    // codewords), the shift mapping is the *same* `CgrConfig::map_*` the
+    // slow path uses — so every hardening guard (codeword-0 rejection,
+    // checked gap arithmetic, the ≥64-zero unary rejection inside the
+    // decoder) holds bitwise identically on both paths.
+
+    /// Table-accelerated [`CgrConfig::read_count`].
+    #[inline]
+    pub fn read_count(&self, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_count(v)?, p))
+    }
+
+    /// Table-accelerated [`CgrConfig::read_first_gap`].
+    #[inline]
+    pub fn read_first_gap(&self, pos: usize, source: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_first_gap(source, v)?, p))
+    }
+
+    /// Table-accelerated [`CgrConfig::read_interval_gap`].
+    #[inline]
+    pub fn read_interval_gap(&self, pos: usize, prev_end: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_interval_gap(prev_end, v)?, p))
+    }
+
+    /// Table-accelerated [`CgrConfig::read_interval_len`].
+    #[inline]
+    pub fn read_interval_len(&self, pos: usize) -> Option<(u32, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((self.config.map_interval_len(v)?, p))
+    }
+
+    /// Table-accelerated [`CgrConfig::read_residual_gap`].
+    #[inline]
+    pub fn read_residual_gap(&self, pos: usize, prev: NodeId) -> Option<(NodeId, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_residual_gap(prev, v)?, p))
+    }
+
+    /// Multi-gap probe over this graph's bit array: raw codeword values of
+    /// up to [`MAX_PACKED`](gcgt_bits::MAX_PACKED) consecutive short
+    /// codewords from one window, with per-codeword end offsets relative to
+    /// `pos` (so a prefix can be consumed with exact slow-path bit
+    /// positions). An empty run means even the first codeword needs the
+    /// slow path. Callers apply the `CgrConfig` shift mapping per value,
+    /// exactly as the slow path does.
+    #[inline]
+    pub fn decode_packed_at(&self, pos: usize) -> PackedRun {
+        self.table.decode_packed_at(&self.bits, pos)
     }
 
     /// Bit offset where node `u`'s compressed adjacency starts.

@@ -24,6 +24,14 @@
 //! these shifts; the *gap transformation* of that figure is reproduced
 //! bit-exactly by `intervals::tests::figure2_gap_structure`, while the final
 //! VLC string differs by the documented shifts.)
+//!
+//! Every decoder in this crate — the serial oracles, the streaming
+//! [`NeighborScanner`], and through them [`io::read_cgr`]'s structural
+//! validation — resolves short codewords through the graph's shared
+//! [`DecodeTable`] ([`CgrGraph::table`]): one 16-bit-window probe per
+//! codeword, multi-gap probes over residual runs, broadword slow path for
+//! the tail. The `CgrConfig::read_*` functions remain the table-free slow
+//! oracles the fast path is differentially tested against.
 
 pub mod byterle;
 pub mod config;
@@ -37,5 +45,6 @@ pub use byterle::ByteRleGraph;
 pub use config::CgrConfig;
 pub use decode::{validate_structure, DecodeStep, NeighborIter, NeighborScanner};
 pub use encode::CgrGraph;
+pub use gcgt_bits::{DecodeTable, MAX_PACKED, WINDOW_BITS};
 pub use intervals::{split_intervals, IntervalsResiduals};
 pub use stats::CompressionStats;

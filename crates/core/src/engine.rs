@@ -352,9 +352,14 @@ where
     expander.prepare_frontier(device, frontier);
     let width = expander.device_config().warp_width;
     let cache_lines = expander.device_config().cache_lines_per_warp;
+    // Decode-cost model: devices carrying the VLC decode tables charge
+    // decode steps as one table probe (OpClass::TableDecode) instead of a
+    // serial bit-scan — same schedule, cheaper slots. No-op for kernels
+    // that never decode (the CSR baselines).
+    let table_decode = expander.device_config().table_decode;
     let chunks: Vec<&[NodeId]> = frontier.chunks(width).collect();
     let results = parallel_warps(chunks.len(), |w| {
-        let mut warp = WarpSim::new(width, cache_lines);
+        let mut warp = WarpSim::new(width, cache_lines).with_table_decode(table_decode);
         let mut sink = make_sink();
         expander.expand_chunk(&mut warp, chunks[w], &mut sink);
         (warp.into_counters(), sink)
@@ -400,9 +405,10 @@ where
     expander.prepare_frontier(device, candidates);
     let width = expander.device_config().warp_width;
     let cache_lines = expander.device_config().cache_lines_per_warp;
+    let table_decode = expander.device_config().table_decode;
     let chunks: Vec<&[NodeId]> = candidates.chunks(width).collect();
     let results = parallel_warps(chunks.len(), |w| {
-        let mut warp = WarpSim::new(width, cache_lines);
+        let mut warp = WarpSim::new(width, cache_lines).with_table_decode(table_decode);
         let mut out = Vec::new();
         let examined = expander.pull_chunk(&mut warp, chunks[w], frontier, &mut out);
         (warp.into_counters(), (out, examined))

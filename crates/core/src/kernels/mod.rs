@@ -60,21 +60,22 @@ pub struct LaneCursor {
 impl LaneCursor {
     /// Reads the `degNum` / `itvNum` headers of node `u` and positions the
     /// cursor at the first interval. (Header cost is tallied by the caller.)
+    /// Decodes through the graph's shared [`gcgt_bits::DecodeTable`], like
+    /// every cursor read below.
     pub fn load(cgr: &CgrGraph, u: NodeId) -> Self {
-        let cfg = cgr.config();
         debug_assert!(
-            cfg.segment_len_bytes.is_none(),
+            cgr.config().segment_len_bytes.is_none(),
             "LaneCursor reads the unsegmented layout"
         );
         let (start, end) = cgr.node_range(u);
         let (deg_num, itv_num, bit_ptr) = if start == end {
             (0, 0, start)
         } else {
-            let (deg, p) = cfg.read_count(cgr.bits(), start).expect("degNum");
+            let (deg, p) = cgr.read_count(start).expect("degNum");
             if deg == 0 {
                 (0, 0, p)
             } else {
-                let (itv, p2) = cfg.read_count(cgr.bits(), p).expect("itvNum");
+                let (itv, p2) = cgr.read_count(p).expect("itvNum");
                 (deg, itv, p2)
             }
         };
@@ -100,16 +101,13 @@ impl LaneCursor {
     /// pointer. Panics when no interval remains.
     pub fn decode_interval(&mut self, cgr: &CgrGraph) -> (NodeId, u32) {
         assert!(self.intervals_left() > 0);
-        let cfg = cgr.config();
-        let bits = cgr.bits();
         let (start, p) = if self.itv_decoded == 0 {
-            cfg.read_first_gap(bits, self.bit_ptr, self.u)
-                .expect("itv start")
+            cgr.read_first_gap(self.bit_ptr, self.u).expect("itv start")
         } else {
-            cfg.read_interval_gap(bits, self.bit_ptr, self.prev_itv_end)
+            cgr.read_interval_gap(self.bit_ptr, self.prev_itv_end)
                 .expect("itv gap")
         };
-        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        let (len, p2) = cgr.read_interval_len(p).expect("itv len");
         debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
         self.bit_ptr = p2;
         self.itv_decoded += 1;
@@ -119,13 +117,10 @@ impl LaneCursor {
 
     /// Decodes the next residual and advances the bit pointer.
     pub fn decode_residual(&mut self, cgr: &CgrGraph) -> NodeId {
-        let cfg = cgr.config();
-        let bits = cgr.bits();
         let (r, p) = if self.res_decoded == 0 {
-            cfg.read_first_gap(bits, self.bit_ptr, self.u)
-                .expect("first res")
+            cgr.read_first_gap(self.bit_ptr, self.u).expect("first res")
         } else {
-            cfg.read_residual_gap(bits, self.bit_ptr, self.prev_res)
+            cgr.read_residual_gap(self.bit_ptr, self.prev_res)
                 .expect("res gap")
         };
         self.bit_ptr = p;

@@ -32,7 +32,6 @@ struct SegCursor {
 
 impl SegCursor {
     fn load(cgr: &CgrGraph, u: NodeId) -> Self {
-        let cfg = cgr.config();
         let (start, end) = cgr.node_range(u);
         if start == end {
             return SegCursor {
@@ -44,7 +43,7 @@ impl SegCursor {
                 empty: true,
             };
         }
-        let (itv_num, pos) = cfg.read_count(cgr.bits(), start).expect("itvNum");
+        let (itv_num, pos) = cgr.read_count(start).expect("itvNum");
         SegCursor {
             u,
             pos,
@@ -60,16 +59,13 @@ impl SegCursor {
     }
 
     fn decode_interval(&mut self, cgr: &CgrGraph) -> (NodeId, u32) {
-        let cfg = cgr.config();
-        let bits = cgr.bits();
         let (start, p) = if self.itv_decoded == 0 {
-            cfg.read_first_gap(bits, self.pos, self.u)
-                .expect("itv start")
+            cgr.read_first_gap(self.pos, self.u).expect("itv start")
         } else {
-            cfg.read_interval_gap(bits, self.pos, self.prev_itv_end)
+            cgr.read_interval_gap(self.pos, self.prev_itv_end)
                 .expect("itv gap")
         };
-        let (len, p2) = cfg.read_interval_len(bits, p).expect("itv len");
+        let (len, p2) = cgr.read_interval_len(p).expect("itv len");
         debug_assert!(len >= 1, "zero-length interval in node {}", self.u);
         self.pos = p2;
         self.itv_decoded += 1;
@@ -142,7 +138,7 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
     let mut tasks: Vec<SegTask> = Vec::new();
     for &i in &live {
         let c = &cursors[i];
-        let (seg_num, base) = cfg.read_count(cgr.bits(), c.pos).expect("segNum");
+        let (seg_num, base) = cgr.read_count(c.pos).expect("segNum");
         for s in 0..seg_num as usize {
             tasks.push(SegTask {
                 u: c.u,
@@ -166,7 +162,7 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             .collect();
         warp.issue_mem(OpClass::Header, batch.len(), addrs);
         for t in batch.iter_mut() {
-            let (res_num, p) = cfg.read_count(cgr.bits(), t.pos).expect("resNum");
+            let (res_num, p) = cgr.read_count(t.pos).expect("resNum");
             t.left = res_num;
             t.pos = p;
         }
@@ -185,12 +181,8 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             for &i in &active {
                 let t = &mut batch[i];
                 let (r, p) = match t.prev {
-                    None => cfg
-                        .read_first_gap(cgr.bits(), t.pos, t.u)
-                        .expect("seg first"),
-                    Some(prev) => cfg
-                        .read_residual_gap(cgr.bits(), t.pos, prev)
-                        .expect("seg gap"),
+                    None => cgr.read_first_gap(t.pos, t.u).expect("seg first"),
+                    Some(prev) => cgr.read_residual_gap(t.pos, prev).expect("seg gap"),
                 };
                 t.pos = p;
                 t.prev = Some(r);

@@ -12,7 +12,7 @@
 //! `warpNum` scattered per-lane reads, trading cheap extra instructions for
 //! memory parallelism exactly as Section 5.1 argues.
 
-use gcgt_bits::{BitVec, Code};
+use gcgt_bits::{BitVec, DecodeTable};
 use gcgt_cgr::CgrGraph;
 use gcgt_simt::{OpClass, Space, WarpSim};
 
@@ -30,11 +30,13 @@ pub struct WindowDecode {
 
 /// Runs Algorithm 4 on `bits[start..]`: lanes speculate on the next
 /// `warp.width()` bit positions and valid decodings are marked by
-/// pointer jumping.
+/// pointer jumping. Each lane's speculative decode goes through the shared
+/// [`DecodeTable`] (one probe for short codewords; same results, bitwise,
+/// as the slow path it falls back to).
 pub fn parallel_decode(
     warp: &mut WarpSim,
     bits: &BitVec,
-    code: Code,
+    table: &DecodeTable,
     start: usize,
 ) -> WindowDecode {
     let w = warp.width();
@@ -51,7 +53,7 @@ pub fn parallel_decode(
     let mut ends = vec![usize::MAX; w]; // relative end position (original)
     let mut poss = vec![usize::MAX; w]; // jumping pointer
     for i in 0..w {
-        if let Some((v, end)) = code.decode_at(bits, start + i) {
+        if let Some((v, end)) = table.decode_at(bits, start + i) {
             vals[i] = v;
             ends[i] = end - start;
             poss[i] = end - start;
@@ -115,7 +117,6 @@ pub fn handle_residuals_warp_centric<S: Sink>(
     sink: &mut S,
 ) {
     let width = warp.width();
-    let code = cgr.config().code;
     let min_run = (width / WC_MIN_RESIDUALS_FACTOR).max(4) as u64;
     // Shared-memory packing buffer across sequences.
     let mut buffer: Vec<(gcgt_graph::NodeId, gcgt_graph::NodeId)> = Vec::with_capacity(2 * width);
@@ -124,7 +125,7 @@ pub fn handle_residuals_warp_centric<S: Sink>(
             continue;
         }
         while res_left[i] > 0 {
-            let win = parallel_decode(warp, cgr.bits(), code, cursors[i].bit_ptr);
+            let win = parallel_decode(warp, cgr.bits(), cgr.table(), cursors[i].bit_ptr);
             if win.values.is_empty() {
                 // Codeword longer than the window: decode one serially.
                 let addr = cursors[i].graph_addr();
@@ -166,7 +167,7 @@ mod tests {
     use crate::kernels::testutil::assert_expansion_correct;
     use crate::kernels::{expand_warp, CollectSink};
     use crate::strategy::Strategy;
-    use gcgt_bits::BitWriter;
+    use gcgt_bits::{BitWriter, Code};
     use gcgt_cgr::{CgrConfig, CgrGraph};
     use gcgt_graph::gen::{toys, web_graph, SocialParams, WebParams};
     use gcgt_graph::Csr;
@@ -181,7 +182,7 @@ mod tests {
         }
         let bits = w.into_bitvec();
         let mut warp = WarpSim::new(16, 64);
-        let win = parallel_decode(&mut warp, &bits, Code::Gamma, 0);
+        let win = parallel_decode(&mut warp, &bits, &DecodeTable::shared(Code::Gamma), 0);
         let decoded: Vec<u64> = win.values.iter().map(|&(v, _)| v).collect();
         assert_eq!(decoded, vec![1, 2, 3, 4, 5]);
         // Valid start positions are 0,1,4,7,12 → end positions 1,4,7,12,17.
@@ -199,7 +200,7 @@ mod tests {
             }
             let bits = w.into_bitvec();
             let mut warp = WarpSim::new(width, 64);
-            let win = parallel_decode(&mut warp, &bits, Code::Zeta(3), 0);
+            let win = parallel_decode(&mut warp, &bits, &DecodeTable::shared(Code::Zeta(3)), 0);
             assert!(!win.values.is_empty());
             let bound = (width as u32).ilog2() + 2;
             assert!(win.rounds <= bound, "width {width}: {} rounds", win.rounds);
@@ -214,11 +215,12 @@ mod tests {
             Code::Zeta(3).encode(&mut w, x);
         }
         let bits = w.into_bitvec();
+        let table = DecodeTable::shared(Code::Zeta(3));
         let mut warp = WarpSim::new(32, 64);
         let mut pos = 0usize;
         let mut decoded: Vec<u64> = Vec::new();
         while decoded.len() < values.len() {
-            let win = parallel_decode(&mut warp, &bits, Code::Zeta(3), pos);
+            let win = parallel_decode(&mut warp, &bits, &table, pos);
             assert!(!win.values.is_empty(), "stalled at bit {pos}");
             for &(v, _) in &win.values {
                 decoded.push(v);

@@ -734,6 +734,16 @@ impl PreparedGraph {
         self.cgr.as_ref()
     }
 
+    /// The precomputed VLC decode table every traversal of this prepared
+    /// graph decodes through (GCGT engines only): built once per process
+    /// per code ([`gcgt_cgr::DecodeTable`]'s shared cache) and handed
+    /// around by `Arc` — a serving pool's workers all probe the same
+    /// allocation. `None` for the uncompressed CSR engines, which have
+    /// nothing to decode.
+    pub fn decode_table(&self) -> Option<&gcgt_cgr::DecodeTable> {
+        self.cgr.as_ref().map(|cgr| cgr.table())
+    }
+
     /// Resident bytes of the engine's structure plus traversal buffers —
     /// what an in-core run needs at its peak. A streaming session's actual
     /// residency is bounded by [`PreparedGraph::memory_budget`] instead.
@@ -1161,6 +1171,30 @@ mod tests {
         let session = figure1_session(EngineKind::Gcgt(Strategy::Full));
         let clone = session.clone();
         assert!(Arc::ptr_eq(&session.prepared(), &clone.prepared()));
+    }
+
+    #[test]
+    fn decode_tables_are_built_once_and_shared_across_prepared_graphs() {
+        // Two independent prepared graphs over the same VLC code probe the
+        // SAME table allocation (the process-wide shared cache) — the serve
+        // pool's workers therefore share it too. CSR engines carry none.
+        let a = figure1_session(EngineKind::Gcgt(Strategy::Full));
+        let b = Session::builder()
+            .graph(toys::binary_tree(5))
+            .engine(EngineKind::Gcgt(Strategy::Full))
+            .build()
+            .unwrap();
+        let ta = a.prepared().cgr().unwrap().table_shared();
+        let tb = b.prepared().cgr().unwrap().table_shared();
+        assert!(Arc::ptr_eq(&ta, &tb), "one table per code per process");
+        assert_eq!(
+            ta.code(),
+            gcgt_cgr::CgrConfig::paper_default().code,
+            "paper-default sessions decode zeta3"
+        );
+        assert!(a.prepared().decode_table().is_some());
+        let csr = figure1_session(EngineKind::GpuCsr);
+        assert!(csr.prepared().decode_table().is_none());
     }
 
     #[test]

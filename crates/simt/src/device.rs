@@ -41,6 +41,14 @@ pub struct DeviceConfig {
     pub mem_capacity: usize,
     /// Per-warp cache slots (128-byte lines) for the memory model.
     pub cache_lines_per_warp: usize,
+    /// Whether the device carries the precomputed VLC decode tables in
+    /// shared memory. When set, [`crate::WarpSim`]s derived from this
+    /// configuration charge decode steps as [`OpClass::TableDecode`] (one
+    /// table probe) instead of `ItvDecode`/`ResDecode` (a serial bit-scan)
+    /// — same step schedule, lower per-step cost, the way Section 5.1
+    /// models coalescing wins. Kernels that never decode VLC (the CSR
+    /// baselines) are unaffected.
+    pub table_decode: bool,
     /// Issue cycles per instruction class: a VLC decode step is a dozen
     /// ALU/shift instructions, a raw CSR gather is one — this is what makes
     /// traversing compressed adjacency cost compute, as the paper's
@@ -62,6 +70,7 @@ pub const DEFAULT_CLASS_CYCLES: [f64; NUM_CLASSES] = [
     4.0,  // ParDecode: one speculative/marking round
     2.0,  // Jump
     2.0,  // Generic
+    2.0,  // TableDecode: one shared-memory table probe + shift/mask fixup
 ];
 
 impl Default for DeviceConfig {
@@ -86,6 +95,7 @@ impl DeviceConfig {
             serial_mem_lat_cycles: 24.0,
             mem_capacity,
             cache_lines_per_warp: 64,
+            table_decode: true,
             class_cycles: DEFAULT_CLASS_CYCLES,
         }
     }
@@ -128,6 +138,7 @@ impl DeviceConfig {
             serial_mem_lat_cycles: 0.0,
             mem_capacity: usize::MAX,
             cache_lines_per_warp: 16,
+            table_decode: true,
             class_cycles: [1.0; NUM_CLASSES],
         }
     }

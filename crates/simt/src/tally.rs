@@ -33,10 +33,18 @@ pub enum OpClass {
     Jump = 9,
     /// Anything else (label updates, σ/δ accumulation, ...).
     Generic = 10,
+    /// One table-driven VLC decode: a precomputed 16-bit-window decode
+    /// table resolves the codeword(s) in a single shared-memory probe,
+    /// replacing the serial bit-scan an [`OpClass::ItvDecode`] /
+    /// [`OpClass::ResDecode`] step otherwise models. Charged by
+    /// [`crate::WarpSim`] when table decoding is enabled — the step
+    /// *schedule* is unchanged (one slot per decode step, so Figure 4
+    /// step counts are preserved), only the per-slot cost drops.
+    TableDecode = 11,
 }
 
 /// Number of op classes.
-pub const NUM_CLASSES: usize = 11;
+pub const NUM_CLASSES: usize = 12;
 
 /// All classes, indexable by `OpClass as usize`.
 pub const ALL_CLASSES: [OpClass; NUM_CLASSES] = [
@@ -51,6 +59,7 @@ pub const ALL_CLASSES: [OpClass; NUM_CLASSES] = [
     OpClass::ParDecode,
     OpClass::Jump,
     OpClass::Generic,
+    OpClass::TableDecode,
 ];
 
 /// Instruction-slot tallies for one warp (or a merge of many warps).
@@ -88,10 +97,14 @@ impl Tally {
 
     /// The step metric of the paper's Figure 4: interval decodes, residual
     /// decodes and neighbour handling (headers, scans and votes are not
-    /// drawn as steps in the figure).
+    /// drawn as steps in the figure). Table-driven decode slots count too:
+    /// a [`OpClass::TableDecode`] slot is the same scheduled decode step,
+    /// just charged at the table-probe cost, so step counts are identical
+    /// whether or not table decoding is enabled.
     pub fn figure4_steps(&self) -> u64 {
         self.issues[OpClass::ItvDecode as usize]
             + self.issues[OpClass::ResDecode as usize]
+            + self.issues[OpClass::TableDecode as usize]
             + self.issues[OpClass::Handle as usize]
     }
 

@@ -18,6 +18,7 @@ pub struct WarpSim {
     width: usize,
     tally: Tally,
     mem: MemSim,
+    table_decode: bool,
 }
 
 impl WarpSim {
@@ -41,6 +42,37 @@ impl WarpSim {
             width,
             tally: Tally::new(width),
             mem: MemSim::new(cache_lines),
+            table_decode: false,
+        }
+    }
+
+    /// Enables (or disables) the table-decode cost model: with it on,
+    /// [`OpClass::ItvDecode`] / [`OpClass::ResDecode`] slots are charged as
+    /// [`OpClass::TableDecode`] — the kernel's serialized decode *schedule*
+    /// is unchanged (one slot per decode step, so Figure 4 step counts are
+    /// preserved), but each slot costs one shared-memory table probe
+    /// instead of a serial bit-scan. Engines set this from
+    /// [`crate::DeviceConfig::table_decode`]; kernels keep naming the
+    /// logical class and never need to know.
+    #[must_use]
+    pub fn with_table_decode(mut self, on: bool) -> Self {
+        self.table_decode = on;
+        self
+    }
+
+    /// Whether decode slots are charged at the table-probe cost.
+    #[inline]
+    pub fn table_decode(&self) -> bool {
+        self.table_decode
+    }
+
+    /// The class a slot is charged under: decode classes map to
+    /// [`OpClass::TableDecode`] when table decoding is enabled.
+    #[inline]
+    fn charge_class(&self, class: OpClass) -> OpClass {
+        match class {
+            OpClass::ItvDecode | OpClass::ResDecode if self.table_decode => OpClass::TableDecode,
+            other => other,
         }
     }
 
@@ -53,7 +85,7 @@ impl WarpSim {
     /// Records one serialized warp step of `class` with `active` lanes.
     #[inline]
     pub fn issue(&mut self, class: OpClass, active: usize) {
-        self.tally.issue(class, active);
+        self.tally.issue(self.charge_class(class), active);
     }
 
     /// Records one warp step that also touches memory: the lane addresses
@@ -65,7 +97,7 @@ impl WarpSim {
         active: usize,
         addrs: I,
     ) {
-        self.tally.issue(class, active);
+        self.tally.issue(self.charge_class(class), active);
         self.mem.access_step(addrs);
     }
 
@@ -227,6 +259,29 @@ mod tests {
         // would overflow `1 << i` at lane 64. The constructor must refuse it
         // rather than let ballot panic (debug) or lose lanes (release).
         let _ = WarpSim::new(WarpSim::MAX_WIDTH + 1, 4);
+    }
+
+    #[test]
+    fn table_decode_mode_charges_probe_slots() {
+        // Same schedule, different charge class: decode slots become
+        // TableDecode, everything else is untouched, and the Figure 4 step
+        // count is identical either way.
+        let mut w = WarpSim::new(8, 16).with_table_decode(true);
+        w.issue(OpClass::ItvDecode, 4);
+        w.issue_mem(
+            OpClass::ResDecode,
+            4,
+            (0..4u64).map(|i| Space::Graph.addr(i * 512)),
+        );
+        w.issue(OpClass::Handle, 8);
+        let t = w.tally();
+        assert_eq!(t.issues[OpClass::ItvDecode as usize], 0);
+        assert_eq!(t.issues[OpClass::ResDecode as usize], 0);
+        assert_eq!(t.issues[OpClass::TableDecode as usize], 2);
+        assert_eq!(t.issues[OpClass::Handle as usize], 1);
+        assert_eq!(t.figure4_steps(), 3);
+        assert!(w.table_decode());
+        assert!(!WarpSim::new(8, 16).table_decode());
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! End-to-end pins for the table-driven VLC decode fast path.
+//!
+//! Two claims, checked across all 5 applications × every `EngineKind` ×
+//! every `DirectionMode` (with a streaming out-of-core budget included):
+//!
+//! 1. **Answers are decode-path independent.** The decode table changes
+//!    *how fast* codewords resolve, never *what* they resolve to — so every
+//!    application answer is bitwise identical whether the device models
+//!    table decoding or the serial bit-scan, and matches the reference
+//!    algorithms.
+//! 2. **The modeled saving is observable.** With `DeviceConfig::table_decode`
+//!    set, GCGT engines charge decode steps as `OpClass::TableDecode` (one
+//!    shared-memory probe, 2 cycles) instead of `ItvDecode`/`ResDecode`
+//!    (serial bit-scans, 12/6 cycles): the step *schedule* is unchanged
+//!    (same slot counts), `est_ms` strictly drops on decode-heavy runs, and
+//!    `RunStats` exposes the new class. CSR baselines decode nothing and
+//!    are bitwise unaffected.
+
+use std::sync::Arc;
+
+use gcgt::core::Strategy;
+use gcgt::prelude::{
+    refalgo, Algorithm, Csr, DeviceConfig, DirectionMode, EngineKind, LabelProp, Pagerank, Query,
+    QueryOutput, Session,
+};
+use gcgt::simt::OpClass;
+
+fn all_queries() -> Vec<Query> {
+    vec![
+        Query::Bfs(0),
+        Query::Cc,
+        Query::Bc(1),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+    ]
+}
+
+fn all_engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Gcgt(Strategy::Full),
+        EngineKind::Gcgt(Strategy::TwoPhase),
+        EngineKind::Gcgt(Strategy::Intuitive),
+        EngineKind::GpuCsr,
+        EngineKind::Gunrock,
+        EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        },
+    ]
+}
+
+/// The application answer (everything except the embedded cost statistics,
+/// which the decode-cost model is *supposed* to change).
+fn assert_same_answers(a: &QueryOutput, b: &QueryOutput, what: &str) {
+    match (a, b) {
+        (QueryOutput::Bfs(x), QueryOutput::Bfs(y)) => {
+            assert_eq!(x.depth, y.depth, "{what}: bfs depth");
+            assert_eq!(x.reached, y.reached, "{what}: bfs reached");
+            assert_eq!(x.levels, y.levels, "{what}: bfs levels");
+        }
+        (QueryOutput::Cc(x), QueryOutput::Cc(y)) => {
+            assert_eq!(x.component, y.component, "{what}: cc components");
+            assert_eq!(x.count, y.count, "{what}: cc count");
+            assert_eq!(x.iterations, y.iterations, "{what}: cc iterations");
+        }
+        (QueryOutput::Bc(x), QueryOutput::Bc(y)) => {
+            assert_eq!(x.depth, y.depth, "{what}: bc depth");
+            assert_eq!(x.sigma, y.sigma, "{what}: bc sigma");
+            assert_eq!(x.delta, y.delta, "{what}: bc delta");
+        }
+        (QueryOutput::Pagerank(x), QueryOutput::Pagerank(y)) => {
+            assert_eq!(x.ranks, y.ranks, "{what}: pagerank ranks");
+            assert_eq!(x.iterations, y.iterations, "{what}: pagerank iterations");
+        }
+        (QueryOutput::LabelProp(x), QueryOutput::LabelProp(y)) => {
+            assert_eq!(x.labels, y.labels, "{what}: labelprop labels");
+            assert_eq!(x.rounds, y.rounds, "{what}: labelprop rounds");
+        }
+        _ => panic!("{what}: mismatched query output variants"),
+    }
+}
+
+fn build(
+    graph: &Arc<Csr>,
+    kind: EngineKind,
+    direction: DirectionMode,
+    device: DeviceConfig,
+) -> Session {
+    let mut b = Session::builder()
+        .graph_shared(Arc::clone(graph))
+        .engine(kind)
+        .direction(direction)
+        .device(device);
+    if matches!(kind, EngineKind::OutOfCore { .. }) {
+        let incore = Session::builder()
+            .graph_shared(Arc::clone(graph))
+            .device(device)
+            .build()
+            .unwrap();
+        let scratch = incore.footprint() - incore.structure_bytes();
+        // Tight enough to really stream.
+        b = b.memory_budget(scratch + (incore.structure_bytes() / 4).max(1));
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn answers_identical_across_decode_cost_models_and_match_oracles() {
+    let graph = Arc::new(
+        gcgt::graph::gen::social_graph(&gcgt::graph::gen::SocialParams::twitter_like(400), 9)
+            .symmetrized(),
+    );
+    let want_bfs = refalgo::bfs(&graph, 0);
+    let want_cc = refalgo::connected_components(&graph);
+
+    let capacity = 1usize << 30;
+    let with_table = DeviceConfig::titan_v_scaled(capacity);
+    assert!(
+        with_table.table_decode,
+        "table decoding is the default model"
+    );
+    let without_table = DeviceConfig {
+        table_decode: false,
+        ..with_table
+    };
+
+    for kind in all_engines() {
+        for direction in [
+            DirectionMode::Push,
+            DirectionMode::Pull,
+            DirectionMode::Adaptive,
+        ] {
+            let fast = build(&graph, kind, direction, with_table);
+            let slow = build(&graph, kind, direction, without_table);
+            for query in all_queries() {
+                let what = format!("{} {:?} {:?}", kind.name(), direction, query.name());
+                let a = fast.run(query);
+                let b = slow.run(query);
+                assert_same_answers(&a.output, &b.output, &what);
+                // And against the reference algorithms where one exists.
+                if let QueryOutput::Bfs(run) = &a.output {
+                    assert_eq!(run.depth, want_bfs.depth, "{what}: oracle depth");
+                }
+                if let QueryOutput::Cc(run) = &a.output {
+                    assert_eq!(run.component, want_cc.component, "{what}: oracle cc");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn table_decode_savings_are_modeled_and_observable() {
+    let graph = Arc::new(
+        gcgt::graph::gen::web_graph(&gcgt::graph::gen::WebParams::uk2002_like(1_500), 11)
+            .symmetrized(),
+    );
+    let with_table = DeviceConfig::titan_v_scaled(1 << 30);
+    let without_table = DeviceConfig {
+        table_decode: false,
+        ..with_table
+    };
+
+    for kind in [
+        EngineKind::Gcgt(Strategy::Full),
+        EngineKind::Gcgt(Strategy::TwoPhase),
+        EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        },
+    ] {
+        let fast = build(&graph, kind, DirectionMode::Push, with_table).run(Query::Bfs(0));
+        let slow = build(&graph, kind, DirectionMode::Push, without_table).run(Query::Bfs(0));
+        let name = kind.name();
+
+        // Same schedule: identical slot totals and Figure 4 step counts —
+        // decode slots moved class, they did not disappear.
+        let ft = fast.stats.tally;
+        let st = slow.stats.tally;
+        assert_eq!(
+            ft.total_issues(),
+            st.total_issues(),
+            "{name}: slot counts must not change"
+        );
+        assert_eq!(
+            ft.figure4_steps(),
+            st.figure4_steps(),
+            "{name}: Figure 4 steps must not change"
+        );
+        let fast_decodes = ft.issues[OpClass::TableDecode as usize];
+        let slow_decodes =
+            st.issues[OpClass::ItvDecode as usize] + st.issues[OpClass::ResDecode as usize];
+        assert!(fast_decodes > 0, "{name}: no TableDecode slots charged");
+        assert_eq!(
+            fast_decodes, slow_decodes,
+            "{name}: every decode slot must map 1:1 onto a table probe"
+        );
+        assert_eq!(
+            ft.issues[OpClass::ItvDecode as usize] + ft.issues[OpClass::ResDecode as usize],
+            0,
+            "{name}: serial bit-scan slots remain in table mode"
+        );
+
+        // The saving: one shared-memory probe (2 cycles) replaces a serial
+        // bit-scan (12/6 cycles), so the modeled time strictly drops.
+        assert!(
+            fast.stats.est_ms < slow.stats.est_ms,
+            "{name}: table decoding modeled no saving ({} vs {} ms)",
+            fast.stats.est_ms,
+            slow.stats.est_ms
+        );
+    }
+
+    // CSR baselines decode nothing: the cost model toggle is bitwise
+    // invisible to them.
+    for kind in [EngineKind::GpuCsr, EngineKind::Gunrock] {
+        let fast = build(&graph, kind, DirectionMode::Push, with_table).run(Query::Bfs(0));
+        let slow = build(&graph, kind, DirectionMode::Push, without_table).run(Query::Bfs(0));
+        assert_eq!(
+            fast.stats,
+            slow.stats,
+            "{}: baseline stats moved",
+            kind.name()
+        );
+        assert_eq!(
+            fast.stats.tally.issues[OpClass::TableDecode as usize],
+            0,
+            "{}: baseline charged table probes",
+            kind.name()
+        );
+    }
+}
+
+/// The serving layer shares one `PreparedGraph` — and through it one decode
+/// table — across workers, and pooled answers stay bitwise serial ones
+/// under the table-decode cost model (the serve suite pins this broadly;
+/// here we pin it for a streaming OOC engine specifically, where the table
+/// is probed from freshly faulted partitions).
+#[test]
+fn pooled_streaming_answers_are_bitwise_serial_under_table_decode() {
+    let graph = Arc::new(
+        gcgt::graph::gen::web_graph(&gcgt::graph::gen::WebParams::uk2002_like(900), 3)
+            .symmetrized(),
+    );
+    let incore = Session::builder()
+        .graph_shared(Arc::clone(&graph))
+        .build()
+        .unwrap();
+    let scratch = incore.footprint() - incore.structure_bytes();
+    let prepared = Session::builder()
+        .graph_shared(Arc::clone(&graph))
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .memory_budget(scratch + (incore.structure_bytes() / 4).max(1))
+        .build()
+        .unwrap()
+        .prepared();
+    assert!(prepared.is_streaming());
+    assert!(prepared.decode_table().is_some());
+
+    let queries = all_queries();
+    let report = gcgt::prelude::ServePool::new(Arc::clone(&prepared), 4)
+        .unwrap()
+        .serve(&queries);
+    for (i, query) in queries.iter().enumerate() {
+        let oracle = prepared.run(*query);
+        assert_eq!(report.outputs[i], oracle.output, "query {i}");
+        assert_eq!(report.per_query[i], oracle.stats, "query {i} stats");
+        assert!(
+            oracle.stats.tally.issues[OpClass::TableDecode as usize] > 0,
+            "query {i} never probed the table"
+        );
+    }
+}

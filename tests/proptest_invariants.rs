@@ -208,12 +208,13 @@ proptest! {
             code.encode(&mut w, v);
         }
         let bits = w.into_bitvec();
+        let table = gcgt::bits::DecodeTable::shared(code);
         let mut warp = gcgt::simt::WarpSim::new(width, 64);
         let mut decoded: Vec<u64> = Vec::new();
         let mut pos = 0usize;
         while decoded.len() < values.len() {
             let win = gcgt::core::kernels::warp_decode::parallel_decode(
-                &mut warp, &bits, code, pos,
+                &mut warp, &bits, &table, pos,
             );
             if win.values.is_empty() {
                 // Codeword wider than the window: decode serially.
@@ -231,6 +232,50 @@ proptest! {
             prop_assert!(win.rounds <= (width as u32).ilog2() + 2);
         }
         prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn table_decode_equals_slow_decode(
+        raw_bits in proptest::collection::vec(0u32..2, 0..220),
+        prefix_zeros in 0usize..80,
+        code_idx in 0usize..6,
+    ) {
+        // Differential: the DecodeTable fast path must be bitwise equal to
+        // the Code::decode_at slow path on ARBITRARY bitstreams — valid
+        // codewords, garbage, truncated tails, and adversarial prefixes
+        // (≥64-zero unary runs; all-zero ζ payloads, i.e. codeword value
+        // 0) — at every window offset, including the None cases. The
+        // multi-gap probe must equal the same number of sequential slow
+        // decodes, position for position.
+        let code = [
+            Code::Gamma,
+            gcgt::bits::Code::Delta,
+            Code::Zeta(2),
+            Code::Zeta(3),
+            Code::Zeta(4),
+            Code::Zeta(5),
+        ][code_idx];
+        let mut w = gcgt::bits::BitWriter::new();
+        for _ in 0..prefix_zeros {
+            w.push_bit(false); // adversarial: long unary runs
+        }
+        for &b in &raw_bits {
+            w.push_bit(b == 1);
+        }
+        let bits = w.into_bitvec();
+        let table = gcgt::bits::DecodeTable::shared(code);
+        for pos in 0..=bits.len() {
+            prop_assert_eq!(table.decode_at(&bits, pos), code.decode_at(&bits, pos));
+            let run = table.decode_packed_at(&bits, pos);
+            let mut check = pos;
+            for i in 0..run.len() {
+                let (v, next) = code.decode_at(&bits, check)
+                    .expect("packed entries are decodable by the slow path");
+                prop_assert_eq!(v, run.value(i));
+                prop_assert_eq!(next, pos + run.end(i));
+                check = next;
+            }
+        }
     }
 
     #[test]
