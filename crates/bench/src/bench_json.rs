@@ -18,7 +18,7 @@ use std::io::Write;
 use std::time::Instant;
 
 use crate::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, shard,
     table1, table3, ExperimentContext,
 };
 use crate::table::Table;
@@ -52,6 +52,7 @@ pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
         ("fig15", Box::new(fig15::run)),
         ("ooc", Box::new(ooc::run)),
         ("serve", Box::new(serve::run)),
+        ("shard", Box::new(shard::run)),
         ("direction", Box::new(direction::run)),
         ("decode", Box::new(decode::run)),
         (

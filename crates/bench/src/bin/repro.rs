@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ooc serve direction decode ablations all   (default: all)
+//!             ooc serve shard direction decode ablations all   (default: all)
 //!             bench-json  (runs the whole suite, times each experiment,
 //!                          and writes the machine-readable BENCH.json
 //!                          perf baseline: per-experiment modeled ms +
@@ -17,7 +17,7 @@
 use gcgt_bench::bench_json;
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, shard,
     table1, table3, ExperimentContext,
 };
 
@@ -47,7 +47,7 @@ fn main() {
                 println!(
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
-                     serve direction decode ablations all\n\
+                     serve shard direction decode ablations all\n\
                      bench-json: run the suite and write the BENCH.json perf baseline"
                 );
                 return;
@@ -87,6 +87,7 @@ fn main() {
         "fig15",
         "ooc",
         "serve",
+        "shard",
         "direction",
         "decode",
         "ablations",
@@ -122,6 +123,7 @@ fn main() {
     run_one("fig15", &fig15::run);
     run_one("ooc", &ooc::run);
     run_one("serve", &serve::run);
+    run_one("shard", &shard::run);
     run_one("direction", &direction::run);
     if want("decode") {
         let t = std::time::Instant::now();

@@ -8,10 +8,15 @@
 //! streaming compressed adjacency (Section 3.2 / Appendix A).
 
 use gcgt_cgr::CgrGraph;
-use gcgt_graph::NodeId;
+use gcgt_graph::{Csr, NodeId};
 
 /// One contiguous vertex range of the compressed graph, sized to a byte
 /// budget.
+///
+/// Boundaries are **node-aligned**: `bit_start`/`bit_end` always fall on a
+/// node's offset-array entry, so a node's compressed adjacency list is never
+/// split across partitions — a partition is decodable in isolation once its
+/// payload and offset slice are resident.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Partition {
     /// First node of the range (inclusive).
@@ -74,6 +79,51 @@ impl PartitionMap {
         PartitionMap { parts }
     }
 
+    /// Splits `cgr` into exactly `count` contiguous partitions, balanced by
+    /// cumulative compressed bytes (each boundary is the node-aligned point
+    /// closest to `i/count` of the total). Used by sharding to place the
+    /// graph onto a fixed number of modeled devices.
+    ///
+    /// Boundaries **nest**: because boundary `i` of a `count`-way split is
+    /// determined only by the target `total·i/count`, every boundary of a
+    /// `k`-way split reappears in the `m·k`-way split — so refining 2 → 4 →
+    /// 8 devices only ever adds cut points. Tail partitions of a very skewed
+    /// graph (or `count > num_nodes`) may be empty; the whole node range is
+    /// still covered and every node has exactly one owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    pub fn build_count(cgr: &CgrGraph, count: usize) -> PartitionMap {
+        assert!(count >= 1, "a partitioning needs at least one partition");
+        let n = cgr.num_nodes();
+        let total = range_bytes(cgr, 0, n) as u128;
+        let mut bounds = Vec::with_capacity(count + 1);
+        bounds.push(0usize);
+        for i in 1..count {
+            let target = (total * i as u128 / count as u128) as usize;
+            // Smallest node-aligned s with cumulative bytes ≥ target.
+            // Monotone targets keep the bounds non-decreasing; equal
+            // targets yield empty partitions.
+            let (mut lo, mut hi) = (*bounds.last().unwrap(), n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if range_bytes(cgr, 0, mid) >= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            bounds.push(lo);
+        }
+        bounds.push(n);
+        let parts = bounds
+            .windows(2)
+            .map(|w| Self::make(cgr, w[0], w[1]))
+            .collect();
+        PartitionMap { parts }
+    }
+
     fn make(cgr: &CgrGraph, first: usize, end: usize) -> Partition {
         Partition {
             first_node: first as NodeId,
@@ -100,9 +150,37 @@ impl PartitionMap {
     }
 
     /// Index of the partition holding node `u`.
+    ///
+    /// Binary search over the node-aligned boundaries: the owner is the
+    /// *last* partition whose `first_node` is at most `u`, which skips any
+    /// empty partitions sharing that boundary. O(log #partitions).
     pub fn partition_of(&self, u: NodeId) -> usize {
         // Last partition whose first_node <= u.
         self.parts.partition_point(|p| p.first_node <= u) - 1
+    }
+
+    /// The owner of node `u` — `node → partition` lookup under its sharding
+    /// name. Identical to [`PartitionMap::partition_of`]; sharded traversal
+    /// reads better asking "who owns this node".
+    pub fn owner_of(&self, u: NodeId) -> usize {
+        self.partition_of(u)
+    }
+
+    /// Number of stored edges whose endpoints live in different partitions —
+    /// the traffic a partitioned traversal may have to communicate. Counts
+    /// directed (stored) edges; on a symmetrized graph each cut edge is
+    /// therefore counted once per direction.
+    pub fn boundary_edges(&self, graph: &Csr) -> u64 {
+        let mut edges = 0u64;
+        for u in 0..graph.num_nodes() as NodeId {
+            let owner = self.partition_of(u);
+            for &v in graph.neighbors(u) {
+                if self.partition_of(v) != owner {
+                    edges += 1;
+                }
+            }
+        }
+        edges
     }
 
     /// The largest single partition — the floor any residency budget must
@@ -178,5 +256,106 @@ mod tests {
         let map = PartitionMap::build(&cgr, usize::MAX);
         assert_eq!(map.len(), 1);
         assert_eq!(map.parts()[0].num_nodes(), cgr.num_nodes());
+    }
+
+    #[test]
+    fn degenerate_one_node_per_partition() {
+        // A 1-byte target can never fit two lists, so every partition
+        // holds exactly one node and ownership is the identity.
+        let cgr = sample();
+        let map = PartitionMap::build(&cgr, 1);
+        assert_eq!(map.len(), cgr.num_nodes());
+        for (i, p) in map.parts().iter().enumerate() {
+            assert_eq!(p.num_nodes(), 1, "{p:?}");
+            assert_eq!(p.first_node as usize, i);
+        }
+        for u in 0..cgr.num_nodes() as NodeId {
+            assert_eq!(map.partition_of(u), u as usize);
+        }
+    }
+
+    #[test]
+    fn build_count_covers_and_balances() {
+        let cgr = sample();
+        for count in [1, 2, 3, 4, 8] {
+            let map = PartitionMap::build_count(&cgr, count);
+            assert_eq!(map.len(), count);
+            assert_eq!(map.parts()[0].first_node, 0);
+            assert_eq!(
+                map.parts().last().unwrap().end_node as usize,
+                cgr.num_nodes()
+            );
+            for w in map.parts().windows(2) {
+                assert_eq!(w[0].end_node, w[1].first_node);
+            }
+            // Balanced: a partition overshoots the ideal share by at most
+            // one node's compressed list (boundaries are node-aligned).
+            let ideal = map.total_bytes() / count;
+            let max_list = PartitionMap::build(&cgr, 1).max_partition_bytes();
+            for p in map.parts() {
+                assert!(
+                    p.bytes <= ideal + max_list + 64,
+                    "partition {p:?} vs ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_count_boundaries_nest_across_power_of_two_counts() {
+        let cgr = sample();
+        let two = PartitionMap::build_count(&cgr, 2);
+        let four = PartitionMap::build_count(&cgr, 4);
+        let eight = PartitionMap::build_count(&cgr, 8);
+        let bounds =
+            |m: &PartitionMap| -> Vec<NodeId> { m.parts().iter().map(|p| p.first_node).collect() };
+        let (b2, b4, b8) = (bounds(&two), bounds(&four), bounds(&eight));
+        assert!(b2.iter().all(|b| b4.contains(b)), "{b2:?} ⊄ {b4:?}");
+        assert!(b4.iter().all(|b| b8.contains(b)), "{b4:?} ⊄ {b8:?}");
+    }
+
+    #[test]
+    fn build_count_degenerates_to_one_and_allows_more_than_nodes() {
+        let cgr = sample();
+        let one = PartitionMap::build_count(&cgr, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.parts()[0].num_nodes(), cgr.num_nodes());
+
+        // More partitions than nodes: the extras are empty, coverage and
+        // ownership still hold.
+        let n = cgr.num_nodes();
+        let many = PartitionMap::build_count(&cgr, n + 5);
+        assert_eq!(many.len(), n + 5);
+        assert_eq!(many.parts().last().unwrap().end_node as usize, n);
+        for u in 0..n as NodeId {
+            let p = many.parts()[many.partition_of(u)];
+            assert!(p.first_node <= u && u < p.end_node);
+        }
+    }
+
+    #[test]
+    fn owner_of_is_partition_of() {
+        let cgr = sample();
+        let map = PartitionMap::build_count(&cgr, 4);
+        for u in 0..cgr.num_nodes() as NodeId {
+            assert_eq!(map.owner_of(u), map.partition_of(u));
+        }
+    }
+
+    #[test]
+    fn boundary_edges_counted_by_hand_on_a_path() {
+        use gcgt_graph::Csr;
+        // Path 0-1-2-3 (stored both ways). Split into two halves {0,1} and
+        // {2,3}: only 1→2 and 2→1 cross.
+        let g = Csr::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let map = PartitionMap::build_count(&cgr, 2);
+        if map.parts()[0].end_node == 2 {
+            assert_eq!(map.boundary_edges(&g), 2);
+        }
+        // Whatever the byte-balanced cut, a single partition has none and
+        // the identity split cuts every stored edge.
+        assert_eq!(PartitionMap::build_count(&cgr, 1).boundary_edges(&g), 0);
+        assert_eq!(PartitionMap::build(&cgr, 1).boundary_edges(&g), 6);
     }
 }

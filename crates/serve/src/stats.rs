@@ -30,6 +30,9 @@ pub struct ServeStats {
     pub work_ms: f64,
     /// Total streamed partition-transfer milliseconds across queries.
     pub transfer_ms: f64,
+    /// Total sharded frontier-exchange milliseconds across queries (zero
+    /// unless the prepared graph is sharded over multiple devices).
+    pub exchange_ms: f64,
     /// Total kernel launches across queries.
     pub launches: u64,
     /// Simulated wall-clock of the pool: when the last worker finishes its
@@ -49,7 +52,10 @@ impl ServeStats {
     /// and the per-worker upload cost. Deterministic; guards every
     /// division against an empty batch.
     pub(crate) fn compute(per_query: &[RunStats], workers: usize, upload_each_ms: f64) -> Self {
-        let costs: Vec<f64> = per_query.iter().map(|s| s.est_ms + s.transfer_ms).collect();
+        let costs: Vec<f64> = per_query
+            .iter()
+            .map(|s| s.est_ms + s.transfer_ms + s.exchange_ms)
+            .collect();
         let timeline = fifo_timeline(&costs, workers);
         let mut sorted = timeline.latencies;
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -64,6 +70,7 @@ impl ServeStats {
             upload_ms: upload_each_ms * workers as f64,
             work_ms: per_query.iter().map(|s| s.est_ms).sum(),
             transfer_ms: per_query.iter().map(|s| s.transfer_ms).sum(),
+            exchange_ms: per_query.iter().map(|s| s.exchange_ms).sum(),
             launches: per_query.iter().map(|s| s.launches).sum(),
             makespan_ms: timeline.makespan_ms,
             p50_ms: percentile(&sorted, 0.50),
@@ -72,14 +79,14 @@ impl ServeStats {
         }
     }
 
-    /// Mean simulated service time per query (`est_ms + transfer_ms`,
-    /// excluding queue wait); 0 for an empty batch — never a division by
-    /// zero.
+    /// Mean simulated service time per query
+    /// (`est_ms + transfer_ms + exchange_ms`, excluding queue wait); 0 for
+    /// an empty batch — never a division by zero.
     pub fn mean_query_ms(&self) -> f64 {
         if self.queries == 0 {
             0.0
         } else {
-            (self.work_ms + self.transfer_ms) / self.queries as f64
+            (self.work_ms + self.transfer_ms + self.exchange_ms) / self.queries as f64
         }
     }
 
@@ -94,12 +101,13 @@ impl ServeStats {
     }
 
     /// How much faster the pool finishes than one worker doing everything
-    /// serially (`(work + transfer) / makespan`); 1.0 for an empty batch.
+    /// serially (`(work + transfer + exchange) / makespan`); 1.0 for an
+    /// empty batch.
     pub fn speedup(&self) -> f64 {
         if self.makespan_ms <= 0.0 {
             1.0
         } else {
-            (self.work_ms + self.transfer_ms) / self.makespan_ms
+            (self.work_ms + self.transfer_ms + self.exchange_ms) / self.makespan_ms
         }
     }
 }

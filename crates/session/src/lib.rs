@@ -144,12 +144,15 @@ use gcgt_cgr::{CgrConfig, CgrGraph};
 use gcgt_core::{memory, Algorithm, DynExpander, GcgtEngine, Strategy};
 use gcgt_graph::{Csr, NodeId, Reordering};
 use gcgt_ooc::{OocEngine, PartitionMap};
+use gcgt_shard::{ShardEngine, ShardOocParams};
 use gcgt_simt::{Device, DeviceConfig, OomError, PcieConfig, RunStats};
 
 pub use gcgt_core::{
     Bc, Bfs, Cc, DirectionMode, LabelProp, Pagerank, Query, QueryOutput, PULL_ALPHA,
 };
 pub use gcgt_ooc::OocConfig;
+pub use gcgt_shard::{ShardInner, ShardPlan};
+pub use gcgt_simt::InterconnectConfig;
 
 /// Which traversal engine a session drives — selected at **runtime**.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -171,6 +174,20 @@ pub enum EngineKind {
         /// resident.
         inner: Strategy,
     },
+    /// Sharded multi-device traversal: the graph is placed onto `devices`
+    /// modeled GPUs as contiguous node-aligned shards, every frontier step
+    /// runs owner-computes with an all-to-all boundary-bitmap exchange over
+    /// the session's [`InterconnectConfig`], and each shard runs the given
+    /// inner engine. Outputs and kernel-side [`RunStats`] stay bitwise
+    /// identical to the serial engine at any device count; the exchange is
+    /// reported in `RunStats::{exchange_ms, boundary_nodes, sync_steps}`.
+    /// Usually reached through [`SessionBuilder::shards`].
+    Sharded {
+        /// The engine running inside each shard.
+        inner: ShardInner,
+        /// How many modeled devices the graph is placed onto (≥ 1).
+        devices: usize,
+    },
 }
 
 impl EngineKind {
@@ -188,14 +205,56 @@ impl EngineKind {
             EngineKind::GpuCsr => "GPUCSR",
             EngineKind::Gunrock => "Gunrock",
             EngineKind::OutOfCore { .. } => "GCGT-OOC",
+            EngineKind::Sharded { inner, .. } => match inner {
+                ShardInner::Gcgt(_) => "GCGT-Shard",
+                ShardInner::OutOfCore(_) => "GCGT-OOC-Shard",
+                ShardInner::GpuCsr => "GPUCSR-Shard",
+                ShardInner::Gunrock => "Gunrock-Shard",
+            },
         }
     }
 
-    /// The strategy, when this is a GCGT engine (in-core or out-of-core).
+    /// The strategy, when this is a GCGT engine (in-core, out-of-core, or
+    /// either inside shards).
     pub fn strategy(&self) -> Option<Strategy> {
         match self {
             EngineKind::Gcgt(s) | EngineKind::OutOfCore { inner: s } => Some(*s),
+            EngineKind::Sharded {
+                inner: ShardInner::Gcgt(s) | ShardInner::OutOfCore(s),
+                ..
+            } => Some(*s),
             _ => None,
+        }
+    }
+
+    /// This engine placed onto `devices` modeled GPUs: wraps the kind into
+    /// [`EngineKind::Sharded`] (re-sharding an already sharded kind just
+    /// changes the device count).
+    #[must_use]
+    pub fn sharded(self, devices: usize) -> EngineKind {
+        let inner = match self {
+            EngineKind::Gcgt(s) => ShardInner::Gcgt(s),
+            EngineKind::GpuCsr => ShardInner::GpuCsr,
+            EngineKind::Gunrock => ShardInner::Gunrock,
+            EngineKind::OutOfCore { inner } => ShardInner::OutOfCore(inner),
+            EngineKind::Sharded { inner, .. } => inner,
+        };
+        EngineKind::Sharded { inner, devices }
+    }
+
+    /// The engine kind running inside each shard — `self` for non-sharded
+    /// kinds. This is what encoding, footprints and capacity checks key
+    /// off: sharding changes placement and exchange accounting, never the
+    /// structure.
+    pub fn inner_kind(&self) -> EngineKind {
+        match *self {
+            EngineKind::Sharded { inner, .. } => match inner {
+                ShardInner::Gcgt(s) => EngineKind::Gcgt(s),
+                ShardInner::OutOfCore(s) => EngineKind::OutOfCore { inner: s },
+                ShardInner::GpuCsr => EngineKind::GpuCsr,
+                ShardInner::Gunrock => EngineKind::Gunrock,
+            },
+            k => k,
         }
     }
 
@@ -237,6 +296,8 @@ pub enum SessionError {
     /// frontier parents, which is only its in-neighbour set when every edge
     /// has its reverse. (`Adaptive` degrades to push instead of erroring.)
     AsymmetricPull,
+    /// A sharded session was requested with zero devices.
+    ZeroShards,
     /// Graph plus traversal buffers exceed the device memory.
     Oom(OomError),
 }
@@ -276,6 +337,10 @@ impl std::fmt::Display for SessionError {
                  the in-neighbours); add .symmetrize(true) or use DirectionMode::Adaptive, \
                  which degrades to push on asymmetric graphs"
             ),
+            SessionError::ZeroShards => write!(
+                f,
+                "a sharded session needs at least one device (shards(n) with n >= 1)"
+            ),
             SessionError::Oom(e) => write!(f, "{e}"),
         }
     }
@@ -302,6 +367,8 @@ pub struct SessionBuilder {
     memory_budget: Option<usize>,
     ooc: Option<OocConfig>,
     direction: Option<DirectionMode>,
+    shards: Option<usize>,
+    interconnect: Option<InterconnectConfig>,
 }
 
 impl SessionBuilder {
@@ -408,6 +475,31 @@ impl SessionBuilder {
         self
     }
 
+    /// Shards the selected engine across `devices` modeled GPUs
+    /// (wrapping whatever [`SessionBuilder::engine`] picked into
+    /// [`EngineKind::Sharded`]). Outputs stay bitwise identical to the
+    /// single-device run; the per-step frontier exchange is charged into
+    /// `RunStats::{exchange_ms, boundary_nodes, sync_steps}`. With
+    /// [`EngineKind::OutOfCore`], [`SessionBuilder::memory_budget`] becomes
+    /// the **per-device** budget and the aggregate residency is verified
+    /// against device capacity. `build` returns
+    /// [`SessionError::ZeroShards`] when `devices` is zero.
+    #[must_use]
+    pub fn shards(mut self, devices: usize) -> Self {
+        self.shards = Some(devices);
+        self
+    }
+
+    /// The device↔device link model of a sharded session's frontier
+    /// exchange (defaults to [`InterconnectConfig::nvlink`]). Only
+    /// meaningful with [`SessionBuilder::shards`] /
+    /// [`EngineKind::Sharded`].
+    #[must_use]
+    pub fn interconnect(mut self, link: InterconnectConfig) -> Self {
+        self.interconnect = Some(link);
+        self
+    }
+
     /// Runs preprocessing + encoding, verifies device capacity, and returns
     /// the ready single-worker session (an [`Arc`]-wrapped
     /// [`PreparedGraph`] underneath — see [`SessionBuilder::prepare`]).
@@ -427,7 +519,19 @@ impl SessionBuilder {
         if input.num_nodes() == 0 {
             return Err(SessionError::EmptyGraph);
         }
-        let kind = self.engine.unwrap_or(EngineKind::Gcgt(Strategy::Full));
+        let mut kind = self.engine.unwrap_or(EngineKind::Gcgt(Strategy::Full));
+        if let Some(devices) = self.shards {
+            kind = kind.sharded(devices);
+        }
+        if let EngineKind::Sharded { devices, .. } = kind {
+            if devices == 0 {
+                return Err(SessionError::ZeroShards);
+            }
+        }
+        // Everything structural (encoding, footprints, capacity) keys off
+        // the engine running inside each shard; sharding only adds
+        // placement and exchange accounting on top.
+        let base = kind.inner_kind();
         let device_config = self.device.unwrap_or_default();
         let pcie = self.pcie.unwrap_or_default();
 
@@ -465,7 +569,7 @@ impl SessionBuilder {
         };
 
         // --- encoding + footprint ---
-        let (cgr, footprint, structure) = match kind {
+        let (cgr, footprint, structure) = match base {
             EngineKind::Gcgt(strategy) | EngineKind::OutOfCore { inner: strategy } => {
                 let config = match self.compress {
                     Some(config) => {
@@ -485,11 +589,11 @@ impl SessionBuilder {
                 let structure = memory::gcgt_structure_bytes(&cgr);
                 (Some(cgr), footprint, structure)
             }
-            kind @ (EngineKind::GpuCsr | EngineKind::Gunrock) => {
+            EngineKind::GpuCsr | EngineKind::Gunrock => {
                 if self.compress.is_some() {
                     return Err(SessionError::CompressUnsupported { engine: kind });
                 }
-                let (footprint, structure) = match kind {
+                let (footprint, structure) = match base {
                     EngineKind::GpuCsr => (
                         memory::csr_footprint(&graph),
                         memory::csr_structure_bytes(&graph),
@@ -501,6 +605,7 @@ impl SessionBuilder {
                 };
                 (None, footprint, structure)
             }
+            EngineKind::Sharded { .. } => unreachable!("inner_kind is never sharded"),
         };
 
         // --- capacity / budget check (the OOM bars of Figures 8 and 15) ---
@@ -517,19 +622,43 @@ impl SessionBuilder {
             });
             probe.alloc(footprint)
         };
-        let ooc = match (kind, fits) {
+        let ooc = match (base, fits) {
             // Everything fits: out-of-core sessions degenerate to the
             // in-core engine and behave identically to `Gcgt(inner)`.
             (_, Ok(())) => None,
             (EngineKind::OutOfCore { .. }, Err(_)) => {
                 let cgr = cgr.as_ref().expect("OutOfCore always encodes");
-                Some(Self::plan_streaming(
-                    cgr,
-                    budget,
-                    self.ooc.unwrap_or_default(),
-                )?)
+                let plan = Self::plan_streaming(cgr, budget, self.ooc.unwrap_or_default())?;
+                // Sharded streaming: `budget` is per device, but every
+                // shard's scratch + cache must fit the one modeled memory
+                // pool together (the cache faults unconditionally once
+                // admitted, so this has to hold up front).
+                if let EngineKind::Sharded { devices, .. } = kind {
+                    let scratch = memory::traversal_buffers_bytes(cgr.num_nodes());
+                    let aggregate = scratch + devices * plan.cache_budget;
+                    if aggregate > device_config.mem_capacity {
+                        return Err(SessionError::Oom(OomError {
+                            requested: aggregate,
+                            capacity: device_config.mem_capacity,
+                        }));
+                    }
+                }
+                Some(plan)
             }
             (_, Err(oom)) => return Err(SessionError::Oom(oom)),
+        };
+
+        // --- shard placement (balanced over the bytes the inner engine
+        // actually keeps resident: compressed for GCGT, CSR otherwise) ---
+        let shard = match kind {
+            EngineKind::Sharded { devices, .. } => Some(ShardPlanData {
+                plan: match &cgr {
+                    Some(cgr) => ShardPlan::build(cgr, devices),
+                    None => ShardPlan::build_csr(&graph, devices),
+                },
+                interconnect: self.interconnect.unwrap_or_default(),
+            }),
+            _ => None,
         };
 
         Ok(PreparedGraph {
@@ -543,6 +672,7 @@ impl SessionBuilder {
             structure,
             budget,
             ooc,
+            shard,
             direction,
         })
     }
@@ -608,10 +738,10 @@ pub struct Run<T> {
 }
 
 impl<T> Run<T> {
-    /// Upload plus simulated execution plus streamed partition transfers,
-    /// milliseconds.
+    /// Upload plus simulated execution plus streamed partition transfers
+    /// plus sharded frontier exchange, milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms
+        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms + self.stats.exchange_ms
     }
 }
 
@@ -631,10 +761,10 @@ pub struct BatchRun<T> {
 }
 
 impl<T> BatchRun<T> {
-    /// Upload plus simulated execution plus streamed partition transfers of
-    /// the whole batch, milliseconds.
+    /// Upload plus simulated execution plus streamed partition transfers
+    /// plus sharded frontier exchange of the whole batch, milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms
+        self.upload_ms + self.stats.est_ms + self.stats.transfer_ms + self.stats.exchange_ms
     }
 
     /// Mean simulated latency per query (excluding the shared upload).
@@ -669,7 +799,16 @@ pub struct PreparedGraph {
     structure: usize,
     budget: usize,
     ooc: Option<OocPlan>,
+    shard: Option<ShardPlanData>,
     direction: DirectionMode,
+}
+
+/// The placement of a sharded prepared graph: computed once at build,
+/// borrowed by one [`ShardEngine`] per query or worker.
+#[derive(Clone, Debug)]
+struct ShardPlanData {
+    plan: ShardPlan,
+    interconnect: InterconnectConfig,
 }
 
 /// The runtime-selected engine, borrowing the prepared graph's structures.
@@ -680,6 +819,7 @@ enum EngineHolder<'s> {
     GpuCsr(GpuCsrEngine<'s>),
     Gunrock(GunrockEngine<'s>),
     Ooc(OocEngine<'s>),
+    Sharded(ShardEngine<'s>),
 }
 
 impl EngineHolder<'_> {
@@ -689,6 +829,7 @@ impl EngineHolder<'_> {
             EngineHolder::GpuCsr(e) => e,
             EngineHolder::Gunrock(e) => e,
             EngineHolder::Ooc(e) => e,
+            EngineHolder::Sharded(e) => e,
         }
     }
 }
@@ -780,6 +921,24 @@ impl PreparedGraph {
         self.ooc.as_ref().map(|plan| plan.parts.len())
     }
 
+    /// How many modeled devices a sharded session places the graph onto
+    /// (`None` for single-device sessions).
+    pub fn num_shards(&self) -> Option<usize> {
+        self.shard.as_ref().map(|s| s.plan.devices())
+    }
+
+    /// The shard placement of a sharded session (`None` for single-device
+    /// sessions).
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard.as_ref().map(|s| &s.plan)
+    }
+
+    /// The device↔device link a sharded session exchanges frontiers over
+    /// (`None` for single-device sessions).
+    pub fn interconnect(&self) -> Option<InterconnectConfig> {
+        self.shard.as_ref().map(|s| s.interconnect)
+    }
+
     /// Compression rate of the resident structure relative to a 32-bit
     /// edge list (GCGT engines; CSR engines report 1.0).
     pub fn compression_rate(&self) -> f64 {
@@ -851,6 +1010,64 @@ impl PreparedGraph {
                         .with_direction(self.direction),
                     ),
                 }
+            }
+            EngineKind::Sharded { inner, .. } => {
+                let sharding = self.shard.as_ref().expect("sharded session always plans");
+                let engine = match inner {
+                    ShardInner::Gcgt(strategy) => ShardEngine::gcgt(
+                        self.cgr.as_ref().expect("GCGT shards always encode"),
+                        &self.graph,
+                        &sharding.plan,
+                        sharding.interconnect,
+                        self.device_config,
+                        strategy,
+                    )
+                    .expect("capacity verified at build time"),
+                    ShardInner::GpuCsr => ShardEngine::gpu_csr(
+                        &self.graph,
+                        &sharding.plan,
+                        sharding.interconnect,
+                        self.device_config,
+                    )
+                    .expect("capacity verified at build time"),
+                    ShardInner::Gunrock => ShardEngine::gunrock(
+                        &self.graph,
+                        &sharding.plan,
+                        sharding.interconnect,
+                        self.device_config,
+                    )
+                    .expect("capacity verified at build time"),
+                    ShardInner::OutOfCore(strategy) => {
+                        let cgr = self.cgr.as_ref().expect("OutOfCore shards always encode");
+                        match &self.ooc {
+                            // The graph fits every device: each shard runs
+                            // in-core; exchange accounting still applies.
+                            None => ShardEngine::gcgt(
+                                cgr,
+                                &self.graph,
+                                &sharding.plan,
+                                sharding.interconnect,
+                                self.device_config,
+                                strategy,
+                            )
+                            .expect("capacity verified at build time"),
+                            Some(plan) => ShardEngine::out_of_core(ShardOocParams {
+                                cgr,
+                                graph: &self.graph,
+                                plan: &sharding.plan,
+                                parts: &plan.parts,
+                                interconnect: sharding.interconnect,
+                                device_config: self.device_config,
+                                strategy,
+                                pcie: self.pcie,
+                                config: plan.config,
+                                cache_budget: plan.cache_budget,
+                            })
+                            .expect("budget verified at build time"),
+                        }
+                    }
+                };
+                EngineHolder::Sharded(engine.with_direction(self.direction))
             }
         }
     }
@@ -975,7 +1192,8 @@ impl<'p> Executor<'p> {
     }
 
     /// Total simulated milliseconds this worker has spent executing
-    /// (per-query `est_ms + transfer_ms`, summed in service order).
+    /// (per-query `est_ms + transfer_ms + exchange_ms`, summed in service
+    /// order).
     pub fn busy_ms(&self) -> f64 {
         self.busy_ms
     }
@@ -1009,7 +1227,7 @@ impl<'p> Executor<'p> {
         );
         self.device = device;
         self.served += 1;
-        self.busy_ms += stats.est_ms + stats.transfer_ms;
+        self.busy_ms += stats.est_ms + stats.transfer_ms + stats.exchange_ms;
         Run {
             output: self.prepared.unpermute::<A>(output),
             stats,
@@ -1110,6 +1328,24 @@ impl Session {
         self.prepared.num_partitions()
     }
 
+    /// How many modeled devices a sharded session places the graph onto
+    /// (`None` for single-device sessions).
+    pub fn num_shards(&self) -> Option<usize> {
+        self.prepared.num_shards()
+    }
+
+    /// The shard placement of a sharded session (`None` for single-device
+    /// sessions).
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.prepared.shard_plan()
+    }
+
+    /// The device↔device link a sharded session exchanges frontiers over
+    /// (`None` for single-device sessions).
+    pub fn interconnect(&self) -> Option<InterconnectConfig> {
+        self.prepared.interconnect()
+    }
+
     /// Compression rate of the resident structure relative to a 32-bit
     /// edge list (GCGT engines; CSR engines report 1.0).
     pub fn compression_rate(&self) -> f64 {
@@ -1139,6 +1375,17 @@ mod tests {
     use super::*;
     use gcgt_graph::gen::toys;
     use gcgt_graph::refalgo;
+
+    /// The kernel-side view of [`RunStats`]: exchange counters zeroed, so a
+    /// sharded run can be compared bitwise against its serial oracle.
+    fn sans_exchange(stats: RunStats) -> RunStats {
+        RunStats {
+            exchange_ms: 0.0,
+            boundary_nodes: 0,
+            sync_steps: 0,
+            ..stats
+        }
+    }
 
     fn figure1_session(kind: EngineKind) -> Session {
         Session::builder()
@@ -1573,5 +1820,138 @@ mod tests {
         // The batch total is cheaper than eight standalone uploads.
         let standalone: f64 = (0..8).map(|s| session.run(Bfs::from(s)).total_ms()).sum();
         assert!(batch.total_ms() < standalone);
+    }
+
+    #[test]
+    fn sharded_sessions_answer_bitwise_serial_and_charge_exchange() {
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(700), 11);
+        let serial = Session::builder().graph(g.clone()).build().unwrap();
+        let want = serial.run(Bfs::from(0));
+        for devices in [1usize, 2, 4] {
+            let session = Session::builder()
+                .graph(g.clone())
+                .shards(devices)
+                .build()
+                .unwrap();
+            assert_eq!(session.num_shards(), Some(devices));
+            assert_eq!(session.shard_plan().unwrap().devices(), devices);
+            assert_eq!(session.interconnect(), Some(InterconnectConfig::default()));
+            let run = session.run(Bfs::from(0));
+            // The kernel side never changes: traversal results and modeled
+            // execution are bitwise the serial run at any device count —
+            // only the separate exchange counters move.
+            assert_eq!(run.output.depth, want.output.depth, "{devices} devices");
+            assert_eq!(run.output.reached, want.output.reached);
+            assert_eq!(run.output.levels, want.output.levels);
+            assert_eq!(
+                sans_exchange(run.stats),
+                sans_exchange(want.stats),
+                "{devices} devices"
+            );
+            assert_eq!(
+                run.stats.est_ms.to_bits(),
+                want.stats.est_ms.to_bits(),
+                "{devices} devices"
+            );
+            if devices == 1 {
+                assert_eq!(run.stats.exchange_ms, 0.0);
+                assert_eq!(run.stats.boundary_nodes, 0);
+                assert_eq!(run.stats.sync_steps, 0);
+                assert_eq!(run.total_ms(), want.total_ms());
+            } else {
+                assert!(run.stats.exchange_ms > 0.0, "{devices} devices");
+                assert!(run.stats.boundary_nodes > 0, "{devices} devices");
+                assert!(run.stats.sync_steps > 0, "{devices} devices");
+                // And the exchange is part of the bill.
+                assert!(run.total_ms() > want.total_ms(), "{devices} devices");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        let err = Session::builder()
+            .graph(toys::figure1())
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SessionError::ZeroShards);
+        assert!(err.to_string().contains("device"), "{err}");
+    }
+
+    #[test]
+    fn sharded_kind_names_strategies_and_wrapping() {
+        let kind = EngineKind::Gcgt(Strategy::Full).sharded(4);
+        assert_eq!(kind.name(), "GCGT-Shard");
+        assert_eq!(kind.strategy(), Some(Strategy::Full));
+        assert_eq!(kind.inner_kind(), EngineKind::Gcgt(Strategy::Full));
+        // Re-sharding only changes the device count.
+        assert_eq!(
+            kind.sharded(2),
+            EngineKind::Sharded {
+                inner: ShardInner::Gcgt(Strategy::Full),
+                devices: 2
+            }
+        );
+        let ooc = EngineKind::OutOfCore {
+            inner: Strategy::TwoPhase,
+        }
+        .sharded(2);
+        assert_eq!(ooc.name(), "GCGT-OOC-Shard");
+        assert_eq!(ooc.strategy(), Some(Strategy::TwoPhase));
+        assert_eq!(EngineKind::GpuCsr.sharded(2).name(), "GPUCSR-Shard");
+        assert_eq!(EngineKind::Gunrock.sharded(2).name(), "Gunrock-Shard");
+        assert_eq!(EngineKind::GpuCsr.sharded(2).strategy(), None);
+    }
+
+    #[test]
+    fn sharding_composes_with_every_inner_engine_kind() {
+        let g = toys::grid(12, 12);
+        for kind in EngineKind::GPU_COMPARISON {
+            let serial = Session::builder()
+                .graph(g.clone())
+                .engine(kind)
+                .build()
+                .unwrap()
+                .run(Bfs::from(0));
+            let sharded = Session::builder()
+                .graph(g.clone())
+                .engine(kind)
+                .shards(3)
+                .build()
+                .unwrap()
+                .run(Bfs::from(0));
+            assert_eq!(serial.output.depth, sharded.output.depth, "{}", kind.name());
+            assert_eq!(
+                sans_exchange(serial.stats),
+                sans_exchange(sharded.stats),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(
+                serial.stats.est_ms.to_bits(),
+                sharded.stats.est_ms.to_bits(),
+                "{}",
+                kind.name()
+            );
+            assert!(sharded.stats.exchange_ms > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn sharded_executor_keeps_the_bitwise_serving_contract() {
+        let g = gcgt_graph::gen::web_graph(&gcgt_graph::gen::WebParams::uk2002_like(500), 3);
+        let session = Session::builder().graph(g).shards(4).build().unwrap();
+        let mut worker = session.executor();
+        let first = worker.run(Bfs::from(2));
+        let second = worker.run(Bfs::from(0));
+        let again = worker.run(Bfs::from(2));
+        assert_eq!(first.output, again.output);
+        assert_eq!(first.stats, again.stats);
+        let serial = session.run(Bfs::from(2));
+        assert_eq!(serial.stats, first.stats);
+        // busy_ms bills the exchange on top of modeled execution.
+        let est_sum = first.stats.est_ms + second.stats.est_ms + again.stats.est_ms;
+        assert!(worker.busy_ms() > est_sum);
     }
 }

@@ -1,0 +1,25 @@
+//! # gcgt-shard
+//!
+//! Sharded multi-device traversal over compressed graphs: the second
+//! scaling axis of the reproduction. A [`ShardPlan`] places contiguous,
+//! node-aligned slices of the graph onto N modeled GPUs (reusing the
+//! out-of-core partitioner for the compressed cut); a [`ShardEngine`]
+//! runs any inner engine — in-core GCGT, the CSR baselines, or streaming
+//! out-of-core under a per-device budget — as an owner-computes
+//! bulk-synchronous loop. Every step, each shard expands exactly the
+//! frontier nodes it owns; discoveries of remotely-owned nodes are
+//! exchanged as per-destination dense frontier bitmaps over a modeled
+//! [`gcgt_simt::InterconnectConfig`] (NVLink or PCIe peer links).
+//!
+//! The engine implements the `Expander` contract, so all five applications,
+//! the session layer and the serving pools run sharded unmodified — and
+//! because the per-step union of per-shard work is exactly the serial
+//! schedule, `QueryOutput`s and kernel-side `RunStats` are **bitwise
+//! identical at any shard count**; the sharding overhead is charged into
+//! the separate `exchange_ms` / `boundary_nodes` / `sync_steps` counters.
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{ShardEngine, ShardInner, ShardOocParams};
+pub use plan::{Shard, ShardPlan};

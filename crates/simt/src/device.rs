@@ -195,6 +195,9 @@ pub struct Device {
     pull_steps: u64,
     pushed_edges: u64,
     pulled_edges: u64,
+    exchange_ms: f64,
+    boundary_nodes: u64,
+    sync_steps: u64,
 }
 
 impl Device {
@@ -214,6 +217,9 @@ impl Device {
             pull_steps: 0,
             pushed_edges: 0,
             pulled_edges: 0,
+            exchange_ms: 0.0,
+            boundary_nodes: 0,
+            sync_steps: 0,
         }
     }
 
@@ -298,6 +304,23 @@ impl Device {
         self.pulled_edges += edges;
     }
 
+    /// Records one bulk-synchronous frontier exchange that moved boundary
+    /// bitmaps for `exchange_ms` milliseconds of interconnect time and
+    /// discovered `boundary_nodes` remotely-owned nodes
+    /// ([`RunStats::exchange_ms`] / [`RunStats::boundary_nodes`]). Like the
+    /// out-of-core transfer charge this is host-side accounting: it never
+    /// touches the estimated kernel time.
+    pub fn charge_exchange(&mut self, exchange_ms: f64, boundary_nodes: u64) {
+        self.exchange_ms += exchange_ms;
+        self.boundary_nodes += boundary_nodes;
+    }
+
+    /// Records one bulk-synchronous step barrier of a sharded run
+    /// ([`RunStats::sync_steps`]).
+    pub fn charge_sync_step(&mut self) {
+        self.sync_steps += 1;
+    }
+
     /// Folds one kernel launch into the running cost.
     pub fn account_launch(&mut self, cost: &IterationCost) {
         let issue_cycles = self.config.weighted_cycles(&cost.tally);
@@ -339,6 +362,9 @@ impl Device {
             pull_steps: self.pull_steps,
             pushed_edges: self.pushed_edges,
             pulled_edges: self.pulled_edges,
+            exchange_ms: self.exchange_ms,
+            boundary_nodes: self.boundary_nodes,
+            sync_steps: self.sync_steps,
         }
     }
 }
@@ -386,6 +412,18 @@ pub struct RunStats {
     /// Compressed neighbours examined by pull levels before each lane's
     /// early exit on its first frontier parent.
     pub pulled_edges: u64,
+    /// Milliseconds of device↔device interconnect time spent exchanging
+    /// boundary frontier bitmaps between shards (0 for single-device runs).
+    /// Reported separately from `est_ms` so sharding stays attributable:
+    /// the kernel-time estimate is bitwise identical at any shard count.
+    pub exchange_ms: f64,
+    /// Distinct remotely-owned nodes discovered across all exchange steps
+    /// (a node re-discovered in a later step counts again; within one step
+    /// it counts once).
+    pub boundary_nodes: u64,
+    /// Bulk-synchronous step barriers executed by a sharded run (one per
+    /// kernel launch on multi-shard sessions; 0 otherwise).
+    pub sync_steps: u64,
 }
 
 impl RunStats {
@@ -420,6 +458,9 @@ impl RunStats {
             pull_steps: self.pull_steps.saturating_sub(earlier.pull_steps),
             pushed_edges: self.pushed_edges.saturating_sub(earlier.pushed_edges),
             pulled_edges: self.pulled_edges.saturating_sub(earlier.pulled_edges),
+            exchange_ms: (self.exchange_ms - earlier.exchange_ms).max(0.0),
+            boundary_nodes: self.boundary_nodes.saturating_sub(earlier.boundary_nodes),
+            sync_steps: self.sync_steps.saturating_sub(earlier.sync_steps),
         }
     }
 }
@@ -536,6 +577,28 @@ mod tests {
         assert_eq!(s.est_ms, 0.0);
         // query_view zeroes them like every other counter.
         assert_eq!(d.query_view().stats().push_steps, 0);
+    }
+
+    #[test]
+    fn exchange_counters_accumulate_and_subtract() {
+        let mut d = Device::new(DeviceConfig::titan_v_scaled(1 << 20));
+        let before = d.stats();
+        d.charge_sync_step();
+        d.charge_exchange(0.75, 100);
+        d.charge_sync_step();
+        d.charge_exchange(0.25, 40);
+        let s = d.stats().since(&before);
+        assert_eq!(s.sync_steps, 2);
+        assert_eq!(s.boundary_nodes, 140);
+        assert!((s.exchange_ms - 1.0).abs() < 1e-12);
+        // Exchange is charged host-side, like out-of-core transfer: the
+        // estimated kernel time is untouched, so sharding stays attributable.
+        assert_eq!(s.est_ms, 0.0);
+        // query_view zeroes the exchange counters like every other counter.
+        let v = d.query_view().stats();
+        assert_eq!(v.exchange_ms, 0.0);
+        assert_eq!(v.boundary_nodes, 0);
+        assert_eq!(v.sync_steps, 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! deterministic tallies, never from host wall-clock.
 
 pub mod device;
+pub mod interconnect;
 pub mod mem;
 pub mod parallel;
 pub mod pcie;
@@ -31,6 +32,7 @@ pub mod tally;
 pub mod warp;
 
 pub use device::{Device, DeviceConfig, IterationCost, OomError, RunStats};
+pub use interconnect::InterconnectConfig;
 pub use mem::{MemSim, MemStats, Space};
 pub use parallel::parallel_warps;
 pub use pcie::PcieConfig;

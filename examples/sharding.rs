@@ -1,0 +1,84 @@
+//! Sharded multi-device traversal: one compressed graph placed onto
+//! 1/2/4/8 modeled GPUs, the same BFS batch run at every device count, and
+//! the bulk-synchronous frontier exchange priced against NVLink- and
+//! PCIe-class interconnects. Answers and modeled kernel time are bitwise
+//! identical at every device count — only the exchange bill changes.
+//!
+//! ```sh
+//! cargo run --release --example sharding
+//! ```
+
+use gcgt::prelude::*;
+
+fn main() {
+    // A web-crawl analogue, reordered for locality and CGR-compressed —
+    // the same structure every device count shards.
+    let graph = web_graph(&WebParams::uk2002_like(30_000), 7);
+    let sources: Vec<Bfs> = (0..16).map(|i| Bfs::from(i * 97 % 1_000)).collect();
+
+    // The single-device oracle every sharded run must reproduce bitwise.
+    let serial = Session::builder()
+        .graph(graph.clone())
+        .reorder(Reordering::Llp(LlpConfig::default()))
+        .build()
+        .expect("graph fits the default device");
+    let oracle = serial.run_batch(&sources);
+    println!(
+        "prepared: {} nodes, {:.1}x compression, {} KiB resident structure\n",
+        serial.num_nodes(),
+        serial.compression_rate(),
+        serial.structure_bytes() / 1024
+    );
+
+    for (link_name, link) in [
+        ("NVLink", InterconnectConfig::nvlink()),
+        ("PCIe p2p", InterconnectConfig::pcie3()),
+    ] {
+        println!(
+            "{link_name}: {:.0} GB/s, {:.0} us/message",
+            link.bandwidth_gb_s, link.latency_us
+        );
+        println!(
+            "{:>8} {:>12} {:>11} {:>11} {:>13} {:>8}",
+            "devices", "est ms", "exchange ms", "sync steps", "boundary", "exch %"
+        );
+        for devices in [1usize, 2, 4, 8] {
+            let session = Session::builder()
+                .graph(graph.clone())
+                .reorder(Reordering::Llp(LlpConfig::default()))
+                .shards(devices)
+                .interconnect(link)
+                .build()
+                .expect("each shard fits its device");
+            let batch = session.run_batch(&sources);
+
+            // The sharding contract: same answers, same kernel-side cost.
+            assert_eq!(batch.outputs[0].depth, oracle.outputs[0].depth);
+            assert_eq!(
+                batch.stats.est_ms.to_bits(),
+                oracle.stats.est_ms.to_bits(),
+                "sharding must never change modeled kernel time"
+            );
+
+            let s = &batch.stats;
+            println!(
+                "{:>8} {:>10.2}ms {:>9.2}ms {:>11} {:>13} {:>7.1}%",
+                devices,
+                s.est_ms,
+                s.exchange_ms,
+                s.sync_steps,
+                s.boundary_nodes,
+                100.0 * s.exchange_ms / (s.est_ms + s.exchange_ms)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "(the per-step union of per-shard expansions is exactly the serial\n\
+         schedule, so outputs and kernel statistics are bitwise identical at\n\
+         any device count; the owner-computes exchange of boundary frontier\n\
+         bitmaps is the only cost sharding adds — and the slower the link,\n\
+         the larger its share)"
+    );
+}

@@ -56,6 +56,7 @@ pub use gcgt_graph as graph;
 pub use gcgt_ooc as ooc;
 pub use gcgt_serve as serve;
 pub use gcgt_session as session;
+pub use gcgt_shard as shard;
 pub use gcgt_simt as simt;
 
 /// Deprecated free-function shims from the pre-`Session` API.
@@ -139,6 +140,7 @@ pub mod prelude {
         DirectionMode, DynExpander, Expander, Frontier, GcgtEngine, Strategy, PULL_ALPHA,
     };
     pub use gcgt_ooc::{OocConfig, OocEngine, PartitionMap};
+    pub use gcgt_shard::{ShardEngine, ShardInner, ShardPlan};
 
     // --- substrate ---
     pub use gcgt_bits::Code;
@@ -150,7 +152,7 @@ pub mod prelude {
     };
     pub use gcgt_graph::order::{GorderConfig, LlpConfig, SlashBurnConfig};
     pub use gcgt_graph::{refalgo, Csr, CsrBuilder, NodeId, Reordering, VnodeConfig, VnodeGraph};
-    pub use gcgt_simt::{Device, DeviceConfig, PcieConfig, RunStats};
+    pub use gcgt_simt::{Device, DeviceConfig, InterconnectConfig, PcieConfig, RunStats};
 
     // --- deprecated free-function shims (pre-Session API); the allow is
     // for the re-export itself — call sites still get the warning ---
