@@ -103,6 +103,81 @@ pub fn render(entries: &[BenchEntry], scale: f64, sources: usize) -> String {
     out
 }
 
+/// Validates that `json` is a well-formed `BENCH.json` baseline: schema
+/// version 1, parseable `scale`/`sources` headers, and a non-empty
+/// `experiments` array whose entries each carry a `name`, a `modeled_ms`
+/// that is `null` or a finite number, and a numeric `host_ms`.
+///
+/// Line-oriented by design: [`render`] is the only writer, so its layout
+/// *is* the schema and a full JSON parser would add a dependency for
+/// nothing. CI runs this against the committed baseline to catch hand
+/// edits and renderer drift in the same breath.
+pub fn validate(json: &str) -> Result<(), String> {
+    let field = |name: &str| -> Result<String, String> {
+        let tag = format!("\"{name}\": ");
+        json.lines()
+            .find_map(|l| l.trim().strip_prefix(&tag))
+            .map(|v| v.trim_end_matches(',').to_string())
+            .ok_or_else(|| format!("missing \"{name}\" field"))
+    };
+    if field("schema")? != "1" {
+        return Err(format!("unsupported schema version {}", field("schema")?));
+    }
+    field("scale")?
+        .parse::<f64>()
+        .map_err(|e| format!("bad scale: {e}"))?;
+    field("sources")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad sources: {e}"))?;
+    if !json.contains("\"experiments\": [") {
+        return Err("missing \"experiments\" array".into());
+    }
+    let mut entries = 0usize;
+    for line in json.lines().map(str::trim) {
+        let Some(rest) = line.strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        entries += 1;
+        let name = rest.split('"').next().unwrap_or("");
+        if name.is_empty() {
+            return Err(format!("entry {entries} has an empty name"));
+        }
+        let number = |key: &str, null_ok: bool| -> Result<(), String> {
+            let tag = format!("\"{key}\": ");
+            let Some(value) = rest.split(&tag).nth(1) else {
+                return Err(format!("entry \"{name}\" is missing {key}"));
+            };
+            let value = value
+                .trim_end_matches(['}', ','])
+                .split(',')
+                .next()
+                .unwrap_or("")
+                .trim();
+            if null_ok && value == "null" {
+                return Ok(());
+            }
+            match value.parse::<f64>() {
+                Ok(ms) if ms.is_finite() => Ok(()),
+                _ => Err(format!("entry \"{name}\" has bad {key}: {value:?}")),
+            }
+        };
+        number("modeled_ms", true)?;
+        number("host_ms", false)?;
+    }
+    if entries == 0 {
+        return Err("no experiment entries".into());
+    }
+    if json.matches('{').count() != json.matches('}').count()
+        || json.matches('[').count() != json.matches(']').count()
+    {
+        return Err("unbalanced braces/brackets".into());
+    }
+    if json.contains(",\n  ]") {
+        return Err("trailing comma before array close".into());
+    }
+    Ok(())
+}
+
 /// Writes `BENCH.json` at `path`.
 pub fn write_file(
     path: &std::path::Path,
@@ -147,6 +222,56 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"), "trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn validate_accepts_render_output_and_committed_baseline() {
+        let entries = vec![
+            BenchEntry {
+                name: "fig8".into(),
+                modeled_ms: Some(12.5),
+                host_ms: 340.2,
+            },
+            BenchEntry {
+                name: "fig11".into(),
+                modeled_ms: None,
+                host_ms: 10.0,
+            },
+        ];
+        let json = render(&entries, 0.05, 1);
+        validate(&json).expect("render output validates");
+        // The baseline committed at the repo root must always stay valid.
+        validate(include_str!("../../../BENCH.json")).expect("committed BENCH.json validates");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_baselines() {
+        let good = render(
+            &[BenchEntry {
+                name: "fig8".into(),
+                modeled_ms: Some(1.0),
+                host_ms: 2.0,
+            }],
+            1.0,
+            3,
+        );
+        assert!(validate("{}").is_err(), "empty object");
+        assert!(
+            validate(&good.replace("\"schema\": 1", "\"schema\": 2")).is_err(),
+            "wrong schema version"
+        );
+        assert!(
+            validate(&good.replace("\"modeled_ms\": 1.000000", "\"modeled_ms\": NaN")).is_err(),
+            "non-finite modeled_ms"
+        );
+        assert!(
+            validate(&good.replace("\"host_ms\": 2.000", "\"host_ms\": oops")).is_err(),
+            "non-numeric host_ms"
+        );
+        assert!(
+            validate(&good.replace("\"scale\": 1", "\"scale\": big")).is_err(),
+            "non-numeric scale"
+        );
     }
 
     #[test]

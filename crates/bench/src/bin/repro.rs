@@ -9,6 +9,10 @@
 //!                          and writes the machine-readable BENCH.json
 //!                          perf baseline: per-experiment modeled ms +
 //!                          host wall-clock)
+//!             trace       (runs the fixed observability smoke workload,
+//!                          writes the canonical Chrome trace to
+//!                          trace.json, and prints the per-engine latency
+//!                          decompositions + metrics snapshot)
 //! --scale F   dataset scale factor   (default: 1.0)
 //! --sources N BFS sources averaged   (default: 3)
 //! --smoke     CI smoke mode: tiny scale, one source (overrides both)
@@ -48,7 +52,8 @@ fn main() {
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
                      serve shard direction decode ablations all\n\
-                     bench-json: run the suite and write the BENCH.json perf baseline"
+                     bench-json: run the suite and write the BENCH.json perf baseline\n\
+                     trace: run the observability smoke workload and write trace.json"
                 );
                 return;
             }
@@ -75,6 +80,26 @@ fn main() {
     // table3 needs no datasets.
     if want("table3") {
         println!("{}", table3::run().render());
+    }
+    // trace needs no datasets either — and deliberately ignores --scale /
+    // --sources / --smoke: its workload is fixed so the exported trace can
+    // be diffed byte-for-byte against the committed golden fixture. Runs
+    // only when asked for by name (it writes trace.json to the cwd).
+    if wanted.iter().any(|w| w == "trace") {
+        let t = std::time::Instant::now();
+        let report = gcgt_bench::trace::smoke(2);
+        let path = std::path::Path::new("trace.json");
+        std::fs::write(path, &report.trace_json).expect("write trace.json");
+        for (label, table) in &report.explains {
+            println!("== {label} ==\n{table}");
+        }
+        println!("== metrics ==\n{}", report.metrics);
+        eprintln!(
+            "[trace] wrote {} bytes to {} in {:.1}s",
+            report.trace_json.len(),
+            path.display(),
+            t.elapsed().as_secs_f64()
+        );
     }
     let needs_ctx = [
         "table1",

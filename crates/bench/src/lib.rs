@@ -11,6 +11,7 @@ pub mod bench_json;
 pub mod datasets;
 pub mod experiments;
 pub mod table;
+pub mod trace;
 
 pub use datasets::{Dataset, DatasetId, Scale};
 pub use table::Table;

@@ -347,6 +347,10 @@ where
     S: Sink + Send,
     F: Fn() -> S + Sync,
 {
+    // Observer bookkeeping costs nothing when disabled: the span start and
+    // the frontier out-degree sum are computed only with an observer
+    // installed, and never feed back into any accounted number.
+    let obs_start = device.observer().is_some().then(|| device.modeled_ms());
     // Residency first: out-of-core engines fault the frontier's partitions
     // onto the device before any warp decodes (serial, hence deterministic).
     expander.prepare_frontier(device, frontier);
@@ -379,6 +383,21 @@ where
         sinks.push(sink);
     }
     device.account_launch(&cost);
+    if let (Some(start_ms), Some(obs)) = (obs_start, device.observer()) {
+        let edges = frontier
+            .iter()
+            .map(|&u| expander.out_degree(u) as u64)
+            .sum();
+        obs.level(&gcgt_simt::obs::LevelEvent {
+            track: device.track(),
+            start_ms,
+            end_ms: device.modeled_ms(),
+            direction: "push",
+            work_items: frontier.len() as u64,
+            edges,
+            classes: device_config.class_breakdown(&cost.tally),
+        });
+    }
     sinks
 }
 
@@ -402,6 +421,7 @@ pub fn launch_pull<E>(
 where
     E: Expander + ?Sized,
 {
+    let obs_start = device.observer().is_some().then(|| device.modeled_ms());
     expander.prepare_frontier(device, candidates);
     let width = expander.device_config().warp_width;
     let cache_lines = expander.device_config().cache_lines_per_warp;
@@ -430,6 +450,17 @@ where
         examined += seen;
     }
     device.account_launch(&cost);
+    if let (Some(start_ms), Some(obs)) = (obs_start, device.observer()) {
+        obs.level(&gcgt_simt::obs::LevelEvent {
+            track: device.track(),
+            start_ms,
+            end_ms: device.modeled_ms(),
+            direction: "pull",
+            work_items: candidates.len() as u64,
+            edges: examined,
+            classes: device_config.class_breakdown(&cost.tally),
+        });
+    }
     (pairs, examined)
 }
 

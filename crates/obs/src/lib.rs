@@ -1,0 +1,361 @@
+//! # gcgt-obs
+//!
+//! Zero-cost-when-disabled observability for the modeled GCGT stack.
+//!
+//! The workspace's `RunStats`/`ServeStats` aggregates faithfully reproduce
+//! the paper's counters (cycles, decode-op mix, expanded edges), but an
+//! aggregate cannot show *when* anything happened inside a query — an
+//! out-of-core fault storm, an exchange-dominated BSP step, or a p99
+//! queue-wait spike stays invisible. This crate adds the missing timeline:
+//!
+//! * [`Observer`] — a trait with no-op defaults, threaded through every
+//!   charge point of the modeled stack (`Device` launches and alloc/free,
+//!   per-level expansion spans, partition-cache faults/evictions, sharded
+//!   frontier exchanges, and the serving pool's deterministic FIFO
+//!   timeline). With no observer installed nothing is computed or stored:
+//!   every emission site is gated on `Option<ObserverHandle>`.
+//! * [`TraceRecorder`] — records events and exports canonicalized
+//!   [Chrome trace-event JSON](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//!   loadable in Perfetto / `chrome://tracing`. Because every timestamp
+//!   derives from *modeled* milliseconds and export order is a total sort,
+//!   traces are bitwise reproducible run-to-run.
+//! * [`MetricsRegistry`] — accumulates the same events into named counters
+//!   and renders a Prometheus-style text snapshot.
+//!
+//! The crate is dependency-free and sits *below* `gcgt-simt`: events carry
+//! only plain field types, so no simulator type leaks downward.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcgt_obs::{LaunchEvent, Observer, ObserverHandle, TraceRecorder};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(TraceRecorder::new());
+//! let handle = ObserverHandle::from_arc(recorder.clone());
+//!
+//! // Anything holding the handle reports through the Observer trait;
+//! // here we stand in for the simulated device.
+//! handle.launch(&LaunchEvent {
+//!     track: 0,
+//!     start_ms: 0.0,
+//!     end_ms: 0.25,
+//!     launch: 1,
+//!     warps: 4,
+//!     cycles: 300_000.0,
+//!     classes: vec![ClassTally { class: "Handle", issues: 128, cycles: 256.0 }],
+//! });
+//!
+//! let json = recorder.chrome_trace_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert!(json.contains("\"name\": \"launch\""));
+//! # use gcgt_obs::ClassTally;
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::Arc;
+
+mod metrics;
+mod trace;
+
+pub use metrics::MetricsRegistry;
+pub use trace::TraceRecorder;
+
+/// One instruction class's contribution to a launch or level: how many warp
+/// instruction slots it issued and the modeled cycles they cost under the
+/// device's per-class weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassTally {
+    /// Class name (an `OpClass` variant name, e.g. `"ItvDecode"`).
+    pub class: &'static str,
+    /// Warp instruction slots issued under this class.
+    pub issues: u64,
+    /// Weighted issue cycles (`issues × class_cycles[class]`).
+    pub cycles: f64,
+}
+
+/// One kernel launch folded into a device's running cost
+/// (`Device::account_launch`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock when the launch began, milliseconds.
+    pub start_ms: f64,
+    /// Modeled clock when the launch completed, milliseconds.
+    pub end_ms: f64,
+    /// 1-based launch index on this device view.
+    pub launch: u64,
+    /// Warps in the launch.
+    pub warps: u64,
+    /// Modeled cycles this launch added.
+    pub cycles: f64,
+    /// Per-class issue/cycle deltas of this launch (zero classes omitted).
+    pub classes: Vec<ClassTally>,
+}
+
+/// One per-level expansion span (`launch_expansion` / `launch_pull` in
+/// `gcgt-core`): covers residency preparation (out-of-core faults, shard
+/// exchange) through kernel accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock when the level began, milliseconds.
+    pub start_ms: f64,
+    /// Modeled clock when the level completed, milliseconds.
+    pub end_ms: f64,
+    /// Expansion direction: `"push"` (frontier out-edges) or `"pull"`
+    /// (unvisited in-edge scan).
+    pub direction: &'static str,
+    /// Work items of the level (frontier size in push mode, unvisited
+    /// candidates in pull mode).
+    pub work_items: u64,
+    /// Edges expanded (push: frontier out-degree sum) or examined (pull:
+    /// neighbours scanned before early exit).
+    pub edges: u64,
+    /// Per-class issue/cycle breakdown of the level's kernel launch.
+    pub classes: Vec<ClassTally>,
+}
+
+/// One device allocation-level change (`Device::alloc` / `Device::free`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock of the change, milliseconds.
+    pub ts_ms: f64,
+    /// `"alloc"` or `"free"`.
+    pub kind: &'static str,
+    /// Bytes allocated or freed.
+    pub bytes: u64,
+    /// Resident bytes after the change.
+    pub allocated: u64,
+}
+
+/// One out-of-core partition-cache state change (`PartitionCache`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock when the transfer (or eviction) began, milliseconds.
+    pub start_ms: f64,
+    /// `"fault-cold"` (first fault of a run, full transfer price),
+    /// `"fault"` (warm, overlap-discounted) or `"evict"`.
+    pub kind: &'static str,
+    /// Partition id.
+    pub partition: u64,
+    /// Compressed bytes moved (uploaded or reclaimed).
+    pub bytes: u64,
+    /// Milliseconds of host-link stall charged (0 for evictions).
+    pub transfer_ms: f64,
+}
+
+/// One bulk-synchronous boundary-frontier exchange of a sharded step
+/// (`ShardEngine`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExchangeEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock when the exchange began, milliseconds.
+    pub start_ms: f64,
+    /// 1-based BSP step index within the query.
+    pub step: u64,
+    /// Bitmap bytes moved all-to-all.
+    pub bytes: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Distinct remotely-owned nodes discovered this step.
+    pub boundary_nodes: u64,
+    /// Interconnect milliseconds charged.
+    pub exchange_ms: f64,
+}
+
+/// One query's life on the serving pool's **deterministic FIFO timeline**
+/// (`ServePool`): all queries arrive at t = 0 in submission order, each
+/// dispatches to the earliest-free worker. Replayed host-side, so the event
+/// is identical whatever the real thread race did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeEvent {
+    /// Submission index of the query.
+    pub query: u64,
+    /// Timeline worker the query dispatched to (earliest-free, ties to the
+    /// lowest id).
+    pub worker: u64,
+    /// Submission time on the timeline (always 0 — one batch, one epoch).
+    pub submit_ms: f64,
+    /// Dispatch time: when the worker freed up (= queue wait).
+    pub dispatch_ms: f64,
+    /// Completion time (= dispatch + service).
+    pub complete_ms: f64,
+}
+
+/// A sink for modeled-stack events. Every method has a no-op default, so an
+/// observer implements only what it cares about; implementors must be
+/// `Send + Sync` because serving workers report concurrently.
+///
+/// Emission sites gate all event construction on an observer being
+/// installed, so the disabled path costs one pointer null-check.
+pub trait Observer: Send + Sync {
+    /// One kernel launch accounted on a device.
+    fn launch(&self, event: &LaunchEvent) {
+        let _ = event;
+    }
+
+    /// One per-level expansion span.
+    fn level(&self, event: &LevelEvent) {
+        let _ = event;
+    }
+
+    /// One allocation-level change.
+    fn alloc(&self, event: &AllocEvent) {
+        let _ = event;
+    }
+
+    /// One partition-cache fault or eviction.
+    fn cache(&self, event: &CacheEvent) {
+        let _ = event;
+    }
+
+    /// One sharded boundary exchange.
+    fn exchange(&self, event: &ExchangeEvent) {
+        let _ = event;
+    }
+
+    /// One query on the serving pool's deterministic timeline.
+    fn serve(&self, event: &ServeEvent) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing observer — what "no observer installed" behaves like,
+/// available explicitly for tests and composition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Broadcasts every event to several observers, in order — e.g. one
+/// [`TraceRecorder`] and one [`MetricsRegistry`] fed by a single run.
+#[derive(Clone, Default)]
+pub struct FanoutObserver {
+    sinks: Vec<ObserverHandle>,
+}
+
+impl FanoutObserver {
+    /// A fan-out over the given sinks.
+    pub fn new(sinks: Vec<ObserverHandle>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl std::fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutObserver({} sinks)", self.sinks.len())
+    }
+}
+
+impl Observer for FanoutObserver {
+    fn launch(&self, event: &LaunchEvent) {
+        for s in &self.sinks {
+            s.launch(event);
+        }
+    }
+
+    fn level(&self, event: &LevelEvent) {
+        for s in &self.sinks {
+            s.level(event);
+        }
+    }
+
+    fn alloc(&self, event: &AllocEvent) {
+        for s in &self.sinks {
+            s.alloc(event);
+        }
+    }
+
+    fn cache(&self, event: &CacheEvent) {
+        for s in &self.sinks {
+            s.cache(event);
+        }
+    }
+
+    fn exchange(&self, event: &ExchangeEvent) {
+        for s in &self.sinks {
+            s.exchange(event);
+        }
+    }
+
+    fn serve(&self, event: &ServeEvent) {
+        for s in &self.sinks {
+            s.serve(event);
+        }
+    }
+}
+
+/// A cloneable, debuggable handle to a shared [`Observer`] — the form the
+/// rest of the workspace threads around (`Device`, `PreparedGraph`,
+/// `SessionBuilder::observer`).
+#[derive(Clone)]
+pub struct ObserverHandle(Arc<dyn Observer>);
+
+impl ObserverHandle {
+    /// Wraps an observer.
+    pub fn new<O: Observer + 'static>(observer: O) -> Self {
+        Self(Arc::new(observer))
+    }
+
+    /// Wraps an already-shared observer — the usual pattern: keep one clone
+    /// of the `Arc` to read the trace back after the run.
+    pub fn from_arc<O: Observer + 'static>(observer: Arc<O>) -> Self {
+        Self(observer)
+    }
+}
+
+impl std::ops::Deref for ObserverHandle {
+    type Target = dyn Observer;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl std::fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ObserverHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let handle = ObserverHandle::new(NullObserver);
+        handle.alloc(&AllocEvent {
+            track: 0,
+            ts_ms: 0.0,
+            kind: "alloc",
+            bytes: 64,
+            allocated: 64,
+        });
+        handle.serve(&ServeEvent {
+            query: 0,
+            worker: 0,
+            submit_ms: 0.0,
+            dispatch_ms: 0.0,
+            complete_ms: 1.0,
+        });
+        assert_eq!(format!("{handle:?}"), "ObserverHandle(..)");
+    }
+
+    #[test]
+    fn handle_is_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObserverHandle>();
+        let handle = ObserverHandle::new(NullObserver);
+        let _clone = handle.clone();
+    }
+}

@@ -120,8 +120,19 @@ impl PartitionCache {
             let victim = self.lru.remove(0);
             let victim_bytes = parts.parts()[victim].bytes;
             self.used -= victim_bytes;
+            let evict_ms = device.observer().is_some().then(|| device.modeled_ms());
             device.free(victim_bytes);
             device.charge_partition_eviction();
+            if let (Some(start_ms), Some(obs)) = (evict_ms, device.observer()) {
+                obs.cache(&gcgt_simt::obs::CacheEvent {
+                    track: device.track(),
+                    start_ms,
+                    kind: "evict",
+                    partition: victim as u64,
+                    bytes: victim_bytes as u64,
+                    transfer_ms: 0.0,
+                });
+            }
             self.stats.evictions += 1;
         }
         device
@@ -140,7 +151,18 @@ impl PartitionCache {
         } else {
             raw_ms * (1.0 - config.overlap.clamp(0.0, 1.0))
         };
+        let fault_start = device.observer().is_some().then(|| device.modeled_ms());
         device.charge_partition_fault(charged);
+        if let (Some(start_ms), Some(obs)) = (fault_start, device.observer()) {
+            obs.cache(&gcgt_simt::obs::CacheEvent {
+                track: device.track(),
+                start_ms,
+                kind: if cold { "fault-cold" } else { "fault" },
+                partition: pid as u64,
+                bytes: bytes as u64,
+                transfer_ms: charged,
+            });
+        }
         self.stats.faults += 1;
         self.stats.bytes_streamed += bytes as u64;
         self.stats.transfer_ms += charged;

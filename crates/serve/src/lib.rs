@@ -57,7 +57,7 @@ mod queue;
 mod stats;
 
 pub use pool::{ServePool, ServeReport};
-pub use stats::{ServeStats, WorkerReport};
+pub use stats::{percentile, ServeStats, WorkerReport};
 
 /// Why a pool could not be built.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -149,6 +149,11 @@ impl ServePool {
                         let mut local = Vec::new();
                         let mut panics: Vec<(usize, Panic)> = Vec::new();
                         while let Some((index, query)) = queue.pop() {
+                            // Trace events carry the query's submission
+                            // index as track, never the racing worker id —
+                            // exported execution traces are identical at
+                            // any worker count.
+                            executor.set_trace_track(index as u64);
                             // Catch per-query panics so this consumer keeps
                             // draining: were every worker to die, the
                             // submitting thread would block forever on a
@@ -209,6 +214,21 @@ impl ServePool {
             .map(|s| s.expect("every query is answered exactly once"))
             .collect();
         let stats = ServeStats::compute(&per_query, self.workers, prepared.upload_ms());
+        // Replay the deterministic FIFO timeline to the observer: one
+        // submit → dispatch → complete record per query, on the *timeline*
+        // worker (not whichever host thread raced to the queue), so serve
+        // spans are as reproducible as everything else.
+        if let Some(obs) = prepared.observer() {
+            for i in 0..per_query.len() {
+                obs.serve(&gcgt_simt::obs::ServeEvent {
+                    query: i as u64,
+                    worker: stats.timeline_worker[i] as u64,
+                    submit_ms: 0.0,
+                    dispatch_ms: stats.queue_wait_ms[i],
+                    complete_ms: stats.latency_ms[i],
+                });
+            }
+        }
         ServeReport {
             outputs: outputs
                 .into_iter()

@@ -45,20 +45,62 @@ pub struct ServeStats {
     pub p95_ms: f64,
     /// 99th-percentile simulated query latency.
     pub p99_ms: f64,
+    /// Per-query queue wait (submission → dispatch on the FIFO timeline),
+    /// submission order. All queries arrive at t = 0, so this is the
+    /// dispatch time itself.
+    pub queue_wait_ms: Vec<f64>,
+    /// Per-query service time (`est_ms + transfer_ms + exchange_ms`),
+    /// submission order.
+    pub service_ms: Vec<f64>,
+    /// Per-query latency on the FIFO timeline, submission order. Computed
+    /// as `queue_wait_ms[i] + service_ms[i]`, so the decomposition is
+    /// **bitwise** exact: wait + service reassembles the latency with no
+    /// rounding gap (a property the proptest suite pins down).
+    pub latency_ms: Vec<f64>,
+    /// The deterministic-timeline worker each query dispatches to,
+    /// submission order. This is the *modeled* assignment (earliest-free,
+    /// ties to lowest id) — which host thread really raced to pop the query
+    /// is irrelevant to every reported number.
+    pub timeline_worker: Vec<usize>,
+    /// Per-worker busy milliseconds on the FIFO timeline. Queries dispatch
+    /// back-to-back from t = 0, so a worker's busy time is also its finish
+    /// time; the sum over workers equals `work + transfer + exchange`
+    /// (conservation, up to float association).
+    pub worker_busy_ms: Vec<f64>,
+    /// Median queue wait.
+    pub queue_p50_ms: f64,
+    /// 95th-percentile queue wait.
+    pub queue_p95_ms: f64,
+    /// 99th-percentile queue wait.
+    pub queue_p99_ms: f64,
+    /// Median service time.
+    pub service_p50_ms: f64,
+    /// 95th-percentile service time.
+    pub service_p95_ms: f64,
+    /// 99th-percentile service time.
+    pub service_p99_ms: f64,
 }
 
 impl ServeStats {
     /// Builds the aggregate from per-query statistics (submission order)
     /// and the per-worker upload cost. Deterministic; guards every
     /// division against an empty batch.
-    pub(crate) fn compute(per_query: &[RunStats], workers: usize, upload_each_ms: f64) -> Self {
+    ///
+    /// Public so property tests can drive the FIFO-timeline decomposition
+    /// directly from synthetic [`RunStats`]; the serving pool is the only
+    /// production caller.
+    pub fn compute(per_query: &[RunStats], workers: usize, upload_each_ms: f64) -> Self {
         let costs: Vec<f64> = per_query
             .iter()
             .map(|s| s.est_ms + s.transfer_ms + s.exchange_ms)
             .collect();
         let timeline = fifo_timeline(&costs, workers);
-        let mut sorted = timeline.latencies;
+        let mut sorted = timeline.latencies.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut sorted_waits = timeline.starts.clone();
+        sorted_waits.sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
+        let mut sorted_service = costs.clone();
+        sorted_service.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
         ServeStats {
             queries: per_query.len() as u64,
             workers,
@@ -76,6 +118,28 @@ impl ServeStats {
             p50_ms: percentile(&sorted, 0.50),
             p95_ms: percentile(&sorted, 0.95),
             p99_ms: percentile(&sorted, 0.99),
+            queue_p50_ms: percentile(&sorted_waits, 0.50),
+            queue_p95_ms: percentile(&sorted_waits, 0.95),
+            queue_p99_ms: percentile(&sorted_waits, 0.99),
+            service_p50_ms: percentile(&sorted_service, 0.50),
+            service_p95_ms: percentile(&sorted_service, 0.95),
+            service_p99_ms: percentile(&sorted_service, 0.99),
+            queue_wait_ms: timeline.starts,
+            service_ms: costs,
+            latency_ms: timeline.latencies,
+            timeline_worker: timeline.assignment,
+            worker_busy_ms: timeline.busy,
+        }
+    }
+
+    /// Mean worker utilization on the FIFO timeline:
+    /// `Σ worker_busy / (workers × makespan)`, in `[0, 1]`; 0 for an empty
+    /// batch.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ms <= 0.0 || self.workers == 0 {
+            0.0
+        } else {
+            self.worker_busy_ms.iter().sum::<f64>() / (self.workers as f64 * self.makespan_ms)
         }
     }
 
@@ -138,6 +202,13 @@ struct Timeline {
     /// Per-query completion time (= latency, since all arrive at t = 0),
     /// submission order.
     latencies: Vec<f64>,
+    /// Per-query dispatch time (= queue wait), submission order.
+    starts: Vec<f64>,
+    /// Per-query timeline worker, submission order.
+    assignment: Vec<usize>,
+    /// Per-worker busy milliseconds (= finish time: no idle gaps exist when
+    /// everything arrives at t = 0).
+    busy: Vec<f64>,
     makespan_ms: f64,
 }
 
@@ -146,6 +217,8 @@ struct Timeline {
 fn fifo_timeline(costs: &[f64], workers: usize) -> Timeline {
     let mut clocks = vec![0.0f64; workers.max(1)];
     let mut latencies = Vec::with_capacity(costs.len());
+    let mut starts = Vec::with_capacity(costs.len());
+    let mut assignment = Vec::with_capacity(costs.len());
     for &cost in costs {
         // Strict `<` keeps ties on the lowest worker id.
         let mut next = 0;
@@ -154,17 +227,39 @@ fn fifo_timeline(costs: &[f64], workers: usize) -> Timeline {
                 next = i;
             }
         }
-        clocks[next] += cost;
-        latencies.push(clocks[next]);
+        // `start + cost` is the same sum the pre-decomposition code wrote as
+        // `clocks[next] += cost` — latencies stay bitwise identical, and
+        // wait + service == latency holds exactly by construction.
+        let start = clocks[next];
+        let latency = start + cost;
+        clocks[next] = latency;
+        starts.push(start);
+        latencies.push(latency);
+        assignment.push(next);
     }
     Timeline {
         makespan_ms: clocks.iter().cloned().fold(0.0, f64::max),
         latencies,
+        starts,
+        assignment,
+        busy: clocks,
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile over an **ascending-sorted** slice.
+///
+/// Boundary convention (pinned by unit tests):
+///
+/// * empty slice → `0.0` (never a panic or NaN);
+/// * single element → that element, for every `q`;
+/// * `q = 1.0` → the maximum (`sorted[len - 1]`), exactly;
+/// * `q = 0.0` → the minimum (the rank clamps up to 1);
+/// * otherwise the nearest-rank definition `sorted[⌈q·len⌉ - 1]`.
+///
+/// This is the only percentile implementation in the workspace — the bench
+/// crate's tables consume these aggregates rather than re-deriving their
+/// own, so the convention cannot drift between layers.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -176,16 +271,41 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 mod tests {
     use super::*;
 
+    fn rs(est: f64, transfer: f64, exchange: f64) -> RunStats {
+        RunStats {
+            est_ms: est,
+            cycles: 0.0,
+            launches: 1,
+            tally: gcgt_simt::Tally::default(),
+            mem: gcgt_simt::MemStats::default(),
+            allocated_bytes: 0,
+            partition_faults: 0,
+            partition_evictions: 0,
+            transfer_ms: transfer,
+            push_steps: 0,
+            pull_steps: 0,
+            pushed_edges: 0,
+            pulled_edges: 0,
+            exchange_ms: exchange,
+            boundary_nodes: 0,
+            sync_steps: 0,
+        }
+    }
+
     #[test]
     fn fifo_timeline_packs_earliest_free_worker() {
         // Costs 4,3,2,1 on 2 workers: w0 gets 4, w1 gets 3, then w1 (free
         // at 3) gets 2 → 5, then w0 (free at 4) gets 1 → 5.
         let t = fifo_timeline(&[4.0, 3.0, 2.0, 1.0], 2);
         assert_eq!(t.latencies, vec![4.0, 3.0, 5.0, 5.0]);
+        assert_eq!(t.starts, vec![0.0, 0.0, 3.0, 4.0]);
+        assert_eq!(t.assignment, vec![0, 1, 1, 0]);
+        assert_eq!(t.busy, vec![5.0, 5.0]);
         assert_eq!(t.makespan_ms, 5.0);
         // One worker serializes: prefix sums.
         let t = fifo_timeline(&[4.0, 3.0, 2.0, 1.0], 1);
         assert_eq!(t.latencies, vec![4.0, 7.0, 9.0, 10.0]);
+        assert_eq!(t.starts, vec![0.0, 4.0, 7.0, 9.0]);
         assert_eq!(t.makespan_ms, 10.0);
     }
 
@@ -197,6 +317,62 @@ mod tests {
         assert_eq!(percentile(&v, 0.99), 99.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_boundary_convention() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        // q = 1.0 is exactly the maximum; q = 0.0 clamps up to the minimum.
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // A single element answers every quantile.
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        // Empty input answers 0 for every quantile, including the edges.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        // Nearest-rank on a tiny slice: ⌈0.5·2⌉ = 1 → first element.
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.51), 2.0);
+    }
+
+    #[test]
+    fn decomposition_reassembles_latency_bitwise() {
+        let queries = vec![
+            rs(4.0, 0.5, 0.0),
+            rs(3.0, 0.0, 0.25),
+            rs(2.0, 0.125, 0.0),
+            rs(1.0, 0.0, 0.0),
+            rs(0.5, 0.25, 0.125),
+        ];
+        for workers in 1..=4 {
+            let s = ServeStats::compute(&queries, workers, 0.0);
+            assert_eq!(s.queue_wait_ms.len(), queries.len());
+            for i in 0..queries.len() {
+                // Exact, not approximate: the timeline computes latency as
+                // wait + service, so the decomposition has no rounding gap.
+                assert_eq!(
+                    (s.queue_wait_ms[i] + s.service_ms[i]).to_bits(),
+                    s.latency_ms[i].to_bits(),
+                    "query {i} at {workers} workers"
+                );
+                assert!(s.timeline_worker[i] < workers);
+            }
+            // Busy time is conserved across worker counts (float grouping
+            // differs, hence epsilon): the pool never invents work.
+            let busy: f64 = s.worker_busy_ms.iter().sum();
+            let total = s.work_ms + s.transfer_ms + s.exchange_ms;
+            assert!((busy - total).abs() < 1e-9);
+            assert!(s.utilization() > 0.0 && s.utilization() <= 1.0 + 1e-12);
+        }
+        // Single worker: waits are the prefix sums, service percentiles
+        // come from the sorted service times.
+        let s = ServeStats::compute(&queries, 1, 0.0);
+        assert_eq!(s.queue_wait_ms[0], 0.0);
+        assert!(s.queue_p99_ms >= s.queue_p50_ms);
+        assert_eq!(s.service_p50_ms, 2.125);
+        assert_eq!(s.service_p99_ms, 4.5);
     }
 
     #[test]

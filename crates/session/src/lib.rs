@@ -152,7 +152,7 @@ pub use gcgt_core::{
 };
 pub use gcgt_ooc::OocConfig;
 pub use gcgt_shard::{ShardInner, ShardPlan};
-pub use gcgt_simt::InterconnectConfig;
+pub use gcgt_simt::{InterconnectConfig, Observer, ObserverHandle};
 
 /// Which traversal engine a session drives — selected at **runtime**.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -369,6 +369,7 @@ pub struct SessionBuilder {
     direction: Option<DirectionMode>,
     shards: Option<usize>,
     interconnect: Option<InterconnectConfig>,
+    observer: Option<ObserverHandle>,
 }
 
 impl SessionBuilder {
@@ -497,6 +498,21 @@ impl SessionBuilder {
     #[must_use]
     pub fn interconnect(mut self, link: InterconnectConfig) -> Self {
         self.interconnect = Some(link);
+        self
+    }
+
+    /// Installs an observer on every device this session (or the serving
+    /// pool sharing its [`PreparedGraph`]) derives: kernel launches,
+    /// per-level spans, allocation changes, partition-cache and shard-
+    /// exchange activity, and the serving timeline all report to it, with
+    /// **modeled** timestamps. Observation never changes any reported
+    /// number — outputs, [`RunStats`] and serving aggregates are bitwise
+    /// identical with and without one. See `gcgt_simt::obs` for the
+    /// ready-made sinks ([`gcgt_simt::obs::TraceRecorder`],
+    /// [`gcgt_simt::obs::MetricsRegistry`]).
+    #[must_use]
+    pub fn observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -674,6 +690,7 @@ impl SessionBuilder {
             ooc,
             shard,
             direction,
+            observer: self.observer,
         })
     }
 
@@ -735,6 +752,10 @@ pub struct Run<T> {
     /// runs through an [`Executor`], whose worker paid the upload once at
     /// construction ([`Executor::upload_ms`]).
     pub upload_ms: f64,
+    /// The device configuration the run executed under — kept so
+    /// [`Run::explain`] can weight the instruction-class breakdown without
+    /// the caller re-supplying it.
+    device_config: DeviceConfig,
 }
 
 impl<T> Run<T> {
@@ -742,6 +763,17 @@ impl<T> Run<T> {
     /// plus sharded frontier exchange, milliseconds.
     pub fn total_ms(&self) -> f64 {
         self.upload_ms + self.stats.est_ms + self.stats.transfer_ms + self.stats.exchange_ms
+    }
+
+    /// A human-readable latency decomposition of this run — the per-class
+    /// instruction breakdown and the est/transfer/exchange time split of
+    /// [`RunStats::explain`], plus the upload this run paid. Deterministic
+    /// for a deterministic run.
+    pub fn explain(&self) -> String {
+        let mut out = self.stats.explain(&self.device_config);
+        out.push_str(&format!("{:<12} {:>14.6} ms\n", "upload", self.upload_ms));
+        out.push_str(&format!("{:<12} {:>14.6} ms\n", "total", self.total_ms()));
+        out
     }
 }
 
@@ -801,6 +833,7 @@ pub struct PreparedGraph {
     ooc: Option<OocPlan>,
     shard: Option<ShardPlanData>,
     direction: DirectionMode,
+    observer: Option<ObserverHandle>,
 }
 
 /// The placement of a sharded prepared graph: computed once at build,
@@ -851,6 +884,14 @@ impl PreparedGraph {
     /// from.
     pub fn device_config(&self) -> &DeviceConfig {
         &self.device_config
+    }
+
+    /// The observer installed at build time
+    /// ([`SessionBuilder::observer`]), if any — attached to every device
+    /// this prepared graph derives, and used by the serving pool to replay
+    /// its deterministic dispatch timeline.
+    pub fn observer(&self) -> Option<&ObserverHandle> {
+        self.observer.as_ref()
     }
 
     /// The preprocessed graph the engine traverses (post symmetrize /
@@ -1110,6 +1151,9 @@ impl PreparedGraph {
         let holder = self.engine();
         let engine = holder.as_dyn();
         let mut device = engine.dyn_new_device();
+        if let Some(observer) = &self.observer {
+            device.set_observer(observer.clone());
+        }
         let mut outputs = Vec::with_capacity(queries.len());
         let mut per_query = Vec::with_capacity(queries.len());
         for query in queries {
@@ -1157,7 +1201,10 @@ impl<'p> Executor<'p> {
     /// [`Executor::upload_ms`] once).
     pub fn new(prepared: &'p PreparedGraph) -> Self {
         let holder = prepared.engine();
-        let device = holder.as_dyn().dyn_new_device();
+        let mut device = holder.as_dyn().dyn_new_device();
+        if let Some(observer) = prepared.observer() {
+            device.set_observer(observer.clone());
+        }
         let baseline = device.allocated();
         Self {
             prepared,
@@ -1203,6 +1250,15 @@ impl<'p> Executor<'p> {
         self.prepared.upload_ms()
     }
 
+    /// Tags this worker's future trace events with a track (a Chrome-trace
+    /// row id). The serving pool sets each query's submission index before
+    /// running it, so exported execution traces are keyed by query — hence
+    /// identical at any worker count — rather than by racing worker. No-op
+    /// for reported statistics, with or without an observer.
+    pub fn set_trace_track(&mut self, track: u64) {
+        self.device.set_track(track);
+    }
+
     /// Executes one query from the post-upload baseline. The returned
     /// statistics are bitwise identical to the same query through
     /// [`PreparedGraph::run`]; `upload_ms` is 0 because the worker paid the
@@ -1232,6 +1288,7 @@ impl<'p> Executor<'p> {
             output: self.prepared.unpermute::<A>(output),
             stats,
             upload_ms: 0.0,
+            device_config: self.prepared.device_config,
         }
     }
 }

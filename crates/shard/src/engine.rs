@@ -242,7 +242,20 @@ impl<'g> ShardEngine<'g> {
                 }
             }
         }
-        device.charge_exchange(self.interconnect.exchange_ms(bytes, messages), boundary);
+        let exchange_ms = self.interconnect.exchange_ms(bytes, messages);
+        let obs_start = device.observer().is_some().then(|| device.modeled_ms());
+        device.charge_exchange(exchange_ms, boundary);
+        if let (Some(start_ms), Some(obs)) = (obs_start, device.observer()) {
+            obs.exchange(&gcgt_simt::obs::ExchangeEvent {
+                track: device.track(),
+                start_ms,
+                step: device.stats().sync_steps,
+                bytes: bytes as u64,
+                messages: messages as u64,
+                boundary_nodes: boundary,
+                exchange_ms,
+            });
+        }
     }
 }
 

@@ -14,7 +14,8 @@
 //! the synthetic datasets reproduce the paper's OOM pattern.
 
 use crate::mem::MemStats;
-use crate::tally::{OpClass, Tally, NUM_CLASSES};
+use crate::tally::{OpClass, Tally, ALL_CLASSES, NUM_CLASSES};
+use gcgt_obs::{AllocEvent, ClassTally, LaunchEvent, ObserverHandle};
 
 /// Hardware parameters of the simulated device.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,6 +99,23 @@ impl DeviceConfig {
             table_decode: true,
             class_cycles: DEFAULT_CLASS_CYCLES,
         }
+    }
+
+    /// The non-zero per-class issue counts of `tally` with their weighted
+    /// cycles under this configuration, in [`OpClass`] order — the
+    /// decode-class breakdown trace events and [`RunStats::explain`] report.
+    pub fn class_breakdown(&self, tally: &Tally) -> Vec<ClassTally> {
+        ALL_CLASSES
+            .iter()
+            .filter_map(|&class| {
+                let issues = tally.issues[class as usize];
+                (issues > 0).then(|| ClassTally {
+                    class: class.name(),
+                    issues,
+                    cycles: issues as f64 * self.class_cycles[class as usize],
+                })
+            })
+            .collect()
     }
 
     /// Weighted compute cycles of a tally under this configuration.
@@ -198,6 +216,8 @@ pub struct Device {
     exchange_ms: f64,
     boundary_nodes: u64,
     sync_steps: u64,
+    observer: Option<ObserverHandle>,
+    track: u64,
 }
 
 impl Device {
@@ -220,12 +240,50 @@ impl Device {
             exchange_ms: 0.0,
             boundary_nodes: 0,
             sync_steps: 0,
+            observer: None,
+            track: 0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// Installs an observer: launches and allocation changes are reported
+    /// from here on (richer spans — levels, cache faults, exchanges — are
+    /// emitted by their call sites through [`Device::observer`]). Costs
+    /// nothing when never called: every emission site null-checks first,
+    /// and observation never changes any accounted number.
+    pub fn set_observer(&mut self, observer: ObserverHandle) {
+        self.observer = Some(observer);
+    }
+
+    /// The installed observer, if any — emission sites with richer context
+    /// than the device (the level launchers, the partition cache, the shard
+    /// exchange) report through this.
+    pub fn observer(&self) -> Option<&ObserverHandle> {
+        self.observer.as_ref()
+    }
+
+    /// Tags this device's future events with a trace track (a Chrome-trace
+    /// `tid`). The serving pool sets the query's submission index before
+    /// each query, so traces canonicalize per query, not per racing worker.
+    pub fn set_track(&mut self, track: u64) {
+        self.track = track;
+    }
+
+    /// The current trace track.
+    pub fn track(&self) -> u64 {
+        self.track
+    }
+
+    /// The modeled clock of this device view, milliseconds: estimated
+    /// kernel time plus the host-side streamed-transfer and exchange
+    /// charges. Every trace-event timestamp derives from this — never from
+    /// host wall-clock — which is what makes traces bitwise reproducible.
+    pub fn modeled_ms(&self) -> f64 {
+        self.elapsed_ms() + self.transfer_ms + self.exchange_ms
     }
 
     /// Registers a resident allocation (graph, frontier buffers, platform
@@ -240,6 +298,15 @@ impl Device {
             });
         }
         self.allocated = total;
+        if let Some(obs) = &self.observer {
+            obs.alloc(&AllocEvent {
+                track: self.track,
+                ts_ms: self.modeled_ms(),
+                kind: "alloc",
+                bytes: bytes as u64,
+                allocated: self.allocated as u64,
+            });
+        }
         Ok(())
     }
 
@@ -256,6 +323,15 @@ impl Device {
             self.allocated
         );
         self.allocated = self.allocated.saturating_sub(bytes);
+        if let Some(obs) = &self.observer {
+            obs.alloc(&AllocEvent {
+                track: self.track,
+                ts_ms: self.modeled_ms(),
+                kind: "free",
+                bytes: bytes as u64,
+                allocated: self.allocated as u64,
+            });
+        }
     }
 
     /// Currently allocated bytes.
@@ -273,6 +349,8 @@ impl Device {
     pub fn query_view(&self) -> Device {
         let mut view = Device::new(self.config);
         view.allocated = self.allocated;
+        view.observer = self.observer.clone();
+        view.track = self.track;
         view
     }
 
@@ -323,6 +401,7 @@ impl Device {
 
     /// Folds one kernel launch into the running cost.
     pub fn account_launch(&mut self, cost: &IterationCost) {
+        let start_ms = self.observer.is_some().then(|| self.modeled_ms());
         let issue_cycles = self.config.weighted_cycles(&cost.tally);
         // Issue throughput: one warp instruction stream per SM, limited by
         // how many warps the launch actually has.
@@ -333,10 +412,22 @@ impl Device {
             cost.tally.issues[OpClass::Atomic as usize] as f64 / self.config.atomics_per_cycle;
         // The busiest single warp floors the launch: a kernel cannot finish
         // before its critical-path warp does.
-        self.cycles += compute.max(memory).max(atomics).max(cost.max_warp_cycles);
+        let launch_cycles = compute.max(memory).max(atomics).max(cost.max_warp_cycles);
+        self.cycles += launch_cycles;
         self.launches += 1;
         self.tally.merge(&cost.tally);
         self.mem.merge(&cost.mem);
+        if let (Some(obs), Some(start_ms)) = (&self.observer, start_ms) {
+            obs.launch(&LaunchEvent {
+                track: self.track,
+                start_ms,
+                end_ms: self.modeled_ms(),
+                launch: self.launches,
+                warps: cost.warps as u64,
+                cycles: launch_cycles,
+                classes: self.config.class_breakdown(&cost.tally),
+            });
+        }
     }
 
     /// Estimated elapsed milliseconds so far (cycles / clock + launch
@@ -462,6 +553,70 @@ impl RunStats {
             boundary_nodes: self.boundary_nodes.saturating_sub(earlier.boundary_nodes),
             sync_steps: self.sync_steps.saturating_sub(earlier.sync_steps),
         }
+    }
+
+    /// A human-readable latency decomposition of this run under `config`:
+    /// the per-class instruction-slot breakdown (issues, weighted cycles,
+    /// share of weighted issue cycles) followed by the modeled time split —
+    /// estimated kernel time, streamed transfer, shard exchange, and their
+    /// sum (the modeled total). Formatting is fixed-precision, so the string
+    /// is as deterministic as the numbers themselves.
+    pub fn explain(&self, config: &DeviceConfig) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>14} {:>7}\n",
+            "class", "issues", "cycles", "share"
+        ));
+        let weighted = config.weighted_cycles(&self.tally).max(f64::MIN_POSITIVE);
+        for c in config.class_breakdown(&self.tally) {
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>14.1} {:>6.1}%\n",
+                c.class,
+                c.issues,
+                c.cycles,
+                100.0 * c.cycles / weighted
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>12} launches, {} warp slots, {} mem txns\n",
+            "totals",
+            self.launches,
+            self.tally.total_issues(),
+            self.mem.transactions
+        ));
+        if self.push_steps + self.pull_steps > 0 {
+            out.push_str(&format!(
+                "{:<12} {:>12} push ({} edges), {} pull ({} edges)\n",
+                "levels", self.push_steps, self.pushed_edges, self.pull_steps, self.pulled_edges
+            ));
+        }
+        if self.partition_faults + self.partition_evictions > 0 {
+            out.push_str(&format!(
+                "{:<12} {:>12} faults, {} evictions\n",
+                "ooc", self.partition_faults, self.partition_evictions
+            ));
+        }
+        if self.sync_steps > 0 {
+            out.push_str(&format!(
+                "{:<12} {:>12} sync steps, {} boundary nodes\n",
+                "shard", self.sync_steps, self.boundary_nodes
+            ));
+        }
+        out.push_str(&format!("{:<12} {:>14.6} ms\n", "est", self.est_ms));
+        out.push_str(&format!(
+            "{:<12} {:>14.6} ms\n",
+            "transfer", self.transfer_ms
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>14.6} ms\n",
+            "exchange", self.exchange_ms
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>14.6} ms\n",
+            "modeled",
+            self.est_ms + self.transfer_ms + self.exchange_ms
+        ));
+        out
     }
 }
 

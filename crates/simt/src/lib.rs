@@ -22,6 +22,19 @@
 //! Warps are simulated sequentially or in parallel on host threads
 //! ([`parallel_warps`]); either way all *reported* numbers come from the
 //! deterministic tallies, never from host wall-clock.
+//!
+//! ## Observability
+//!
+//! A [`Device`] optionally carries an [`ObserverHandle`]
+//! ([`Device::set_observer`]): kernel launches and allocation changes are
+//! reported as events with **modeled** timestamps ([`Device::modeled_ms`]),
+//! and richer layers (level launchers, the out-of-core cache, the shard
+//! exchange, the serving pool) emit their own spans through
+//! [`Device::observer`]. The event types and the ready-made sinks
+//! ([`obs::TraceRecorder`], [`obs::MetricsRegistry`]) live in the
+//! dependency-free [`gcgt_obs`] crate, re-exported here as [`obs`]. With no
+//! observer installed nothing is constructed and no reported number ever
+//! changes.
 
 pub mod device;
 pub mod interconnect;
@@ -31,7 +44,13 @@ pub mod pcie;
 pub mod tally;
 pub mod warp;
 
+/// The observability event model and sinks (re-export of the dependency-free
+/// `gcgt-obs` crate), so downstream crates reach `gcgt_simt::obs::…` without
+/// their own dependency edge.
+pub use gcgt_obs as obs;
+
 pub use device::{Device, DeviceConfig, IterationCost, OomError, RunStats};
+pub use gcgt_obs::{NullObserver, Observer, ObserverHandle};
 pub use interconnect::InterconnectConfig;
 pub use mem::{MemSim, MemStats, Space};
 pub use parallel::parallel_warps;

@@ -43,6 +43,26 @@ pub enum OpClass {
     TableDecode = 11,
 }
 
+impl OpClass {
+    /// The variant name, for reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Header => "Header",
+            OpClass::ItvDecode => "ItvDecode",
+            OpClass::ResDecode => "ResDecode",
+            OpClass::Handle => "Handle",
+            OpClass::Scan => "Scan",
+            OpClass::Shfl => "Shfl",
+            OpClass::Sync => "Sync",
+            OpClass::Atomic => "Atomic",
+            OpClass::ParDecode => "ParDecode",
+            OpClass::Jump => "Jump",
+            OpClass::Generic => "Generic",
+            OpClass::TableDecode => "TableDecode",
+        }
+    }
+}
+
 /// Number of op classes.
 pub const NUM_CLASSES: usize = 12;
 

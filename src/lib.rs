@@ -53,6 +53,7 @@ pub use gcgt_bits as bits;
 pub use gcgt_cgr as cgr;
 pub use gcgt_core as core;
 pub use gcgt_graph as graph;
+pub use gcgt_obs as obs;
 pub use gcgt_ooc as ooc;
 pub use gcgt_serve as serve;
 pub use gcgt_session as session;
@@ -133,6 +134,11 @@ pub mod prelude {
 
     // --- the concurrent serving layer (N workers over one PreparedGraph) ---
     pub use gcgt_serve::{ServeError, ServePool, ServeReport, ServeStats, WorkerReport};
+
+    // --- observability (deterministic tracing + metrics) ---
+    pub use gcgt_obs::{
+        FanoutObserver, MetricsRegistry, NullObserver, Observer, ObserverHandle, TraceRecorder,
+    };
 
     // --- the engine layer (for building custom engines / direct control) ---
     pub use gcgt_baselines::{GpuCsrEngine, GunrockEngine, LigraGraph, LigraPlusGraph};
