@@ -18,8 +18,8 @@ use std::io::Write;
 use std::time::Instant;
 
 use crate::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, shard,
-    table1, table3, ExperimentContext,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, serve,
+    shard, table1, table3, ExperimentContext,
 };
 use crate::table::Table;
 
@@ -62,6 +62,7 @@ pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
         ("ablations-warp-width", Box::new(ablations::warp_width)),
         ("ablations-cache-size", Box::new(ablations::cache_size)),
         ("ablations-delta-code", Box::new(ablations::delta_code)),
+        ("load", Box::new(load::run)),
     ];
     runners
         .into_iter()

@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ooc serve shard direction decode ablations all   (default: all)
+//!             ooc serve shard direction decode ablations load
+//!             all   (default: all)
 //!             bench-json  (runs the whole suite, times each experiment,
 //!                          and writes the machine-readable BENCH.json
 //!                          perf baseline: per-experiment modeled ms +
@@ -21,8 +22,8 @@
 use gcgt_bench::bench_json;
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, ooc, serve, shard,
-    table1, table3, ExperimentContext,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, serve,
+    shard, table1, table3, ExperimentContext,
 };
 
 fn main() {
@@ -51,7 +52,7 @@ fn main() {
                 println!(
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
-                     serve shard direction decode ablations all\n\
+                     serve shard direction decode ablations load all\n\
                      bench-json: run the suite and write the BENCH.json perf baseline\n\
                      trace: run the observability smoke workload and write trace.json"
                 );
@@ -116,6 +117,7 @@ fn main() {
         "direction",
         "decode",
         "ablations",
+        "load",
         "bench-json",
     ]
     .iter()
@@ -150,6 +152,7 @@ fn main() {
     run_one("serve", &serve::run);
     run_one("shard", &shard::run);
     run_one("direction", &direction::run);
+    run_one("load", &load::run);
     if want("decode") {
         let t = std::time::Instant::now();
         println!("{}", decode::render_host(&decode::host_rows(&ctx)).render());

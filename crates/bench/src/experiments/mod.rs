@@ -13,6 +13,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig8;
 pub mod fig9;
+pub mod load;
 pub mod ooc;
 pub mod serve;
 pub mod shard;

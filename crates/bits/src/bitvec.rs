@@ -5,6 +5,42 @@
 //! the first word. This matches the way the paper's figures print compressed
 //! bit arrays left-to-right and makes the warp-centric decoder's "start a
 //! lane at every bit offset" scheme (Algorithm 4) a simple shifted read.
+//!
+//! Storage is own-or-borrow ([`Storage`]): a [`BitVec`] either owns its
+//! words or references a range of a shared `Arc<[u64]>` buffer — the
+//! zero-copy substrate of the GCGR v2 on-disk format, where every section
+//! of a file read once into one aligned buffer is served in place.
+
+use std::sync::Arc;
+
+/// Backing words of a [`BitVec`]: owned, or a borrowed range of a larger
+/// shared buffer (e.g. a GCGR v2 file read once into an `Arc<[u64]>` whose
+/// index and payload sections are all views of the same allocation).
+#[derive(Clone, Debug)]
+pub enum Storage {
+    /// The bit array owns its words (the encoder's output).
+    Owned(Box<[u64]>),
+    /// The words `buf[first..first + count]` of a shared buffer.
+    Shared {
+        /// The shared backing buffer.
+        buf: Arc<[u64]>,
+        /// First word of the view.
+        first: usize,
+        /// Number of words in the view.
+        count: usize,
+    },
+}
+
+impl Storage {
+    /// The words of this storage, wherever they live.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match self {
+            Storage::Owned(words) => words,
+            Storage::Shared { buf, first, count } => &buf[*first..*first + *count],
+        }
+    }
+}
 
 /// Append-only bit stream builder.
 #[derive(Clone, Debug, Default)]
@@ -122,7 +158,7 @@ impl BitWriter {
     /// Finalizes into an immutable [`BitVec`].
     pub fn into_bitvec(self) -> BitVec {
         BitVec {
-            words: self.words.into_boxed_slice(),
+            storage: Storage::Owned(self.words.into_boxed_slice()),
             len: self.len,
         }
     }
@@ -138,18 +174,29 @@ fn ones(n: u32) -> u64 {
 }
 
 /// Immutable bit array with O(1) random access, the storage unit for every
-/// compressed adjacency array in this workspace.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// compressed adjacency array in this workspace. Owns its words or borrows
+/// them from a shared buffer — see [`Storage`].
+#[derive(Clone, Debug)]
 pub struct BitVec {
-    words: Box<[u64]>,
+    storage: Storage,
     len: usize,
 }
+
+/// Equality is over content (bit length + words), regardless of whether
+/// either side owns or borrows its storage.
+impl PartialEq for BitVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for BitVec {}
 
 impl BitVec {
     /// An empty bit array.
     pub fn empty() -> Self {
         Self {
-            words: Box::new([]),
+            storage: Storage::Owned(Box::new([])),
             len: 0,
         }
     }
@@ -178,9 +225,36 @@ impl BitVec {
             return Err("nonzero bits past the declared length");
         }
         Ok(Self {
-            words: words.into_boxed_slice(),
+            storage: Storage::Owned(words.into_boxed_slice()),
             len,
         })
+    }
+
+    /// A **zero-copy** bit array over `len` bits starting at word `first` of
+    /// a shared buffer. Enforces the same invariants as
+    /// [`BitVec::try_from_words`]: the view must lie inside the buffer and
+    /// any trailing padding bits inside its last word must be zero (a writer
+    /// always zeroes them, so set padding indicates a corrupt stream).
+    pub fn from_shared(buf: Arc<[u64]>, first: usize, len: usize) -> Result<Self, &'static str> {
+        let count = len.div_ceil(64);
+        let end = first.checked_add(count).ok_or("shared view overflows")?;
+        if end > buf.len() {
+            return Err("shared view extends past the buffer");
+        }
+        if !len.is_multiple_of(64) && buf[end - 1] & (u64::MAX >> (len % 64)) != 0 {
+            return Err("nonzero bits past the declared length");
+        }
+        Ok(Self {
+            storage: Storage::Shared { buf, first, count },
+            len,
+        })
+    }
+
+    /// Whether this array borrows a shared buffer rather than owning its
+    /// words — i.e. whether it was constructed via [`BitVec::from_shared`].
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.storage, Storage::Shared { .. })
     }
 
     /// Builds a bit array from an ASCII string of `0`/`1` characters
@@ -213,17 +287,17 @@ impl BitVec {
         self.len == 0
     }
 
-    /// Size of the backing storage in bytes (capacity actually allocated).
+    /// Size of the backing storage in bytes (capacity of this view).
     #[inline]
     pub fn storage_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words().len() * 8
     }
 
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        let word = self.words[i / 64];
+        let word = self.words()[i / 64];
         (word >> (63 - (i % 64))) & 1 == 1
     }
 
@@ -236,13 +310,14 @@ impl BitVec {
         if n == 0 {
             return 0;
         }
+        let words = self.words();
         let word = pos / 64;
         let off = (pos % 64) as u32;
-        let w0 = self.words.get(word).copied().unwrap_or(0);
+        let w0 = words.get(word).copied().unwrap_or(0);
         if off + n <= 64 {
             (w0 >> (64 - off - n)) & ones(n)
         } else {
-            let w1 = self.words.get(word + 1).copied().unwrap_or(0);
+            let w1 = words.get(word + 1).copied().unwrap_or(0);
             let hi_bits = 64 - off;
             let lo_bits = n - hi_bits;
             ((w0 & ones(hi_bits)) << lo_bits) | (w1 >> (64 - lo_bits))
@@ -257,21 +332,22 @@ impl BitVec {
     /// mirroring how a GPU kernel over-reads a padded device buffer.
     #[inline]
     pub fn peek_word(&self, pos: usize) -> u64 {
+        let words = self.words();
         let word = pos / 64;
         let off = (pos % 64) as u32;
-        let w0 = self.words.get(word).copied().unwrap_or(0);
+        let w0 = words.get(word).copied().unwrap_or(0);
         if off == 0 {
             w0
         } else {
-            let w1 = self.words.get(word + 1).copied().unwrap_or(0);
+            let w1 = words.get(word + 1).copied().unwrap_or(0);
             (w0 << off) | (w1 >> (64 - off))
         }
     }
 
-    /// Raw word storage (MSB-first within each word).
+    /// Raw word storage (MSB-first within each word), wherever it lives.
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        self.storage.words()
     }
 
     /// Renders as a `0`/`1` string, for tests and figure reproduction.

@@ -39,11 +39,13 @@ mod bitvec;
 mod bytecode;
 mod codes;
 mod decode_table;
+mod ef;
 
-pub use bitvec::{BitReader, BitVec, BitWriter, UnaryError};
+pub use bitvec::{BitReader, BitVec, BitWriter, Storage, UnaryError};
 pub use bytecode::{ByteCodeReader, ByteCodeWriter};
 pub use codes::{fold_sign, unfold_sign, Code};
 pub use decode_table::{residual_gap_values, DecodeTable, PackedRun, MAX_PACKED, WINDOW_BITS};
+pub use ef::EliasFano;
 
 /// Number of significant bits of a positive integer (`bits(1) == 1`,
 /// `bits(6) == 3`). The paper calls this the "length of significant bits".

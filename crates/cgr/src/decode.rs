@@ -597,16 +597,19 @@ impl Iterator for NeighborScanner<'_> {
     }
 }
 
-/// Structural validation of a CGR payload of unknown provenance (a loaded
-/// file whose magic and version checked out but whose bits may be truncated
-/// or flipped): streams **every** node's compressed adjacency with
-/// bounds-checked decoding and confirms decoded degrees sum to the declared
-/// edge count. O(edges) — the price of turning the serial decoders' 24
-/// would-be panic sites into one typed load error.
-pub fn validate_structure(cgr: &CgrGraph) -> Result<(), String> {
+/// Structural validation of nodes `first..end` of a CGR payload of unknown
+/// provenance: streams each node's compressed adjacency with bounds-checked
+/// decoding and returns the number of edges decoded in the range. The
+/// building block of both [`validate_structure`] (whole graph, eager load)
+/// and per-partition deferred validation
+/// ([`CgrGraph::ensure_validated`]) — a range strictly larger than the
+/// declared edge total is rejected early, the whole-graph sum check is the
+/// caller's.
+pub fn validate_range(cgr: &CgrGraph, first: usize, end: usize) -> Result<usize, String> {
     let declared = cgr.num_edges();
     let mut edges = 0usize;
-    for u in 0..cgr.num_nodes() as NodeId {
+    for u in first..end {
+        let u = u as NodeId;
         let mut scan = NeighborScanner::try_new(cgr, u).map_err(|e| format!("node {u}: {e}"))?;
         loop {
             match scan.try_next_with_step() {
@@ -623,6 +626,18 @@ pub fn validate_structure(cgr: &CgrGraph) -> Result<(), String> {
             }
         }
     }
+    Ok(edges)
+}
+
+/// Structural validation of a CGR payload of unknown provenance (a loaded
+/// file whose magic and version checked out but whose bits may be truncated
+/// or flipped): streams **every** node's compressed adjacency with
+/// bounds-checked decoding and confirms decoded degrees sum to the declared
+/// edge count. O(edges) — the price of turning the serial decoders' 24
+/// would-be panic sites into one typed load error.
+pub fn validate_structure(cgr: &CgrGraph) -> Result<(), String> {
+    let declared = cgr.num_edges();
+    let edges = validate_range(cgr, 0, cgr.num_nodes())?;
     if edges != declared {
         return Err(format!(
             "payload decodes {edges} edges but the header declares {declared}"
@@ -912,9 +927,12 @@ mod tests {
         let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
         let mut buf = Vec::new();
         crate::io::write_cgr(&cgr, &mut buf).unwrap();
-        // num_edges is the second u64 after the config block.
-        let edges_at = 4 + 4 + 2 + 5 + 5 + 8;
-        buf[edges_at..edges_at + 8].copy_from_slice(&(g.num_edges() as u64 + 1).to_le_bytes());
+        // Patch the edge count in both header word 4 and its stats mirror
+        // (word 7) so the consistent-but-lying header gets past the stats
+        // cross-check and the degree-sum validation has to catch it.
+        let lied = (g.num_edges() as u64 + 1).to_le_bytes();
+        buf[4 * 8..4 * 8 + 8].copy_from_slice(&lied);
+        buf[7 * 8..7 * 8 + 8].copy_from_slice(&lied);
         let err = crate::io::read_cgr(std::io::Cursor::new(buf)).unwrap_err();
         assert!(err.to_string().contains("edges"), "{err}");
     }

@@ -1,29 +1,71 @@
 //! The CGR encoder: CSR → compressed bit array + per-node bit offsets.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::config::CgrConfig;
 use crate::intervals::split_intervals;
 use crate::stats::CompressionStats;
-use gcgt_bits::{BitVec, BitWriter, DecodeTable, PackedRun};
+use gcgt_bits::{BitVec, BitWriter, DecodeTable, EliasFano, PackedRun};
 use gcgt_graph::{Csr, NodeId};
 
+/// Deferred structural validation state, shared by every clone of a graph
+/// loaded with [`crate::ValidationMode::Deferred`]: a per-node "validated"
+/// bitmap plus the running edge total, so partitions are checked exactly
+/// once on first fault and the whole-graph edge-count cross-check fires
+/// when coverage completes.
+#[derive(Debug)]
+struct PendingValidation {
+    state: Mutex<PendingState>,
+}
+
+#[derive(Debug)]
+struct PendingState {
+    /// Bit `u` set ⇔ node `u`'s adjacency has been structurally validated.
+    done: Box<[u64]>,
+    /// Nodes not yet validated.
+    remaining: usize,
+    /// Edges decoded by completed validations.
+    edges_seen: usize,
+    /// The whole-graph edge-count cross-check failed (sticky: a deferred
+    /// graph that proved corrupt stays rejected).
+    failed: Option<String>,
+}
+
+impl PendingState {
+    #[inline]
+    fn is_done(&self, u: usize) -> bool {
+        self.done[u / 64] >> (u % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn mark(&mut self, u: usize) {
+        self.done[u / 64] |= 1 << (u % 64);
+    }
+}
+
 /// A graph in Compressed Graph Representation: one contiguous bit array and
-/// `n + 1` bit offsets (`offsets[u]..offsets[u+1]` delimits node `u`'s
-/// compressed adjacency, the paper's `bitStart`), plus the shared
-/// [`DecodeTable`] for its VLC code — every decoder of this graph (serial,
-/// kernel, validation) resolves short codewords through one table probe
-/// instead of a serial bit-scan. The table is process-wide per code
-/// ([`DecodeTable::shared`]), so cloning the graph, sharing it behind an
-/// `Arc`, or serving it from many workers all reuse one allocation.
+/// an Elias–Fano index of the `n + 1` per-node bit offsets
+/// (`offset(u)..offset(u + 1)` delimits node `u`'s compressed adjacency,
+/// the paper's `bitStart`), plus the shared [`DecodeTable`] for its VLC
+/// code — every decoder of this graph (serial, kernel, validation) resolves
+/// short codewords through one table probe instead of a serial bit-scan.
+/// The table is process-wide per code ([`DecodeTable::shared`]), so cloning
+/// the graph, sharing it behind an `Arc`, or serving it from many workers
+/// all reuse one allocation. Both the bit array and the index words are
+/// own-or-borrow ([`gcgt_bits::Storage`]): a graph loaded zero-copy from a
+/// GCGR v2 buffer serves them as views of one shared allocation.
 #[derive(Clone, Debug)]
 pub struct CgrGraph {
     config: CgrConfig,
     bits: BitVec,
-    offsets: Box<[usize]>,
+    index: EliasFano,
     num_edges: usize,
     stats: CompressionStats,
     table: Arc<DecodeTable>,
+    /// `Some` while any node of a deferred-validation load is unchecked;
+    /// clones share the state, so one worker validating a partition covers
+    /// all of them.
+    pending: Option<Arc<PendingValidation>>,
 }
 
 impl CgrGraph {
@@ -46,32 +88,49 @@ impl CgrGraph {
         CgrGraph {
             config: *config,
             bits: w.into_bitvec(),
-            offsets: offsets.into_boxed_slice(),
+            index: EliasFano::build(&offsets),
             num_edges: graph.num_edges(),
             stats,
             table: DecodeTable::shared(config.code),
+            pending: None,
         }
     }
 
-    /// Reassembles a graph from previously encoded parts — the
-    /// deserialization path of [`crate::io`]. Callers guarantee the parts
-    /// came from a real encode (offsets monotone and covering `bits`).
-    pub(crate) fn from_parts(
+    /// Reassembles a graph from a loaded Elias–Fano index and (possibly
+    /// shared, zero-copy) bit array — the v2 deserialization path of
+    /// [`crate::io`]. `deferred` arms per-partition lazy validation: the
+    /// graph starts with every node unchecked and
+    /// [`CgrGraph::ensure_validated`] pays the structural scan on first
+    /// touch.
+    pub(crate) fn from_loaded_parts(
         config: CgrConfig,
         bits: BitVec,
-        offsets: Box<[usize]>,
+        index: EliasFano,
         num_edges: usize,
         stats: CompressionStats,
+        deferred: bool,
     ) -> CgrGraph {
-        debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), bits.len());
+        debug_assert!(!index.is_empty());
+        debug_assert_eq!(index.get(index.len() - 1), bits.len());
+        let n = index.len() - 1;
+        let pending = deferred.then(|| {
+            Arc::new(PendingValidation {
+                state: Mutex::new(PendingState {
+                    done: vec![0u64; n.div_ceil(64)].into_boxed_slice(),
+                    remaining: n,
+                    edges_seen: 0,
+                    failed: None,
+                }),
+            })
+        });
         CgrGraph {
             config,
             bits,
-            offsets,
+            index,
             num_edges,
             stats,
             table: DecodeTable::shared(config.code),
+            pending,
         }
     }
 
@@ -81,10 +140,90 @@ impl CgrGraph {
         &self.config
     }
 
-    /// The `n + 1` per-node bit offsets (the paper's `bitStart` array).
+    /// The `i`-th of the `n + 1` per-node bit offsets (the paper's
+    /// `bitStart` array), answered by the Elias–Fano index.
     #[inline]
-    pub fn offsets(&self) -> &[usize] {
-        &self.offsets
+    pub fn offset(&self, i: usize) -> usize {
+        self.index.get(i)
+    }
+
+    /// Materializes the full dense offset array — for serialization and
+    /// diagnostics only; traversal paths go through [`CgrGraph::offset`].
+    pub fn offsets_dense(&self) -> Vec<usize> {
+        self.index.iter().collect()
+    }
+
+    /// The Elias–Fano offset index.
+    #[inline]
+    pub fn index(&self) -> &EliasFano {
+        &self.index
+    }
+
+    /// On-disk bytes of the Elias–Fano offset index (versus
+    /// `(n + 1) × 8` for the dense array it replaces).
+    #[inline]
+    pub fn index_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+
+    /// Whether any node of a deferred-validation load is still unchecked.
+    /// Always `false` for encoded or eagerly validated graphs.
+    pub fn validation_pending(&self) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|p| p.state.lock().unwrap().remaining > 0)
+    }
+
+    /// Ensures nodes `first..end` have been structurally validated,
+    /// running the bounds-checked scan over any not yet covered
+    /// (deferred-validation loads only; a no-op otherwise). When the last
+    /// node of the graph is covered, the decoded edge total is
+    /// cross-checked against the header's declared count — corruption
+    /// spread thinly across partitions is still caught, just at coverage
+    /// time instead of load time.
+    pub fn ensure_validated(&self, first: usize, end: usize) -> Result<(), String> {
+        let Some(pending) = &self.pending else {
+            return Ok(());
+        };
+        let mut st = pending.state.lock().unwrap();
+        if let Some(e) = &st.failed {
+            return Err(e.clone());
+        }
+        let end = end.min(self.num_nodes());
+        let mut u = first;
+        while u < end {
+            if st.is_done(u) {
+                u += 1;
+                continue;
+            }
+            let mut v = u + 1;
+            while v < end && !st.is_done(v) {
+                v += 1;
+            }
+            let edges = crate::decode::validate_range(self, u, v)?;
+            st.edges_seen += edges;
+            st.remaining -= v - u;
+            for w in u..v {
+                st.mark(w);
+            }
+            u = v;
+        }
+        if st.remaining == 0 && st.edges_seen != self.num_edges {
+            let msg = format!(
+                "payload decodes {} edges but the header declares {}",
+                st.edges_seen, self.num_edges
+            );
+            st.failed = Some(msg.clone());
+            return Err(msg);
+        }
+        Ok(())
+    }
+
+    /// Validates every not-yet-checked node of a deferred load (a no-op
+    /// otherwise) — the escape hatch for consumers that need the whole
+    /// graph proven sound up front, e.g. before a full CSR decode.
+    pub fn ensure_validated_all(&self) -> Result<(), String> {
+        self.ensure_validated(0, self.num_nodes())
     }
 
     /// The compressed bit array.
@@ -167,19 +306,19 @@ impl CgrGraph {
     /// Bit offset where node `u`'s compressed adjacency starts.
     #[inline]
     pub fn bit_start(&self, u: NodeId) -> usize {
-        self.offsets[u as usize]
+        self.index.get(u as usize)
     }
 
     /// `(start, end)` bit range of node `u`'s compressed adjacency.
     #[inline]
     pub fn node_range(&self, u: NodeId) -> (usize, usize) {
-        (self.offsets[u as usize], self.offsets[u as usize + 1])
+        (self.index.get(u as usize), self.index.get(u as usize + 1))
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.index.len() - 1
     }
 
     /// Number of edges.
@@ -204,9 +343,13 @@ impl CgrGraph {
         self.stats.compression_rate()
     }
 
-    /// Device-memory footprint: bit array plus the 64-bit offset array.
+    /// Modeled device-memory footprint: bit array plus a dense 64-bit
+    /// offset array (the kernels' modeled cost assumes dense `bitStart`
+    /// lookups on device; the succinct on-disk index is
+    /// [`CgrGraph::index_bytes`]). Kept dense so the cost model and every
+    /// committed `BENCH.json` headline are unchanged by the index refactor.
     pub fn size_bytes(&self) -> usize {
-        self.bits.storage_bytes() + self.offsets.len() * 8
+        self.bits.storage_bytes() + (self.num_nodes() + 1) * 8
     }
 }
 
@@ -388,9 +531,12 @@ mod tests {
         let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
         let n = g.num_nodes();
         for u in 0..n {
-            assert!(cgr.offsets[u] <= cgr.offsets[u + 1]);
+            assert!(cgr.offset(u) <= cgr.offset(u + 1));
         }
-        assert_eq!(cgr.offsets[n], cgr.bits().len());
+        assert_eq!(cgr.offset(n), cgr.bits().len());
+        assert_eq!(cgr.offsets_dense().len(), n + 1);
+        // The succinct index undercuts the dense array it models.
+        assert!(cgr.index_bytes() < (n + 1) * 8);
     }
 
     #[test]

@@ -5,25 +5,59 @@
 //! are encoded offline and the compressed payload is streamed straight from
 //! the file format to the device.
 //!
-//! ## Format (`GCGR`, version 1, little-endian)
+//! ## Format (`GCGR`, version 2, little-endian)
+//!
+//! Everything is a `u64` word and every section starts on an 8-byte
+//! boundary, so a file read once into an aligned buffer can be served
+//! **zero-copy**: [`CgrGraph::from_bytes`] / [`CgrGraph::from_shared`]
+//! validate the header and section extents and then hand out
+//! [`gcgt_bits::Storage`] views of the one shared allocation — the index
+//! and payload are never re-materialized per process or per worker.
 //!
 //! ```text
-//! magic    4 bytes  "GCGR"
-//! version  u32      1
-//! config   code tag u8 (0 γ, 1 δ, 2 ζ) + code k u8
-//!          + [flag u8, value u32] for min_interval_len
-//!          + [flag u8, value u32] for segment_len_bytes
-//! counts   num_nodes u64, num_edges u64, bit length u64
-//! stats    7 × u64 (nodes, edges, total_bits, interval_edges,
-//!          residual_edges, blank_bits, segments)
-//! offsets  (num_nodes + 1) × u64 bit offsets
-//! payload  bit-array words, ceil(bits / 64) × u64
+//! header   16 × u64:
+//!   w0     magic "GCGR" (low 32 bits) | version 2 (high 32 bits)
+//!   w1     code tag u8 (0 γ, 1 δ, 2 ζ) | code k u8 ≪ 8
+//!          | min_interval_len flag u8 ≪ 16 | segment_len flag u8 ≪ 24
+//!          (high 32 bits reserved, must be zero)
+//!   w2     min_interval_len u32 | segment_len_bytes u32 ≪ 32
+//!   w3–w5  num_nodes, num_edges, payload bit length
+//!   w6–w12 stats: nodes, edges, total_bits, interval_edges,
+//!          residual_edges, blank_bits, segments
+//!   w13    Elias–Fano low bits per offset (ℓ < 64)
+//!   w14    EF low-section words  = ⌈(num_nodes + 1) · ℓ / 64⌉
+//!   w15    EF high-section words = ⌈(num_nodes + 1 + (bit_len ≫ ℓ)) / 64⌉
+//! EF low   w14 words — densely packed ℓ-bit offset low halves
+//! EF high  w15 words — unary-coded offset high halves
+//! payload  ⌈bit_len / 64⌉ words — the compressed bit array
 //! ```
+//!
+//! The `n + 1` per-node bit offsets are an [`EliasFano`] index (w13–w15 pin
+//! its parameters; the select directory is derived at load, never stored),
+//! a fraction of the dense `(n + 1) × u64` array version 1 shipped. The
+//! word counts in w14/w15 are redundant with ℓ and the counts in w3/w5 and
+//! are cross-checked, as are the stats mirrors of `num_nodes`/`num_edges`/
+//! `bit_len` — any disagreement is a typed `InvalidData` error. A v2 stream
+//! ends exactly at the last payload word; trailing bytes are corruption.
+//!
+//! **Version 1 compatibility:** [`read_cgr`] still reads the legacy
+//! streamed layout (byte-packed header, dense `u64` offsets, payload; see
+//! [`write_cgr_v1`], which keeps writing it for tooling and tests). v1
+//! loads rebuild the Elias–Fano index in memory and enforce the same
+//! hardening as v2: first offset pinned to zero, checked count narrowing,
+//! stats cross-checks, and EOF required after the payload.
+//!
+//! **Validation:** by default every load stream-decodes each adjacency once
+//! ([`ValidationMode::Eager`]) so corruption surfaces as a typed load error
+//! rather than a traversal panic. [`ValidationMode::Deferred`] skips that
+//! O(edges) pass at load and arms per-partition lazy validation instead —
+//! see [`CgrGraph::ensure_validated`].
 
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use gcgt_bits::{BitVec, Code};
+use gcgt_bits::{BitVec, Code, EliasFano};
 
 use crate::config::CgrConfig;
 use crate::encode::CgrGraph;
@@ -31,11 +65,58 @@ use crate::stats::CompressionStats;
 
 /// File magic: "GCGR".
 pub const MAGIC: [u8; 4] = *b"GCGR";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version: the 8-byte-aligned zero-copy layout.
+pub const VERSION: u32 = 2;
+/// The legacy byte-streamed layout, still readable by [`read_cgr`] and
+/// writable via [`write_cgr_v1`].
+pub const VERSION_V1: u32 = 1;
+/// Words in the v2 header section.
+pub const V2_HEADER_WORDS: usize = 16;
+
+/// When a loaded graph's structural validation runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// Stream-decode every adjacency at load time — corruption is a typed
+    /// load error and the returned graph is fully proven (the v1
+    /// behaviour).
+    #[default]
+    Eager,
+    /// Skip the O(edges) pass at load; every node starts unchecked and
+    /// [`CgrGraph::ensure_validated`] pays the scan per partition on first
+    /// fault. Cold starts cost header + offset checks only, at the price
+    /// of corruption surfacing at first touch instead of load.
+    Deferred,
+}
+
+impl ValidationMode {
+    #[inline]
+    fn deferred(self) -> bool {
+        matches!(self, ValidationMode::Deferred)
+    }
+}
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Checked `u64 → usize` narrowing: a count that does not fit the host is a
+/// typed error, never a silent truncation (satellite of the 32-bit-target
+/// hardening sweep).
+fn to_usize(v: u64, what: &str) -> io::Result<usize> {
+    v.try_into()
+        .map_err(|_| bad(format!("{what} {v} does not fit in usize on this target")))
+}
+
+/// Requires the reader to be exhausted: trailing bytes after the payload
+/// are concatenation/corruption, indistinguishable from a clean file
+/// before this check existed.
+fn expect_eof<R: Read>(r: &mut R) -> io::Result<()> {
+    let mut probe = [0u8; 1];
+    match r.read_exact(&mut probe) {
+        Ok(()) => Err(bad("trailing bytes after the payload")),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+        Err(e) => Err(e),
+    }
 }
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -64,18 +145,15 @@ fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
     Ok(b[0])
 }
 
-fn write_code<W: Write>(w: &mut W, code: Code) -> io::Result<()> {
-    let (tag, k) = match code {
-        Code::Gamma => (0u8, 0u8),
+fn code_tag(code: Code) -> (u8, u8) {
+    match code {
+        Code::Gamma => (0, 0),
         Code::Delta => (1, 0),
         Code::Zeta(k) => (2, k),
-    };
-    w.write_all(&[tag, k])
+    }
 }
 
-fn read_code<R: Read>(r: &mut R) -> io::Result<Code> {
-    let tag = read_u8(r)?;
-    let k = read_u8(r)?;
+fn code_from_tag(tag: u8, k: u8) -> io::Result<Code> {
     match tag {
         0 => Ok(Code::Gamma),
         1 => Ok(Code::Delta),
@@ -85,26 +163,108 @@ fn read_code<R: Read>(r: &mut R) -> io::Result<Code> {
     }
 }
 
+/// Decodes a `[flag, value]` optional field, rejecting junk flags and a
+/// nonzero value behind an absent flag (the writers always zero it).
+fn opt_field(flag: u8, value: u32, what: &str) -> io::Result<Option<u32>> {
+    match flag {
+        0 if value == 0 => Ok(None),
+        0 => Err(bad(format!("{what} absent but value {value} is nonzero"))),
+        1 => Ok(Some(value)),
+        f => Err(bad(format!("bad {what} presence flag {f}"))),
+    }
+}
+
+fn write_code<W: Write>(w: &mut W, code: Code) -> io::Result<()> {
+    let (tag, k) = code_tag(code);
+    w.write_all(&[tag, k])
+}
+
+fn read_code<R: Read>(r: &mut R) -> io::Result<Code> {
+    let tag = read_u8(r)?;
+    let k = read_u8(r)?;
+    code_from_tag(tag, k)
+}
+
 fn write_opt_u32<W: Write>(w: &mut W, v: Option<u32>) -> io::Result<()> {
     w.write_all(&[u8::from(v.is_some())])?;
     write_u32(w, v.unwrap_or(0))
 }
 
-fn read_opt_u32<R: Read>(r: &mut R) -> io::Result<Option<u32>> {
+fn read_opt_u32<R: Read>(r: &mut R, what: &str) -> io::Result<Option<u32>> {
     let flag = read_u8(r)?;
     let v = read_u32(r)?;
-    match flag {
-        0 => Ok(None),
-        1 => Ok(Some(v)),
-        f => Err(bad(format!("bad presence flag {f}"))),
-    }
+    opt_field(flag, v, what)
 }
 
-/// Serializes `cgr` to a writer in the `GCGR` binary format.
+fn stats_fields(s: &CompressionStats) -> [usize; 7] {
+    [
+        s.nodes,
+        s.edges,
+        s.total_bits,
+        s.interval_edges,
+        s.residual_edges,
+        s.blank_bits,
+        s.segments,
+    ]
+}
+
+/// Serializes `cgr` to a writer in the current (v2) `GCGR` format.
 pub fn write_cgr<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
     let mut w = io::BufWriter::new(writer);
+    for word in header_words(cgr) {
+        write_u64(&mut w, word)?;
+    }
+    for &word in cgr.index().low().words() {
+        write_u64(&mut w, word)?;
+    }
+    for &word in cgr.index().high().words() {
+        write_u64(&mut w, word)?;
+    }
+    for &word in cgr.bits().words() {
+        write_u64(&mut w, word)?;
+    }
+    w.flush()
+}
+
+fn header_words(cgr: &CgrGraph) -> [u64; V2_HEADER_WORDS] {
+    let cfg = cgr.config();
+    let (tag, k) = code_tag(cfg.code);
+    let w1 = u64::from(tag)
+        | u64::from(k) << 8
+        | u64::from(cfg.min_interval_len.is_some()) << 16
+        | u64::from(cfg.segment_len_bytes.is_some()) << 24;
+    let w2 = u64::from(cfg.min_interval_len.unwrap_or(0))
+        | u64::from(cfg.segment_len_bytes.unwrap_or(0)) << 32;
+    let s = stats_fields(cgr.stats());
+    let ef = cgr.index();
+    [
+        u64::from(u32::from_le_bytes(MAGIC)) | u64::from(VERSION) << 32,
+        w1,
+        w2,
+        cgr.num_nodes() as u64,
+        cgr.num_edges() as u64,
+        cgr.bits().len() as u64,
+        s[0] as u64,
+        s[1] as u64,
+        s[2] as u64,
+        s[3] as u64,
+        s[4] as u64,
+        s[5] as u64,
+        s[6] as u64,
+        u64::from(ef.low_bits()),
+        ef.low().words().len() as u64,
+        ef.high().words().len() as u64,
+    ]
+}
+
+/// Serializes `cgr` in the legacy v1 `GCGR` format (byte-packed header,
+/// dense `u64` offset array). Kept for compatibility tooling, corruption
+/// regression tests and the `load` bench's v1-versus-v2 comparison; new
+/// files should use [`write_cgr`].
+pub fn write_cgr_v1<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(writer);
     w.write_all(&MAGIC)?;
-    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, VERSION_V1)?;
 
     let cfg = cgr.config();
     write_code(&mut w, cfg.code)?;
@@ -115,20 +275,11 @@ pub fn write_cgr<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
     write_u64(&mut w, cgr.num_edges() as u64)?;
     write_u64(&mut w, cgr.bits().len() as u64)?;
 
-    let s = cgr.stats();
-    for v in [
-        s.nodes,
-        s.edges,
-        s.total_bits,
-        s.interval_edges,
-        s.residual_edges,
-        s.blank_bits,
-        s.segments,
-    ] {
+    for v in stats_fields(cgr.stats()) {
         write_u64(&mut w, v as u64)?;
     }
 
-    for &off in cgr.offsets() {
+    for off in cgr.offsets_dense() {
         write_u64(&mut w, off as u64)?;
     }
     for &word in cgr.bits().words() {
@@ -137,41 +288,309 @@ pub fn write_cgr<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Deserializes a graph written by [`write_cgr`], validating magic, version,
-/// configuration and offset monotonicity.
-pub fn read_cgr<R: Read>(reader: R) -> io::Result<CgrGraph> {
-    let mut r = io::BufReader::new(reader);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
+/// Parsed and cross-checked v2 header.
+struct V2Header {
+    config: CgrConfig,
+    num_nodes: usize,
+    num_edges: usize,
+    bit_len: usize,
+    stats: CompressionStats,
+    low_bits: u32,
+    /// Bits in the EF low section (`(num_nodes + 1) · ℓ`).
+    low_len_bits: usize,
+    /// Words in the EF low section (w14, cross-checked).
+    low_words: usize,
+    /// Bits in the EF high section (`num_nodes + 1 + (bit_len ≫ ℓ)`).
+    high_len_bits: usize,
+    /// Words in the EF high section (w15, cross-checked).
+    high_words: usize,
+}
+
+fn parse_v2_header(words: &[u64]) -> io::Result<V2Header> {
+    debug_assert_eq!(words.len(), V2_HEADER_WORDS);
+    let w0 = words[0];
+    if w0 as u32 != u32::from_le_bytes(MAGIC) {
         return Err(bad("not a GCGR file (bad magic)"));
     }
-    let version = read_u32(&mut r)?;
+    let version = (w0 >> 32) as u32;
     if version != VERSION {
         return Err(bad(format!(
             "unsupported GCGR version {version} (expected {VERSION})"
         )));
     }
+    let w1 = words[1];
+    if w1 >> 32 != 0 {
+        return Err(bad("reserved header bits are set"));
+    }
+    let w2 = words[2];
+    let config = CgrConfig {
+        code: code_from_tag(w1 as u8, (w1 >> 8) as u8)?,
+        min_interval_len: opt_field((w1 >> 16) as u8, w2 as u32, "min_interval_len")?,
+        segment_len_bytes: opt_field((w1 >> 24) as u8, (w2 >> 32) as u32, "segment_len_bytes")?,
+    };
+    let num_nodes = to_usize(words[3], "node count")?;
+    let num_edges = to_usize(words[4], "edge count")?;
+    let bit_len = to_usize(words[5], "payload bit length")?;
+    let stats = CompressionStats {
+        nodes: to_usize(words[6], "stats node count")?,
+        edges: to_usize(words[7], "stats edge count")?,
+        total_bits: to_usize(words[8], "stats total bits")?,
+        interval_edges: to_usize(words[9], "stats interval edges")?,
+        residual_edges: to_usize(words[10], "stats residual edges")?,
+        blank_bits: to_usize(words[11], "stats blank bits")?,
+        segments: to_usize(words[12], "stats segments")?,
+    };
+    check_stats(&stats, num_nodes, num_edges, bit_len)?;
+    if words[13] >= 64 {
+        return Err(bad(format!(
+            "EF low-bit width {} is out of range",
+            words[13]
+        )));
+    }
+    let low_bits = words[13] as u32;
+    let n_off = num_nodes
+        .checked_add(1)
+        .ok_or_else(|| bad("node count overflows"))?;
+    let low_len_bits = n_off
+        .checked_mul(low_bits as usize)
+        .ok_or_else(|| bad("EF low section size overflows"))?;
+    let high_len_bits = n_off
+        .checked_add(bit_len >> low_bits)
+        .ok_or_else(|| bad("EF high section size overflows"))?;
+    let low_words = to_usize(words[14], "EF low word count")?;
+    let high_words = to_usize(words[15], "EF high word count")?;
+    if low_words != low_len_bits.div_ceil(64) {
+        return Err(bad(format!(
+            "EF low section holds {low_words} words but ℓ = {low_bits} over {n_off} offsets \
+             implies {}",
+            low_len_bits.div_ceil(64)
+        )));
+    }
+    if high_words != high_len_bits.div_ceil(64) {
+        return Err(bad(format!(
+            "EF high section holds {high_words} words but the header implies {}",
+            high_len_bits.div_ceil(64)
+        )));
+    }
+    Ok(V2Header {
+        config,
+        num_nodes,
+        num_edges,
+        bit_len,
+        stats,
+        low_bits,
+        low_len_bits,
+        low_words,
+        high_len_bits,
+        high_words,
+    })
+}
 
+/// Rejects headers whose stats block disagrees with the primary counts —
+/// the two are written from the same graph, so any mismatch is corruption.
+fn check_stats(
+    stats: &CompressionStats,
+    num_nodes: usize,
+    num_edges: usize,
+    bit_len: usize,
+) -> io::Result<()> {
+    if stats.nodes != num_nodes {
+        return Err(bad(format!(
+            "stats node count {} does not match the header's {num_nodes}",
+            stats.nodes
+        )));
+    }
+    if stats.edges != num_edges {
+        return Err(bad(format!(
+            "stats edge count {} does not match the header's {num_edges}",
+            stats.edges
+        )));
+    }
+    if stats.total_bits != bit_len {
+        return Err(bad(format!(
+            "stats total bits {} does not match the payload bit length {bit_len}",
+            stats.total_bits
+        )));
+    }
+    Ok(())
+}
+
+impl CgrGraph {
+    /// **Zero-copy** load of a GCGR v2 image already resident in a shared
+    /// word buffer: validates the header, section extents and offset index,
+    /// then serves the EF index and payload as [`gcgt_bits::Storage`] views
+    /// of `words` — no section is copied, and clones of the returned graph
+    /// (e.g. one per serve worker) keep sharing the one allocation.
+    pub fn from_shared(words: Arc<[u64]>, mode: ValidationMode) -> io::Result<CgrGraph> {
+        if words.len() < V2_HEADER_WORDS {
+            return Err(bad("truncated GCGR v2 header"));
+        }
+        let h = parse_v2_header(&words[..V2_HEADER_WORDS])?;
+        let payload_words = h.bit_len.div_ceil(64);
+        let expect_total = V2_HEADER_WORDS + h.low_words + h.high_words + payload_words;
+        if words.len() != expect_total {
+            return Err(bad(format!(
+                "file holds {} words but the header implies {expect_total} \
+                 (truncated, or trailing bytes after the payload)",
+                words.len()
+            )));
+        }
+        let section = |first: usize, len: usize, what: &str| {
+            BitVec::from_shared(Arc::clone(&words), first, len)
+                .map_err(|e| bad(format!("{what}: {e}")))
+        };
+        let low = section(V2_HEADER_WORDS, h.low_len_bits, "EF low section")?;
+        let high = section(
+            V2_HEADER_WORDS + h.low_words,
+            h.high_len_bits,
+            "EF high section",
+        )?;
+        let bits = section(
+            V2_HEADER_WORDS + h.low_words + h.high_words,
+            h.bit_len,
+            "payload",
+        )?;
+        let index = EliasFano::from_parts(low, high, h.num_nodes + 1, h.low_bits)
+            .map_err(|e| bad(format!("corrupt EF offset index: {e}")))?;
+        // The EF shape checks don't guarantee decoded *values*: corrupt low
+        // bits can still yield a locally decreasing sequence, a nonzero
+        // first offset (leading blank bits no encoder produces), or a final
+        // offset short of the payload. Scan the decoded offsets once.
+        let mut prev = 0usize;
+        for i in 0..index.len() {
+            let off = index.get(i);
+            if i == 0 && off != 0 {
+                return Err(bad("first offset must be zero (leading blank bits)"));
+            }
+            if off < prev || off > h.bit_len {
+                return Err(bad(format!("offset {i} out of order or past payload")));
+            }
+            prev = off;
+        }
+        if prev != h.bit_len {
+            return Err(bad("final offset does not cover the payload"));
+        }
+        let cgr = CgrGraph::from_loaded_parts(
+            h.config,
+            bits,
+            index,
+            h.num_edges,
+            h.stats,
+            mode.deferred(),
+        );
+        if !mode.deferred() {
+            crate::decode::validate_structure(&cgr)
+                .map_err(|e| bad(format!("corrupt CGR payload: {e}")))?;
+        }
+        Ok(cgr)
+    }
+
+    /// [`CgrGraph::from_bytes_with`] under the default
+    /// [`ValidationMode::Eager`].
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<CgrGraph> {
+        Self::from_bytes_with(bytes, ValidationMode::default())
+    }
+
+    /// Loads a GCGR v2 image from a caller-provided byte buffer (a file
+    /// read into memory, a mapped region). The buffer must be 8-byte
+    /// aligned and a whole number of words, as the format guarantees —
+    /// both are validated, never assumed. The words are adopted into one
+    /// shared allocation and served per [`CgrGraph::from_shared`]; on a
+    /// little-endian host the adoption is a straight block copy, and every
+    /// downstream consumer (clones, serve workers, partition faults) then
+    /// shares that single allocation zero-copy.
+    pub fn from_bytes_with(bytes: &[u8], mode: ValidationMode) -> io::Result<CgrGraph> {
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return Err(bad("GCGR v2 buffer is not 8-byte aligned"));
+        }
+        if !bytes.len().is_multiple_of(8) {
+            return Err(bad(format!(
+                "GCGR v2 buffer length {} is not a multiple of 8",
+                bytes.len()
+            )));
+        }
+        let words: Arc<[u64]> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Self::from_shared(words, mode)
+    }
+}
+
+/// Deserializes a graph written by [`write_cgr`] (v2) or [`write_cgr_v1`],
+/// with eager validation — see [`read_cgr_with`].
+pub fn read_cgr<R: Read>(reader: R) -> io::Result<CgrGraph> {
+    read_cgr_with(reader, ValidationMode::default())
+}
+
+/// Deserializes a graph from either supported `GCGR` version, dispatching
+/// on the version field. Validates magic, configuration, counts (checked
+/// narrowing), stats cross-checks, offset monotonicity (first offset
+/// pinned to zero, final offset covering the payload), and exact stream
+/// length; `mode` selects eager or deferred structural validation.
+pub fn read_cgr_with<R: Read>(reader: R, mode: ValidationMode) -> io::Result<CgrGraph> {
+    let mut r = io::BufReader::new(reader);
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    if head[..4] != MAGIC {
+        return Err(bad("not a GCGR file (bad magic)"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    match version {
+        VERSION => read_v2_body(r, mode),
+        VERSION_V1 => read_v1_body(r, mode),
+        v => Err(bad(format!(
+            "unsupported GCGR version {v} (supported: {VERSION_V1}, {VERSION})"
+        ))),
+    }
+}
+
+/// v2 body: the whole stream is words, so slurp it and hand off to the
+/// shared-buffer loader (the file path *is* the zero-copy path plus one
+/// read).
+fn read_v2_body<R: Read>(mut r: R, mode: ValidationMode) -> io::Result<CgrGraph> {
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest)?;
+    if !rest.len().is_multiple_of(8) {
+        return Err(bad(format!(
+            "GCGR v2 stream length is not a multiple of 8 ({} stray bytes)",
+            rest.len() % 8
+        )));
+    }
+    let first = u64::from(u32::from_le_bytes(MAGIC)) | u64::from(VERSION) << 32;
+    let words: Arc<[u64]> = std::iter::once(first)
+        .chain(
+            rest.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        )
+        .collect();
+    CgrGraph::from_shared(words, mode)
+}
+
+/// v1 body (magic + version already consumed): the legacy byte-streamed
+/// layout, hardened — checked count narrowing, stats cross-checks, first
+/// offset pinned to zero, EOF required after the payload.
+fn read_v1_body<R: Read>(mut r: R, mode: ValidationMode) -> io::Result<CgrGraph> {
     let config = CgrConfig {
         code: read_code(&mut r)?,
-        min_interval_len: read_opt_u32(&mut r)?,
-        segment_len_bytes: read_opt_u32(&mut r)?,
+        min_interval_len: read_opt_u32(&mut r, "min_interval_len")?,
+        segment_len_bytes: read_opt_u32(&mut r, "segment_len_bytes")?,
     };
 
-    let num_nodes = read_u64(&mut r)? as usize;
-    let num_edges = read_u64(&mut r)? as usize;
-    let bit_len = read_u64(&mut r)? as usize;
+    let num_nodes = to_usize(read_u64(&mut r)?, "node count")?;
+    let num_edges = to_usize(read_u64(&mut r)?, "edge count")?;
+    let bit_len = to_usize(read_u64(&mut r)?, "payload bit length")?;
 
     let stats = CompressionStats {
-        nodes: read_u64(&mut r)? as usize,
-        edges: read_u64(&mut r)? as usize,
-        total_bits: read_u64(&mut r)? as usize,
-        interval_edges: read_u64(&mut r)? as usize,
-        residual_edges: read_u64(&mut r)? as usize,
-        blank_bits: read_u64(&mut r)? as usize,
-        segments: read_u64(&mut r)? as usize,
+        nodes: to_usize(read_u64(&mut r)?, "stats node count")?,
+        edges: to_usize(read_u64(&mut r)?, "stats edge count")?,
+        total_bits: to_usize(read_u64(&mut r)?, "stats total bits")?,
+        interval_edges: to_usize(read_u64(&mut r)?, "stats interval edges")?,
+        residual_edges: to_usize(read_u64(&mut r)?, "stats residual edges")?,
+        blank_bits: to_usize(read_u64(&mut r)?, "stats blank bits")?,
+        segments: to_usize(read_u64(&mut r)?, "stats segments")?,
     };
+    check_stats(&stats, num_nodes, num_edges, bit_len)?;
 
     // Capacity hints are capped: the counts come from an untrusted header,
     // and a corrupt value must surface as the read error below, not as a
@@ -180,7 +599,13 @@ pub fn read_cgr<R: Read>(reader: R) -> io::Result<CgrGraph> {
     let mut offsets = Vec::with_capacity(num_nodes.saturating_add(1).min(MAX_PREALLOC));
     let mut prev = 0usize;
     for i in 0..=num_nodes {
-        let off = read_u64(&mut r)? as usize;
+        let off = to_usize(read_u64(&mut r)?, "offset")?;
+        if i == 0 && off != 0 {
+            // No encoder emits leading blank bits; an unpinned first offset
+            // used to slip through the monotonicity loop (it starts from
+            // `prev = 0`) and load a graph diverging from any real encode.
+            return Err(bad("first offset must be zero (leading blank bits)"));
+        }
         if off < prev || off > bit_len {
             return Err(bad(format!("offset {i} out of order or past payload")));
         }
@@ -196,31 +621,66 @@ pub fn read_cgr<R: Read>(reader: R) -> io::Result<CgrGraph> {
     for _ in 0..num_words {
         words.push(read_u64(&mut r)?);
     }
+    expect_eof(&mut r)?;
     let bits = BitVec::try_from_words(words, bit_len).map_err(bad)?;
 
-    let cgr = CgrGraph::from_parts(config, bits, offsets.into_boxed_slice(), num_edges, stats);
+    let cgr = CgrGraph::from_loaded_parts(
+        config,
+        bits,
+        EliasFano::build(&offsets),
+        num_edges,
+        stats,
+        mode.deferred(),
+    );
 
     // Structural validation: a payload whose magic, version and offsets all
     // check out can still be truncated or bit-flipped, and the serial
     // decoders (and every kernel built on them) would panic mid-traversal.
     // Stream-decode every adjacency once here so corruption surfaces as a
     // typed load error instead. O(edges) — paid once per load.
-    crate::decode::validate_structure(&cgr)
-        .map_err(|e| bad(format!("corrupt CGR payload: {e}")))?;
+    if !mode.deferred() {
+        crate::decode::validate_structure(&cgr)
+            .map_err(|e| bad(format!("corrupt CGR payload: {e}")))?;
+    }
 
     Ok(cgr)
 }
 
-/// Saves a compressed graph to a file path.
+/// Saves a compressed graph to a file path in the current (v2) format.
 pub fn save<P: AsRef<Path>>(cgr: &CgrGraph, path: P) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     write_cgr(cgr, file)
 }
 
-/// Loads a compressed graph from a file path.
+/// Loads a compressed graph from a file path (either version, eager
+/// validation).
 pub fn load<P: AsRef<Path>>(path: P) -> io::Result<CgrGraph> {
+    load_with(path, ValidationMode::default())
+}
+
+/// Loads a compressed graph from a file path with an explicit
+/// [`ValidationMode`].
+pub fn load_with<P: AsRef<Path>>(path: P, mode: ValidationMode) -> io::Result<CgrGraph> {
     let file = std::fs::File::open(path)?;
-    read_cgr(file)
+    read_cgr_with(file, mode)
+}
+
+/// Reads a whole GCGR v2 file into one shared word buffer — the substrate
+/// for [`CgrGraph::from_shared`]: load the words once, then any number of
+/// graphs, workers or processes-worth-of-clones serve views of this single
+/// allocation.
+pub fn read_words<P: AsRef<Path>>(path: P) -> io::Result<Arc<[u64]>> {
+    let bytes = std::fs::read(path)?;
+    if !bytes.len().is_multiple_of(8) {
+        return Err(bad(format!(
+            "GCGR v2 file length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
 }
 
 #[cfg(test)]
@@ -235,22 +695,38 @@ mod tests {
         read_cgr(io::Cursor::new(buf)).unwrap()
     }
 
+    fn assert_same_graph(loaded: &CgrGraph, cgr: &CgrGraph) {
+        assert_eq!(loaded.config(), cgr.config());
+        assert_eq!(loaded.num_nodes(), cgr.num_nodes());
+        assert_eq!(loaded.num_edges(), cgr.num_edges());
+        assert_eq!(loaded.offsets_dense(), cgr.offsets_dense());
+        assert_eq!(loaded.bits(), cgr.bits());
+        assert_eq!(loaded.stats(), cgr.stats());
+    }
+
     #[test]
     fn round_trip_both_layouts() {
         let g = web_graph(&WebParams::uk2002_like(600), 11);
         for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
             let cgr = CgrGraph::encode(&g, &cfg);
             let loaded = round_trip(&cgr);
-            assert_eq!(loaded.config(), cgr.config());
-            assert_eq!(loaded.num_nodes(), cgr.num_nodes());
-            assert_eq!(loaded.num_edges(), cgr.num_edges());
-            assert_eq!(loaded.offsets(), cgr.offsets());
-            assert_eq!(loaded.bits(), cgr.bits());
-            assert_eq!(loaded.stats(), cgr.stats());
+            assert_same_graph(&loaded, &cgr);
             // Decoding the reloaded structure reproduces the graph.
             for u in 0..g.num_nodes() as u32 {
                 assert_eq!(decode_node(&loaded, u), g.neighbors(u));
             }
+        }
+    }
+
+    #[test]
+    fn v1_round_trip_both_layouts() {
+        let g = web_graph(&WebParams::uk2002_like(400), 5);
+        for cfg in [CgrConfig::paper_default(), CgrConfig::unsegmented()] {
+            let cgr = CgrGraph::encode(&g, &cfg);
+            let mut buf = Vec::new();
+            write_cgr_v1(&cgr, &mut buf).unwrap();
+            let loaded = read_cgr(io::Cursor::new(buf)).unwrap();
+            assert_same_graph(&loaded, &cgr);
         }
     }
 
@@ -261,9 +737,13 @@ mod tests {
         let path = std::env::temp_dir().join(format!("gcgr-io-test-{}.cgr", std::process::id()));
         save(&cgr, &path).unwrap();
         let loaded = load(&path).unwrap();
+        // The words path serves the same graph zero-copy.
+        let shared = CgrGraph::from_shared(read_words(&path).unwrap(), ValidationMode::Eager);
         std::fs::remove_file(&path).ok();
-        assert_eq!(loaded.bits(), cgr.bits());
-        assert_eq!(loaded.offsets(), cgr.offsets());
+        assert_same_graph(&loaded, &cgr);
+        let shared = shared.unwrap();
+        assert!(shared.bits().is_shared());
+        assert_same_graph(&shared, &cgr);
     }
 
     #[test]
@@ -273,6 +753,30 @@ mod tests {
         let loaded = round_trip(&cgr);
         assert_eq!(loaded.num_nodes(), 5);
         assert_eq!(loaded.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_bytes_is_zero_copy_and_checks_alignment() {
+        let g = web_graph(&WebParams::uk2002_like(300), 13);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        write_cgr(&cgr, &mut buf).unwrap();
+
+        let loaded = CgrGraph::from_bytes(&buf).unwrap();
+        assert!(loaded.bits().is_shared(), "payload must be a shared view");
+        assert!(loaded.index().low().is_shared() || loaded.index().low().is_empty());
+        assert!(loaded.index().high().is_shared());
+        assert_same_graph(&loaded, &cgr);
+
+        // A misaligned start is rejected up front, not served skewed.
+        let mut padded = vec![0u8; 1];
+        padded.extend_from_slice(&buf);
+        let err = CgrGraph::from_bytes(&padded[1..]).unwrap_err();
+        assert!(err.to_string().contains("aligned"), "{err}");
+
+        // A length that is not a whole number of words is rejected too.
+        let err = CgrGraph::from_bytes(&buf[..buf.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("multiple of 8"), "{err}");
     }
 
     #[test]
@@ -290,15 +794,104 @@ mod tests {
         assert!(read_cgr(io::Cursor::new(truncated)).is_err());
 
         let mut future = buf.clone();
-        future[4] = 99; // version
+        future[4] = 99; // version half of w0
         assert!(read_cgr(io::Cursor::new(future)).is_err());
 
-        // An absurd node count in the header must fail at the truncated
-        // offset read, not attempt a matching up-front allocation.
+        // An absurd node count in the header must fail the section checks,
+        // not attempt a matching up-front allocation.
         let mut huge = buf.clone();
-        let node_count_at = 4 + 4 + 2 + 5 + 5; // magic, version, code, 2 × opt u32
-        huge[node_count_at..node_count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        huge[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // w3 = num_nodes
         assert!(read_cgr(io::Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn v1_corruption_regressions() {
+        let g = toys::figure1();
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        write_cgr_v1(&cgr, &mut buf).unwrap();
+        // v1 byte layout: magic 4 + version 4 + code 2 + 2 × opt-u32 5 = 20,
+        // counts 3 × 8 = 24 (→ 44), stats 7 × 8 = 56 (→ 100), offsets.
+        let stats_total_bits_at = 44 + 16;
+        let offsets_at = 100;
+
+        // Regression: a nonzero first offset used to slip through the
+        // monotonicity loop and load a graph no encoder can produce.
+        let mut unpinned = buf.clone();
+        unpinned[offsets_at..offsets_at + 8].copy_from_slice(&1u64.to_le_bytes());
+        let err = read_cgr(io::Cursor::new(unpinned)).unwrap_err();
+        assert!(err.to_string().contains("first offset"), "{err}");
+
+        // Regression: trailing bytes after the payload used to be accepted.
+        let mut trailing = buf.clone();
+        trailing.extend_from_slice(&[0xAB; 4]);
+        let err = read_cgr(io::Cursor::new(trailing)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+
+        // Regression: stats.total_bits was never cross-checked against the
+        // declared payload bit length.
+        let mut skewed = buf.clone();
+        let lied = (cgr.bits().len() as u64 + 64).to_le_bytes();
+        skewed[stats_total_bits_at..stats_total_bits_at + 8].copy_from_slice(&lied);
+        let err = read_cgr(io::Cursor::new(skewed)).unwrap_err();
+        assert!(err.to_string().contains("total bits"), "{err}");
+    }
+
+    #[test]
+    fn v2_rejects_trailing_and_stats_mismatch() {
+        let g = toys::figure1();
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        write_cgr(&cgr, &mut buf).unwrap();
+
+        // A whole trailing word fails the section-extent equation; a
+        // partial one fails the word-multiple check.
+        let mut word_trailing = buf.clone();
+        word_trailing.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_cgr(io::Cursor::new(word_trailing)).is_err());
+        let mut byte_trailing = buf.clone();
+        byte_trailing.push(0xCD);
+        assert!(read_cgr(io::Cursor::new(byte_trailing)).is_err());
+
+        // w8 mirrors the payload bit length (w5); a mismatch is corruption.
+        let mut skewed = buf.clone();
+        let lied = (cgr.bits().len() as u64 + 1).to_le_bytes();
+        skewed[8 * 8..8 * 8 + 8].copy_from_slice(&lied);
+        let err = read_cgr(io::Cursor::new(skewed)).unwrap_err();
+        assert!(err.to_string().contains("total bits"), "{err}");
+    }
+
+    #[test]
+    fn deferred_validation_catches_corruption_at_touch() {
+        let g = web_graph(&WebParams::uk2002_like(200), 7);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let mut buf = Vec::new();
+        write_cgr(&cgr, &mut buf).unwrap();
+
+        // A clean deferred load starts unvalidated and converges to clean.
+        let clean = CgrGraph::from_bytes_with(&buf, ValidationMode::Deferred).unwrap();
+        assert!(clean.validation_pending());
+        clean.ensure_validated(0, 10).unwrap();
+        assert!(clean.validation_pending());
+        clean.ensure_validated_all().unwrap();
+        assert!(!clean.validation_pending());
+
+        // Find a payload flip that eager validation rejects, then prove the
+        // deferred load accepts it up front but fails on first touch.
+        let payload_start = buf.len() - cgr.bits().words().len() * 8;
+        let mut caught = false;
+        for bit in (0..(buf.len() - payload_start) * 8).step_by(8) {
+            let mut corrupt = buf.clone();
+            corrupt[payload_start + bit / 8] ^= 1 << (bit % 8);
+            if CgrGraph::from_bytes(&corrupt).is_ok() {
+                continue; // lucky flip, structurally clean
+            }
+            let deferred = CgrGraph::from_bytes_with(&corrupt, ValidationMode::Deferred).unwrap();
+            assert!(deferred.ensure_validated_all().is_err());
+            caught = true;
+            break;
+        }
+        assert!(caught, "no structurally detectable flip found");
     }
 
     /// Regression for the decode-path hardening: flipping **payload** bits

@@ -43,8 +43,9 @@ pub mod stats;
 
 pub use byterle::ByteRleGraph;
 pub use config::CgrConfig;
-pub use decode::{validate_structure, DecodeStep, NeighborIter, NeighborScanner};
+pub use decode::{validate_range, validate_structure, DecodeStep, NeighborIter, NeighborScanner};
 pub use encode::CgrGraph;
 pub use gcgt_bits::{DecodeTable, MAX_PACKED, WINDOW_BITS};
 pub use intervals::{split_intervals, IntervalsResiduals};
+pub use io::ValidationMode;
 pub use stats::CompressionStats;

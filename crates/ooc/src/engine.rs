@@ -135,6 +135,14 @@ impl Expander for OocEngine<'_> {
     /// Faults the frontier's partitions onto the device (ascending partition
     /// order, deduplicated) before the launch's warps decode. Runs serially,
     /// so residency transitions and their statistics are deterministic.
+    ///
+    /// For graphs loaded with [`gcgt_cgr::ValidationMode::Deferred`] this is
+    /// also where lazy structural validation lands: each needed partition is
+    /// proven decodable before its first fault (an already-validated
+    /// partition is a cheap bitmap check). Corruption discovered here
+    /// panics with the validation error — the `Expander` contract has no
+    /// fallible path, which is exactly the deferred mode's documented
+    /// trade: a typed error at load time, or a loud failure at first touch.
     fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
         // Mark-then-sweep over a partition-count bitmask: O(frontier) to
         // mark, and iterating the mask in index order keeps the fault order
@@ -146,6 +154,10 @@ impl Expander for OocEngine<'_> {
         }
         let mut cache = self.cache.lock().expect("cache poisoned");
         for (pid, _) in needed.iter().enumerate().filter(|(_, &n)| n) {
+            let p = &self.parts.parts()[pid];
+            self.cgr
+                .ensure_validated(p.first_node as usize, p.end_node as usize)
+                .unwrap_or_else(|e| panic!("corrupt CGR payload in partition {pid}: {e}"));
             cache.fault(pid, self.parts, device, &self.pcie, &self.config);
         }
     }

@@ -48,8 +48,11 @@ pub struct PartitionMap {
 }
 
 fn range_bytes(cgr: &CgrGraph, first: usize, end: usize) -> usize {
-    let payload_bits = cgr.offsets()[end] - cgr.offsets()[first];
-    // Offset slice: one 64-bit entry per node plus the closing bound.
+    let payload_bits = cgr.offset(end) - cgr.offset(first);
+    // Offset slice: one 64-bit entry per node plus the closing bound — the
+    // modeled on-device layout stays dense even though the host index is
+    // Elias–Fano, so partition byte extents (and every committed BENCH
+    // headline derived from them) are unchanged by the index refactor.
     payload_bits.div_ceil(8) + 8 * (end - first + 1)
 }
 
@@ -128,8 +131,8 @@ impl PartitionMap {
         Partition {
             first_node: first as NodeId,
             end_node: end as NodeId,
-            bit_start: cgr.offsets()[first],
-            bit_end: cgr.offsets()[end],
+            bit_start: cgr.offset(first),
+            bit_end: cgr.offset(end),
             bytes: range_bytes(cgr, first, end),
         }
     }

@@ -298,6 +298,17 @@ pub enum SessionError {
     AsymmetricPull,
     /// A sharded session was requested with zero devices.
     ZeroShards,
+    /// [`SessionBuilder::graph_compressed`] was combined with a builder
+    /// option that only applies to raw-CSR input — the compressed graph's
+    /// encoding (and the preprocessing baked into it) is already fixed.
+    CompressedInputConflict {
+        /// The conflicting builder call.
+        what: &'static str,
+    },
+    /// A pre-encoded graph failed structural validation when the session
+    /// needed it proven (e.g. a deferred-validation load whose full decode
+    /// the session performs at prepare time).
+    CorruptGraph(String),
     /// Graph plus traversal buffers exceed the device memory.
     Oom(OomError),
 }
@@ -341,6 +352,14 @@ impl std::fmt::Display for SessionError {
                 f,
                 "a sharded session needs at least one device (shards(n) with n >= 1)"
             ),
+            SessionError::CompressedInputConflict { what } => write!(
+                f,
+                "graph_compressed(..) supplies an already-encoded graph, which conflicts with \
+                 {what} (preprocessing and encoding are fixed at encode time; drop one of the two)"
+            ),
+            SessionError::CorruptGraph(e) => {
+                write!(f, "pre-encoded graph failed structural validation: {e}")
+            }
             SessionError::Oom(e) => write!(f, "{e}"),
         }
     }
@@ -358,6 +377,7 @@ impl From<OomError> for SessionError {
 #[derive(Clone, Debug, Default)]
 pub struct SessionBuilder {
     graph: Option<Arc<Csr>>,
+    compressed: Option<CgrGraph>,
     symmetrize: bool,
     reorder: Option<Reordering>,
     compress: Option<CgrConfig>,
@@ -385,6 +405,31 @@ impl SessionBuilder {
     #[must_use]
     pub fn graph_shared(mut self, graph: Arc<Csr>) -> Self {
         self.graph = Some(graph);
+        self
+    }
+
+    /// An **already-encoded** graph as the session input — the instant-
+    /// restart path: load a GCGR v2 file once
+    /// ([`gcgt_cgr::CgrGraph::from_bytes`], `io::load`) and skip the
+    /// encode entirely; with a zero-copy load, every worker of a serving
+    /// pool sharing this session's [`PreparedGraph`] serves the one file
+    /// buffer. The graph's `CgrConfig` stands in for
+    /// [`SessionBuilder::compress`] (and must match the selected GCGT
+    /// strategy's layout); preprocessing was fixed at encode time, so
+    /// combining this with `graph(..)`, `compress(..)`,
+    /// `symmetrize(true)` or `reorder(..)` is
+    /// [`SessionError::CompressedInputConflict`].
+    ///
+    /// The session's query surface is CSR-centric (degrees, direction
+    /// checks, baselines), so `prepare` decodes a CSR mirror from the
+    /// compressed input — which requires the whole structure proven
+    /// sound: a [`gcgt_cgr::ValidationMode::Deferred`] load is validated
+    /// in full here (failures surface as [`SessionError::CorruptGraph`]).
+    /// Deferred validation pays off on the direct [`gcgt_ooc::OocEngine`]
+    /// path, which touches partitions lazily.
+    #[must_use]
+    pub fn graph_compressed(mut self, cgr: CgrGraph) -> Self {
+        self.compressed = Some(cgr);
         self
     }
 
@@ -531,7 +576,33 @@ impl SessionBuilder {
     /// — [`PreparedGraph`] is `Send + Sync` and never mutated after this
     /// point.
     pub fn prepare(self) -> Result<PreparedGraph, SessionError> {
-        let input = self.graph.ok_or(SessionError::MissingGraph)?;
+        // --- pre-encoded input (the GCGR v2 instant-restart path) ---
+        if self.compressed.is_some() {
+            let conflict = |what| Err(SessionError::CompressedInputConflict { what });
+            if self.graph.is_some() {
+                return conflict("graph(..)");
+            }
+            if self.compress.is_some() {
+                return conflict("compress(..)");
+            }
+            if self.symmetrize {
+                return conflict("symmetrize(true)");
+            }
+            if self.reorder.is_some() {
+                return conflict("reorder(..)");
+            }
+        }
+        let input = match &self.compressed {
+            Some(cgr) => {
+                // The CSR mirror below decodes every adjacency, so a
+                // deferred-validation load must be proven in full first
+                // (no-op for eager loads and fresh encodes).
+                cgr.ensure_validated_all()
+                    .map_err(SessionError::CorruptGraph)?;
+                Arc::new(gcgt_cgr::decode::decode_all(cgr))
+            }
+            None => self.graph.clone().ok_or(SessionError::MissingGraph)?,
+        };
         if input.num_nodes() == 0 {
             return Err(SessionError::EmptyGraph);
         }
@@ -587,26 +658,42 @@ impl SessionBuilder {
         // --- encoding + footprint ---
         let (cgr, footprint, structure) = match base {
             EngineKind::Gcgt(strategy) | EngineKind::OutOfCore { inner: strategy } => {
-                let config = match self.compress {
-                    Some(config) => {
-                        let config_segmented = config.segment_len_bytes.is_some();
+                // A pre-encoded graph skips the encode; its baked-in config
+                // faces the same layout check an explicit compress(..) does.
+                let cgr = match self.compressed {
+                    Some(cgr) => {
+                        let config_segmented = cgr.config().segment_len_bytes.is_some();
                         if config_segmented != strategy.needs_segmented_layout() {
                             return Err(SessionError::LayoutMismatch {
                                 strategy,
                                 config_segmented,
                             });
                         }
-                        config
+                        cgr
                     }
-                    None => strategy.cgr_config(&CgrConfig::paper_default()),
+                    None => {
+                        let config = match self.compress {
+                            Some(config) => {
+                                let config_segmented = config.segment_len_bytes.is_some();
+                                if config_segmented != strategy.needs_segmented_layout() {
+                                    return Err(SessionError::LayoutMismatch {
+                                        strategy,
+                                        config_segmented,
+                                    });
+                                }
+                                config
+                            }
+                            None => strategy.cgr_config(&CgrConfig::paper_default()),
+                        };
+                        CgrGraph::encode(&graph, &config)
+                    }
                 };
-                let cgr = CgrGraph::encode(&graph, &config);
                 let footprint = memory::gcgt_footprint(&cgr);
                 let structure = memory::gcgt_structure_bytes(&cgr);
                 (Some(cgr), footprint, structure)
             }
             EngineKind::GpuCsr | EngineKind::Gunrock => {
-                if self.compress.is_some() {
+                if self.compress.is_some() || self.compressed.is_some() {
                     return Err(SessionError::CompressUnsupported { engine: kind });
                 }
                 let (footprint, structure) = match base {

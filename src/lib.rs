@@ -150,7 +150,7 @@ pub mod prelude {
 
     // --- substrate ---
     pub use gcgt_bits::Code;
-    pub use gcgt_cgr::{ByteRleGraph, CgrConfig, CgrGraph, CompressionStats};
+    pub use gcgt_cgr::{ByteRleGraph, CgrConfig, CgrGraph, CompressionStats, ValidationMode};
     pub use gcgt_graph::edgelist;
     pub use gcgt_graph::gen::{
         brain_like, erdos_renyi, rmat, social_graph, toys, web_graph, BrainParams, RmatParams,
