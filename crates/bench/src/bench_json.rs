@@ -10,6 +10,10 @@
 //! * `host_ms` — wall-clock milliseconds the experiment took on this
 //!   machine, the noisy-but-honest end-to-end number.
 //!
+//! An entry may additionally pin a dimensionless `gain` headline — the
+//! `ref` experiment records its deterministic bits/edge improvement on
+//! the boilerplate web generator at the widest reference window there.
+//!
 //! The file is versioned with a `schema` field and records the scale and
 //! source count it was measured at, so baselines are only compared
 //! like-for-like.
@@ -17,9 +21,10 @@
 use std::io::Write;
 use std::time::Instant;
 
+use crate::experiments::refs::WINDOWS;
 use crate::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, serve,
-    shard, table1, table3, ExperimentContext,
+    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, refs,
+    serve, shard, table1, table3, ExperimentContext,
 };
 use crate::table::Table;
 
@@ -33,6 +38,10 @@ pub struct BenchEntry {
     pub modeled_ms: Option<f64>,
     /// Host wall-clock milliseconds spent producing the experiment.
     pub host_ms: f64,
+    /// Optional deterministic dimensionless headline (the `ref`
+    /// experiment's bits/edge gain on the web generator; fraction, not
+    /// percent).
+    pub gain: Option<f64>,
 }
 
 /// Runs the full experiment suite, timing each and extracting its modeled
@@ -64,7 +73,7 @@ pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
         ("ablations-delta-code", Box::new(ablations::delta_code)),
         ("load", Box::new(load::run)),
     ];
-    runners
+    let mut entries: Vec<BenchEntry> = runners
         .into_iter()
         .map(|(name, run)| {
             let t = Instant::now();
@@ -74,9 +83,26 @@ pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
                 name: name.to_string(),
                 modeled_ms: table.modeled_ms_sum(),
                 host_ms,
+                gain: None,
             }
         })
-        .collect()
+        .collect();
+    // The ref experiment also pins its ratio headline: the bits/edge gain
+    // on the boilerplate web generator at the widest swept window.
+    let t = Instant::now();
+    let rows = refs::rows(ctx);
+    let gain = rows
+        .iter()
+        .find(|r| r.dataset.starts_with("eu-") && r.ref_window == WINDOWS[WINDOWS.len() - 1])
+        .map(|r| r.gain);
+    let table = refs::render(&rows);
+    entries.push(BenchEntry {
+        name: "ref".to_string(),
+        modeled_ms: table.modeled_ms_sum(),
+        host_ms: t.elapsed().as_secs_f64() * 1e3,
+        gain,
+    });
+    entries
 }
 
 /// Renders the baseline as pretty-printed JSON (hand-rolled: names are
@@ -92,11 +118,16 @@ pub fn render(entries: &[BenchEntry], scale: f64, sources: usize) -> String {
             Some(ms) => format!("{ms:.6}"),
             None => "null".to_string(),
         };
+        let gain = match e.gain {
+            Some(g) => format!(", \"gain\": {g:.6}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"modeled_ms\": {}, \"host_ms\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"modeled_ms\": {}, \"host_ms\": {:.3}{}}}{}\n",
             e.name,
             modeled,
             e.host_ms,
+            gain,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -164,6 +195,10 @@ pub fn validate(json: &str) -> Result<(), String> {
         };
         number("modeled_ms", true)?;
         number("host_ms", false)?;
+        // `gain` is optional — validated only when present.
+        if rest.contains("\"gain\": ") {
+            number("gain", false)?;
+        }
     }
     if entries == 0 {
         return Err("no experiment entries".into());
@@ -201,15 +236,18 @@ mod tests {
                 name: "fig8".into(),
                 modeled_ms: Some(12.5),
                 host_ms: 340.2,
+                gain: None,
             },
             BenchEntry {
                 name: "fig11".into(),
                 modeled_ms: None,
                 host_ms: 10.0,
+                gain: Some(0.55),
             },
         ];
         let json = render(&entries, 0.05, 1);
         assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"gain\": 0.550000"));
         assert!(json.contains("\"name\": \"fig8\""));
         assert!(json.contains("\"modeled_ms\": 12.5"));
         assert!(json.contains("\"modeled_ms\": null"));
@@ -232,11 +270,13 @@ mod tests {
                 name: "fig8".into(),
                 modeled_ms: Some(12.5),
                 host_ms: 340.2,
+                gain: None,
             },
             BenchEntry {
                 name: "fig11".into(),
                 modeled_ms: None,
                 host_ms: 10.0,
+                gain: Some(0.55),
             },
         ];
         let json = render(&entries, 0.05, 1);
@@ -252,6 +292,7 @@ mod tests {
                 name: "fig8".into(),
                 modeled_ms: Some(1.0),
                 host_ms: 2.0,
+                gain: None,
             }],
             1.0,
             3,

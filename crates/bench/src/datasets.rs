@@ -77,7 +77,8 @@ impl Scale {
     /// Tiny scale for integration tests.
     pub const TEST: Scale = Scale(0.05);
 
-    fn nodes(&self, base: usize) -> usize {
+    /// Scales a base node count (floored at 64 nodes).
+    pub fn nodes(&self, base: usize) -> usize {
         ((base as f64 * self.0) as usize).max(64)
     }
 }

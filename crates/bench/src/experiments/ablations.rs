@@ -70,8 +70,8 @@ pub fn cache_size(ctx: &ExperimentContext) -> Table {
 /// Elias δ as an off-paper extra code point next to the Figure 11 sweep.
 pub fn delta_code(ctx: &ExperimentContext) -> Table {
     let mut t = Table::new(
-        "Ablation — Elias delta vs paper codes (compression rate)",
-        &["Dataset", "Code", "Compression"],
+        "Ablation — Elias delta vs paper codes (compression rate, w/o and w/ references)",
+        &["Dataset", "Code", "Compression", "With refs (w=32)"],
     );
     for ds in &ctx.datasets {
         let sources = super::sources_for(ds, 1);
@@ -82,10 +82,20 @@ pub fn delta_code(ctx: &ExperimentContext) -> Table {
                 ..CgrConfig::paper_default()
             };
             let (_, bits) = gcgt_bfs_ms(shared.clone(), &cfg, Strategy::Full, ctx.device, &sources);
+            // Same code with GCGR v3 references on: the copy-list gain (or
+            // its absence — social graphs barely reference) per code.
+            let (_, ref_bits) = gcgt_bfs_ms(
+                shared.clone(),
+                &cfg.with_ref_window(32),
+                Strategy::Full,
+                ctx.device,
+                &sources,
+            );
             t.row(vec![
                 ds.id.name().to_string(),
                 code.name(),
                 fmt_rate(ds.compression_rate_of_bits(bits)),
+                fmt_rate(ds.compression_rate_of_bits(ref_bits)),
             ]);
         }
     }

@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod load;
 pub mod ooc;
+pub mod refs;
 pub mod serve;
 pub mod shard;
 pub mod table1;

@@ -5,6 +5,10 @@
 use gcgt_bits::{fold_sign, unfold_sign, BitVec, BitWriter, Code};
 use gcgt_graph::NodeId;
 
+/// Default reference-chain bound of [`CgrConfig::ref_chain_limit`] — the
+/// WebGraph-family sweet spot between ratio and bounded decode depth.
+pub const DEFAULT_REF_CHAIN_LIMIT: u32 = 3;
+
 /// Parameters of the CGR encoding.
 ///
 /// `None` values mean "feature disabled" — the `inf` settings of the
@@ -19,6 +23,19 @@ pub struct CgrConfig {
     /// Residual segment length in **bytes** (Figure 14 sweep; Table 2
     /// selects 32). `None` disables segmentation (unsegmented layout).
     pub segment_len_bytes: Option<u32>,
+    /// Reference-compression window (GCGR v3): node `u` may copy part of
+    /// the adjacency of an earlier node in `[u - ref_window, u)`
+    /// (WebGraph-style copy lists + corrections). `0` disables reference
+    /// compression entirely and keeps the on-disk format at GCGR v2 —
+    /// payloads are **byte-identical** to an encoder without this feature.
+    pub ref_window: u32,
+    /// Maximum reference-chain length (GCGR v3). A node whose list copies
+    /// node `t` forces a decode of `t` first; chains are bounded so decode
+    /// work per node stays statically bounded and GPU-friendly (the
+    /// WebGraph `max_ref_count` analogue; default 3). Only meaningful when
+    /// `ref_window > 0`; [`crate::decode::validate_structure`] rejects
+    /// payloads whose chains exceed this bound.
+    pub ref_chain_limit: u32,
 }
 
 impl Default for CgrConfig {
@@ -35,6 +52,8 @@ impl CgrConfig {
             code: Code::Zeta(3),
             min_interval_len: Some(4),
             segment_len_bytes: Some(32),
+            ref_window: 0,
+            ref_chain_limit: DEFAULT_REF_CHAIN_LIMIT,
         }
     }
 
@@ -45,6 +64,22 @@ impl CgrConfig {
             segment_len_bytes: None,
             ..Self::paper_default()
         }
+    }
+
+    /// Same configuration with reference compression over a `window`-node
+    /// sliding window (0 disables it; see [`CgrConfig::ref_window`]).
+    #[must_use]
+    pub fn with_ref_window(mut self, window: u32) -> Self {
+        self.ref_window = window;
+        self
+    }
+
+    /// Same configuration with a different reference-chain bound (see
+    /// [`CgrConfig::ref_chain_limit`]).
+    #[must_use]
+    pub fn with_ref_chain_limit(mut self, limit: u32) -> Self {
+        self.ref_chain_limit = limit;
+        self
     }
 
     /// Segment length in bits, if segmentation is enabled.
@@ -204,6 +239,55 @@ impl CgrConfig {
     ) -> Option<(NodeId, usize)> {
         let (v, p) = self.code.decode_at(bits, pos)?;
         Some((Self::map_residual_gap(prev, v)?, p))
+    }
+
+    // --- reference compression (GCGR v3) ---------------------------------
+    //
+    // A referenced node is addressed by a backward *offset* (`u - target`),
+    // never an absolute id — offsets are small inside the window, and a
+    // forward or self reference is unrepresentable by construction. The
+    // offset and every copy-block length reuse the count shift (+1) so a
+    // zero offset ("no reference") and a zero-length leading copy block
+    // stay encodable.
+
+    /// Maps a raw reference-offset codeword value (`offset + 1`) back to
+    /// the offset; `0` means "no reference".
+    #[inline]
+    pub(crate) fn map_ref_offset(v: u64) -> Option<u64> {
+        v.checked_sub(1)
+    }
+
+    /// Encodes the backward reference offset (`u - target`; 0 = none).
+    /// Always γ-coded regardless of the config code: every non-empty node
+    /// pays this codeword, so the 0 = no-reference flag must cost one bit
+    /// or the prologue tax on non-referencing nodes would swamp the win.
+    #[inline]
+    pub fn write_ref_offset(&self, w: &mut BitWriter, offset: u64) {
+        Code::Gamma.encode(w, offset + 1);
+    }
+
+    /// Decodes a reference offset at `pos`; returns `(offset, next_pos)`.
+    /// Slow-path oracle — the table-accelerated twin is
+    /// `CgrGraph::read_ref_offset`.
+    #[inline]
+    pub fn read_ref_offset(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = Code::Gamma.decode_at(bits, pos)?;
+        Some((Self::map_ref_offset(v)?, p))
+    }
+
+    /// Encodes a copy-block length. Blocks alternate copy/skip starting
+    /// with a copy block, so the first may be length 0; the +1 shift keeps
+    /// zero encodable (same shift as counts).
+    #[inline]
+    pub fn write_block_len(&self, w: &mut BitWriter, len: u64) {
+        self.code.encode(w, len + 1);
+    }
+
+    /// Decodes a copy-block length at `pos`; returns `(len, next_pos)`.
+    #[inline]
+    pub fn read_block_len(&self, bits: &BitVec, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = self.code.decode_at(bits, pos)?;
+        Some((Self::map_count(v)?, p))
     }
 
     /// Maps a raw VLC codeword value from a residual stream to the residual

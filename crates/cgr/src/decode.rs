@@ -36,9 +36,25 @@ pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
         let (deg, _) = cgr.read_count(start).expect("degNum");
         return deg as usize;
     }
-    // Segmented: sum interval lengths plus per-segment residual counts.
-    let (itv_num, mut pos) = cgr.read_count(start).expect("itvNum");
+    // Segmented: sum interval lengths, copied values (from the v3
+    // reference prologue's copy blocks — no chain chasing needed for a
+    // count), and per-segment residual counts.
     let mut total = 0usize;
+    let pos = if cfg.ref_window > 0 {
+        let (pro, p) = read_ref_prologue(cgr, u, start, end).expect("ref prologue");
+        if let Some(pro) = pro {
+            total += pro
+                .blocks
+                .iter()
+                .step_by(2)
+                .map(|&b| b as usize)
+                .sum::<usize>();
+        }
+        p
+    } else {
+        start
+    };
+    let (itv_num, mut pos) = cgr.read_count(pos).expect("itvNum");
     let mut prev_end: Option<NodeId> = None;
     for _ in 0..itv_num {
         let (s, p) = match prev_end {
@@ -68,7 +84,14 @@ fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
     if start == end {
         return out;
     }
-    let (itv_num, mut pos) = cgr.read_count(start).expect("itvNum");
+    // v3 reference prologue: materialize the copied values up front, emit
+    // them between the interval and correction areas below.
+    let (copied, pos) = if cfg.ref_window > 0 {
+        ref_copied_list(cgr, u, start).expect("ref prologue")
+    } else {
+        (Vec::new(), start)
+    };
+    let (itv_num, mut pos) = cgr.read_count(pos).expect("itvNum");
     let mut prev_end: Option<NodeId> = None;
     for _ in 0..itv_num {
         let (s, p) = match prev_end {
@@ -81,6 +104,7 @@ fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
         prev_end = Some(s + len - 1);
         pos = p2;
     }
+    out.extend_from_slice(&copied);
     let (seg_num, pos) = cgr.read_count(pos).expect("segNum");
     let seg_bits = cfg.segment_len_bits().unwrap();
     for si in 0..seg_num as usize {
@@ -128,6 +152,10 @@ pub struct NeighborIter<'a> {
     cur_res: NodeId,
     first_interval: bool,
     first_residual: bool,
+    /// Copied values of the v3 reference prologue (empty without one),
+    /// drained between the interval and correction areas.
+    copied: Vec<NodeId>,
+    copied_i: usize,
 }
 
 impl<'a> NeighborIter<'a> {
@@ -140,6 +168,7 @@ impl<'a> NeighborIter<'a> {
             "NeighborIter reads the unsegmented layout"
         );
         let (start, end) = cgr.node_range(u);
+        let mut copied = Vec::new();
         let (deg, itv, pos) = if start == end {
             (0, 0, start)
         } else {
@@ -147,6 +176,13 @@ impl<'a> NeighborIter<'a> {
             if deg == 0 {
                 (0, 0, p)
             } else {
+                let p = if cfg.ref_window > 0 {
+                    let (c, p2) = ref_copied_list(cgr, u, p).expect("ref prologue");
+                    copied = c;
+                    p2
+                } else {
+                    p
+                };
                 let (itv, p2) = cgr.read_count(p).expect("itvNum");
                 (deg, itv, p2)
             }
@@ -162,6 +198,8 @@ impl<'a> NeighborIter<'a> {
             cur_res: u,
             first_interval: true,
             first_residual: true,
+            copied,
+            copied_i: 0,
         }
     }
 
@@ -206,6 +244,13 @@ impl Iterator for NeighborIter<'_> {
             self.cur_itv_len = len - 1;
             return Some(start);
         }
+        // Branch (ii½): copied values of the reference prologue (GCGR v3;
+        // never taken on v2 payloads).
+        if self.copied_i < self.copied.len() {
+            let v = self.copied[self.copied_i];
+            self.copied_i += 1;
+            return Some(v);
+        }
         // Branch (iii): in the residual segment.
         let (r, p) = if self.first_residual {
             self.first_residual = false;
@@ -238,6 +283,150 @@ pub enum DecodeStep {
     /// Decoded one residual gap codeword (per-segment `resNum` headers are
     /// folded into the first residual of each segment).
     Residual,
+    /// First neighbour copied from a referenced node's list (GCGR v3): the
+    /// decoder chased the reference chain and materialized the copied
+    /// values to produce it. Simulated kernels charge this as
+    /// `OpClass::RefChase`.
+    RefChase,
+    /// Subsequent neighbour copied from the referenced list — array
+    /// traffic over the already-materialized copy, no codeword decode
+    /// (like [`DecodeStep::IntervalRun`]).
+    CopyBlock,
+}
+
+/// Parsed reference prologue of a GCGR v3 node: the backward target and the
+/// alternating copy/skip block lengths over its full adjacency.
+struct RefPrologue {
+    target: NodeId,
+    blocks: Vec<u64>,
+}
+
+/// Reads the reference prologue at `pos` (bounds-checked against `end`,
+/// the node's bit range end). Returns `(None, next_pos)` on refOffset 0.
+/// Rejects forward/self references (an offset reaching past node 0), an
+/// offset wider than `ref_window`, and truncated codewords — the typed
+/// corruption errors [`validate_structure`] surfaces.
+fn read_ref_prologue(
+    cgr: &CgrGraph,
+    u: NodeId,
+    mut pos: usize,
+    end: usize,
+) -> Result<(Option<RefPrologue>, usize), String> {
+    let check = |p: usize, what: &str| {
+        if p > end {
+            Err(format!("{what} codeword runs past the node's bit range"))
+        } else {
+            Ok(p)
+        }
+    };
+    if pos >= end {
+        return Err("refOffset read starts past the node's bit range".into());
+    }
+    let (offset, p) = cgr
+        .read_ref_offset(pos)
+        .ok_or("truncated refOffset codeword")?;
+    pos = check(p, "refOffset")?;
+    if offset == 0 {
+        return Ok((None, pos));
+    }
+    let target = u64::from(u)
+        .checked_sub(offset)
+        .ok_or_else(|| format!("forward/self reference: offset {offset} escapes node {u}"))?
+        as NodeId;
+    if offset > u64::from(cgr.config().ref_window) {
+        return Err(format!(
+            "reference offset {offset} exceeds ref_window {}",
+            cgr.config().ref_window
+        ));
+    }
+    if pos >= end {
+        return Err("blockNum read starts past the node's bit range".into());
+    }
+    let (block_num, p) = cgr.read_count(pos).ok_or("truncated blockNum codeword")?;
+    pos = check(p, "blockNum")?;
+    let mut blocks = Vec::with_capacity((block_num as usize).min(1 << 10));
+    for _ in 0..block_num {
+        if pos >= end {
+            return Err("copy-block length read starts past the node's bit range".into());
+        }
+        let (len, p) = cgr
+            .read_block_len(pos)
+            .ok_or("truncated copy-block length codeword")?;
+        pos = check(p, "copy-block length")?;
+        blocks.push(len);
+    }
+    Ok((Some(RefPrologue { target, blocks }), pos))
+}
+
+/// Applies alternating copy/skip `blocks` to the referenced node's full
+/// sorted adjacency, returning the copied values (ascending). A block span
+/// exceeding the referenced degree is the copy-block-overrun corruption
+/// error.
+fn copied_from_blocks(full: &[NodeId], blocks: &[u64]) -> Result<Vec<NodeId>, String> {
+    let span: u64 = blocks.iter().sum();
+    if span > full.len() as u64 {
+        return Err(format!(
+            "copy blocks span {span} values but the referenced adjacency holds {}",
+            full.len()
+        ));
+    }
+    let mut copied = Vec::new();
+    let mut i = 0usize;
+    for (bi, &len) in blocks.iter().enumerate() {
+        let len = len as usize;
+        if bi % 2 == 0 {
+            copied.extend_from_slice(&full[i..i + len]);
+        }
+        i += len;
+    }
+    Ok(copied)
+}
+
+/// Materializes the values a reference prologue copies: decodes the
+/// referenced node's full adjacency (chasing its own references within
+/// `depth_left` further hops), sorts it, and applies the copy blocks.
+fn materialize_copied(
+    cgr: &CgrGraph,
+    pro: &RefPrologue,
+    depth_left: u32,
+) -> Result<Vec<NodeId>, String> {
+    let mut scan = NeighborScanner::try_new_with_depth(cgr, pro.target, depth_left)
+        .map_err(|e| format!("referenced node {}: {e}", pro.target))?;
+    let mut full = Vec::new();
+    while let Some((v, _)) = scan
+        .try_next_with_step()
+        .map_err(|e| format!("referenced node {}: {e}", pro.target))?
+    {
+        full.push(v);
+    }
+    full.sort_unstable();
+    copied_from_blocks(&full, &pro.blocks)
+}
+
+/// The copied-value list of node `u`'s reference prologue at `pos`, plus
+/// the bit position after the prologue — the shared entry point for the
+/// simulated kernels' cursor loads (`pos` is the node's range start for the
+/// segmented layout, the position after `degNum` for the unsegmented one).
+/// Returns an empty list and the unchanged layout position when the node
+/// does not reference (refOffset 0). Fails with the typed chain-bound /
+/// forward-reference / copy-block-overrun errors on corrupt payloads.
+pub fn ref_copied_list(
+    cgr: &CgrGraph,
+    u: NodeId,
+    pos: usize,
+) -> Result<(Vec<NodeId>, usize), String> {
+    let (_, end) = cgr.node_range(u);
+    let (pro, pos) = read_ref_prologue(cgr, u, pos, end)?;
+    match pro {
+        None => Ok((Vec::new(), pos)),
+        Some(pro) => {
+            let limit = cgr.config().ref_chain_limit;
+            if limit == 0 {
+                return Err(format!("node {u} references but ref_chain_limit is 0"));
+            }
+            Ok((materialize_copied(cgr, &pro, limit - 1)?, pos))
+        }
+    }
 }
 
 /// Streaming decoder over **either** CGR layout with O(1) work per
@@ -285,6 +474,11 @@ pub struct NeighborScanner<'a> {
     gap_base: usize,
     gap_n: usize,
     gap_i: usize,
+    /// Values copied from the referenced node's list (GCGR v3), drained
+    /// between the interval and correction areas; empty without a
+    /// reference.
+    copied: Vec<NodeId>,
+    copied_i: usize,
 }
 
 /// Residual-area progress of a [`NeighborScanner`].
@@ -314,8 +508,20 @@ impl<'a> NeighborScanner<'a> {
     }
 
     /// Fallible [`NeighborScanner::new`] for payloads of unknown
-    /// provenance.
+    /// provenance. Reference chains are chased within the configured
+    /// `ref_chain_limit`; a deeper chain is the typed chain-bound error.
     pub fn try_new(cgr: &'a CgrGraph, u: NodeId) -> Result<Self, String> {
+        Self::try_new_with_depth(cgr, u, cgr.config().ref_chain_limit)
+    }
+
+    /// [`NeighborScanner::try_new`] with an explicit remaining reference
+    /// depth: the node may chase at most `depth_left` further hops.
+    /// Recursive materialization of a referenced list re-enters here with
+    /// `depth_left - 1`, so a chain longer than `ref_chain_limit` bottoms
+    /// out as a typed error — which, together with references being
+    /// strictly backward (acyclic by construction, enforced in
+    /// [`read_ref_prologue`]), bounds validation work on untrusted data.
+    fn try_new_with_depth(cgr: &'a CgrGraph, u: NodeId, depth_left: u32) -> Result<Self, String> {
         let cfg = cgr.config();
         let (start, end) = cgr.node_range(u);
         let mut s = NeighborScanner {
@@ -340,6 +546,8 @@ impl<'a> NeighborScanner<'a> {
             gap_base: 0,
             gap_n: 0,
             gap_i: 0,
+            copied: Vec::new(),
+            copied_i: 0,
         };
         if start == end {
             s.deg_left = Some(0);
@@ -351,13 +559,37 @@ impl<'a> NeighborScanner<'a> {
                 s.deg_left = Some(0);
                 return Ok(s);
             }
+            if cfg.ref_window > 0 {
+                s.read_refs(depth_left)?;
+            }
             let itv = s.read_count("itvNum")?;
             s.deg_left = Some(deg);
             s.itv_left = itv;
         } else {
+            if cfg.ref_window > 0 {
+                s.read_refs(depth_left)?;
+            }
             s.itv_left = s.read_count("itvNum")?;
         }
         Ok(s)
+    }
+
+    /// Consumes the v3 reference prologue at the current position and
+    /// materializes the copied values (chasing at most `depth_left`
+    /// further hops).
+    fn read_refs(&mut self, depth_left: u32) -> Result<(), String> {
+        let (pro, pos) = read_ref_prologue(self.cgr, self.u, self.pos, self.end)?;
+        self.pos = pos;
+        if let Some(pro) = pro {
+            if depth_left == 0 {
+                return Err(format!(
+                    "reference chain exceeds ref_chain_limit {}",
+                    self.cgr.config().ref_chain_limit
+                ));
+            }
+            self.copied = materialize_copied(self.cgr, &pro, depth_left - 1)?;
+        }
+        Ok(())
     }
 
     /// Current bit position (for simulated graph-memory addressing).
@@ -469,6 +701,21 @@ impl<'a> NeighborScanner<'a> {
             self.run_next = start + 1;
             self.run_left = len - 1;
             return Ok(Some((self.emit(start), DecodeStep::IntervalStart)));
+        }
+        // Branch (ii½): copied values from the referenced list (GCGR v3) —
+        // drained between the interval and correction areas. The first emit
+        // is the reference chase (the chain decode happened at construction
+        // and is charged there); the rest are array reads of the
+        // materialized copy.
+        if self.copied_i < self.copied.len() {
+            let v = self.checked_neighbor(self.copied[self.copied_i])?;
+            let step = if self.copied_i == 0 {
+                DecodeStep::RefChase
+            } else {
+                DecodeStep::CopyBlock
+            };
+            self.copied_i += 1;
+            return Ok(Some((self.emit(v), step)));
         }
         // Branch (iii): the residual area.
         loop {
@@ -662,6 +909,7 @@ mod tests {
                         code,
                         min_interval_len: min_itv,
                         segment_len_bytes: seg,
+                        ..CgrConfig::paper_default()
                     });
                 }
             }
@@ -695,6 +943,7 @@ mod tests {
             code: Code::Gamma,
             min_interval_len: Some(3),
             segment_len_bytes: None,
+            ..CgrConfig::paper_default()
         };
         let cgr = CgrGraph::encode(&g, &cfg);
         let order: Vec<NodeId> = NeighborIter::new(&cgr, 16).collect();
@@ -779,6 +1028,7 @@ mod tests {
             code: gcgt_bits::Code::Gamma,
             min_interval_len: Some(3),
             segment_len_bytes: None,
+            ..CgrConfig::paper_default()
         };
         let cgr = CgrGraph::encode(&g, &cfg);
         // Node 16 (Figure 2): intervals (18,4) and (27,3), residuals

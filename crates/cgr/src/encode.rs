@@ -79,9 +79,23 @@ impl CgrGraph {
             edges: graph.num_edges(),
             ..Default::default()
         };
+        // Reference selection needs the chain depth of every earlier node
+        // (a node may only be referenced while its own chain is short of
+        // `ref_chain_limit`); with `ref_window == 0` the vector stays empty
+        // and the per-node encoder takes the v2 path byte-for-byte.
+        let mut chain_len = vec![0u32; if config.ref_window > 0 { n } else { 0 }];
         for u in 0..n as NodeId {
             offsets.push(w.len());
-            encode_node(&mut w, graph.neighbors(u), u, config, &mut stats);
+            stats.note_degree(graph.neighbors(u).len() as u64);
+            if config.ref_window == 0 {
+                encode_node(&mut w, graph.neighbors(u), u, config, &mut stats);
+            } else {
+                let sel = select_reference(graph, u, config, &chain_len);
+                if let Some(s) = &sel {
+                    chain_len[u as usize] = chain_len[s.target as usize] + 1;
+                }
+                encode_node_with_ref(&mut w, graph.neighbors(u), u, sel, config, &mut stats);
+            }
         }
         offsets.push(w.len());
         stats.total_bits = w.len();
@@ -291,6 +305,53 @@ impl CgrGraph {
         Some((CgrConfig::map_residual_gap(prev, v)?, p))
     }
 
+    /// [`CgrConfig::read_ref_offset`] twin. The refOffset codeword is
+    /// γ-coded regardless of the config code (see `write_ref_offset`), so
+    /// it goes through the γ slow path, not the config-code table.
+    #[inline]
+    pub fn read_ref_offset(&self, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = gcgt_bits::Code::Gamma.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_ref_offset(v)?, p))
+    }
+
+    /// Table-accelerated [`CgrConfig::read_block_len`].
+    #[inline]
+    pub fn read_block_len(&self, pos: usize) -> Option<(u64, usize)> {
+        let (v, p) = self.table.decode_at(&self.bits, pos)?;
+        Some((CgrConfig::map_count(v)?, p))
+    }
+
+    /// The node `u` references, if any — a cheap header peek that never
+    /// materializes the list. Returns `None` immediately when
+    /// `ref_window == 0` (the v2 layouts have no reference prologue), on
+    /// empty adjacencies, and on refOffset 0; a malformed prologue also
+    /// reads as `None` (full structural validation reports it as a typed
+    /// error instead). Used by partition/shard planning to keep reference
+    /// chains closed within a cut.
+    pub fn ref_target(&self, u: NodeId) -> Option<NodeId> {
+        if self.config.ref_window == 0 {
+            return None;
+        }
+        let (start, end) = self.node_range(u);
+        if start >= end {
+            return None;
+        }
+        let pos = if self.config.segment_len_bytes.is_none() {
+            let (deg, p) = self.read_count(start)?;
+            if deg == 0 {
+                return None;
+            }
+            p
+        } else {
+            start
+        };
+        let (offset, _) = self.read_ref_offset(pos)?;
+        if offset == 0 {
+            return None;
+        }
+        u64::from(u).checked_sub(offset).map(|t| t as NodeId)
+    }
+
     /// Multi-gap probe over this graph's bit array: raw codeword values of
     /// up to [`MAX_PACKED`](gcgt_bits::MAX_PACKED) consecutive short
     /// codewords from one window, with per-codeword end offsets relative to
@@ -363,6 +424,7 @@ fn encode_node(
     let ir = split_intervals(list, config.min_interval_len);
     stats.interval_edges += ir.degree() - ir.residuals.len();
     stats.residual_edges += ir.residuals.len();
+    note_residual_values(&ir.residuals, u, stats);
 
     if config.segment_len_bytes.is_none() {
         // --- unsegmented layout: degNum, itvNum, intervals, residuals ---
@@ -377,8 +439,99 @@ fn encode_node(
 
     // --- segmented layout: itvNum, intervals, segNum, segments ---
     write_intervals_header_first(w, &ir.intervals, u, config, list.is_empty());
+    write_segments(w, &ir.residuals, u, config, stats);
+}
+
+/// One node under reference compression (`ref_window > 0`), GCGR v3 node
+/// layout. Relative to the v2 layouts the node gains a reference prologue
+/// — `refOffset` (0 = no reference) and, when referencing, the alternating
+/// copy/skip block lengths over the referenced node's full adjacency.
+/// Copy blocks are resolved **before** intervalization, as in WebGraph:
+/// the copied values leave the list first, intervals are extracted from
+/// what remains, and the leftover *corrections* form the residual stream.
+/// `degNum` stays the true degree.
+fn encode_node_with_ref(
+    w: &mut BitWriter,
+    list: &[NodeId],
+    u: NodeId,
+    sel: Option<RefSelection>,
+    config: &CgrConfig,
+    stats: &mut CompressionStats,
+) {
+    let remaining: Vec<NodeId> = match &sel {
+        None => list.to_vec(),
+        Some(s) => subtract_sorted(list, &s.copied),
+    };
+    let ir = split_intervals(&remaining, config.min_interval_len);
+    stats.interval_edges += ir.degree() - ir.residuals.len();
+    note_residual_values(&ir.residuals, u, stats);
+    stats.residual_edges += ir.residuals.len();
+    if let Some(s) = &sel {
+        stats.ref_nodes += 1;
+        stats.ref_copy_blocks += s.blocks.len().div_ceil(2);
+        stats.ref_copied_edges += s.copied.len();
+    }
+
+    let write_ref_prologue = |w: &mut BitWriter| match &sel {
+        None => config.write_ref_offset(w, 0),
+        Some(s) => {
+            config.write_ref_offset(w, u64::from(u - s.target));
+            config.write_count(w, s.blocks.len() as u64);
+            for &len in &s.blocks {
+                config.write_block_len(w, len);
+            }
+        }
+    };
+
+    if config.segment_len_bytes.is_none() {
+        // --- unsegmented v3: degNum, [refOffset, blocks], itvNum,
+        //     intervals, corrections ---
+        config.write_count(w, list.len() as u64);
+        if list.is_empty() {
+            return;
+        }
+        write_ref_prologue(w);
+        write_intervals(w, &ir.intervals, u, config);
+        write_residual_run(w, &ir.residuals, u, config);
+        return;
+    }
+
+    // --- segmented v3: refOffset, [blocks], itvNum, intervals, segNum,
+    //     segments-of-corrections (the segmented layout has no degNum, so
+    //     the reference prologue is unconditional) ---
+    write_ref_prologue(w);
+    write_intervals_header_first(w, &ir.intervals, u, config, list.is_empty());
+    write_segments(w, &ir.residuals, u, config, stats);
+}
+
+/// `list` minus the sorted subset `copied` (both strictly ascending).
+fn subtract_sorted(list: &[NodeId], copied: &[NodeId]) -> Vec<NodeId> {
+    let mut c = copied.iter().copied().peekable();
+    list.iter()
+        .copied()
+        .filter(|&v| {
+            if c.peek() == Some(&v) {
+                c.next();
+                false
+            } else {
+                true
+            }
+        })
+        .collect()
+}
+
+/// The segmented residual section: `segNum`, then fixed-stride segments of
+/// gap-coded residuals (each re-based on `u`). Shared by the v2 and v3
+/// (corrections) paths — the packing is byte-identical for the same slice.
+fn write_segments(
+    w: &mut BitWriter,
+    residuals: &[NodeId],
+    u: NodeId,
+    config: &CgrConfig,
+    stats: &mut CompressionStats,
+) {
     let seg_bits = config.segment_len_bits().unwrap();
-    if ir.residuals.is_empty() {
+    if residuals.is_empty() {
         config.write_count(w, 0); // segNum = 0
         return;
     }
@@ -388,8 +541,8 @@ fn encode_node(
     let mut segments: Vec<&[NodeId]> = Vec::new();
     let mut start = 0usize;
     let mut cur_bits = 0u64;
-    for i in 0..ir.residuals.len() {
-        let gap_bits = residual_code_bits(&ir.residuals, start, i, u, config);
+    for i in 0..residuals.len() {
+        let gap_bits = residual_code_bits(residuals, start, i, u, config);
         let count_now = (i - start + 1) as u64;
         let header_now = config.code.len_bits(count_now + 1) as u64;
         let prev_header = if i > start {
@@ -399,24 +552,24 @@ fn encode_node(
         };
         let grown = cur_bits - prev_header + header_now + u64::from(gap_bits);
         if i > start && grown > seg_bits as u64 {
-            segments.push(&ir.residuals[start..i]);
+            segments.push(&residuals[start..i]);
             start = i;
-            let first_bits = residual_code_bits(&ir.residuals, start, i, u, config);
+            let first_bits = residual_code_bits(residuals, start, i, u, config);
             cur_bits = config.code.len_bits(2) as u64 + u64::from(first_bits);
         } else {
             cur_bits = grown;
         }
     }
-    segments.push(&ir.residuals[start..]);
+    segments.push(&residuals[start..]);
     // The last-segment rule: never leave a trailing short segment — merge it
     // into its predecessor so the final segment spans 1–2× segLen.
     if segments.len() >= 2 {
         let last = segments.pop().unwrap();
         let prev = segments.pop().unwrap();
         let merged_start = prev.as_ptr() as usize;
-        let _ = merged_start; // slices are contiguous in ir.residuals
-        let prev_start = ir.residuals.len() - last.len() - prev.len();
-        segments.push(&ir.residuals[prev_start..]);
+        let _ = merged_start; // slices are contiguous in residuals
+        let prev_start = residuals.len() - last.len() - prev.len();
+        segments.push(&residuals[prev_start..]);
     }
     config.write_count(w, segments.len() as u64);
     stats.segments += segments.len();
@@ -444,6 +597,222 @@ fn encode_node(
             stats.blank_bits += seg_bits - used;
             w.push_zeros((seg_bits - used) as u32);
         }
+    }
+}
+
+/// A chosen reference for one node: the target, the alternating copy/skip
+/// block lengths over the target's full adjacency (starting with a copy
+/// block; the tail after the last explicit block is implicitly skipped),
+/// and the values those copy blocks materialize (ascending).
+struct RefSelection {
+    target: NodeId,
+    blocks: Vec<u64>,
+    copied: Vec<NodeId>,
+}
+
+/// Greedy best-candidate reference selection for node `u`: every window
+/// candidate `t ∈ [u − ref_window, u)` whose chain is still short of
+/// `ref_chain_limit` is cost-modeled exactly — copy blocks plus the
+/// re-intervalized remainder versus the plain interval/residual encoding,
+/// via [`gcgt_bits::Code::len_bits`] — and the cheapest strictly-better
+/// candidate wins. Both sides are modeled on the unsegmented layout; for
+/// segmented configs this is a heuristic (padding and per-segment
+/// re-basing shift the true cost), which only ever costs ratio, never
+/// correctness.
+fn select_reference(
+    graph: &Csr,
+    u: NodeId,
+    config: &CgrConfig,
+    chain_len: &[u32],
+) -> Option<RefSelection> {
+    let list = graph.neighbors(u);
+    if list.is_empty() {
+        return None;
+    }
+    let code = config.code;
+    let base_ir = split_intervals(list, config.min_interval_len);
+    let base_cost = u64::from(gcgt_bits::Code::Gamma.len_bits(1))
+        + interval_run_bits(&base_ir.intervals, u, config)
+        + residual_run_bits(&base_ir.residuals, u, config);
+    let first = u.saturating_sub(config.ref_window);
+    let mut best: Option<(u64, RefSelection)> = None;
+    for t in first..u {
+        if chain_len[t as usize] >= config.ref_chain_limit {
+            continue;
+        }
+        let t_list = graph.neighbors(t);
+        if t_list.is_empty() {
+            continue;
+        }
+        let (blocks, copied) = copy_blocks(t_list, list);
+        if copied.is_empty() {
+            continue;
+        }
+        let remaining = subtract_sorted(list, &copied);
+        let ir = split_intervals(&remaining, config.min_interval_len);
+        let mut cost = u64::from(gcgt_bits::Code::Gamma.len_bits(u64::from(u - t) + 1));
+        cost += u64::from(code.len_bits(blocks.len() as u64 + 1));
+        for &b in &blocks {
+            cost += u64::from(code.len_bits(b + 1));
+        }
+        cost += interval_run_bits(&ir.intervals, u, config);
+        cost += residual_run_bits(&ir.residuals, u, config);
+        if cost < base_cost && best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((
+                cost,
+                RefSelection {
+                    target: t,
+                    blocks,
+                    copied,
+                },
+            ));
+        }
+    }
+    best.map(|(_, sel)| sel)
+}
+
+/// Splits the overlap of `t_list` (the candidate's full sorted adjacency)
+/// and `residuals` (the referencing node's sorted values — the full list
+/// under before-intervalization selection) into alternating copy/skip
+/// block lengths over `t_list`. The first block is a
+/// copy block (possibly length 0); the trailing skip run is implicit.
+/// Returns the block lengths and the copied values (ascending).
+fn copy_blocks(t_list: &[NodeId], residuals: &[NodeId]) -> (Vec<u64>, Vec<NodeId>) {
+    let mut copied = Vec::new();
+    let mut flags = vec![false; t_list.len()];
+    let mut ri = 0usize;
+    for (i, &v) in t_list.iter().enumerate() {
+        while ri < residuals.len() && residuals[ri] < v {
+            ri += 1;
+        }
+        if ri < residuals.len() && residuals[ri] == v {
+            flags[i] = true;
+            copied.push(v);
+            ri += 1;
+        }
+    }
+    if copied.is_empty() {
+        return (Vec::new(), copied);
+    }
+    let last_copy = flags.iter().rposition(|&f| f).unwrap();
+    let mut blocks = Vec::new();
+    let mut run_is_copy = true; // the first block is always a copy block
+    let mut run_len = 0u64;
+    for &f in &flags[..=last_copy] {
+        if f == run_is_copy {
+            run_len += 1;
+        } else {
+            blocks.push(run_len);
+            run_is_copy = f;
+            run_len = 1;
+        }
+    }
+    blocks.push(run_len);
+    (blocks, copied)
+}
+
+/// Exact bits of an unsegmented interval section: the `itvNum` count plus
+/// each interval's gap and length codewords, mirroring `write_intervals`.
+fn interval_run_bits(intervals: &[(NodeId, u32)], u: NodeId, config: &CgrConfig) -> u64 {
+    let code = config.code;
+    let mut bits = u64::from(code.len_bits(intervals.len() as u64 + 1));
+    let mut prev_end: Option<NodeId> = None;
+    for &(start, len) in intervals {
+        let gap_val = match prev_end {
+            None => gcgt_bits::fold_sign(i64::from(start) - i64::from(u)) + 1,
+            Some(pe) => u64::from(start) - u64::from(pe) - 1,
+        };
+        bits += u64::from(code.len_bits(gap_val));
+        let min = config.min_interval_len.expect("intervals disabled");
+        bits += u64::from(code.len_bits(u64::from(len - min) + 1));
+        prev_end = Some(start + len - 1);
+    }
+    bits
+}
+
+/// Modeled bits of an unsegmented residual run (first gap re-based on `u`).
+fn residual_run_bits(residuals: &[NodeId], u: NodeId, config: &CgrConfig) -> u64 {
+    let mut bits = 0u64;
+    let mut prev: Option<NodeId> = None;
+    for &r in residuals {
+        let v = match prev {
+            None => gcgt_bits::fold_sign(i64::from(r) - i64::from(u)) + 1,
+            Some(p) => u64::from(r) - u64::from(p),
+        };
+        bits += u64::from(config.code.len_bits(v));
+        prev = Some(r);
+    }
+    bits
+}
+
+/// The candidate codes [`CgrConfig::autotune`] scores, in tie-break order.
+const AUTOTUNE_CANDIDATES: [gcgt_bits::Code; 6] = [
+    gcgt_bits::Code::Gamma,
+    gcgt_bits::Code::Delta,
+    gcgt_bits::Code::Zeta(2),
+    gcgt_bits::Code::Zeta(3),
+    gcgt_bits::Code::Zeta(4),
+    gcgt_bits::Code::Zeta(5),
+];
+
+impl CgrConfig {
+    /// Picks the VLC code that minimizes the modeled encoded size of
+    /// `graph` — per-dataset code autotuning, the compress-time analogue of
+    /// WebGraph's per-corpus ζ-parameter choice.
+    ///
+    /// The model sums, for each candidate in γ, δ, ζ2…ζ5, the exact
+    /// codeword widths of the unsegmented v2 stream (`degNum`, interval
+    /// runs, residual runs) under [`CgrConfig::paper_default`]'s interval
+    /// threshold. Segmentation padding and reference selection are
+    /// deliberately outside the model: padding is code-independent to
+    /// first order, and reference choices themselves depend on the code —
+    /// the ranking is decided by the gap distribution either way (the
+    /// advisory `gap_hist`/`degree_hist` in
+    /// [`CompressionStats`] show that distribution directly). Ties go to
+    /// the earlier candidate, γ first.
+    ///
+    /// Returns [`CgrConfig::paper_default`] with the winning code; chain
+    /// the layout/reference knobs after (`strategy.cgr_config(..)`,
+    /// [`CgrConfig::with_ref_window`]).
+    pub fn autotune(graph: &Csr) -> CgrConfig {
+        let base = CgrConfig::paper_default();
+        let mut costs = [0u64; AUTOTUNE_CANDIDATES.len()];
+        let mut cfgs: Vec<CgrConfig> = AUTOTUNE_CANDIDATES
+            .iter()
+            .map(|&code| CgrConfig { code, ..base })
+            .collect();
+        for u in 0..graph.num_nodes() as NodeId {
+            let list = graph.neighbors(u);
+            let ir = split_intervals(list, base.min_interval_len);
+            for (i, cfg) in cfgs.iter().enumerate() {
+                costs[i] += u64::from(cfg.code.len_bits(list.len() as u64 + 1));
+                if !list.is_empty() {
+                    costs[i] += interval_run_bits(&ir.intervals, u, cfg)
+                        + residual_run_bits(&ir.residuals, u, cfg);
+                }
+            }
+        }
+        let best = costs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        cfgs.swap_remove(best)
+    }
+}
+
+/// Advisory gap-histogram feed: the codeword values the residual stream of
+/// this node would write (first gap sign-folded, then plain gaps).
+fn note_residual_values(residuals: &[NodeId], u: NodeId, stats: &mut CompressionStats) {
+    let mut prev: Option<NodeId> = None;
+    for &r in residuals {
+        let v = match prev {
+            None => gcgt_bits::fold_sign(i64::from(r) - i64::from(u)) + 1,
+            Some(p) => u64::from(r) - u64::from(p),
+        };
+        stats.note_value(v);
+        prev = Some(r);
     }
 }
 
@@ -513,6 +882,7 @@ mod tests {
             code: gcgt_bits::Code::Gamma,
             min_interval_len: Some(3),
             segment_len_bytes: None,
+            ..CgrConfig::paper_default()
         };
         let cgr = CgrGraph::encode(&g, &cfg);
         assert_eq!(
@@ -597,6 +967,56 @@ mod tests {
         );
         assert!(cgr.stats().blank_bits > 0);
         assert_eq!(crate::decode::decode_node(&cgr, 0), g.neighbors(0));
+    }
+
+    #[test]
+    fn autotune_pins_zeta3_on_paper_like_graphs() {
+        // ζ3 — the paper's own choice — must win on both paper-like
+        // generator families; the pin guards the cost model against
+        // regressions that would silently skew every autotuned session.
+        let web = web_graph(&WebParams::eu2015_like(2_000), 7);
+        assert_eq!(CgrConfig::autotune(&web).code, gcgt_bits::Code::Zeta(3));
+        let soc =
+            gcgt_graph::gen::social_graph(&gcgt_graph::gen::SocialParams::twitter_like(2_000), 7);
+        assert_eq!(CgrConfig::autotune(&soc).code, gcgt_bits::Code::Zeta(3));
+        // Everything but the code stays at the paper defaults.
+        let base = CgrConfig::paper_default();
+        let tuned = CgrConfig::autotune(&web);
+        assert_eq!(tuned.min_interval_len, base.min_interval_len);
+        assert_eq!(tuned.segment_len_bytes, base.segment_len_bytes);
+        assert_eq!(tuned.ref_window, base.ref_window);
+    }
+
+    #[test]
+    fn autotune_follows_the_gap_distribution() {
+        // All-gap-one adjacency (consecutive neighbours, but below the
+        // interval threshold): every codeword value is tiny, where γ is
+        // optimal — the tuner must not stay glued to ζ3.
+        let mut edges = Vec::new();
+        for u in 0..64u32 {
+            for d in 1..=3u32 {
+                edges.push((u, (u + d) % 64));
+            }
+        }
+        let g = Csr::from_edges(64, &edges);
+        assert_eq!(CgrConfig::autotune(&g).code, gcgt_bits::Code::Gamma);
+        // Degenerate inputs pick *something* without panicking.
+        let _ = CgrConfig::autotune(&Csr::empty(4));
+        let _ = CgrConfig::autotune(&Csr::empty(0));
+    }
+
+    #[test]
+    fn encoding_populates_the_advisory_histograms() {
+        let g = web_graph(&WebParams::uk2002_like(800), 7);
+        let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+        let gaps: u64 = cgr.stats().gap_hist.iter().sum();
+        let degs: u64 = cgr.stats().degree_hist.iter().sum();
+        assert_eq!(degs, g.num_nodes() as u64, "one degree sample per node");
+        assert_eq!(
+            gaps,
+            cgr.stats().residual_edges as u64,
+            "one gap sample per residual"
+        );
     }
 
     #[test]

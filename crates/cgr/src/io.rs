@@ -65,13 +65,33 @@ use crate::stats::CompressionStats;
 
 /// File magic: "GCGR".
 pub const MAGIC: [u8; 4] = *b"GCGR";
-/// Current format version: the 8-byte-aligned zero-copy layout.
+/// The 8-byte-aligned zero-copy layout without reference compression —
+/// what [`write_cgr`] emits whenever `ref_window == 0` (byte-identical to
+/// pre-v3 writers).
 pub const VERSION: u32 = 2;
 /// The legacy byte-streamed layout, still readable by [`read_cgr`] and
 /// writable via [`write_cgr_v1`].
 pub const VERSION_V1: u32 = 1;
+/// The reference-compression layout: the v2 sections plus a 4-word header
+/// extension (ref knobs + ref stat mirrors). Written whenever
+/// `ref_window > 0`.
+pub const VERSION_V3: u32 = 3;
 /// Words in the v2 header section.
 pub const V2_HEADER_WORDS: usize = 16;
+/// Words in the v3 header section: the 16 v2 words plus
+/// `w16 = ref_window | ref_chain_limit ≪ 32` and the
+/// `ref_nodes`/`ref_copy_blocks`/`ref_copied_edges` stat mirrors
+/// (w17–w19).
+pub const V3_HEADER_WORDS: usize = 20;
+
+/// Header length of a version, or `None` for unsupported versions.
+fn header_words_for(version: u32) -> Option<usize> {
+    match version {
+        VERSION => Some(V2_HEADER_WORDS),
+        VERSION_V3 => Some(V3_HEADER_WORDS),
+        _ => None,
+    }
+}
 
 /// When a loaded graph's structural validation runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -208,7 +228,9 @@ fn stats_fields(s: &CompressionStats) -> [usize; 7] {
     ]
 }
 
-/// Serializes `cgr` to a writer in the current (v2) `GCGR` format.
+/// Serializes `cgr` to a writer in the current `GCGR` format: v2 when the
+/// graph was encoded without reference compression (byte-identical to
+/// pre-v3 writers), v3 when `ref_window > 0`.
 pub fn write_cgr<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
     let mut w = io::BufWriter::new(writer);
     for word in header_words(cgr) {
@@ -226,7 +248,7 @@ pub fn write_cgr<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-fn header_words(cgr: &CgrGraph) -> [u64; V2_HEADER_WORDS] {
+fn header_words(cgr: &CgrGraph) -> Vec<u64> {
     let cfg = cgr.config();
     let (tag, k) = code_tag(cfg.code);
     let w1 = u64::from(tag)
@@ -235,10 +257,15 @@ fn header_words(cgr: &CgrGraph) -> [u64; V2_HEADER_WORDS] {
         | u64::from(cfg.segment_len_bytes.is_some()) << 24;
     let w2 = u64::from(cfg.min_interval_len.unwrap_or(0))
         | u64::from(cfg.segment_len_bytes.unwrap_or(0)) << 32;
+    let version = if cfg.ref_window > 0 {
+        VERSION_V3
+    } else {
+        VERSION
+    };
     let s = stats_fields(cgr.stats());
     let ef = cgr.index();
-    [
-        u64::from(u32::from_le_bytes(MAGIC)) | u64::from(VERSION) << 32,
+    let mut words = vec![
+        u64::from(u32::from_le_bytes(MAGIC)) | u64::from(version) << 32,
         w1,
         w2,
         cgr.num_nodes() as u64,
@@ -254,7 +281,16 @@ fn header_words(cgr: &CgrGraph) -> [u64; V2_HEADER_WORDS] {
         u64::from(ef.low_bits()),
         ef.low().words().len() as u64,
         ef.high().words().len() as u64,
-    ]
+    ];
+    if version == VERSION_V3 {
+        let st = cgr.stats();
+        words.push(u64::from(cfg.ref_window) | u64::from(cfg.ref_chain_limit) << 32);
+        words.push(st.ref_nodes as u64);
+        words.push(st.ref_copy_blocks as u64);
+        words.push(st.ref_copied_edges as u64);
+    }
+    debug_assert_eq!(words.len(), header_words_for(version).unwrap());
+    words
 }
 
 /// Serializes `cgr` in the legacy v1 `GCGR` format (byte-packed header,
@@ -262,6 +298,13 @@ fn header_words(cgr: &CgrGraph) -> [u64; V2_HEADER_WORDS] {
 /// regression tests and the `load` bench's v1-versus-v2 comparison; new
 /// files should use [`write_cgr`].
 pub fn write_cgr_v1<W: Write>(cgr: &CgrGraph, writer: W) -> io::Result<()> {
+    if cgr.config().ref_window > 0 {
+        // v1 has no field for the ref knobs; silently dropping them would
+        // produce a stream whose payload needs them to decode.
+        return Err(bad(
+            "GCGR v1 cannot carry reference compression (ref_window > 0); use write_cgr",
+        ));
+    }
     let mut w = io::BufWriter::new(writer);
     w.write_all(&MAGIC)?;
     write_u32(&mut w, VERSION_V1)?;
@@ -307,31 +350,42 @@ struct V2Header {
 }
 
 fn parse_v2_header(words: &[u64]) -> io::Result<V2Header> {
-    debug_assert_eq!(words.len(), V2_HEADER_WORDS);
     let w0 = words[0];
     if w0 as u32 != u32::from_le_bytes(MAGIC) {
         return Err(bad("not a GCGR file (bad magic)"));
     }
     let version = (w0 >> 32) as u32;
-    if version != VERSION {
+    let Some(header_len) = header_words_for(version) else {
         return Err(bad(format!(
-            "unsupported GCGR version {version} (expected {VERSION})"
+            "unsupported GCGR version {version} (expected {VERSION} or {VERSION_V3})"
         )));
-    }
+    };
+    debug_assert_eq!(words.len(), header_len);
     let w1 = words[1];
     if w1 >> 32 != 0 {
         return Err(bad("reserved header bits are set"));
     }
     let w2 = words[2];
+    let (ref_window, ref_chain_limit) = if version == VERSION_V3 {
+        let w16 = words[16];
+        if w16 as u32 == 0 {
+            return Err(bad("v3 header with ref_window 0 (should be a v2 file)"));
+        }
+        (w16 as u32, (w16 >> 32) as u32)
+    } else {
+        (0, crate::config::DEFAULT_REF_CHAIN_LIMIT)
+    };
     let config = CgrConfig {
         code: code_from_tag(w1 as u8, (w1 >> 8) as u8)?,
         min_interval_len: opt_field((w1 >> 16) as u8, w2 as u32, "min_interval_len")?,
         segment_len_bytes: opt_field((w1 >> 24) as u8, (w2 >> 32) as u32, "segment_len_bytes")?,
+        ref_window,
+        ref_chain_limit,
     };
     let num_nodes = to_usize(words[3], "node count")?;
     let num_edges = to_usize(words[4], "edge count")?;
     let bit_len = to_usize(words[5], "payload bit length")?;
-    let stats = CompressionStats {
+    let mut stats = CompressionStats {
         nodes: to_usize(words[6], "stats node count")?,
         edges: to_usize(words[7], "stats edge count")?,
         total_bits: to_usize(words[8], "stats total bits")?,
@@ -339,7 +393,13 @@ fn parse_v2_header(words: &[u64]) -> io::Result<V2Header> {
         residual_edges: to_usize(words[10], "stats residual edges")?,
         blank_bits: to_usize(words[11], "stats blank bits")?,
         segments: to_usize(words[12], "stats segments")?,
+        ..CompressionStats::default()
     };
+    if version == VERSION_V3 {
+        stats.ref_nodes = to_usize(words[17], "stats ref nodes")?;
+        stats.ref_copy_blocks = to_usize(words[18], "stats ref copy blocks")?;
+        stats.ref_copied_edges = to_usize(words[19], "stats ref copied edges")?;
+    }
     check_stats(&stats, num_nodes, num_edges, bit_len)?;
     if words[13] >= 64 {
         return Err(bad(format!(
@@ -416,18 +476,26 @@ fn check_stats(
 }
 
 impl CgrGraph {
-    /// **Zero-copy** load of a GCGR v2 image already resident in a shared
-    /// word buffer: validates the header, section extents and offset index,
-    /// then serves the EF index and payload as [`gcgt_bits::Storage`] views
-    /// of `words` — no section is copied, and clones of the returned graph
-    /// (e.g. one per serve worker) keep sharing the one allocation.
+    /// **Zero-copy** load of a GCGR v2/v3 image already resident in a
+    /// shared word buffer: validates the header, section extents and offset
+    /// index, then serves the EF index and payload as
+    /// [`gcgt_bits::Storage`] views of `words` — no section is copied, and
+    /// clones of the returned graph (e.g. one per serve worker) keep
+    /// sharing the one allocation.
     pub fn from_shared(words: Arc<[u64]>, mode: ValidationMode) -> io::Result<CgrGraph> {
-        if words.len() < V2_HEADER_WORDS {
-            return Err(bad("truncated GCGR v2 header"));
+        if words.is_empty() {
+            return Err(bad("truncated GCGR header"));
         }
-        let h = parse_v2_header(&words[..V2_HEADER_WORDS])?;
+        // Header length depends on the version; peek it before slicing.
+        // parse_v2_header re-validates magic and version with full errors.
+        let peeked = (words[0] >> 32) as u32;
+        let header_len = header_words_for(peeked).unwrap_or(V2_HEADER_WORDS);
+        if words.len() < header_len {
+            return Err(bad("truncated GCGR header"));
+        }
+        let h = parse_v2_header(&words[..header_len])?;
         let payload_words = h.bit_len.div_ceil(64);
-        let expect_total = V2_HEADER_WORDS + h.low_words + h.high_words + payload_words;
+        let expect_total = header_len + h.low_words + h.high_words + payload_words;
         if words.len() != expect_total {
             return Err(bad(format!(
                 "file holds {} words but the header implies {expect_total} \
@@ -439,14 +507,10 @@ impl CgrGraph {
             BitVec::from_shared(Arc::clone(&words), first, len)
                 .map_err(|e| bad(format!("{what}: {e}")))
         };
-        let low = section(V2_HEADER_WORDS, h.low_len_bits, "EF low section")?;
-        let high = section(
-            V2_HEADER_WORDS + h.low_words,
-            h.high_len_bits,
-            "EF high section",
-        )?;
+        let low = section(header_len, h.low_len_bits, "EF low section")?;
+        let high = section(header_len + h.low_words, h.high_len_bits, "EF high section")?;
         let bits = section(
-            V2_HEADER_WORDS + h.low_words + h.high_words,
+            header_len + h.low_words + h.high_words,
             h.bit_len,
             "payload",
         )?;
@@ -537,27 +601,27 @@ pub fn read_cgr_with<R: Read>(reader: R, mode: ValidationMode) -> io::Result<Cgr
     }
     let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
     match version {
-        VERSION => read_v2_body(r, mode),
+        VERSION | VERSION_V3 => read_v2_body(r, version, mode),
         VERSION_V1 => read_v1_body(r, mode),
         v => Err(bad(format!(
-            "unsupported GCGR version {v} (supported: {VERSION_V1}, {VERSION})"
+            "unsupported GCGR version {v} (supported: {VERSION_V1}, {VERSION}, {VERSION_V3})"
         ))),
     }
 }
 
-/// v2 body: the whole stream is words, so slurp it and hand off to the
+/// v2/v3 body: the whole stream is words, so slurp it and hand off to the
 /// shared-buffer loader (the file path *is* the zero-copy path plus one
-/// read).
-fn read_v2_body<R: Read>(mut r: R, mode: ValidationMode) -> io::Result<CgrGraph> {
+/// read). `version` re-synthesizes the first word the dispatcher consumed.
+fn read_v2_body<R: Read>(mut r: R, version: u32, mode: ValidationMode) -> io::Result<CgrGraph> {
     let mut rest = Vec::new();
     r.read_to_end(&mut rest)?;
     if !rest.len().is_multiple_of(8) {
         return Err(bad(format!(
-            "GCGR v2 stream length is not a multiple of 8 ({} stray bytes)",
+            "GCGR stream length is not a multiple of 8 ({} stray bytes)",
             rest.len() % 8
         )));
     }
-    let first = u64::from(u32::from_le_bytes(MAGIC)) | u64::from(VERSION) << 32;
+    let first = u64::from(u32::from_le_bytes(MAGIC)) | u64::from(version) << 32;
     let words: Arc<[u64]> = std::iter::once(first)
         .chain(
             rest.chunks_exact(8)
@@ -575,6 +639,8 @@ fn read_v1_body<R: Read>(mut r: R, mode: ValidationMode) -> io::Result<CgrGraph>
         code: read_code(&mut r)?,
         min_interval_len: read_opt_u32(&mut r, "min_interval_len")?,
         segment_len_bytes: read_opt_u32(&mut r, "segment_len_bytes")?,
+        ref_window: 0,
+        ref_chain_limit: crate::config::DEFAULT_REF_CHAIN_LIMIT,
     };
 
     let num_nodes = to_usize(read_u64(&mut r)?, "node count")?;
@@ -589,6 +655,7 @@ fn read_v1_body<R: Read>(mut r: R, mode: ValidationMode) -> io::Result<CgrGraph>
         residual_edges: to_usize(read_u64(&mut r)?, "stats residual edges")?,
         blank_bits: to_usize(read_u64(&mut r)?, "stats blank bits")?,
         segments: to_usize(read_u64(&mut r)?, "stats segments")?,
+        ..CompressionStats::default()
     };
     check_stats(&stats, num_nodes, num_edges, bit_len)?;
 

@@ -17,6 +17,15 @@
 //!   first residual re-based on the source node so segments decode
 //!   independently.
 //!
+//! With [`CgrConfig::ref_window`] `> 0` both layouts gain the GCGR v3
+//! **reference prologue** (WebGraph-style copy lists): `refOffset`
+//! (0 = none) and alternating copy/skip block lengths over the referenced
+//! node's full adjacency, after which the residual area holds only the
+//! *corrections*. Chains are bounded by [`CgrConfig::ref_chain_limit`] and
+//! strictly backward (acyclic by construction); decoders emit intervals,
+//! then copied values, then corrections. `ref_window = 0` keeps the
+//! payload byte-identical to a v2 encode.
+//!
 //! Encoding shifts follow Appendix C: counts and gaps get a `+1` shift
 //! (VLC cannot represent 0), first gaps are sign-folded, later interval gaps
 //! shift by their theoretical minimum of 2, and interval lengths shift by
@@ -42,8 +51,10 @@ pub mod io;
 pub mod stats;
 
 pub use byterle::ByteRleGraph;
-pub use config::CgrConfig;
-pub use decode::{validate_range, validate_structure, DecodeStep, NeighborIter, NeighborScanner};
+pub use config::{CgrConfig, DEFAULT_REF_CHAIN_LIMIT};
+pub use decode::{
+    ref_copied_list, validate_range, validate_structure, DecodeStep, NeighborIter, NeighborScanner,
+};
 pub use encode::CgrGraph;
 pub use gcgt_bits::{DecodeTable, MAX_PACKED, WINDOW_BITS};
 pub use intervals::{split_intervals, IntervalsResiduals};

@@ -1,9 +1,21 @@
 //! Compression accounting: bits/edge and the paper's compression rate
 //! (`32 / bits-per-edge`), plus the segmentation blank-space overhead that
-//! drives the Figure 14 trade-off.
+//! drives the Figure 14 trade-off and the reference-compression tallies of
+//! the GCGR v3 encoder.
+
+/// Bit-width buckets of the advisory histograms: bucket `b` counts values
+/// `v` with `⌊log₂ v⌋ = b` (value 0 lands in bucket 0).
+pub const HIST_BUCKETS: usize = 32;
 
 /// Statistics gathered while encoding a [`crate::CgrGraph`].
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+///
+/// Equality (`PartialEq`) compares the **encoding tallies** only — every
+/// field that is serialized in the GCGR header and must survive a
+/// save/load round trip. The advisory histograms (`gap_hist`,
+/// `degree_hist`) exist for compress-time introspection and
+/// [`crate::CgrConfig::autotune`] diagnostics; they are not persisted and
+/// do not participate in equality.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CompressionStats {
     /// Nodes encoded.
     pub nodes: usize,
@@ -13,18 +25,63 @@ pub struct CompressionStats {
     pub total_bits: usize,
     /// Edges covered by intervals.
     pub interval_edges: usize,
-    /// Edges stored as residuals.
+    /// Edges stored as residuals (corrections, under reference
+    /// compression).
     pub residual_edges: usize,
     /// Zero padding inserted by residual segmentation ("blank" areas of
     /// Figure 6).
     pub blank_bits: usize,
     /// Number of residual segments emitted (0 without segmentation).
     pub segments: usize,
+    /// Nodes that copy part of an earlier node's adjacency (GCGR v3
+    /// reference compression; 0 when `ref_window == 0`).
+    pub ref_nodes: usize,
+    /// Copy blocks emitted across all referencing nodes.
+    pub ref_copy_blocks: usize,
+    /// Edges materialized by copying from a referenced list instead of
+    /// being gap-coded.
+    pub ref_copied_edges: usize,
+    /// Advisory histogram of every VLC codeword value the encoder wrote,
+    /// bucketed by bit width (`⌊log₂ v⌋`). Not serialized; ignored by
+    /// `PartialEq`.
+    pub gap_hist: [u64; HIST_BUCKETS],
+    /// Advisory histogram of node degrees, bucketed by bit width of
+    /// `degree + 1`. Not serialized; ignored by `PartialEq`.
+    pub degree_hist: [u64; HIST_BUCKETS],
+}
+
+impl PartialEq for CompressionStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Tallies only — see the type-level docs for why the advisory
+        // histograms are excluded.
+        self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.total_bits == other.total_bits
+            && self.interval_edges == other.interval_edges
+            && self.residual_edges == other.residual_edges
+            && self.blank_bits == other.blank_bits
+            && self.segments == other.segments
+            && self.ref_nodes == other.ref_nodes
+            && self.ref_copy_blocks == other.ref_copy_blocks
+            && self.ref_copied_edges == other.ref_copied_edges
+    }
+}
+
+/// The histogram bucket of a value: `⌊log₂ v⌋`, clamped to the last bucket
+/// (value 0 counts as width 0).
+#[inline]
+pub(crate) fn hist_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (63 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
 }
 
 impl CompressionStats {
     /// Bits per edge over the whole bit array (the denominator the paper
-    /// uses for its compression-rate line plots).
+    /// uses for its compression-rate line plots). An edgeless graph has a
+    /// documented value of `0.0` — never NaN or ∞.
     pub fn bits_per_edge(&self) -> f64 {
         if self.edges == 0 {
             0.0
@@ -34,7 +91,10 @@ impl CompressionStats {
     }
 
     /// The paper's compression rate: `32 / bits-per-edge` (a CSR edge costs
-    /// one 32-bit integer).
+    /// one 32-bit integer). Degenerate inputs — an empty graph, an
+    /// edgeless graph, or (hypothetically) a zero-length bit array — all
+    /// return a documented finite `0.0`, never NaN or ∞: the rate of a
+    /// graph with nothing to compress is defined as zero.
     pub fn compression_rate(&self) -> f64 {
         let bpe = self.bits_per_edge();
         if bpe == 0.0 {
@@ -53,6 +113,16 @@ impl CompressionStats {
         }
     }
 
+    /// Fraction of edges materialized by reference copying (0.0 without
+    /// reference compression, also on edgeless graphs).
+    pub fn ref_coverage(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.ref_copied_edges as f64 / self.edges as f64
+        }
+    }
+
     /// Fraction of the bit array wasted as segment padding.
     pub fn blank_fraction(&self) -> f64 {
         if self.total_bits == 0 {
@@ -60,6 +130,18 @@ impl CompressionStats {
         } else {
             self.blank_bits as f64 / self.total_bits as f64
         }
+    }
+
+    /// Records a written VLC codeword value in the advisory gap histogram.
+    #[inline]
+    pub(crate) fn note_value(&mut self, v: u64) {
+        self.gap_hist[hist_bucket(v)] += 1;
+    }
+
+    /// Records a node degree in the advisory degree histogram.
+    #[inline]
+    pub(crate) fn note_degree(&mut self, deg: u64) {
+        self.degree_hist[hist_bucket(deg + 1)] += 1;
     }
 }
 
@@ -77,6 +159,7 @@ mod tests {
             residual_edges: 40,
             blank_bits: 20,
             segments: 5,
+            ..CompressionStats::default()
         };
         assert!((s.bits_per_edge() - 2.0).abs() < 1e-12);
         assert!((s.compression_rate() - 16.0).abs() < 1e-12);
@@ -91,5 +174,50 @@ mod tests {
         assert_eq!(s.compression_rate(), 0.0);
         assert_eq!(s.interval_coverage(), 0.0);
         assert_eq!(s.blank_fraction(), 0.0);
+        assert_eq!(s.ref_coverage(), 0.0);
+        assert!(s.bits_per_edge().is_finite());
+        assert!(s.compression_rate().is_finite());
+    }
+
+    #[test]
+    fn edgeless_nonempty_graph_is_finite() {
+        // Nodes but no edges: the bit array still holds per-node headers
+        // (total_bits > 0) while edges == 0 — exactly the shape that used
+        // to make a naive 32/(bits/edges) go NaN/∞.
+        let s = CompressionStats {
+            nodes: 7,
+            total_bits: 21,
+            ..CompressionStats::default()
+        };
+        assert_eq!(s.bits_per_edge(), 0.0);
+        assert_eq!(s.compression_rate(), 0.0);
+        assert!(s.compression_rate().is_finite());
+    }
+
+    #[test]
+    fn equality_ignores_advisory_histograms() {
+        let mut a = CompressionStats {
+            nodes: 3,
+            edges: 9,
+            total_bits: 40,
+            ..CompressionStats::default()
+        };
+        let b = a;
+        a.note_value(5);
+        a.note_degree(1000);
+        assert_eq!(a, b, "histograms must not participate in equality");
+        let mut c = b;
+        c.ref_nodes = 1;
+        assert_ne!(b, c, "ref tallies must participate in equality");
+    }
+
+    #[test]
+    fn hist_buckets_are_bit_widths() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(2), 1);
+        assert_eq!(hist_bucket(3), 1);
+        assert_eq!(hist_bucket(4), 2);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
     }
 }

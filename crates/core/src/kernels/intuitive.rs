@@ -72,7 +72,12 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
         let decoding_res: Vec<usize> = lanes
             .iter()
             .enumerate()
-            .filter(|(_, l)| l.left > 0 && l.itv_len == 0 && l.cursor.intervals_left() == 0)
+            .filter(|(_, l)| {
+                l.left > 0
+                    && l.itv_len == 0
+                    && l.cursor.intervals_left() == 0
+                    && l.cursor.copied_left() == 0
+            })
             .map(|(i, _)| i)
             .collect();
         let mut res_vals: Vec<(usize, NodeId)> = Vec::with_capacity(decoding_res.len());
@@ -99,6 +104,10 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
                 lane.itv_ptr += 1;
                 lane.itv_len -= 1;
                 v
+            } else if lane.cursor.intervals_left() == 0 && lane.cursor.copied_left() > 0 {
+                // Copied neighbours stream from the materialized reference
+                // list — no decode step, like the middle of an interval.
+                lane.cursor.decode_residual(cgr)
             } else if let Ok(idx) = res_vals.binary_search_by_key(&i, |&(lane_idx, _)| lane_idx) {
                 res_vals[idx].1
             } else {

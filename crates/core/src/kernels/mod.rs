@@ -55,6 +55,12 @@ pub struct LaneCursor {
     prev_itv_end: NodeId,
     res_decoded: u64,
     prev_res: NodeId,
+    /// Copied neighbours materialized from the node's reference chain
+    /// (empty without a v3 reference prologue). Drained by
+    /// [`LaneCursor::decode_residual`] before any correction is read from
+    /// the bit stream.
+    copied: Vec<NodeId>,
+    copied_i: usize,
 }
 
 impl LaneCursor {
@@ -68,6 +74,7 @@ impl LaneCursor {
             "LaneCursor reads the unsegmented layout"
         );
         let (start, end) = cgr.node_range(u);
+        let mut copied = Vec::new();
         let (deg_num, itv_num, bit_ptr) = if start == end {
             (0, 0, start)
         } else {
@@ -75,6 +82,13 @@ impl LaneCursor {
             if deg == 0 {
                 (0, 0, p)
             } else {
+                let p = if cgr.config().ref_window > 0 {
+                    let (vals, p2) = gcgt_cgr::ref_copied_list(cgr, u, p).expect("ref prologue");
+                    copied = vals;
+                    p2
+                } else {
+                    p
+                };
                 let (itv, p2) = cgr.read_count(p).expect("itvNum");
                 (deg, itv, p2)
             }
@@ -88,7 +102,15 @@ impl LaneCursor {
             prev_itv_end: u,
             res_decoded: 0,
             prev_res: u,
+            copied,
+            copied_i: 0,
         }
+    }
+
+    /// Copied (reference-materialized) neighbours not yet emitted.
+    #[inline]
+    pub fn copied_left(&self) -> u64 {
+        (self.copied.len() - self.copied_i) as u64
     }
 
     /// Intervals not yet decoded.
@@ -115,8 +137,15 @@ impl LaneCursor {
         (start, len)
     }
 
-    /// Decodes the next residual and advances the bit pointer.
+    /// Emits the next residual-area neighbour: copied values stream out of
+    /// the materialized reference list first (no bit read), then the
+    /// corrections are gap-decoded and advance the bit pointer.
     pub fn decode_residual(&mut self, cgr: &CgrGraph) -> NodeId {
+        if self.copied_i < self.copied.len() {
+            let r = self.copied[self.copied_i];
+            self.copied_i += 1;
+            return r;
+        }
         let (r, p) = if self.res_decoded == 0 {
             cgr.read_first_gap(self.bit_ptr, self.u).expect("first res")
         } else {
@@ -178,7 +207,33 @@ pub fn load_cursors(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId]) -> Vec
             .iter()
             .map(|&u| Space::Graph.addr((cgr.bit_start(u) / 8) as u64)),
     );
+    charge_ref_chase(warp, cgr, chunk);
     chunk.iter().map(|&u| LaneCursor::load(cgr, u)).collect()
+}
+
+/// Charges the reference-chain chase of a frontier chunk: one
+/// [`OpClass::RefChase`] step per chain depth, active lanes being those
+/// still chasing at that depth, each reading its referenced node's
+/// prologue (scattered). No-op (not even an issue) without references —
+/// ref_window = 0 stays bitwise step-identical to the v2 kernels.
+pub fn charge_ref_chase(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId]) {
+    if cgr.config().ref_window == 0 {
+        return;
+    }
+    let mut chasing: Vec<NodeId> = chunk.iter().filter_map(|&u| cgr.ref_target(u)).collect();
+    while !chasing.is_empty() {
+        warp.issue_mem(
+            OpClass::RefChase,
+            chasing.len(),
+            chasing
+                .iter()
+                .map(|&t| Space::Graph.addr((cgr.bit_start(t) / 8) as u64)),
+        );
+        chasing = chasing
+            .into_iter()
+            .filter_map(|t| cgr.ref_target(t))
+            .collect();
+    }
 }
 
 /// Expands one warp's frontier chunk under the given strategy, feeding every

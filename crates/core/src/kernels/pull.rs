@@ -76,6 +76,7 @@ pub fn pull_expand(
         // class that produced it.
         let mut itv_addrs: Vec<u64> = Vec::new();
         let mut res_addrs: Vec<u64> = Vec::new();
+        let mut ref_addrs: Vec<u64> = Vec::new();
         let mut holding: Vec<(usize, NodeId)> = Vec::new();
         for (i, lane) in lanes.iter_mut().enumerate() {
             if lane.done {
@@ -90,6 +91,13 @@ pub fn pull_expand(
                         DecodeStep::Residual => res_addrs.push(addr),
                         // Mid-interval: register arithmetic, no decode step.
                         DecodeStep::IntervalRun => {}
+                        // First copied neighbour: the lane chases the
+                        // reference chain (prologue read on the referenced
+                        // node's bits).
+                        DecodeStep::RefChase => ref_addrs.push(addr),
+                        // Later copied values stream from the already
+                        // materialized list: no decode step, like a run.
+                        DecodeStep::CopyBlock => {}
                     }
                     holding.push((i, nbr));
                 }
@@ -105,6 +113,10 @@ pub fn pull_expand(
         if !res_addrs.is_empty() {
             let active = res_addrs.len();
             warp.issue_mem(OpClass::ResDecode, active, res_addrs);
+        }
+        if !ref_addrs.is_empty() {
+            let active = ref_addrs.len();
+            warp.issue_mem(OpClass::RefChase, active, ref_addrs);
         }
         // Frontier-membership probe: one Handle step, scattered bitmap
         // bytes (the pull counterpart of appendIfUnvisited's status check).

@@ -18,7 +18,7 @@ use gcgt_cgr::CgrGraph;
 use gcgt_graph::NodeId;
 use gcgt_simt::{OpClass, Space, WarpSim};
 
-use super::{two_phase::expand_decoded_intervals, Sink};
+use super::{charge_ref_chase, two_phase::expand_decoded_intervals, Sink};
 
 /// Per-lane header cursor over the segmented layout.
 struct SegCursor {
@@ -28,6 +28,9 @@ struct SegCursor {
     itv_decoded: u64,
     prev_itv_end: NodeId,
     empty: bool,
+    /// Copied neighbours materialized from the node's reference prologue
+    /// (the segmented v3 layout puts `refOffset` first, before `itvNum`).
+    copied: Vec<NodeId>,
 }
 
 impl SegCursor {
@@ -41,9 +44,15 @@ impl SegCursor {
                 itv_decoded: 0,
                 prev_itv_end: u,
                 empty: true,
+                copied: Vec::new(),
             };
         }
-        let (itv_num, pos) = cgr.read_count(start).expect("itvNum");
+        let (copied, p) = if cgr.config().ref_window > 0 {
+            gcgt_cgr::ref_copied_list(cgr, u, start).expect("ref prologue")
+        } else {
+            (Vec::new(), start)
+        };
+        let (itv_num, pos) = cgr.read_count(p).expect("itvNum");
         SegCursor {
             u,
             pos,
@@ -51,6 +60,7 @@ impl SegCursor {
             itv_decoded: 0,
             prev_itv_end: u,
             empty: false,
+            copied,
         }
     }
 
@@ -78,12 +88,15 @@ impl SegCursor {
     }
 }
 
-/// One residual segment awaiting decoding.
+/// One residual segment awaiting decoding — or, with `copied` set, a
+/// synthetic task emitting a node's reference-materialized neighbours
+/// (no bits to read: scheduled like a segment, but decode-free).
 struct SegTask {
     u: NodeId,
     pos: usize,
     prev: Option<NodeId>,
     left: u64,
+    copied: Option<Vec<NodeId>>,
 }
 
 /// Expands `chunk` over the segmented CGR layout.
@@ -108,6 +121,7 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             .iter()
             .map(|&u| Space::Graph.addr((cgr.bit_start(u) / 8) as u64)),
     );
+    charge_ref_chase(warp, cgr, chunk);
     let mut cursors: Vec<SegCursor> = chunk.iter().map(|&u| SegCursor::load(cgr, u)).collect();
 
     // --- interval phase (identical scheduling to Two-Phase) ---
@@ -138,6 +152,17 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
     let mut tasks: Vec<SegTask> = Vec::new();
     for &i in &live {
         let c = &cursors[i];
+        if !c.copied.is_empty() {
+            // Copied neighbours come before the corrections in the decoded
+            // order; emit them through one synthetic, decode-free task.
+            tasks.push(SegTask {
+                u: c.u,
+                pos: c.pos,
+                prev: None,
+                left: c.copied.len() as u64,
+                copied: Some(c.copied.clone()),
+            });
+        }
         let (seg_num, base) = cgr.read_count(c.pos).expect("segNum");
         for s in 0..seg_num as usize {
             tasks.push(SegTask {
@@ -145,6 +170,7 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
                 pos: base + s * seg_bits,
                 prev: None,
                 left: 0, // filled when the segment header is read
+                copied: None,
             });
         }
     }
@@ -155,13 +181,21 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
     while batch_start < tasks.len() {
         let batch_end = (batch_start + width).min(tasks.len());
         let batch = &mut tasks[batch_start..batch_end];
-        // Read each segment's resNum (scattered header step).
+        // Read each segment's resNum (scattered header step); synthetic
+        // copied tasks already know their count.
         let addrs: Vec<u64> = batch
             .iter()
+            .filter(|t| t.copied.is_none())
             .map(|t| Space::Graph.addr((t.pos / 8) as u64))
             .collect();
-        warp.issue_mem(OpClass::Header, batch.len(), addrs);
+        if !addrs.is_empty() {
+            let count = addrs.len();
+            warp.issue_mem(OpClass::Header, count, addrs);
+        }
         for t in batch.iter_mut() {
+            if t.copied.is_some() {
+                continue;
+            }
             let (res_num, p) = cgr.read_count(t.pos).expect("resNum");
             t.left = res_num;
             t.pos = p;
@@ -174,19 +208,31 @@ pub fn expand<S: Sink>(warp: &mut WarpSim, cgr: &CgrGraph, chunk: &[NodeId], sin
             }
             let addrs: Vec<u64> = active
                 .iter()
+                .filter(|&&i| batch[i].copied.is_none())
                 .map(|&i| Space::Graph.addr((batch[i].pos / 8) as u64))
                 .collect();
-            warp.issue_mem(OpClass::ResDecode, active.len(), addrs);
+            if !addrs.is_empty() {
+                let count = addrs.len();
+                warp.issue_mem(OpClass::ResDecode, count, addrs);
+            }
             let mut items = Vec::with_capacity(active.len());
             for &i in &active {
                 let t = &mut batch[i];
-                let (r, p) = match t.prev {
-                    None => cgr.read_first_gap(t.pos, t.u).expect("seg first"),
-                    Some(prev) => cgr.read_residual_gap(t.pos, prev).expect("seg gap"),
+                let r = if let Some(vals) = &t.copied {
+                    // Register stream from the materialized list — free.
+                    let r = vals[vals.len() - t.left as usize];
+                    t.left -= 1;
+                    r
+                } else {
+                    let (r, p) = match t.prev {
+                        None => cgr.read_first_gap(t.pos, t.u).expect("seg first"),
+                        Some(prev) => cgr.read_residual_gap(t.pos, prev).expect("seg gap"),
+                    };
+                    t.pos = p;
+                    t.prev = Some(r);
+                    t.left -= 1;
+                    r
                 };
-                t.pos = p;
-                t.prev = Some(r);
-                t.left -= 1;
                 items.push((t.u, r));
             }
             sink.handle(warp, &items);

@@ -45,8 +45,18 @@ pub(crate) fn stage1_own_work<S: Sink>(
         if !warp.sync_all(&preds) {
             break;
         }
-        let addrs: Vec<u64> = cursors.iter().map(|c| c.graph_addr()).collect();
-        warp.issue_mem(OpClass::ResDecode, cursors.len(), addrs);
+        // Copied (reference-materialized) neighbours emit without a bit
+        // read, so only the lanes past their copied list occupy the
+        // ResDecode slot.
+        let decoding: Vec<u64> = cursors
+            .iter()
+            .filter(|c| c.copied_left() == 0)
+            .map(|c| c.graph_addr())
+            .collect();
+        if !decoding.is_empty() {
+            let active = decoding.len();
+            warp.issue_mem(OpClass::ResDecode, active, decoding);
+        }
         let mut items = Vec::with_capacity(cursors.len());
         for (i, c) in cursors.iter_mut().enumerate() {
             let v = c.decode_residual(cgr);
@@ -86,8 +96,15 @@ pub(crate) fn stage2_steal<S: Sink>(
             if active.is_empty() {
                 break;
             }
-            let addrs: Vec<u64> = active.iter().map(|&i| cursors[i].graph_addr()).collect();
-            warp.issue_mem(OpClass::ResDecode, active.len(), addrs);
+            let decoding: Vec<u64> = active
+                .iter()
+                .filter(|&&i| cursors[i].copied_left() == 0)
+                .map(|&i| cursors[i].graph_addr())
+                .collect();
+            if !decoding.is_empty() {
+                let count = decoding.len();
+                warp.issue_mem(OpClass::ResDecode, count, decoding);
+            }
             for &i in &active {
                 let v = cursors[i].decode_residual(cgr);
                 buffer[(scatter[i] - progress) as usize] = Some((cursors[i].u, v));

@@ -120,8 +120,18 @@ pub fn handle_residuals<S: Sink>(
             .filter(|(_, &r)| r > 0)
             .map(|(i, _)| i)
             .collect();
-        let addrs: Vec<u64> = active.iter().map(|&i| cursors[i].graph_addr()).collect();
-        warp.issue_mem(OpClass::ResDecode, active.len(), addrs);
+        // Lanes still draining copied (reference-materialized) neighbours
+        // emit by register arithmetic — only lanes past their copied list
+        // pay a ResDecode slot for the bit-decoded correction.
+        let decoding: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| cursors[i].copied_left() == 0)
+            .collect();
+        if !decoding.is_empty() {
+            let addrs: Vec<u64> = decoding.iter().map(|&i| cursors[i].graph_addr()).collect();
+            warp.issue_mem(OpClass::ResDecode, decoding.len(), addrs);
+        }
         let mut items = Vec::with_capacity(active.len());
         for &i in &active {
             let v = cursors[i].decode_residual(cgr);

@@ -121,7 +121,10 @@ pub fn handle_residuals_warp_centric<S: Sink>(
     // Shared-memory packing buffer across sequences.
     let mut buffer: Vec<(gcgt_graph::NodeId, gcgt_graph::NodeId)> = Vec::with_capacity(2 * width);
     for i in 0..cursors.len() {
-        if res_left[i] < min_run {
+        // Referenced lanes are gated to the task-stealing stages: their
+        // residual area starts with copied values that are not in the bit
+        // stream, so a speculative window over the bits would misalign.
+        if res_left[i] < min_run || cursors[i].copied_left() > 0 {
             continue;
         }
         while res_left[i] > 0 {

@@ -42,6 +42,14 @@ pub struct WebParams {
     /// list a chunk of the crawl); mostly one long consecutive run, the rest
     /// scattered links.
     pub hub_degree_frac: (f64, f64),
+    /// Scattered global "boilerplate" links shared by every page of a site
+    /// (footer / template links: ads, social widgets, the parent org).
+    /// Real crawls owe much of their *similarity* to exactly these shared
+    /// scattered targets — they are what reference compression (copy
+    /// lists) exploits and what intervals cannot touch. `0` disables the
+    /// mechanism entirely (the `uk-` presets predate it and stay bitwise
+    /// identical).
+    pub boilerplate_links: usize,
 }
 
 impl WebParams {
@@ -57,6 +65,7 @@ impl WebParams {
             global_links: 1,
             hub_prob: 0.012,
             hub_degree_frac: (1.0 / 400.0, 1.0 / 125.0),
+            boilerplate_links: 0,
         }
     }
 
@@ -73,6 +82,27 @@ impl WebParams {
             global_links: 1,
             hub_prob: 0.015,
             hub_degree_frac: (1.0 / 400.0, 1.0 / 100.0),
+            boilerplate_links: 0,
+        }
+    }
+
+    /// Shape of the `eu-2015` analogue: template-heavy modern crawl where
+    /// every page of a site carries the site's scattered boilerplate links
+    /// in addition to the navigation run. WebGraph-style reference
+    /// compression thrives on this shape (near-identical lists with
+    /// scattered shared targets); interval coding alone cannot reach it.
+    pub fn eu2015_like(nodes: usize) -> Self {
+        Self {
+            nodes,
+            site_size: (30, 90),
+            nav_run: (6, 14),
+            copy_prob: 0.75,
+            copy_frac: 0.6,
+            local_links: 2,
+            global_links: 1,
+            hub_prob: 0.012,
+            hub_degree_frac: (1.0 / 400.0, 1.0 / 125.0),
+            boilerplate_links: 10,
         }
     }
 }
@@ -108,6 +138,11 @@ pub fn web_graph(params: &WebParams, seed: u64) -> Csr {
             .min(site_len.saturating_sub(1))
             .max(1);
         let run_base = start + rng.gen_range(0..site_len.saturating_sub(run_len).max(1));
+        // Site boilerplate: scattered global targets every page of the
+        // site links to (drawn once per site — the shared part).
+        let boilerplate: Vec<NodeId> = (0..params.boilerplate_links)
+            .map(|_| rng.gen_range(0..n) as NodeId)
+            .collect();
 
         prev_list.clear();
         for u in start..end {
@@ -137,6 +172,12 @@ pub fn web_graph(params: &WebParams, seed: u64) -> Csr {
             for v in run_base..run_base + run_len {
                 if v != u && v < n {
                     list.push(v as NodeId);
+                }
+            }
+            // (1b) site boilerplate — the scattered similarity source
+            for &v in &boilerplate {
+                if v as usize != u {
+                    list.push(v);
                 }
             }
             // (2) similarity: copy a prefix of the predecessor's list

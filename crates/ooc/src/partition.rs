@@ -30,12 +30,25 @@ pub struct Partition {
     /// Device bytes this partition occupies when resident: the compressed
     /// payload plus its slice of the 64-bit offset array.
     pub bytes: usize,
+    /// Extra bytes the partition must keep co-resident under reference
+    /// compression: the payload bits (and offset entries) of every node
+    /// *outside* the range that a reference chain starting inside it passes
+    /// through. Zero whenever `ref_window == 0`, so reference-free
+    /// partitionings — and every byte extent derived from them — are
+    /// unchanged.
+    pub closure_bytes: usize,
 }
 
 impl Partition {
     /// Number of nodes in the range.
     pub fn num_nodes(&self) -> usize {
         (self.end_node - self.first_node) as usize
+    }
+
+    /// Total device bytes to make the partition decodable in isolation:
+    /// the range's own extent plus its reference-chain closure.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes + self.closure_bytes
     }
 }
 
@@ -54,6 +67,41 @@ fn range_bytes(cgr: &CgrGraph, first: usize, end: usize) -> usize {
     // Elias–Fano, so partition byte extents (and every committed BENCH
     // headline derived from them) are unchanged by the index refactor.
     payload_bits.div_ceil(8) + 8 * (end - first + 1)
+}
+
+/// Nodes *below* `first` that some reference chain starting in
+/// `[first, end)` passes through, ascending and deduplicated. References
+/// are strictly backward and bounded by `ref_window · ref_chain_limit`
+/// hops, so the closure is a short sorted list just under the range.
+/// Empty whenever the encoding carries no references.
+pub(crate) fn closure_nodes(cgr: &CgrGraph, first: usize, end: usize) -> Vec<NodeId> {
+    if cgr.config().ref_window == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<NodeId> = Vec::new();
+    for u in first..end {
+        let mut cur = u as NodeId;
+        while let Some(t) = cgr.ref_target(cur) {
+            if (t as usize) < first {
+                out.push(t);
+            }
+            cur = t;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Device bytes of a partition's reference-chain closure: each closure
+/// node's payload bits plus its offset entry.
+fn closure_bytes(cgr: &CgrGraph, first: usize, end: usize) -> usize {
+    let nodes = closure_nodes(cgr, first, end);
+    let bits: usize = nodes
+        .iter()
+        .map(|&t| cgr.offset(t as usize + 1) - cgr.offset(t as usize))
+        .sum();
+    bits.div_ceil(8) + 8 * nodes.len()
 }
 
 impl PartitionMap {
@@ -134,6 +182,7 @@ impl PartitionMap {
             bit_start: cgr.offset(first),
             bit_end: cgr.offset(end),
             bytes: range_bytes(cgr, first, end),
+            closure_bytes: closure_bytes(cgr, first, end),
         }
     }
 
@@ -190,6 +239,26 @@ impl PartitionMap {
     /// clear.
     pub fn max_partition_bytes(&self) -> usize {
         self.parts.iter().map(|p| p.bytes).max().unwrap_or(0)
+    }
+
+    /// The largest partition counting its reference-chain closure — the
+    /// residency floor under reference compression. Equals
+    /// [`PartitionMap::max_partition_bytes`] when the encoding carries no
+    /// references.
+    pub fn max_resident_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| p.resident_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes below partition `i`'s range that its reference chains pass
+    /// through — the bits a streaming runtime must co-stage for the
+    /// partition to decode in isolation. Empty without references.
+    pub fn closure_of(&self, cgr: &CgrGraph, i: usize) -> Vec<NodeId> {
+        let p = &self.parts[i];
+        closure_nodes(cgr, p.first_node as usize, p.end_node as usize)
     }
 
     /// Total resident bytes if every partition were loaded at once.
@@ -343,6 +412,54 @@ mod tests {
         for u in 0..cgr.num_nodes() as NodeId {
             assert_eq!(map.owner_of(u), map.partition_of(u));
         }
+    }
+
+    #[test]
+    fn reference_free_partitions_have_empty_closures() {
+        let cgr = sample(); // paper_default: ref_window == 0
+        let map = PartitionMap::build(&cgr, 4 << 10);
+        for (i, p) in map.parts().iter().enumerate() {
+            assert_eq!(p.closure_bytes, 0);
+            assert_eq!(p.resident_bytes(), p.bytes);
+            assert!(map.closure_of(&cgr, i).is_empty());
+        }
+        assert_eq!(map.max_resident_bytes(), map.max_partition_bytes());
+    }
+
+    #[test]
+    fn closures_make_ref_partitions_decodable_in_isolation() {
+        // A boilerplate-heavy web graph compresses with many references;
+        // tight budgets force cuts through reference chains. Every chain
+        // hop from inside a partition must land either inside the range or
+        // in the recorded closure — that set is what a streaming runtime
+        // stages to decode the partition in isolation.
+        let g = web_graph(&WebParams::eu2015_like(1_200), 9);
+        let cfg = CgrConfig::paper_default().with_ref_window(32);
+        let cgr = CgrGraph::encode(&g, &cfg);
+        assert!(cgr.stats().ref_nodes > 0, "graph must exercise references");
+        let map = PartitionMap::build(&cgr, 2 << 10);
+        assert!(map.len() > 4);
+        let mut crossing = 0usize;
+        for (i, p) in map.parts().iter().enumerate() {
+            let closure = map.closure_of(&cgr, i);
+            assert!(closure.iter().all(|&t| t < p.first_node), "{p:?}");
+            crossing += usize::from(!closure.is_empty());
+            if !closure.is_empty() {
+                assert!(p.closure_bytes > 0);
+                assert!(p.resident_bytes() > p.bytes);
+            }
+            for u in p.first_node..p.end_node {
+                let mut cur = u;
+                while let Some(t) = cgr.ref_target(cur) {
+                    assert!(
+                        (t >= p.first_node && t < p.end_node) || closure.contains(&t),
+                        "chain hop {cur}→{t} escapes partition {i} and its closure"
+                    );
+                    cur = t;
+                }
+            }
+        }
+        assert!(crossing > 0, "no cut crossed a reference chain");
     }
 
     #[test]

@@ -381,6 +381,7 @@ pub struct SessionBuilder {
     symmetrize: bool,
     reorder: Option<Reordering>,
     compress: Option<CgrConfig>,
+    compress_auto: bool,
     device: Option<DeviceConfig>,
     engine: Option<EngineKind>,
     pcie: Option<PcieConfig>,
@@ -457,6 +458,19 @@ impl SessionBuilder {
     #[must_use]
     pub fn compress(mut self, config: CgrConfig) -> Self {
         self.compress = Some(config);
+        self
+    }
+
+    /// Autotune the CGR code for the prepared graph: after symmetrize and
+    /// reorder, the session picks the VLC code via
+    /// [`CgrConfig::autotune`] and derives the layout from the strategy,
+    /// exactly as the default path does from
+    /// [`CgrConfig::paper_default`]. An explicit [`SessionBuilder::compress`]
+    /// or pre-encoded [`SessionBuilder::graph_compressed`] input takes
+    /// precedence.
+    #[must_use]
+    pub fn compress_auto(mut self) -> Self {
+        self.compress_auto = true;
         self
     }
 
@@ -682,6 +696,9 @@ impl SessionBuilder {
                                     });
                                 }
                                 config
+                            }
+                            None if self.compress_auto => {
+                                strategy.cgr_config(&CgrConfig::autotune(&graph))
                             }
                             None => strategy.cgr_config(&CgrConfig::paper_default()),
                         };

@@ -23,12 +23,23 @@ pub struct Shard {
     pub end_node: NodeId,
     /// Structure bytes this shard keeps resident on its device.
     pub bytes: usize,
+    /// Extra bytes the device must co-stage under reference compression:
+    /// the compressed lists of nodes outside the shard that its reference
+    /// chains pass through (see [`gcgt_ooc::Partition::closure_bytes`]).
+    /// Zero for CSR shards and whenever `ref_window == 0`.
+    pub closure_bytes: usize,
 }
 
 impl Shard {
     /// Number of nodes this shard owns.
     pub fn num_nodes(&self) -> usize {
         (self.end_node - self.first_node) as usize
+    }
+
+    /// Total device bytes to traverse the shard in isolation: its own
+    /// extent plus its reference-chain closure.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes + self.closure_bytes
     }
 }
 
@@ -68,6 +79,7 @@ impl ShardPlan {
                     first_node: p.first_node,
                     end_node: p.end_node,
                     bytes: p.bytes,
+                    closure_bytes: p.closure_bytes,
                 })
                 .collect(),
         }
@@ -116,6 +128,7 @@ impl ShardPlan {
                     first_node: w[0] as NodeId,
                     end_node: w[1] as NodeId,
                     bytes: cum[w[1]] - cum[w[0]],
+                    closure_bytes: 0,
                 })
                 .collect(),
         }
@@ -155,6 +168,18 @@ impl ShardPlan {
     /// hold.
     pub fn max_shard_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+
+    /// The largest shard counting its reference-chain closure — the
+    /// per-device residency floor under reference compression. Equals
+    /// [`ShardPlan::max_shard_bytes`] when the encoding carries no
+    /// references.
+    pub fn max_resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.resident_bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total structure bytes across all devices.
@@ -241,6 +266,32 @@ mod tests {
         }
         assert_eq!(plans[0].boundary_edges(&g), 0);
         assert!(plans[3].boundary_edges(&g) > 0);
+    }
+
+    #[test]
+    fn shards_carry_their_reference_closures() {
+        // Reference-free encodings (and CSR shards) have empty closures;
+        // a reference-compressed placement inherits each partition's
+        // closure bytes so per-device residency floors stay honest.
+        let (g, cgr) = sample();
+        for s in ShardPlan::build(&cgr, 4).shards() {
+            assert_eq!(s.closure_bytes, 0);
+            assert_eq!(s.resident_bytes(), s.bytes);
+        }
+        for s in ShardPlan::build_csr(&g, 4).shards() {
+            assert_eq!(s.closure_bytes, 0);
+        }
+
+        let rg = web_graph(&WebParams::eu2015_like(1_200), 9);
+        let rcfg = CgrConfig::paper_default().with_ref_window(32);
+        let rcgr = CgrGraph::encode(&rg, &rcfg);
+        assert!(rcgr.stats().ref_nodes > 0);
+        let plan = ShardPlan::build(&rcgr, 8);
+        assert!(
+            plan.shards().iter().any(|s| s.closure_bytes > 0),
+            "an 8-way cut of a reference-heavy graph should cross a chain"
+        );
+        assert!(plan.max_resident_bytes() >= plan.max_shard_bytes());
     }
 
     #[test]

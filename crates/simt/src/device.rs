@@ -72,6 +72,7 @@ pub const DEFAULT_CLASS_CYCLES: [f64; NUM_CLASSES] = [
     2.0,  // Jump
     2.0,  // Generic
     2.0,  // TableDecode: one shared-memory table probe + shift/mask fixup
+    8.0,  // RefChase: read a referenced node's prologue (one chain hop)
 ];
 
 impl Default for DeviceConfig {

@@ -41,6 +41,12 @@ pub enum OpClass {
     /// *schedule* is unchanged (one slot per decode step, so Figure 4
     /// step counts are preserved), only the per-slot cost drops.
     TableDecode = 11,
+    /// Chasing one hop of a GCGR v3 reference chain: reading the
+    /// referenced node's prologue to materialize copied neighbours. One
+    /// issue per hop, charged at cursor-load time — copied values then
+    /// stream out as free [`crate::OpClass::Handle`]-only emissions, which
+    /// is exactly the bandwidth story of reference compression.
+    RefChase = 12,
 }
 
 impl OpClass {
@@ -59,12 +65,13 @@ impl OpClass {
             OpClass::Jump => "Jump",
             OpClass::Generic => "Generic",
             OpClass::TableDecode => "TableDecode",
+            OpClass::RefChase => "RefChase",
         }
     }
 }
 
 /// Number of op classes.
-pub const NUM_CLASSES: usize = 12;
+pub const NUM_CLASSES: usize = 13;
 
 /// All classes, indexable by `OpClass as usize`.
 pub const ALL_CLASSES: [OpClass; NUM_CLASSES] = [
@@ -80,6 +87,7 @@ pub const ALL_CLASSES: [OpClass; NUM_CLASSES] = [
     OpClass::Jump,
     OpClass::Generic,
     OpClass::TableDecode,
+    OpClass::RefChase,
 ];
 
 /// Instruction-slot tallies for one warp (or a merge of many warps).

@@ -78,6 +78,30 @@ fn main() {
         );
     }
 
+    println!("\n-- reference window (GCGR v3 copy lists) --");
+    for window in [0u32, 4, 8, 16, 32, 64] {
+        let cfg = CgrConfig::paper_default().with_ref_window(window);
+        let cgr = CgrGraph::encode(&ordered, &cfg);
+        let s = cgr.stats();
+        println!(
+            "  w={:<3} {:>6.2}x  ({:.2} bits/edge, {:.0}% nodes referencing, {:.0}% edges copied)",
+            window,
+            cgr.compression_rate(),
+            cgr.bits_per_edge(),
+            100.0 * s.ref_nodes as f64 / s.nodes.max(1) as f64,
+            100.0 * s.ref_copied_edges as f64 / s.edges.max(1) as f64
+        );
+    }
+
+    println!("\n-- autotuned code (per-dataset) --");
+    let tuned = CgrConfig::autotune(&ordered);
+    let cgr = CgrGraph::encode(&ordered, &tuned);
+    println!(
+        "  autotune picked {:<7} {:>6.2}x",
+        tuned.code.name(),
+        cgr.compression_rate()
+    );
+
     println!("\n-- residual segment length (Figure 14) --");
     let device = DeviceConfig::titan_v_scaled(256 << 20);
     for seg in [Some(8u32), Some(16), Some(32), Some(64), Some(128)] {

@@ -51,6 +51,7 @@ fn arb_config() -> impl PropStrategy<Value = CgrConfig> {
             code,
             min_interval_len,
             segment_len_bytes,
+            ..CgrConfig::paper_default()
         })
 }
 

@@ -349,3 +349,49 @@ fn direction_defaults_to_push_and_run_batch_composes() {
         assert_eq!(solo.stats.pushed_edges, per.pushed_edges, "query {i}");
     }
 }
+
+// --- compress-time code autotuning --------------------------------------
+
+/// `compress_auto()` picks the code per dataset at build time. On a
+/// paper-like web graph the tuner lands on ζ3 — the default — so the whole
+/// session (encoding, stats, query output) is identical to the untuned
+/// build; an explicit `compress(..)` still takes precedence.
+#[test]
+fn compress_auto_tunes_the_code_per_dataset() {
+    let g = web_graph(&WebParams::eu2015_like(900), 5);
+    let device = DeviceConfig::titan_v_scaled(1 << 30);
+    let auto = Session::builder()
+        .graph(g.clone())
+        .compress_auto()
+        .device(device)
+        .build()
+        .unwrap();
+    assert_eq!(auto.cgr().unwrap().config().code, Code::Zeta(3));
+    let default = Session::builder()
+        .graph(g.clone())
+        .device(device)
+        .build()
+        .unwrap();
+    assert_eq!(
+        auto.cgr().unwrap().stats(),
+        default.cgr().unwrap().stats(),
+        "ζ3 autotune must be bitwise the default build"
+    );
+    let want = refalgo::bfs(&g, 0);
+    let run = auto.run(Bfs::from(0));
+    assert_eq!(run.output.depth, want.depth);
+    assert_eq!(run.output.reached, want.reached);
+
+    // Explicit compress(..) wins over the tuner.
+    let explicit = Session::builder()
+        .graph(g)
+        .compress_auto()
+        .compress(CgrConfig {
+            code: Code::Delta,
+            ..CgrConfig::paper_default()
+        })
+        .device(device)
+        .build()
+        .unwrap();
+    assert_eq!(explicit.cgr().unwrap().config().code, Code::Delta);
+}
