@@ -202,7 +202,10 @@ pub(crate) fn expand_csr_chunk<S: Sink>(
         if !warp.sync_any(&preds) {
             break;
         }
-        let winner = preds.iter().rposition(|&p| p).unwrap();
+        let winner = preds
+            .iter()
+            .rposition(|&p| p)
+            .expect("the break above guarantees at least one candidate lane");
         let _ = warp.shfl(&vec![0u32; lanes.len()], winner);
         let (u, start, rem) = lanes[winner];
         // Coalesced read of `width` consecutive column indices.

@@ -23,8 +23,8 @@ use std::time::Instant;
 
 use crate::experiments::refs::WINDOWS;
 use crate::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, refs,
-    serve, shard, table1, table3, ExperimentContext,
+    ablations, chaos, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc,
+    refs, serve, shard, table1, table3, ExperimentContext,
 };
 use crate::table::Table;
 
@@ -72,6 +72,7 @@ pub fn run_suite(ctx: &ExperimentContext) -> Vec<BenchEntry> {
         ("ablations-cache-size", Box::new(ablations::cache_size)),
         ("ablations-delta-code", Box::new(ablations::delta_code)),
         ("load", Box::new(load::run)),
+        ("chaos", Box::new(chaos::run)),
     ];
     let mut entries: Vec<BenchEntry> = runners
         .into_iter()

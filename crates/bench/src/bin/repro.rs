@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]
 //!
 //! EXPERIMENT: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15
-//!             ooc serve shard direction decode ablations load ref
+//!             ooc serve shard direction decode ablations load chaos ref
 //!             all   (default: all)
 //!             bench-json  (runs the whole suite, times each experiment,
 //!                          and writes the machine-readable BENCH.json
@@ -22,8 +22,8 @@
 use gcgt_bench::bench_json;
 use gcgt_bench::datasets::Scale;
 use gcgt_bench::experiments::{
-    ablations, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc, refs,
-    serve, shard, table1, table3, ExperimentContext,
+    ablations, chaos, decode, direction, fig11, fig12, fig13, fig14, fig15, fig8, fig9, load, ooc,
+    refs, serve, shard, table1, table3, ExperimentContext,
 };
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
                 println!(
                     "repro [EXPERIMENT...] [--scale F] [--sources N] [--smoke]\n\
                      experiments: table1 table3 fig8 fig9 fig11 fig12 fig13 fig14 fig15 ooc \
-                     serve shard direction decode ablations load ref all\n\
+                     serve shard direction decode ablations load chaos ref all\n\
                      bench-json: run the suite and write the BENCH.json perf baseline\n\
                      trace: run the observability smoke workload and write trace.json"
                 );
@@ -118,6 +118,7 @@ fn main() {
         "decode",
         "ablations",
         "load",
+        "chaos",
         "ref",
         "bench-json",
     ]
@@ -154,6 +155,7 @@ fn main() {
     run_one("shard", &shard::run);
     run_one("direction", &direction::run);
     run_one("load", &load::run);
+    run_one("chaos", &chaos::run);
     run_one("ref", &refs::run);
     if want("decode") {
         let t = std::time::Instant::now();

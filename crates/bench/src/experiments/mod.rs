@@ -4,6 +4,7 @@
 //! printing the same rows/series the paper reports.
 
 pub mod ablations;
+pub mod chaos;
 pub mod decode;
 pub mod direction;
 pub mod fig11;

@@ -76,7 +76,7 @@ pub fn rows(ctx: &ExperimentContext) -> Vec<OocRow> {
         .iter()
         .map(|(_, g)| memory::traversal_buffers_bytes(g.num_nodes()))
         .max()
-        .unwrap();
+        .expect("the dataset sweep is never empty");
     let capacity = max_buffers + reference.structure_bytes() / 2;
     let device = DeviceConfig::titan_v_scaled(capacity);
 

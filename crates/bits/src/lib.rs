@@ -35,6 +35,7 @@
 //! }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 mod bitvec;
 mod bytecode;
 mod codes;

@@ -68,7 +68,9 @@ pub fn decode_degree(cgr: &CgrGraph, u: NodeId) -> usize {
         pos = p2;
     }
     let (seg_num, pos) = cgr.read_count(pos).expect("segNum");
-    let seg_bits = cfg.segment_len_bits().unwrap();
+    let seg_bits = cfg
+        .segment_len_bits()
+        .expect("segmented layouts always carry a segment length");
     for si in 0..seg_num as usize {
         let sp = pos + si * seg_bits;
         let (res_num, _) = cgr.read_count(sp).expect("resNum");
@@ -106,7 +108,9 @@ fn decode_segmented(cgr: &CgrGraph, u: NodeId) -> Vec<NodeId> {
     }
     out.extend_from_slice(&copied);
     let (seg_num, pos) = cgr.read_count(pos).expect("segNum");
-    let seg_bits = cfg.segment_len_bits().unwrap();
+    let seg_bits = cfg
+        .segment_len_bits()
+        .expect("segmented layouts always carry a segment length");
     for si in 0..seg_num as usize {
         let mut sp = pos + si * seg_bits;
         let (res_num, p) = cgr.read_count(sp).expect("resNum");
@@ -135,6 +139,34 @@ pub fn decode_all(cgr: &CgrGraph) -> Csr {
         }
     }
     b.build()
+}
+
+/// Decodes every node whose payload proves structurally sound into a CSR
+/// mirror, validating deferred-load nodes along the way (bitwise
+/// [`decode_all`] for eager loads and fresh encodes, which carry no pending
+/// validation). Nodes inside a corrupt region contribute no edges; the
+/// first validation error — if any — is returned alongside the degraded
+/// mirror so the caller decides whether partial soundness is acceptable (a
+/// streaming out-of-core session, which re-checks lazily and fails the
+/// touching query with a typed error) or fatal (anything that would decode
+/// the corrupt payload unchecked).
+pub fn decode_all_validated(cgr: &CgrGraph) -> (Csr, Option<String>) {
+    let n = cgr.num_nodes();
+    let mut b = CsrBuilder::with_edge_capacity(n, cgr.num_edges());
+    let mut first_error = None;
+    for u in 0..n as NodeId {
+        match cgr.ensure_validated(u as usize, u as usize + 1) {
+            Ok(()) => {
+                for v in decode_node_unsorted(cgr, u) {
+                    b.add_edge(u, v);
+                }
+            }
+            Err(e) => {
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    (b.build(), first_error)
 }
 
 /// Faithful serial transcription of the paper's `getNextNeighbor`

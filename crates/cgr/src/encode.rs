@@ -183,9 +183,13 @@ impl CgrGraph {
     /// Whether any node of a deferred-validation load is still unchecked.
     /// Always `false` for encoded or eagerly validated graphs.
     pub fn validation_pending(&self) -> bool {
-        self.pending
-            .as_ref()
-            .is_some_and(|p| p.state.lock().unwrap().remaining > 0)
+        self.pending.as_ref().is_some_and(|p| {
+            p.state
+                .lock()
+                .expect("validation state lock is never poisoned: holders do not panic")
+                .remaining
+                > 0
+        })
     }
 
     /// Ensures nodes `first..end` have been structurally validated,
@@ -199,7 +203,10 @@ impl CgrGraph {
         let Some(pending) = &self.pending else {
             return Ok(());
         };
-        let mut st = pending.state.lock().unwrap();
+        let mut st = pending
+            .state
+            .lock()
+            .expect("validation state lock is never poisoned: holders do not panic");
         if let Some(e) = &st.failed {
             return Err(e.clone());
         }
@@ -530,7 +537,9 @@ fn write_segments(
     config: &CgrConfig,
     stats: &mut CompressionStats,
 ) {
-    let seg_bits = config.segment_len_bits().unwrap();
+    let seg_bits = config
+        .segment_len_bits()
+        .expect("segmented layouts always carry a segment length");
     if residuals.is_empty() {
         config.write_count(w, 0); // segNum = 0
         return;
@@ -564,8 +573,8 @@ fn write_segments(
     // The last-segment rule: never leave a trailing short segment — merge it
     // into its predecessor so the final segment spans 1–2× segLen.
     if segments.len() >= 2 {
-        let last = segments.pop().unwrap();
-        let prev = segments.pop().unwrap();
+        let last = segments.pop().expect("len >= 2 checked above");
+        let prev = segments.pop().expect("len >= 2 checked above");
         let merged_start = prev.as_ptr() as usize;
         let _ = merged_start; // slices are contiguous in residuals
         let prev_start = residuals.len() - last.len() - prev.len();
@@ -694,7 +703,10 @@ fn copy_blocks(t_list: &[NodeId], residuals: &[NodeId]) -> (Vec<u64>, Vec<NodeId
     if copied.is_empty() {
         return (Vec::new(), copied);
     }
-    let last_copy = flags.iter().rposition(|&f| f).unwrap();
+    let last_copy = flags
+        .iter()
+        .rposition(|&f| f)
+        .expect("non-empty copied list implies at least one copy flag");
     let mut blocks = Vec::new();
     let mut run_is_copy = true; // the first block is always a copy block
     let mut run_len = 0u64;

@@ -289,7 +289,10 @@ fn header_words(cgr: &CgrGraph) -> Vec<u64> {
         words.push(st.ref_copy_blocks as u64);
         words.push(st.ref_copied_edges as u64);
     }
-    debug_assert_eq!(words.len(), header_words_for(version).unwrap());
+    debug_assert_eq!(
+        words.len(),
+        header_words_for(version).expect("writers only emit known versions")
+    );
     words
 }
 
@@ -575,7 +578,7 @@ impl CgrGraph {
         }
         let words: Arc<[u64]> = bytes
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8-byte chunks")))
             .collect();
         Self::from_shared(words, mode)
     }
@@ -599,7 +602,7 @@ pub fn read_cgr_with<R: Read>(reader: R, mode: ValidationMode) -> io::Result<Cgr
     if head[..4] != MAGIC {
         return Err(bad("not a GCGR file (bad magic)"));
     }
-    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes(head[4..8].try_into().expect("a 4-byte slice"));
     match version {
         VERSION | VERSION_V3 => read_v2_body(r, version, mode),
         VERSION_V1 => read_v1_body(r, mode),
@@ -622,12 +625,12 @@ fn read_v2_body<R: Read>(mut r: R, version: u32, mode: ValidationMode) -> io::Re
         )));
     }
     let first = u64::from(u32::from_le_bytes(MAGIC)) | u64::from(version) << 32;
-    let words: Arc<[u64]> = std::iter::once(first)
-        .chain(
-            rest.chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
-        )
-        .collect();
+    let words: Arc<[u64]> =
+        std::iter::once(first)
+            .chain(rest.chunks_exact(8).map(|c| {
+                u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8-byte chunks"))
+            }))
+            .collect();
     CgrGraph::from_shared(words, mode)
 }
 
@@ -746,7 +749,7 @@ pub fn read_words<P: AsRef<Path>>(path: P) -> io::Result<Arc<[u64]>> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8-byte chunks")))
         .collect())
 }
 

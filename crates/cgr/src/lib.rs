@@ -42,6 +42,7 @@
 //! the tail. The `CgrConfig::read_*` functions remain the table-free slow
 //! oracles the fast path is differentially tested against.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod byterle;
 pub mod config;
 pub mod decode;

@@ -50,6 +50,16 @@ pub trait Algorithm: Clone + Send + Sync {
         self
     }
 
+    /// The node-id parameter this algorithm starts from, if it has one
+    /// (original id space). Validation hook: the serving pool rejects
+    /// queries whose source falls outside the prepared graph with a typed
+    /// `SourceOutOfRange` error *before* dispatch, instead of letting
+    /// [`Algorithm::remap_sources`] panic deep in a worker. Source-less
+    /// algorithms keep the `None` default and are always in range.
+    fn source(&self) -> Option<NodeId> {
+        None
+    }
+
     /// Runs on `engine`, accounting on `device` (graph already resident).
     fn execute<E: Expander + ?Sized>(&self, engine: &E, device: &mut Device) -> Self::Output;
 
@@ -93,6 +103,10 @@ impl Algorithm for Bfs {
         Bfs {
             source: perm[self.source as usize],
         }
+    }
+
+    fn source(&self) -> Option<NodeId> {
+        Some(self.source)
     }
 
     fn execute<E: Expander + ?Sized>(&self, engine: &E, device: &mut Device) -> BfsRun {
@@ -165,6 +179,10 @@ impl Algorithm for Bc {
         Bc {
             source: perm[self.source as usize],
         }
+    }
+
+    fn source(&self) -> Option<NodeId> {
+        Some(self.source)
     }
 
     fn execute<E: Expander + ?Sized>(&self, engine: &E, device: &mut Device) -> BcRun {
@@ -313,6 +331,21 @@ impl QueryOutput {
             QueryOutput::LabelProp(run) => &run.stats,
         }
     }
+
+    /// Mutable access to the embedded statistics. The chaos oracle uses
+    /// this to compare *answers* across fault plans: under injection the
+    /// algorithmic payload must stay bitwise the fault-free run's while
+    /// the stats legitimately carry retry/backoff charges — normalizing
+    /// them makes `PartialEq` exactly that payload comparison.
+    pub fn stats_mut(&mut self) -> &mut gcgt_simt::RunStats {
+        match self {
+            QueryOutput::Bfs(run) => &mut run.stats,
+            QueryOutput::Cc(run) => &mut run.stats,
+            QueryOutput::Bc(run) => &mut run.stats,
+            QueryOutput::Pagerank(run) => &mut run.stats,
+            QueryOutput::LabelProp(run) => &mut run.stats,
+        }
+    }
 }
 
 impl Algorithm for Query {
@@ -333,6 +366,13 @@ impl Algorithm for Query {
             Query::Bfs(s) => Query::Bfs(perm[s as usize]),
             Query::Bc(s) => Query::Bc(perm[s as usize]),
             other => other,
+        }
+    }
+
+    fn source(&self) -> Option<NodeId> {
+        match *self {
+            Query::Bfs(s) | Query::Bc(s) => Some(s),
+            _ => None,
         }
     }
 

@@ -99,7 +99,10 @@ pub fn bc_in<E: Expander + ?Sized>(engine: &E, device: &mut Device, source: Node
     let mut levels: Vec<Vec<NodeId>> = vec![vec![source]];
     loop {
         let du = (levels.len() - 1) as u32;
-        let frontier = levels.last().unwrap().clone();
+        let frontier = levels
+            .last()
+            .expect("levels starts non-empty and only grows")
+            .clone();
         let sinks = launch_expansion(engine, device, &frontier, || LabelSink {
             depth: &depth,
             du,

@@ -74,7 +74,10 @@ pub(crate) fn expand_decoded_intervals<S: Sink>(
         }
         // Leader election: candidates race on the shared `winnerId`; the
         // highest lane id wins deterministically (last writer in lane order).
-        let winner = preds.iter().rposition(|&p| p).unwrap();
+        let winner = preds
+            .iter()
+            .rposition(|&p| p)
+            .expect("the break above guarantees at least one candidate lane");
         let _ = warp.shfl(&vec![0u32; pending.len()], winner); // broadcast winnerItvPtr
         let (u, ptr, len) = pending[winner];
         let items: Vec<(NodeId, NodeId)> = (0..width).map(|k| (u, ptr + k)).collect();

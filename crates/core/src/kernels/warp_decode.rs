@@ -147,7 +147,8 @@ pub fn handle_residuals_warp_centric<S: Sink>(
                 buffer.push((u, v));
             }
             let next_ptr = cursors[i].bit_ptr + win.values[take - 1].1;
-            cursors[i].note_externally_decoded(take as u64, prev.unwrap(), next_ptr);
+            let prev = prev.expect("take > 0 decoded at least one value");
+            cursors[i].note_externally_decoded(take as u64, prev, next_ptr);
             res_left[i] -= take as u64;
             while buffer.len() >= width {
                 let rest = buffer.split_off(width);

@@ -19,6 +19,7 @@
 //! apps ([`apps::bfs`], [`apps::cc`], [`apps::bc`], [`apps::pagerank`])
 //! instantiate the expansion–filtering–contraction pipeline of Section 6.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod algorithm;
 pub mod apps;
 pub mod bitset;

@@ -46,7 +46,10 @@ impl Csr {
             !row_offsets.is_empty(),
             "row_offsets must have n + 1 entries"
         );
-        assert_eq!(*row_offsets.last().unwrap(), col_indices.len());
+        assert_eq!(
+            *row_offsets.last().expect("non-empty checked above"),
+            col_indices.len()
+        );
         let n = row_offsets.len() - 1;
         for u in 0..n {
             assert!(row_offsets[u] <= row_offsets[u + 1], "offsets not monotone");
@@ -236,7 +239,11 @@ impl Csr {
     /// Quick structural sanity check used by tests.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_nodes();
-        if *self.row_offsets.last().unwrap() != self.col_indices.len() {
+        let last = *self
+            .row_offsets
+            .last()
+            .expect("constructors guarantee n + 1 offsets");
+        if last != self.col_indices.len() {
             return Err("last offset != edge count".into());
         }
         for u in 0..n {

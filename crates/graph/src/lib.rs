@@ -14,6 +14,7 @@
 //! * [`refalgo`] — serial reference BFS/CC/BC/PageRank used as correctness
 //!   oracles by every parallel implementation in the workspace.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod csr;
 pub mod edgelist;
 pub mod gen;

@@ -55,7 +55,7 @@ pub fn gorder(graph: &Csr, cfg: &GorderConfig) -> Permutation {
     let ind = graph.in_degrees();
     let start = (0..n as NodeId)
         .max_by_key(|&u| (ind[u as usize], u))
-        .unwrap();
+        .expect("n > 0 checked at entry");
     heap.push((1, std::cmp::Reverse(start)));
     priority[start as usize] = 1;
 
@@ -129,7 +129,9 @@ pub fn gorder(graph: &Csr, cfg: &GorderConfig) -> Permutation {
         window.push_back(u);
         update(u, 1, &mut priority, &mut heap, &placed);
         if window.len() > cfg.window {
-            let old = window.pop_front().unwrap();
+            let old = window
+                .pop_front()
+                .expect("window over capacity is non-empty");
             update(old, -1, &mut priority, &mut heap, &placed);
         }
     }

@@ -123,8 +123,10 @@ fn minhash_groups(adj: &[Vec<NodeId>], cfg: &VnodeConfig, pass: u64) -> Vec<Vec<
         }
         let s1 = 0xA5A5_0000 ^ pass;
         let s2 = 0x5A5A_FFFF ^ (pass << 17);
-        let mh1 = list.iter().map(|&v| hash(v, s1)).min().unwrap();
-        let mh2 = list.iter().map(|&v| hash(v, s2)).min().unwrap();
+        let mh1 = (list.iter().map(|&v| hash(v, s1)).min())
+            .expect("lists below min_pattern were skipped above");
+        let mh2 = (list.iter().map(|&v| hash(v, s2)).min())
+            .expect("lists below min_pattern were skipped above");
         map.entry((mh1, mh2)).or_default().push(u as NodeId);
     }
     let mut groups: Vec<Vec<NodeId>> = map.into_values().filter(|g| g.len() >= 2).collect();

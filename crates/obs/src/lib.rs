@@ -53,7 +53,7 @@
 //! ```
 
 #![deny(missing_docs)]
-
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 use std::sync::Arc;
 
 mod metrics;
@@ -191,6 +191,30 @@ pub struct ServeEvent {
     pub complete_ms: f64,
 }
 
+/// One fault-injection lifecycle event (`gcgt-chaos` driven): a fault
+/// striking a recovery site, a modeled-backoff retry, a retry budget
+/// exhausting, or the serving pool shedding a query (admission or
+/// deadline).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Trace track (query index under serving, device id otherwise).
+    pub track: u64,
+    /// Modeled clock when the fault struck, milliseconds.
+    pub ts_ms: f64,
+    /// Fault domain name (`"device-alloc"`, `"transfer"`, `"exchange"`,
+    /// `"query"`) or `"serve"` for pool-level shedding.
+    pub domain: &'static str,
+    /// `"injected"` (fault struck), `"retry"` (recovery scheduled),
+    /// `"exhausted"` (retry budget spent, escalating), `"shed"`
+    /// (admission rejection) or `"deadline"` (post-hoc deadline miss).
+    pub kind: &'static str,
+    /// 1-based consecutive-failure ordinal at this recovery site (0 for
+    /// pool-level shed/deadline events).
+    pub attempt: u64,
+    /// Modeled backoff milliseconds charged by this event (0 when none).
+    pub backoff_ms: f64,
+}
+
 /// A sink for modeled-stack events. Every method has a no-op default, so an
 /// observer implements only what it cares about; implementors must be
 /// `Send + Sync` because serving workers report concurrently.
@@ -225,6 +249,12 @@ pub trait Observer: Send + Sync {
 
     /// One query on the serving pool's deterministic timeline.
     fn serve(&self, event: &ServeEvent) {
+        let _ = event;
+    }
+
+    /// One fault-injection lifecycle event (injected / retry / exhausted /
+    /// shed / deadline).
+    fn fault(&self, event: &FaultEvent) {
         let _ = event;
     }
 }
@@ -290,6 +320,12 @@ impl Observer for FanoutObserver {
     fn serve(&self, event: &ServeEvent) {
         for s in &self.sinks {
             s.serve(event);
+        }
+    }
+
+    fn fault(&self, event: &FaultEvent) {
+        for s in &self.sinks {
+            s.fault(event);
         }
     }
 }

@@ -8,7 +8,10 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use crate::{AllocEvent, CacheEvent, ExchangeEvent, LaunchEvent, LevelEvent, Observer, ServeEvent};
+use crate::{
+    AllocEvent, CacheEvent, ExchangeEvent, FaultEvent, LaunchEvent, LevelEvent, Observer,
+    ServeEvent,
+};
 
 /// Accumulates observed events into named metrics and renders a
 /// Prometheus-style text snapshot.
@@ -122,6 +125,16 @@ impl Observer for MetricsRegistry {
             "gcgt_serve_service_ms_total",
             (e.complete_ms - e.dispatch_ms).max(0.0),
         );
+    }
+
+    fn fault(&self, e: &FaultEvent) {
+        self.add(
+            &format!("gcgt_fault_{}_total{{domain=\"{}\"}}", e.kind, e.domain),
+            1.0,
+        );
+        if e.backoff_ms > 0.0 {
+            self.add("gcgt_fault_backoff_ms_total", e.backoff_ms);
+        }
     }
 }
 

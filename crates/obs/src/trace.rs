@@ -11,8 +11,8 @@
 use std::sync::Mutex;
 
 use crate::{
-    AllocEvent, CacheEvent, ClassTally, ExchangeEvent, LaunchEvent, LevelEvent, Observer,
-    ServeEvent,
+    AllocEvent, CacheEvent, ClassTally, ExchangeEvent, FaultEvent, LaunchEvent, LevelEvent,
+    Observer, ServeEvent,
 };
 
 /// One recorded event, normalized at emission time.
@@ -229,6 +229,19 @@ impl Observer for TraceRecorder {
             e.worker, svc_ts, svc_dur, e.query
         );
         self.push("serve", e.worker, svc_ts, format!("q{}-svc", e.query), line);
+    }
+
+    fn fault(&self, e: &FaultEvent) {
+        let ts = e.ts_ms * 1e3;
+        let dur = e.backoff_ms * 1e3;
+        let name = format!("{}-{}", e.domain, e.kind);
+        let line = format!(
+            "{{\"name\": \"{}\", \"cat\": \"chaos\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"domain\": \"{}\", \
+             \"kind\": \"{}\", \"attempt\": {}, \"backoff_ms\": {}}}}}",
+            name, e.track, ts, dur, e.domain, e.kind, e.attempt, e.backoff_ms
+        );
+        self.push("chaos", e.track, ts, name, line);
     }
 }
 

@@ -48,7 +48,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Compressed bytes streamed over the link.
     pub bytes_streamed: u64,
-    /// Milliseconds of transfer charged (post-overlap).
+    /// Milliseconds of transfer charged (post-overlap) for **successful**
+    /// uploads only. Under an active fault plan, injected transfer faults
+    /// re-charge wasted uploads and backoff into `RunStats::transfer_ms`
+    /// but not here — this counter stays the useful-work baseline, so the
+    /// two diverge by exactly the chaos overhead.
     pub transfer_ms: f64,
 }
 
@@ -151,6 +155,11 @@ impl PartitionCache {
         } else {
             raw_ms * (1.0 - config.overlap.clamp(0.0, 1.0))
         };
+        // An injected PCIe fault wastes the attempted upload: the chaos gate
+        // re-charges the full transfer price plus exponential backoff for
+        // every failed attempt, then the successful upload is charged below.
+        // No-op without an active fault plan.
+        device.chaos_gate(gcgt_simt::chaos::FaultDomain::Transfer, charged);
         let fault_start = device.observer().is_some().then(|| device.modeled_ms());
         device.charge_partition_fault(charged);
         if let (Some(start_ms), Some(obs)) = (fault_start, device.observer()) {

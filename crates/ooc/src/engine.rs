@@ -140,9 +140,13 @@ impl Expander for OocEngine<'_> {
     /// also where lazy structural validation lands: each needed partition is
     /// proven decodable before its first fault (an already-validated
     /// partition is a cheap bitmap check). Corruption discovered here
-    /// panics with the validation error — the `Expander` contract has no
-    /// fallible path, which is exactly the deferred mode's documented
-    /// trade: a typed error at load time, or a loud failure at first touch.
+    /// raises a typed [`gcgt_simt::chaos::TypedFailure::CorruptGraph`]
+    /// unwind — the `Expander` contract has no fallible path, which is
+    /// exactly the deferred mode's documented trade: a typed error at load
+    /// time, or a typed failure at first touch (which a serving pool maps
+    /// to a per-query `CorruptGraph` error instead of dying). Validation is
+    /// sticky: the same corrupt partition reports the same error on every
+    /// subsequent touch.
     fn prepare_frontier(&self, device: &mut Device, frontier: &[NodeId]) {
         // Mark-then-sweep over a partition-count bitmask: O(frontier) to
         // mark, and iterating the mask in index order keeps the fault order
@@ -157,7 +161,11 @@ impl Expander for OocEngine<'_> {
             let p = &self.parts.parts()[pid];
             self.cgr
                 .ensure_validated(p.first_node as usize, p.end_node as usize)
-                .unwrap_or_else(|e| panic!("corrupt CGR payload in partition {pid}: {e}"));
+                .unwrap_or_else(|e| {
+                    gcgt_simt::chaos::raise(gcgt_simt::chaos::TypedFailure::CorruptGraph(format!(
+                        "corrupt CGR payload in partition {pid}: {e}"
+                    )))
+                });
             cache.fault(pid, self.parts, device, &self.pcie, &self.config);
         }
     }

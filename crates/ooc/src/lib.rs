@@ -25,6 +25,7 @@
 //! through `EngineKind::OutOfCore` + `SessionBuilder::memory_budget` in
 //! `gcgt-session`.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod cache;
 pub mod engine;
 pub mod partition;

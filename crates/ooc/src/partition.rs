@@ -156,7 +156,7 @@ impl PartitionMap {
             // Smallest node-aligned s with cumulative bytes ≥ target.
             // Monotone targets keep the bounds non-decreasing; equal
             // targets yield empty partitions.
-            let (mut lo, mut hi) = (*bounds.last().unwrap(), n);
+            let (mut lo, mut hi) = (*bounds.last().expect("bounds starts with a 0 sentinel"), n);
             while lo < hi {
                 let mid = lo + (hi - lo) / 2;
                 if range_bytes(cgr, 0, mid) >= target {

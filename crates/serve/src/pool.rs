@@ -1,5 +1,6 @@
 //! The worker pool: `N` executors over one shared `PreparedGraph`, fed
-//! through a bounded FIFO submission queue.
+//! through a bounded FIFO submission queue, with typed per-query failures
+//! and policy-driven admission control.
 
 use std::sync::Arc;
 
@@ -7,9 +8,35 @@ use gcgt_core::Algorithm;
 use gcgt_session::{Executor, PreparedGraph};
 use gcgt_simt::RunStats;
 
+use crate::error::QueryError;
 use crate::queue::BoundedQueue;
 use crate::stats::{ServeStats, WorkerReport};
 use crate::ServeError;
+
+/// Admission-control and deadline policy of a [`ServePool`].
+///
+/// The default policy is a no-op — unlimited admission, no deadline — and a
+/// pool under the default policy is **bitwise** identical to one with no
+/// policy at all (same outputs, same statistics, same trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServePolicy {
+    /// Queries allowed to wait beyond the ones the workers can execute
+    /// immediately: the pool admits at most `workers + max_pending` queries
+    /// per batch and sheds the rest with
+    /// [`QueryError::Shed`]`(`[`ServeError::Overloaded`]`)`. Admission is
+    /// decided in submission order over *valid* queries (a query rejected
+    /// at validation never consumes an admission slot). `None` admits
+    /// everything.
+    pub max_pending: Option<usize>,
+    /// Per-query latency deadline in simulated milliseconds, checked
+    /// against the deterministic FIFO timeline (queue wait + service). A
+    /// query completing strictly later is discarded with
+    /// [`QueryError::Shed`]`(`[`ServeError::DeadlineExceeded`]`)` — the
+    /// work was already spent, so its cost stays in the timeline and the
+    /// aggregate sums; only the output is dropped. `None` means no
+    /// deadline.
+    pub deadline_ms: Option<f64>,
+}
 
 /// A pool of worker devices serving queries over one shared, immutable
 /// [`PreparedGraph`].
@@ -24,26 +51,35 @@ use crate::ServeError;
 /// [`PreparedGraph::run`], whatever the worker count (see
 /// [`crate::stats::ServeStats`] for why the aggregates are deterministic
 /// too).
+///
+/// Failures are per-query and typed: an invalid source, a shed admission,
+/// an exhausted fault budget or a panicking query resolves to a
+/// [`QueryError`] in its own submission slot while the rest of the batch
+/// completes normally — one bad query can never cost the batch.
 #[derive(Clone, Debug)]
 pub struct ServePool {
     prepared: Arc<PreparedGraph>,
     workers: usize,
     queue_capacity: usize,
+    policy: ServePolicy,
 }
 
 /// Everything one [`ServePool::serve`] call produced.
 #[derive(Clone, Debug)]
 pub struct ServeReport<T> {
-    /// Per-query outputs, in submission order — bitwise identical to
-    /// serial execution.
-    pub outputs: Vec<T>,
+    /// Per-query outcomes, in submission order: `Ok` outputs are bitwise
+    /// identical to serial execution, `Err` explains exactly why that
+    /// query produced none.
+    pub outputs: Vec<Result<T, QueryError>>,
     /// Per-query simulated statistics, in submission order — bitwise
     /// identical to serial execution (scheduling never changes simulated
-    /// work).
+    /// work). Slots whose query produced no output hold
+    /// [`RunStats::zeroed`].
     pub per_query: Vec<RunStats>,
-    /// Which worker really executed each query. Scheduling-dependent
-    /// (like the per-worker `queries`/`busy_ms` tallies it induces), kept
-    /// for tracing; no aggregate statistic is derived from it.
+    /// Which worker really executed each query (`0` for queries that never
+    /// dispatched). Scheduling-dependent (like the per-worker
+    /// `queries`/`busy_ms` tallies it induces), kept for tracing; no
+    /// aggregate statistic is derived from it.
     pub assigned: Vec<usize>,
     /// Per-worker residency and utilization after the drain.
     pub workers: Vec<WorkerReport>,
@@ -74,7 +110,19 @@ impl ServePool {
             prepared,
             workers,
             queue_capacity,
+            policy: ServePolicy::default(),
         })
+    }
+
+    /// Replaces the pool's [`ServePolicy`] (builder-style).
+    pub fn with_policy(mut self, policy: ServePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active admission/deadline policy.
+    pub fn policy(&self) -> ServePolicy {
+        self.policy
     }
 
     /// Worker count.
@@ -92,28 +140,63 @@ impl ServePool {
         &self.prepared
     }
 
-    /// Serves `queries` to completion: spawns the workers, feeds the
-    /// bounded queue in submission order, joins, and reassembles results in
-    /// submission order. Blocks until every query is answered.
+    /// Serves `queries` to completion: validates and admits in submission
+    /// order, spawns the workers, feeds the bounded queue, joins, and
+    /// reassembles per-query outcomes in submission order. Blocks until
+    /// every admitted query is answered.
+    ///
+    /// The pipeline per query is **validate → admit → execute → deadline**:
+    ///
+    /// 1. a query whose source is outside the graph resolves to
+    ///    [`QueryError::SourceOutOfRange`] without consuming an admission
+    ///    slot or a worker;
+    /// 2. once `workers + max_pending` valid queries are admitted, the rest
+    ///    shed with [`ServeError::Overloaded`];
+    /// 3. execution failures — exhausted fault budgets, injected faults,
+    ///    corrupt payloads, unexpected panics — are caught on the worker
+    ///    and typed via [`QueryError`]; the worker keeps draining (were
+    ///    every worker to die, the submitting thread would block forever on
+    ///    a full queue), so one bad query never costs the batch;
+    /// 4. queries completing past the policy deadline on the deterministic
+    ///    FIFO timeline are discarded with [`ServeError::DeadlineExceeded`]
+    ///    (the spent cost stays in the aggregates).
     ///
     /// An empty batch is a no-op that still reports the per-worker
     /// baselines (and all-zero aggregate statistics — the guards in
     /// [`ServeStats`] keep every derived ratio finite).
-    ///
-    /// # Panics
-    /// Panics like the serial path does when a query itself panics (e.g.
-    /// an out-of-range BFS source): the panic is caught on the worker,
-    /// every remaining query is still drained (so the submitting thread
-    /// never deadlocks against a dead consumer), and the first panicking
-    /// query's payload — lowest submission index, deterministically — is
-    /// re-raised after the pool joins.
     pub fn serve<A: Algorithm>(&self, queries: &[A]) -> ServeReport<A::Output> {
         let prepared: &PreparedGraph = &self.prepared;
-        if queries.is_empty() {
-            // No workers are spawned for a no-op: their reports are
-            // synthesized from the prepared graph (a fresh worker sits at
-            // the structure baseline having served nothing).
-            let workers = (0..self.workers)
+        let total = queries.len();
+
+        // Validate, then admit, in submission order. Slots that fail here
+        // are typed immediately and never reach a worker.
+        let mut outcomes: Vec<Option<Result<A::Output, QueryError>>> =
+            (0..total).map(|_| None).collect();
+        let mut executable: Vec<(usize, A)> = Vec::with_capacity(total);
+        let nodes = prepared.num_nodes();
+        let admit_limit = self.policy.max_pending.map(|p| self.workers + p);
+        for (index, query) in queries.iter().enumerate() {
+            if let Some(source) = query.source() {
+                if source as usize >= nodes {
+                    outcomes[index] = Some(Err(QueryError::SourceOutOfRange { source, nodes }));
+                    continue;
+                }
+            }
+            if admit_limit.is_some_and(|limit| executable.len() >= limit) {
+                outcomes[index] = Some(Err(QueryError::Shed(ServeError::Overloaded)));
+                continue;
+            }
+            executable.push((index, query.clone()));
+        }
+
+        let mut per_query = vec![RunStats::zeroed(); total];
+        let mut assigned = vec![0usize; total];
+        let mut workers: Vec<WorkerReport>;
+        if executable.is_empty() {
+            // No workers are spawned when nothing is executable: their
+            // reports are synthesized from the prepared graph (a fresh
+            // worker sits at the structure baseline having served nothing).
+            workers = (0..self.workers)
                 .map(|worker| WorkerReport {
                     worker,
                     queries: 0,
@@ -123,117 +206,151 @@ impl ServePool {
                     upload_ms: prepared.upload_ms(),
                 })
                 .collect();
-            return ServeReport {
-                outputs: Vec::new(),
-                per_query: Vec::new(),
-                assigned: Vec::new(),
-                workers,
-                stats: ServeStats::compute(&[], self.workers, prepared.upload_ms()),
-            };
-        }
-
-        type Panic = Box<dyn std::any::Any + Send + 'static>;
-        type WorkerYield<T> = (
-            Vec<(usize, gcgt_session::Run<T>)>,
-            Vec<(usize, Panic)>,
-            WorkerReport,
-        );
-        let queue: BoundedQueue<(usize, A)> = BoundedQueue::new(self.queue_capacity);
-        let mut finished: Vec<WorkerYield<A::Output>> = Vec::with_capacity(self.workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers)
-                .map(|worker| {
-                    let queue = &queue;
-                    scope.spawn(move || {
-                        let mut executor = Executor::new(prepared);
-                        let mut local = Vec::new();
-                        let mut panics: Vec<(usize, Panic)> = Vec::new();
-                        while let Some((index, query)) = queue.pop() {
-                            // Trace events carry the query's submission
-                            // index as track, never the racing worker id —
-                            // exported execution traces are identical at
-                            // any worker count.
-                            executor.set_trace_track(index as u64);
-                            // Catch per-query panics so this consumer keeps
-                            // draining: were every worker to die, the
-                            // submitting thread would block forever on a
-                            // full queue. The payload is re-raised below.
-                            let attempt =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    executor.run(query)
-                                }));
-                            match attempt {
-                                Ok(run) => local.push((index, run)),
-                                // The executor is still valid: a query runs
-                                // on a local `query_view` that unwinding
-                                // simply drops, and worker state commits
-                                // only on success — no rebuild needed.
-                                Err(payload) => panics.push((index, payload)),
+        } else {
+            type Panic = Box<dyn std::any::Any + Send + 'static>;
+            type WorkerYield<T> = (
+                Vec<(usize, gcgt_session::Run<T>)>,
+                Vec<(usize, Panic)>,
+                WorkerReport,
+            );
+            let queue: BoundedQueue<(usize, A)> = BoundedQueue::new(self.queue_capacity);
+            let mut finished: Vec<WorkerYield<A::Output>> = Vec::with_capacity(self.workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers)
+                    .map(|worker| {
+                        let queue = &queue;
+                        scope.spawn(move || {
+                            let mut executor = Executor::new(prepared);
+                            let mut local = Vec::new();
+                            let mut panics: Vec<(usize, Panic)> = Vec::new();
+                            while let Some((index, query)) = queue.pop() {
+                                // Trace events carry the query's submission
+                                // index as track, never the racing worker id —
+                                // exported execution traces are identical at
+                                // any worker count.
+                                executor.set_trace_track(index as u64);
+                                // Catch per-query panics so this consumer
+                                // keeps draining: were every worker to die,
+                                // the submitting thread would block forever
+                                // on a full queue. The payload becomes the
+                                // query's typed error below.
+                                let attempt =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        executor.run(query)
+                                    }));
+                                match attempt {
+                                    Ok(run) => local.push((index, run)),
+                                    // The executor is still valid: a query
+                                    // runs on a local `query_view` that
+                                    // unwinding simply drops, and worker
+                                    // state commits only on success — no
+                                    // rebuild needed.
+                                    Err(payload) => panics.push((index, payload)),
+                                }
                             }
-                        }
-                        let report = snapshot(worker, &executor);
-                        (local, panics, report)
+                            let report = snapshot(worker, &executor);
+                            (local, panics, report)
+                        })
                     })
-                })
-                .collect();
-            for (index, query) in queries.iter().enumerate() {
-                queue.push((index, query.clone()));
-            }
-            queue.close();
-            for handle in handles {
-                finished.push(handle.join().expect("serve worker thread died"));
-            }
-        });
+                    .collect();
+                for item in executable {
+                    queue.push(item);
+                }
+                queue.close();
+                for handle in handles {
+                    finished.push(handle.join().expect("serve worker thread died"));
+                }
+            });
 
-        // Re-raise the first panicking query (lowest submission index —
-        // deterministic whatever the racing assignment was).
-        if let Some((_, payload)) = finished
-            .iter_mut()
-            .flat_map(|(_, panics, _)| panics.drain(..))
-            .min_by_key(|(index, _)| *index)
-        {
-            std::panic::resume_unwind(payload);
+            workers = Vec::with_capacity(self.workers);
+            for (local, panics, report) in finished {
+                for (index, run) in local {
+                    assigned[index] = report.worker;
+                    per_query[index] = run.stats;
+                    outcomes[index] = Some(Ok(run.output));
+                }
+                for (index, payload) in panics {
+                    assigned[index] = report.worker;
+                    outcomes[index] = Some(Err(QueryError::from_panic(payload)));
+                }
+                workers.push(report);
+            }
+            workers.sort_by_key(|w| w.worker);
         }
 
-        let mut outputs: Vec<Option<A::Output>> = Vec::with_capacity(queries.len());
-        outputs.resize_with(queries.len(), || None);
-        let mut per_query_slots: Vec<Option<RunStats>> = vec![None; queries.len()];
-        let mut assigned = vec![0usize; queries.len()];
-        let mut workers = Vec::with_capacity(self.workers);
-        for (local, _, report) in finished {
-            for (index, run) in local {
-                assigned[index] = report.worker;
-                per_query_slots[index] = Some(run.stats);
-                outputs[index] = Some(run.output);
-            }
-            workers.push(report);
-        }
-        workers.sort_by_key(|w| w.worker);
-        let per_query: Vec<RunStats> = per_query_slots
+        let mut outputs: Vec<Result<A::Output, QueryError>> = outcomes
             .into_iter()
-            .map(|s| s.expect("every query is answered exactly once"))
+            .map(|o| o.expect("every query resolves to exactly one outcome"))
             .collect();
-        let stats = ServeStats::compute(&per_query, self.workers, prepared.upload_ms());
+
+        // Aggregate over the surviving queries only: shed/failed slots are
+        // invisible to the FIFO timeline and the cost sums. With every
+        // query Ok this is bitwise `ServeStats::compute`.
+        let counted: Vec<bool> = outputs.iter().map(Result::is_ok).collect();
+        let mut stats =
+            ServeStats::compute_masked(&per_query, &counted, self.workers, prepared.upload_ms());
+        // Deadline pass: the latency is only known once the timeline is
+        // replayed. Late queries lose their output, not their cost.
+        if let Some(deadline) = self.policy.deadline_ms {
+            for i in 0..total {
+                if counted[i] && stats.latency_ms[i] > deadline {
+                    outputs[i] = Err(QueryError::Shed(ServeError::DeadlineExceeded));
+                    stats.deadline_missed += 1;
+                    stats.completed -= 1;
+                }
+            }
+        }
+        for outcome in &outputs {
+            match outcome {
+                Ok(_) | Err(QueryError::Shed(ServeError::DeadlineExceeded)) => {}
+                Err(QueryError::Shed(_)) => stats.shed += 1,
+                Err(_) => stats.failed += 1,
+            }
+        }
+
         // Replay the deterministic FIFO timeline to the observer: one
-        // submit → dispatch → complete record per query, on the *timeline*
-        // worker (not whichever host thread raced to the queue), so serve
-        // spans are as reproducible as everything else.
+        // submit → dispatch → complete record per surviving query, on the
+        // *timeline* worker (not whichever host thread raced to the queue),
+        // so serve spans are as reproducible as everything else. Shed and
+        // deadline-missed queries leave a chaos record instead; execution
+        // failures already emitted their fault events at the injection
+        // site.
         if let Some(obs) = prepared.observer() {
-            for i in 0..per_query.len() {
-                obs.serve(&gcgt_simt::obs::ServeEvent {
-                    query: i as u64,
-                    worker: stats.timeline_worker[i] as u64,
-                    submit_ms: 0.0,
-                    dispatch_ms: stats.queue_wait_ms[i],
-                    complete_ms: stats.latency_ms[i],
-                });
+            for (i, outcome) in outputs.iter().enumerate() {
+                match outcome {
+                    Ok(_) => obs.serve(&gcgt_simt::obs::ServeEvent {
+                        query: i as u64,
+                        worker: stats.timeline_worker[i] as u64,
+                        submit_ms: 0.0,
+                        dispatch_ms: stats.queue_wait_ms[i],
+                        complete_ms: stats.latency_ms[i],
+                    }),
+                    Err(QueryError::Shed(ServeError::Overloaded)) => {
+                        obs.fault(&gcgt_simt::obs::FaultEvent {
+                            track: i as u64,
+                            ts_ms: 0.0,
+                            domain: "serve",
+                            kind: "shed",
+                            attempt: 0,
+                            backoff_ms: 0.0,
+                        })
+                    }
+                    Err(QueryError::Shed(ServeError::DeadlineExceeded)) => {
+                        obs.fault(&gcgt_simt::obs::FaultEvent {
+                            track: i as u64,
+                            ts_ms: stats.latency_ms[i],
+                            domain: "serve",
+                            kind: "deadline",
+                            attempt: 0,
+                            backoff_ms: 0.0,
+                        })
+                    }
+                    Err(_) => {}
+                }
             }
         }
         ServeReport {
-            outputs: outputs
-                .into_iter()
-                .map(|o| o.expect("every query is answered exactly once"))
-                .collect(),
+            outputs,
             per_query,
             assigned,
             workers,

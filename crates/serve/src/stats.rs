@@ -16,8 +16,23 @@ use gcgt_simt::RunStats;
 /// Aggregate statistics of one [`crate::ServePool::serve`] call.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeStats {
-    /// Queries served.
+    /// Queries submitted (whatever their outcome).
     pub queries: u64,
+    /// Queries that produced an output: they occupy timeline slots and are
+    /// the denominator of every mean and percentile. Without a policy or
+    /// fault plan this always equals [`ServeStats::queries`].
+    pub completed: u64,
+    /// Queries refused at admission ([`crate::ServeError::Overloaded`]).
+    /// Shed queries never run: they cost nothing on the timeline.
+    pub shed: u64,
+    /// Queries whose FIFO-timeline latency exceeded the policy deadline.
+    /// Their outputs are discarded but the work was spent, so their cost
+    /// stays in the timeline, `work_ms` and the percentiles.
+    pub deadline_missed: u64,
+    /// Queries that failed with a typed [`crate::QueryError`] other than
+    /// shedding: invalid sources, exhausted fault budgets, injected or
+    /// internal failures.
+    pub failed: u64,
     /// Workers in the pool.
     pub workers: usize,
     /// Structure uploads paid — one per worker (zero workers never
@@ -90,9 +105,44 @@ impl ServeStats {
     /// directly from synthetic [`RunStats`]; the serving pool is the only
     /// production caller.
     pub fn compute(per_query: &[RunStats], workers: usize, upload_each_ms: f64) -> Self {
+        Self::compute_masked(
+            per_query,
+            &vec![true; per_query.len()],
+            workers,
+            upload_each_ms,
+        )
+    }
+
+    /// [`ServeStats::compute`] with an outcome mask: only `counted[i]`
+    /// queries enter the FIFO timeline, the cost sums and the percentiles;
+    /// uncounted slots (shed or failed queries) report zero wait/service/
+    /// latency on timeline worker 0. With an all-`true` mask this is
+    /// **bitwise** [`ServeStats::compute`] — same float operations in the
+    /// same order — which is how an empty fault plan and a no-op policy
+    /// stay perfectly neutral.
+    ///
+    /// The outcome counters beyond [`ServeStats::completed`] (`shed`,
+    /// `deadline_missed`, `failed`) are zero here; the pool fills them from
+    /// the typed per-query errors.
+    ///
+    /// # Panics
+    /// Panics if `per_query` and `counted` differ in length.
+    pub fn compute_masked(
+        per_query: &[RunStats],
+        counted: &[bool],
+        workers: usize,
+        upload_each_ms: f64,
+    ) -> Self {
+        assert_eq!(
+            per_query.len(),
+            counted.len(),
+            "one mask entry per submitted query"
+        );
         let costs: Vec<f64> = per_query
             .iter()
-            .map(|s| s.est_ms + s.transfer_ms + s.exchange_ms)
+            .zip(counted)
+            .filter(|&(_, &c)| c)
+            .map(|(s, _)| s.est_ms + s.transfer_ms + s.exchange_ms)
             .collect();
         let timeline = fifo_timeline(&costs, workers);
         let mut sorted = timeline.latencies.clone();
@@ -101,8 +151,36 @@ impl ServeStats {
         sorted_waits.sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
         let mut sorted_service = costs.clone();
         sorted_service.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+        // Scatter the compact timeline back to submission order: uncounted
+        // slots keep zeros (they never dispatched).
+        let mut queue_wait_ms = vec![0.0; per_query.len()];
+        let mut service_ms = vec![0.0; per_query.len()];
+        let mut latency_ms = vec![0.0; per_query.len()];
+        let mut timeline_worker = vec![0usize; per_query.len()];
+        let mut slot = 0;
+        for (i, &c) in counted.iter().enumerate() {
+            if c {
+                queue_wait_ms[i] = timeline.starts[slot];
+                service_ms[i] = costs[slot];
+                latency_ms[i] = timeline.latencies[slot];
+                timeline_worker[i] = timeline.assignment[slot];
+                slot += 1;
+            }
+        }
+        let masked = |f: fn(&RunStats) -> f64| -> f64 {
+            per_query
+                .iter()
+                .zip(counted)
+                .filter(|&(_, &c)| c)
+                .map(|(s, _)| f(s))
+                .sum()
+        };
         ServeStats {
             queries: per_query.len() as u64,
+            completed: costs.len() as u64,
+            shed: 0,
+            deadline_missed: 0,
+            failed: 0,
             workers,
             uploads: if upload_each_ms > 0.0 {
                 workers as u32
@@ -110,10 +188,15 @@ impl ServeStats {
                 0
             },
             upload_ms: upload_each_ms * workers as f64,
-            work_ms: per_query.iter().map(|s| s.est_ms).sum(),
-            transfer_ms: per_query.iter().map(|s| s.transfer_ms).sum(),
-            exchange_ms: per_query.iter().map(|s| s.exchange_ms).sum(),
-            launches: per_query.iter().map(|s| s.launches).sum(),
+            work_ms: masked(|s| s.est_ms),
+            transfer_ms: masked(|s| s.transfer_ms),
+            exchange_ms: masked(|s| s.exchange_ms),
+            launches: per_query
+                .iter()
+                .zip(counted)
+                .filter(|&(_, &c)| c)
+                .map(|(s, _)| s.launches)
+                .sum(),
             makespan_ms: timeline.makespan_ms,
             p50_ms: percentile(&sorted, 0.50),
             p95_ms: percentile(&sorted, 0.95),
@@ -124,10 +207,10 @@ impl ServeStats {
             service_p50_ms: percentile(&sorted_service, 0.50),
             service_p95_ms: percentile(&sorted_service, 0.95),
             service_p99_ms: percentile(&sorted_service, 0.99),
-            queue_wait_ms: timeline.starts,
-            service_ms: costs,
-            latency_ms: timeline.latencies,
-            timeline_worker: timeline.assignment,
+            queue_wait_ms,
+            service_ms,
+            latency_ms,
+            timeline_worker,
             worker_busy_ms: timeline.busy,
         }
     }
@@ -143,24 +226,25 @@ impl ServeStats {
         }
     }
 
-    /// Mean simulated service time per query
-    /// (`est_ms + transfer_ms + exchange_ms`, excluding queue wait); 0 for
-    /// an empty batch — never a division by zero.
+    /// Mean simulated service time per **completed** query
+    /// (`est_ms + transfer_ms + exchange_ms`, excluding queue wait); 0 when
+    /// nothing completed — never a division by zero.
     pub fn mean_query_ms(&self) -> f64 {
-        if self.queries == 0 {
+        if self.completed == 0 {
             0.0
         } else {
-            (self.work_ms + self.transfer_ms + self.exchange_ms) / self.queries as f64
+            (self.work_ms + self.transfer_ms + self.exchange_ms) / self.completed as f64
         }
     }
 
-    /// Simulated throughput in queries per second
-    /// (`queries / makespan`); 0 for an empty batch or zero-cost queries.
+    /// Simulated goodput in **completed** queries per second
+    /// (`completed / makespan`); 0 for an empty batch or zero-cost queries.
+    /// Shed and failed queries never inflate throughput.
     pub fn throughput_qps(&self) -> f64 {
         if self.makespan_ms <= 0.0 {
             0.0
         } else {
-            self.queries as f64 / (self.makespan_ms / 1e3)
+            self.completed as f64 / (self.makespan_ms / 1e3)
         }
     }
 
@@ -289,7 +373,42 @@ mod tests {
             exchange_ms: exchange,
             boundary_nodes: 0,
             sync_steps: 0,
+            faults_injected: 0,
+            retries: 0,
+            backoff_ms: 0.0,
         }
+    }
+
+    #[test]
+    fn all_true_mask_is_bitwise_compute() {
+        let queries = vec![rs(4.0, 0.5, 0.0), rs(3.0, 0.0, 0.25), rs(2.0, 0.125, 0.0)];
+        let plain = ServeStats::compute(&queries, 2, 1.5);
+        let masked = ServeStats::compute_masked(&queries, &[true, true, true], 2, 1.5);
+        assert_eq!(plain, masked);
+        assert_eq!(plain.completed, 3);
+        assert_eq!(plain.work_ms.to_bits(), masked.work_ms.to_bits());
+        assert_eq!(plain.makespan_ms.to_bits(), masked.makespan_ms.to_bits());
+    }
+
+    #[test]
+    fn masked_slots_are_invisible_to_the_timeline() {
+        let queries = vec![rs(4.0, 0.0, 0.0), rs(99.0, 0.0, 0.0), rs(2.0, 0.0, 0.0)];
+        let s = ServeStats::compute_masked(&queries, &[true, false, true], 1, 0.0);
+        // The failed query occupies no timeline slot and sums nothing…
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.work_ms, 6.0);
+        assert_eq!(s.makespan_ms, 6.0);
+        assert_eq!(s.latency_ms, vec![4.0, 0.0, 6.0]);
+        assert_eq!(s.queue_wait_ms, vec![0.0, 0.0, 4.0]);
+        // …and is exactly what compute over the surviving queries says.
+        let survivors = ServeStats::compute(&[queries[0], queries[2]], 1, 0.0);
+        assert_eq!(s.makespan_ms.to_bits(), survivors.makespan_ms.to_bits());
+        assert_eq!(s.p99_ms.to_bits(), survivors.p99_ms.to_bits());
+        assert_eq!(
+            s.mean_query_ms().to_bits(),
+            survivors.mean_query_ms().to_bits()
+        );
     }
 
     #[test]

@@ -137,6 +137,7 @@
 //! assert!(run.stats.transfer_ms > 0.0);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 use std::sync::Arc;
 
 use gcgt_baselines::{GpuCsrEngine, GunrockEngine};
@@ -152,7 +153,10 @@ pub use gcgt_core::{
 };
 pub use gcgt_ooc::OocConfig;
 pub use gcgt_shard::{ShardInner, ShardPlan};
-pub use gcgt_simt::{InterconnectConfig, Observer, ObserverHandle};
+pub use gcgt_simt::{
+    FaultDomain, FaultPlan, FaultRate, InterconnectConfig, Observer, ObserverHandle, RetryPolicy,
+    TypedFailure,
+};
 
 /// Which traversal engine a session drives — selected at **runtime**.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -391,6 +395,7 @@ pub struct SessionBuilder {
     shards: Option<usize>,
     interconnect: Option<InterconnectConfig>,
     observer: Option<ObserverHandle>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SessionBuilder {
@@ -426,8 +431,12 @@ impl SessionBuilder {
     /// compressed input — which requires the whole structure proven
     /// sound: a [`gcgt_cgr::ValidationMode::Deferred`] load is validated
     /// in full here (failures surface as [`SessionError::CorruptGraph`]).
-    /// Deferred validation pays off on the direct [`gcgt_ooc::OocEngine`]
-    /// path, which touches partitions lazily.
+    /// The exception is a *streaming* [`EngineKind::OutOfCore`] build,
+    /// which traverses straight from the compressed payload and re-checks
+    /// partitions lazily: corrupt regions survive the build (the mirror
+    /// skips them) and every query touching one fails with a typed
+    /// `CorruptGraph` error — sticky, never a panic — while queries that
+    /// avoid it keep their fault-free answers.
     #[must_use]
     pub fn graph_compressed(mut self, cgr: CgrGraph) -> Self {
         self.compressed = Some(cgr);
@@ -575,6 +584,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a deterministic fault plan ([`gcgt_simt::chaos`]) on every
+    /// device this session (or the serving pool sharing its
+    /// [`PreparedGraph`]) derives: transient alloc, PCIe-transfer and
+    /// shard-exchange faults are injected and recovered with modeled
+    /// backoff (visible in `RunStats::{faults_injected, retries,
+    /// backoff_ms}` and the chaos trace category), and per-query faults
+    /// surface as typed errors from a serving pool. The plan activates
+    /// *after* the one-time graph upload — preparation itself is
+    /// fault-free by construction. Installing [`FaultPlan::empty`] (or
+    /// never calling this) leaves every output, statistic and trace
+    /// bitwise identical to a chaos-free build.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Runs preprocessing + encoding, verifies device capacity, and returns
     /// the ready single-worker session (an [`Arc`]-wrapped
     /// [`PreparedGraph`] underneath — see [`SessionBuilder::prepare`]).
@@ -606,11 +632,35 @@ impl SessionBuilder {
                 return conflict("reorder(..)");
             }
         }
+        let mut kind = self.engine.unwrap_or(EngineKind::Gcgt(Strategy::Full));
+        if let Some(devices) = self.shards {
+            kind = kind.sharded(devices);
+        }
+        if let EngineKind::Sharded { devices, .. } = kind {
+            if devices == 0 {
+                return Err(SessionError::ZeroShards);
+            }
+        }
+        // --- input + CSR mirror ---
+        // The mirror decodes every adjacency, so a deferred-validation load
+        // is normally proven in full first (a no-op for eager loads and
+        // fresh encodes). The one engine that honors the deferred contract
+        // end to end is the non-sharded out-of-core streamer: it traverses
+        // straight from the compressed payload and re-validates partitions
+        // lazily at first touch, so a corrupt region may stay encoded —
+        // the mirror simply skips it and the touching query fails with a
+        // typed `CorruptGraph` instead of the build. If that build later
+        // turns out not to stream (everything fits → in-core decode of the
+        // full payload), the recorded corruption fails it below.
+        let lazy_ooc = matches!(kind, EngineKind::OutOfCore { .. });
+        let mut mirror_corrupt: Option<String> = None;
         let input = match &self.compressed {
+            Some(cgr) if lazy_ooc => {
+                let (mirror, corrupt) = gcgt_cgr::decode::decode_all_validated(cgr);
+                mirror_corrupt = corrupt;
+                Arc::new(mirror)
+            }
             Some(cgr) => {
-                // The CSR mirror below decodes every adjacency, so a
-                // deferred-validation load must be proven in full first
-                // (no-op for eager loads and fresh encodes).
                 cgr.ensure_validated_all()
                     .map_err(SessionError::CorruptGraph)?;
                 Arc::new(gcgt_cgr::decode::decode_all(cgr))
@@ -620,13 +670,11 @@ impl SessionBuilder {
         if input.num_nodes() == 0 {
             return Err(SessionError::EmptyGraph);
         }
-        let mut kind = self.engine.unwrap_or(EngineKind::Gcgt(Strategy::Full));
-        if let Some(devices) = self.shards {
-            kind = kind.sharded(devices);
-        }
-        if let EngineKind::Sharded { devices, .. } = kind {
-            if devices == 0 {
-                return Err(SessionError::ZeroShards);
+        // A degraded mirror cannot prove symmetry, so only the default
+        // push schedule (which never consults it) is safe to resolve.
+        if let Some(msg) = &mirror_corrupt {
+            if !matches!(self.direction.unwrap_or_default(), DirectionMode::Push) {
+                return Err(SessionError::CorruptGraph(msg.clone()));
             }
         }
         // Everything structural (encoding, footprints, capacity) keys off
@@ -767,6 +815,15 @@ impl SessionBuilder {
             }
             (_, Err(oom)) => return Err(SessionError::Oom(oom)),
         };
+        // Corruption recorded by the degraded mirror is only survivable
+        // when the session really streams (the lazy re-check fails the
+        // touching query); an in-core run would decode the corrupt payload
+        // unchecked, so it keeps the eager-validation contract.
+        if let Some(msg) = mirror_corrupt {
+            if ooc.is_none() {
+                return Err(SessionError::CorruptGraph(msg));
+            }
+        }
 
         // --- shard placement (balanced over the bytes the inner engine
         // actually keeps resident: compressed for GCGT, CSR otherwise) ---
@@ -795,6 +852,7 @@ impl SessionBuilder {
             shard,
             direction,
             observer: self.observer,
+            fault_plan: self.fault_plan,
         })
     }
 
@@ -938,6 +996,7 @@ pub struct PreparedGraph {
     shard: Option<ShardPlanData>,
     direction: DirectionMode,
     observer: Option<ObserverHandle>,
+    fault_plan: Option<FaultPlan>,
 }
 
 /// The placement of a sharded prepared graph: computed once at build,
@@ -996,6 +1055,13 @@ impl PreparedGraph {
     /// its deterministic dispatch timeline.
     pub fn observer(&self) -> Option<&ObserverHandle> {
         self.observer.as_ref()
+    }
+
+    /// The fault plan installed at build time
+    /// ([`SessionBuilder::fault_plan`]), if any — activated on every
+    /// worker device after its one-time upload.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
     }
 
     /// The preprocessed graph the engine traverses (post symmetrize /
@@ -1258,6 +1324,11 @@ impl PreparedGraph {
         if let Some(observer) = &self.observer {
             device.set_observer(observer.clone());
         }
+        // The plan activates after the upload — graph preparation is
+        // fault-free by construction, queries are the chaos surface.
+        if let Some(plan) = self.fault_plan {
+            device.set_fault_plan(plan);
+        }
         let mut outputs = Vec::with_capacity(queries.len());
         let mut per_query = Vec::with_capacity(queries.len());
         for query in queries {
@@ -1308,6 +1379,13 @@ impl<'p> Executor<'p> {
         let mut device = holder.as_dyn().dyn_new_device();
         if let Some(observer) = prepared.observer() {
             device.set_observer(observer.clone());
+        }
+        // Install the fault plan only after the upload: worker spawn is
+        // fault-free by construction, so a typed chaos failure can only
+        // unwind out of a query (where the serving pool catches it), never
+        // out of pool construction.
+        if let Some(plan) = prepared.fault_plan() {
+            device.set_fault_plan(plan);
         }
         let baseline = device.allocated();
         Self {
@@ -1369,11 +1447,18 @@ impl<'p> Executor<'p> {
     /// upload at construction.
     ///
     /// # Panics
-    /// Panics if a node-id parameter (BFS/BC source) is out of range.
+    /// Panics if a node-id parameter (BFS/BC source) is out of range, and
+    /// unwinds with a typed [`TypedFailure`] payload when the installed
+    /// fault plan fails this query (injected per-query fault, exhausted
+    /// retry budget, corrupt payload at first touch) — the serving pool
+    /// catches both and maps them to per-query errors.
     pub fn run<A: Algorithm>(&mut self, algo: A) -> Run<A::Output> {
         let holder = self.prepared.engine();
         let engine = holder.as_dyn();
         let mut device = self.device.query_view();
+        if device.inject_query_fault() {
+            gcgt_simt::chaos::raise(TypedFailure::InjectedQueryFailure);
+        }
         let output = self.prepared.remap(algo).execute(engine, &mut device);
         let stats = device.stats();
         // Release what the query held beyond the structure (streamed

@@ -243,6 +243,11 @@ impl<'g> ShardEngine<'g> {
             }
         }
         let exchange_ms = self.interconnect.exchange_ms(bytes, messages);
+        // An injected link fault wastes the whole all-to-all round: the
+        // chaos gate re-charges the failed exchange (plus backoff) into
+        // `exchange_ms` per failed attempt before the successful round is
+        // charged below. No-op without an active fault plan.
+        device.chaos_gate(gcgt_simt::chaos::FaultDomain::Exchange, exchange_ms);
         let obs_start = device.observer().is_some().then(|| device.modeled_ms());
         device.charge_exchange(exchange_ms, boundary);
         if let (Some(start_ms), Some(obs)) = (obs_start, device.observer()) {

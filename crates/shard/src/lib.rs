@@ -18,6 +18,7 @@
 //! identical at any shard count**; the sharding overhead is charged into
 //! the separate `exchange_ms` / `boundary_nodes` / `sync_steps` counters.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod engine;
 pub mod plan;
 

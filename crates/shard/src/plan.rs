@@ -109,7 +109,7 @@ impl ShardPlan {
         bounds.push(0usize);
         for i in 1..devices {
             let target = (total * i as u128 / devices as u128) as usize;
-            let (mut lo, mut hi) = (*bounds.last().unwrap(), n);
+            let (mut lo, mut hi) = (*bounds.last().expect("bounds starts with a 0 sentinel"), n);
             while lo < hi {
                 let mid = lo + (hi - lo) / 2;
                 if cum[mid] >= target {

@@ -15,7 +15,8 @@
 
 use crate::mem::MemStats;
 use crate::tally::{OpClass, Tally, ALL_CLASSES, NUM_CLASSES};
-use gcgt_obs::{AllocEvent, ClassTally, LaunchEvent, ObserverHandle};
+use gcgt_chaos::{FaultDomain, FaultInjector, FaultPlan, TypedFailure};
+use gcgt_obs::{AllocEvent, ClassTally, FaultEvent, LaunchEvent, ObserverHandle};
 
 /// Hardware parameters of the simulated device.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -217,8 +218,13 @@ pub struct Device {
     exchange_ms: f64,
     boundary_nodes: u64,
     sync_steps: u64,
+    faults_injected: u64,
+    retries: u64,
+    backoff_ms: f64,
     observer: Option<ObserverHandle>,
     track: u64,
+    fault_plan: Option<FaultPlan>,
+    chaos: Option<FaultInjector>,
 }
 
 impl Device {
@@ -241,8 +247,13 @@ impl Device {
             exchange_ms: 0.0,
             boundary_nodes: 0,
             sync_steps: 0,
+            faults_injected: 0,
+            retries: 0,
+            backoff_ms: 0.0,
             observer: None,
             track: 0,
+            fault_plan: None,
+            chaos: None,
         }
     }
 
@@ -270,8 +281,123 @@ impl Device {
     /// Tags this device's future events with a trace track (a Chrome-trace
     /// `tid`). The serving pool sets the query's submission index before
     /// each query, so traces canonicalize per query, not per racing worker.
+    ///
+    /// The track also salts the fault injector: a re-track re-derives the
+    /// verdict stream, so a query's faults depend on *which query it is*
+    /// (its submission index), never on which worker happens to run it.
     pub fn set_track(&mut self, track: u64) {
         self.track = track;
+        if let Some(plan) = self.fault_plan {
+            self.chaos = Some(plan.injector(track));
+        }
+    }
+
+    /// Installs a fault plan: from here on the chaos charge points
+    /// ([`Device::alloc`], the partition-cache and shard-exchange gates,
+    /// the per-query check) evaluate a deterministic [`FaultInjector`]
+    /// derived from the plan and the current track. Installing the *empty*
+    /// plan is indistinguishable from never calling this — no verdicts, no
+    /// float operations, bitwise-identical accounting.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.is_empty() {
+            self.fault_plan = None;
+            self.chaos = None;
+        } else {
+            self.fault_plan = Some(plan);
+            self.chaos = Some(plan.injector(self.track));
+        }
+    }
+
+    /// The installed fault plan, if a non-empty one is active.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
+    /// Runs one chaos-gated operation of `domain` to completion: evaluates
+    /// the injector, and for every injected transient fault charges one
+    /// modeled recovery round — exponential backoff plus `wasted_ms` (the
+    /// modeled cost of the attempt that failed, so a failed partition
+    /// upload or boundary exchange is *re-charged*, not forgiven) — into
+    /// `exchange_ms` (Exchange domain) or `transfer_ms` (everything else).
+    /// Returns normally once a verdict comes back clean; escalates with a
+    /// typed [`TypedFailure::FaultBudgetExhausted`] panic when retries are
+    /// disabled or the consecutive-failure budget is spent.
+    ///
+    /// With no (or an empty) fault plan installed this is a single
+    /// null-check: no verdict is drawn and nothing is charged.
+    pub fn chaos_gate(&mut self, domain: FaultDomain, wasted_ms: f64) {
+        let Some(mut chaos) = self.chaos.take() else {
+            return;
+        };
+        let retry = chaos.plan().retry;
+        let mut failures: u32 = 0;
+        while chaos.should_fail(domain) {
+            failures += 1;
+            self.faults_injected += 1;
+            if failures > retry.max_attempts {
+                if let Some(obs) = &self.observer {
+                    obs.fault(&FaultEvent {
+                        track: self.track,
+                        ts_ms: self.modeled_ms(),
+                        domain: domain.name(),
+                        kind: "exhausted",
+                        attempt: failures as u64,
+                        backoff_ms: 0.0,
+                    });
+                }
+                self.chaos = Some(chaos);
+                gcgt_chaos::raise(TypedFailure::FaultBudgetExhausted {
+                    domain: domain.name(),
+                    failures,
+                });
+            }
+            let backoff = retry.backoff_ms(failures);
+            self.retries += 1;
+            self.backoff_ms += backoff;
+            let charge = backoff + wasted_ms;
+            if domain == FaultDomain::Exchange {
+                self.exchange_ms += charge;
+            } else {
+                self.transfer_ms += charge;
+            }
+            if let Some(obs) = &self.observer {
+                obs.fault(&FaultEvent {
+                    track: self.track,
+                    ts_ms: self.modeled_ms(),
+                    domain: domain.name(),
+                    kind: "retry",
+                    attempt: failures as u64,
+                    backoff_ms: backoff,
+                });
+            }
+        }
+        self.chaos = Some(chaos);
+    }
+
+    /// Draws one terminal per-query fault verdict
+    /// ([`FaultDomain::Query`]) — checked once when an executor takes a
+    /// query view. Returns `true` when the query must fail; the caller
+    /// escalates with [`TypedFailure::InjectedQueryFailure`]. Never
+    /// retried: there is nothing below a query to recover.
+    pub fn inject_query_fault(&mut self) -> bool {
+        let fail = match self.chaos.as_mut() {
+            Some(chaos) => chaos.should_fail(FaultDomain::Query),
+            None => false,
+        };
+        if fail {
+            self.faults_injected += 1;
+            if let Some(obs) = &self.observer {
+                obs.fault(&FaultEvent {
+                    track: self.track,
+                    ts_ms: self.modeled_ms(),
+                    domain: FaultDomain::Query.name(),
+                    kind: "injected",
+                    attempt: 1,
+                    backoff_ms: 0.0,
+                });
+            }
+        }
+        fail
     }
 
     /// The current trace track.
@@ -291,6 +417,10 @@ impl Device {
     /// overhead). Fails when the sum exceeds capacity — the OOM bars of
     /// Figures 8 and 15.
     pub fn alloc(&mut self, bytes: usize) -> Result<(), OomError> {
+        // Transient allocator stalls (chaos) resolve — with backoff charged
+        // — before the genuine capacity check: an injected fault is never
+        // confused with a real OOM.
+        self.chaos_gate(FaultDomain::DeviceAlloc, 0.0);
         let total = self.allocated.saturating_add(bytes);
         if total > self.config.mem_capacity {
             return Err(OomError {
@@ -352,6 +482,12 @@ impl Device {
         view.allocated = self.allocated;
         view.observer = self.observer.clone();
         view.track = self.track;
+        // The injector re-derives from (plan, track) rather than carrying
+        // over: a query's fault sequence restarts from the same state on
+        // every view, so it depends only on the query's identity — never on
+        // what ran on this worker before it.
+        view.fault_plan = self.fault_plan;
+        view.chaos = self.fault_plan.map(|p| p.injector(self.track));
         view
     }
 
@@ -457,6 +593,9 @@ impl Device {
             exchange_ms: self.exchange_ms,
             boundary_nodes: self.boundary_nodes,
             sync_steps: self.sync_steps,
+            faults_injected: self.faults_injected,
+            retries: self.retries,
+            backoff_ms: self.backoff_ms,
         }
     }
 }
@@ -516,12 +655,51 @@ pub struct RunStats {
     /// Bulk-synchronous step barriers executed by a sharded run (one per
     /// kernel launch on multi-shard sessions; 0 otherwise).
     pub sync_steps: u64,
+    /// Transient faults injected by the active `FaultPlan` across every
+    /// domain (alloc, transfer, exchange, query). 0 whenever no plan — or
+    /// the empty plan — is installed.
+    pub faults_injected: u64,
+    /// Recovery rounds spent absorbing injected faults (one per fault that
+    /// was retried rather than escalated).
+    pub retries: u64,
+    /// Modeled milliseconds of exponential backoff charged by those
+    /// retries. Already folded into [`RunStats::transfer_ms`] /
+    /// [`RunStats::exchange_ms`] (faults cost modeled time where they
+    /// struck); reported separately so the overhead stays attributable.
+    pub backoff_ms: f64,
 }
 
 impl RunStats {
     /// Instruction slots per class, for reporting.
     pub fn issues_by_class(&self) -> [u64; NUM_CLASSES] {
         self.tally.issues
+    }
+
+    /// All-zero statistics: what a query that never executed reports. The
+    /// serving pool uses this for shed and failed submission slots so the
+    /// per-query vector keeps its submission-order shape.
+    pub fn zeroed() -> RunStats {
+        RunStats {
+            est_ms: 0.0,
+            cycles: 0.0,
+            launches: 0,
+            tally: Tally::default(),
+            mem: MemStats::default(),
+            allocated_bytes: 0,
+            partition_faults: 0,
+            partition_evictions: 0,
+            transfer_ms: 0.0,
+            push_steps: 0,
+            pull_steps: 0,
+            pushed_edges: 0,
+            pulled_edges: 0,
+            exchange_ms: 0.0,
+            boundary_nodes: 0,
+            sync_steps: 0,
+            faults_injected: 0,
+            retries: 0,
+            backoff_ms: 0.0,
+        }
     }
 
     /// The statistics accumulated since `earlier` — a snapshot taken on the
@@ -553,6 +731,9 @@ impl RunStats {
             exchange_ms: (self.exchange_ms - earlier.exchange_ms).max(0.0),
             boundary_nodes: self.boundary_nodes.saturating_sub(earlier.boundary_nodes),
             sync_steps: self.sync_steps.saturating_sub(earlier.sync_steps),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            retries: self.retries.saturating_sub(earlier.retries),
+            backoff_ms: (self.backoff_ms - earlier.backoff_ms).max(0.0),
         }
     }
 
@@ -601,6 +782,12 @@ impl RunStats {
             out.push_str(&format!(
                 "{:<12} {:>12} sync steps, {} boundary nodes\n",
                 "shard", self.sync_steps, self.boundary_nodes
+            ));
+        }
+        if self.faults_injected > 0 || self.retries > 0 {
+            out.push_str(&format!(
+                "{:<12} {:>12} faults, {} retries, {:.6} ms backoff\n",
+                "chaos", self.faults_injected, self.retries, self.backoff_ms
             ));
         }
         out.push_str(&format!("{:<12} {:>14.6} ms\n", "est", self.est_ms));
@@ -784,6 +971,97 @@ mod tests {
         fresh.account_launch(&c);
         replay.account_launch(&c);
         assert_eq!(fresh.stats(), replay.stats());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_indistinguishable_from_no_plan() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 20);
+        let mut plain = cfg.new_device();
+        let mut chaotic = cfg.new_device();
+        chaotic.set_fault_plan(FaultPlan::empty());
+        for d in [&mut plain, &mut chaotic] {
+            d.alloc(4096).unwrap();
+            d.chaos_gate(FaultDomain::Transfer, 1.0);
+            d.charge_partition_fault(0.25);
+            assert!(!d.inject_query_fault());
+        }
+        assert_eq!(plain.stats(), chaotic.stats());
+        assert_eq!(chaotic.stats().faults_injected, 0);
+        assert_eq!(chaotic.fault_plan(), None);
+    }
+
+    #[test]
+    fn chaos_gate_charges_backoff_and_wasted_time() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 20);
+        let mut d = cfg.new_device();
+        let mut plan = FaultPlan::empty();
+        plan.seed = 11;
+        plan.transfer = gcgt_chaos::FaultRate::new(1000, 2); // always fail, 2-bursts
+        plan.exchange = gcgt_chaos::FaultRate::new(1000, 2);
+        d.set_fault_plan(plan);
+
+        d.chaos_gate(FaultDomain::Transfer, 0.5);
+        let s = d.stats();
+        // A 2-burst at rate 1000‰ always injects exactly 2 faults per gate.
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.retries, 2);
+        let backoff = plan.retry.backoff_ms(1) + plan.retry.backoff_ms(2);
+        assert!((s.backoff_ms - backoff).abs() < 1e-12);
+        assert!((s.transfer_ms - (backoff + 2.0 * 0.5)).abs() < 1e-12);
+        assert_eq!(s.exchange_ms, 0.0);
+
+        // Exchange-domain recovery charges the interconnect, not the link.
+        d.chaos_gate(FaultDomain::Exchange, 0.25);
+        let s = d.stats();
+        assert!((s.exchange_ms - (backoff + 2.0 * 0.25)).abs() < 1e-12);
+        // Kernel-time estimate is never touched by recovery.
+        assert_eq!(s.est_ms, 0.0);
+    }
+
+    #[test]
+    fn chaos_gate_exhausts_with_typed_panic() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 20);
+        let mut d = cfg.new_device();
+        let mut plan = FaultPlan::empty();
+        plan.transfer = gcgt_chaos::FaultRate::new(1000, 8); // burst > budget
+        d.set_fault_plan(plan);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.chaos_gate(FaultDomain::Transfer, 0.0)
+        }))
+        .expect_err("budget must exhaust");
+        let typed = payload
+            .downcast::<TypedFailure>()
+            .expect("typed chaos payload");
+        assert_eq!(
+            *typed,
+            TypedFailure::FaultBudgetExhausted {
+                domain: "transfer",
+                failures: 5, // max_attempts (4) + the escalating failure
+            }
+        );
+    }
+
+    #[test]
+    fn query_view_rederives_injector_per_track() {
+        let cfg = DeviceConfig::titan_v_scaled(1 << 20);
+        let mut d = cfg.new_device();
+        let mut plan = FaultPlan::empty();
+        plan.seed = 99;
+        plan.query = gcgt_chaos::FaultRate::new(400, 1);
+        d.set_fault_plan(plan);
+        let verdicts = |d: &Device, track: u64| -> Vec<bool> {
+            let mut base = d.clone();
+            base.set_track(track);
+            (0..32)
+                .map(|_| base.query_view().inject_query_fault())
+                .collect()
+        };
+        // Same track → same verdict every time (view re-derives, not
+        // consumes); different tracks decorrelate.
+        assert!(verdicts(&d, 3).iter().all(|&v| v == verdicts(&d, 3)[0]));
+        let across: Vec<bool> = (0..64).map(|t| verdicts(&d, t)[0]).collect();
+        assert!(across.iter().any(|&v| v));
+        assert!(across.iter().any(|&v| !v));
     }
 
     #[test]

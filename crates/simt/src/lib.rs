@@ -36,6 +36,7 @@
 //! observer installed nothing is constructed and no reported number ever
 //! changes.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod device;
 pub mod interconnect;
 pub mod mem;
@@ -47,9 +48,11 @@ pub mod warp;
 /// The observability event model and sinks (re-export of the dependency-free
 /// `gcgt-obs` crate), so downstream crates reach `gcgt_simt::obs::…` without
 /// their own dependency edge.
+pub use gcgt_chaos as chaos;
 pub use gcgt_obs as obs;
 
 pub use device::{Device, DeviceConfig, IterationCost, OomError, RunStats};
+pub use gcgt_chaos::{FaultDomain, FaultPlan, FaultRate, RetryPolicy, TypedFailure};
 pub use gcgt_obs::{NullObserver, Observer, ObserverHandle};
 pub use interconnect::InterconnectConfig;
 pub use mem::{MemSim, MemStats, Space};

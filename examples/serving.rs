@@ -49,7 +49,8 @@ fn main() {
         let pool = ServePool::new(prepared.clone(), workers).expect("positive worker count");
         let report = pool.serve(&queries);
         assert_eq!(
-            report.outputs[1], oracle.output,
+            report.outputs[1],
+            Ok(oracle.output.clone()),
             "serving changed an answer!"
         );
         assert_eq!(report.per_query[1], oracle.stats, "serving changed a cost!");

@@ -47,10 +47,12 @@
 //! assert!(batch.total_ms() < (0..8).map(|s| session.run(Bfs::from(s)).total_ms()).sum());
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub use gcgt_baselines as baselines;
 pub use gcgt_bench as bench;
 pub use gcgt_bits as bits;
 pub use gcgt_cgr as cgr;
+pub use gcgt_chaos as chaos;
 pub use gcgt_core as core;
 pub use gcgt_graph as graph;
 pub use gcgt_obs as obs;
@@ -133,7 +135,12 @@ pub mod prelude {
     };
 
     // --- the concurrent serving layer (N workers over one PreparedGraph) ---
-    pub use gcgt_serve::{ServeError, ServePool, ServeReport, ServeStats, WorkerReport};
+    pub use gcgt_serve::{
+        QueryError, ServeError, ServePolicy, ServePool, ServeReport, ServeStats, WorkerReport,
+    };
+
+    // --- deterministic fault injection (chaos plans, retries, typed failures) ---
+    pub use gcgt_chaos::{FaultDomain, FaultPlan, FaultRate, RetryPolicy, TypedFailure};
 
     // --- observability (deterministic tracing + metrics) ---
     pub use gcgt_obs::{

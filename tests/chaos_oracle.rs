@@ -1,0 +1,350 @@
+//! Chaos oracle: deterministic fault injection must never change *what*
+//! surviving queries compute.
+//!
+//! * **Empty-plan neutrality** (property): a session built with
+//!   `FaultPlan::empty()` is bitwise indistinguishable from one built with
+//!   no plan at all — outputs, `RunStats`, and pooled aggregates — across
+//!   in-core, streaming out-of-core, and 4-shard engines, serial and
+//!   through 1- and 4-worker pools.
+//! * **Surviving-output oracle** (property): under an arbitrary uniform
+//!   fault plan with retries enabled, every query that completes returns an
+//!   output bitwise equal to the fault-free oracle, at any worker count,
+//!   and the chaos counters (`faults_injected`/`retries`/`backoff_ms`) are
+//!   the only place injected faults are visible.
+//! * **Typed exhaustion**: retries disabled plus a certain fault turn every
+//!   affected query into `QueryError::FaultBudgetExhausted` while the pool
+//!   survives and its workers drain back to baseline.
+//! * **Corruption regression**: a bit-flipped GCGR payload loaded with
+//!   deferred validation surfaces as a *sticky* `QueryError::CorruptGraph`
+//!   on every query that touches the bad partition — never a pool-killing
+//!   panic, and identical on every subsequent serve.
+
+use gcgt::cgr::io;
+use gcgt::prelude::{
+    web_graph, CgrConfig, CgrGraph, Csr, EngineKind, FaultPlan, FaultRate, LabelProp, Pagerank,
+    Query, QueryError, RetryPolicy, ServePool, Session, Strategy, ValidationMode, WebParams,
+};
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use proptest::strategy::Strategy as PropStrategy;
+use std::sync::Arc;
+
+/// An arbitrary small graph as (node count, edge list).
+fn arb_graph() -> impl PropStrategy<Value = Csr> {
+    (2usize..80).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..240)
+            .prop_map(move |edges| Csr::from_edges(n, &edges))
+    })
+}
+
+fn five_apps(n: u32) -> Vec<Query> {
+    vec![
+        Query::Bfs(3 % n),
+        Query::Cc,
+        Query::Bc(5 % n),
+        Query::Pagerank(Pagerank::default()),
+        Query::LabelProp(LabelProp::default()),
+    ]
+}
+
+/// The three engine shapes the chaos contract covers. `plan = None` builds
+/// the fault-free oracle; the same shape with a plan must stay
+/// output-identical wherever a query survives.
+fn build(g: &Csr, shape: usize, plan: Option<FaultPlan>) -> Session {
+    let mut builder = Session::builder().graph(g.clone());
+    match shape {
+        0 => builder = builder.engine(EngineKind::Gcgt(Strategy::Full)),
+        1 => {
+            // A budget that forces streaming: traversal scratch plus a
+            // quarter of the compressed structure.
+            let incore = Session::builder()
+                .graph(g.clone())
+                .build()
+                .expect("in-core probe build");
+            let budget = (incore.footprint() - incore.structure_bytes())
+                + (incore.structure_bytes() / 4).max(1);
+            builder = builder.memory_budget(budget).engine(EngineKind::OutOfCore {
+                inner: Strategy::Full,
+            });
+        }
+        _ => builder = builder.engine(EngineKind::Gcgt(Strategy::Full)).shards(4),
+    }
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    builder.build().expect("chaos-oracle shapes always build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The hard invariant of the whole subsystem: an **empty** fault plan
+    /// is bitwise invisible — serial runs and pooled serves agree with the
+    /// plan-free build on outputs, per-query stats and aggregates.
+    #[test]
+    fn empty_plan_is_bitwise_neutral(g in arb_graph(), shape in 0usize..3) {
+        let queries = five_apps(g.num_nodes() as u32);
+        let bare = build(&g, shape, None);
+        let empty = build(&g, shape, Some(FaultPlan::empty()));
+        for q in &queries {
+            let want = bare.run(*q);
+            let got = empty.run(*q);
+            prop_assert_eq!(&got.output, &want.output);
+            prop_assert_eq!(&got.stats, &want.stats);
+            prop_assert_eq!(got.stats.faults_injected, 0);
+            prop_assert_eq!(got.stats.retries, 0);
+            prop_assert_eq!(got.stats.backoff_ms.to_bits(), 0.0f64.to_bits());
+        }
+        for workers in [1usize, 4] {
+            let a = ServePool::new(bare.prepared(), workers)
+                .expect("workers >= 1")
+                .serve(&queries);
+            let b = ServePool::new(empty.prepared(), workers)
+                .expect("workers >= 1")
+                .serve(&queries);
+            prop_assert_eq!(&a.outputs, &b.outputs);
+            prop_assert_eq!(&a.per_query, &b.per_query);
+            prop_assert_eq!(&a.stats, &b.stats);
+        }
+    }
+
+    /// Under any uniform fault plan with the default retry budget (which
+    /// the burst cap keeps un-exhaustible), every query survives and its
+    /// output is bitwise the fault-free oracle's; injected faults surface
+    /// only in the chaos counters and the re-charged transfer/exchange
+    /// milliseconds.
+    #[test]
+    fn surviving_outputs_match_fault_free_oracle(
+        g in arb_graph(),
+        shape in 0usize..3,
+        seed in 0u64..1_000_000,
+        per_mille in 1u16..250,
+    ) {
+        let queries = five_apps(g.num_nodes() as u32);
+        let oracle = build(&g, shape, None);
+        let chaotic = build(&g, shape, Some(FaultPlan::uniform(seed, per_mille)));
+        for q in &queries {
+            let want = oracle.run(*q);
+            let got = chaotic.run(*q);
+            // The *answer* is bitwise the oracle's; the stats embedded in
+            // the output legitimately carry the chaos counters and the
+            // backoff-recharged transfer, so normalize them before the
+            // payload comparison.
+            let mut answer = got.output.clone();
+            *answer.stats_mut() = *want.output.stats();
+            prop_assert_eq!(&answer, &want.output);
+            // Work is never silently lost or invented: absent any injected
+            // fault the whole RunStats is bitwise the oracle's.
+            if got.stats.faults_injected == 0 {
+                prop_assert_eq!(&got.stats, &want.stats);
+            } else {
+                prop_assert!(got.stats.retries >= got.stats.faults_injected);
+                prop_assert!(
+                    got.stats.transfer_ms + got.stats.exchange_ms
+                        >= want.stats.transfer_ms + want.stats.exchange_ms
+                );
+                prop_assert_eq!(got.stats.est_ms.to_bits(), want.stats.est_ms.to_bits());
+                prop_assert_eq!(got.stats.launches, want.stats.launches);
+            }
+        }
+        // Verdicts are salted by submission index, not by worker: pooled
+        // serves agree with each other and with the serial oracle at any
+        // worker count.
+        let one = ServePool::new(chaotic.prepared(), 1)
+            .expect("workers >= 1")
+            .serve(&queries);
+        let four = ServePool::new(chaotic.prepared(), 4)
+            .expect("workers >= 1")
+            .serve(&queries);
+        prop_assert_eq!(&one.outputs, &four.outputs);
+        prop_assert_eq!(&one.per_query, &four.per_query);
+        // Scheduling changes *when* queries run, never what they cost:
+        // simulated work — including the fault-recharged transfer — is
+        // conserved exactly across worker counts.
+        prop_assert_eq!(one.stats.work_ms.to_bits(), four.stats.work_ms.to_bits());
+        prop_assert_eq!(
+            one.stats.transfer_ms.to_bits(),
+            four.stats.transfer_ms.to_bits()
+        );
+        prop_assert_eq!(one.stats.launches, four.stats.launches);
+        for (i, q) in queries.iter().enumerate() {
+            let want = oracle.run(*q);
+            match &one.outputs[i] {
+                Ok(out) => {
+                    let mut answer = out.clone();
+                    *answer.stats_mut() = *want.output.stats();
+                    prop_assert_eq!(&answer, &want.output);
+                }
+                Err(e) => prop_assert!(false, "uniform plans never exhaust: {e} on {:?}", q),
+            }
+        }
+    }
+
+    /// Per-query execution faults are terminal but *contained*: failed
+    /// queries report `QueryError::InjectedFault`, surviving ones are
+    /// bitwise the oracle, and the pool's workers drain to baseline.
+    #[test]
+    fn injected_query_faults_are_contained(
+        g in arb_graph(),
+        seed in 0u64..1_000_000,
+    ) {
+        let queries = five_apps(g.num_nodes() as u32);
+        let oracle = build(&g, 0, None);
+        let plan = FaultPlan {
+            query: FaultRate::new(400, 1),
+            ..FaultPlan { seed, ..FaultPlan::empty() }
+        };
+        let chaotic = build(&g, 0, Some(plan));
+        let one = ServePool::new(chaotic.prepared(), 1)
+            .expect("workers >= 1")
+            .serve(&queries);
+        let four = ServePool::new(chaotic.prepared(), 4)
+            .expect("workers >= 1")
+            .serve(&queries);
+        // Verdicts are scheduling-independent: both pools agree exactly on
+        // who failed.
+        prop_assert_eq!(&one.outputs, &four.outputs);
+        prop_assert_eq!(one.stats.failed, four.stats.failed);
+        for (i, q) in queries.iter().enumerate() {
+            match &four.outputs[i] {
+                Ok(out) => prop_assert_eq!(out, &oracle.run(*q).output),
+                Err(e) => prop_assert_eq!(e, &QueryError::InjectedFault),
+            }
+        }
+        prop_assert_eq!(
+            four.stats.completed + four.stats.failed,
+            queries.len() as u64
+        );
+        for w in &four.workers {
+            prop_assert_eq!(w.allocated, w.baseline);
+        }
+    }
+}
+
+#[test]
+fn exhausted_fault_budget_is_a_typed_error_and_the_pool_survives() {
+    let g = web_graph(&WebParams::uk2002_like(400), 7);
+    // Every transfer fails and retries are disabled: the first partition
+    // fault of every streaming query escalates immediately.
+    let plan = FaultPlan {
+        transfer: FaultRate::new(1000, u32::MAX),
+        retry: RetryPolicy::disabled(),
+        ..FaultPlan::empty()
+    };
+    let chaotic = build(&g, 1, Some(plan));
+    assert!(chaotic.is_streaming(), "shape 1 must stream");
+    let queries = five_apps(g.num_nodes() as u32);
+    let report = ServePool::new(chaotic.prepared(), 2)
+        .expect("workers >= 1")
+        .serve(&queries);
+    for (i, out) in report.outputs.iter().enumerate() {
+        assert_eq!(
+            *out,
+            Err(QueryError::FaultBudgetExhausted {
+                domain: "transfer",
+                failures: 1,
+            }),
+            "query {i}"
+        );
+    }
+    assert_eq!(report.stats.completed, 0);
+    assert_eq!(report.stats.failed, queries.len() as u64);
+    // A failed query's view is dropped wholesale: the workers stay at
+    // their post-upload baseline and the pool remains usable.
+    for w in &report.workers {
+        assert_eq!(w.allocated, w.baseline, "worker {}", w.worker);
+    }
+    let again = ServePool::new(chaotic.prepared(), 2)
+        .expect("workers >= 1")
+        .serve(&queries);
+    assert_eq!(report.outputs, again.outputs);
+}
+
+#[test]
+fn corrupt_payload_is_a_sticky_typed_error_never_a_panic() {
+    let g = web_graph(&WebParams::uk2002_like(600), 7);
+    let cgr = CgrGraph::encode(&g, &CgrConfig::paper_default());
+    let mut buf = Vec::new();
+    io::write_cgr(&cgr, &mut buf).expect("in-memory v2 write");
+
+    // Find a payload flip that passes the deferred load's structural
+    // header checks but fails full validation (same search as the load
+    // suite): that is exactly the corruption deferred validation exists to
+    // catch at first touch.
+    let payload_start = buf.len() - 64;
+    let mut corrupt = None;
+    'search: for byte in payload_start..buf.len() {
+        for bit in 0..8u8 {
+            let mut c = buf.clone();
+            c[byte] ^= 1 << bit;
+            if CgrGraph::from_bytes(&c).is_err() {
+                if let Ok(cgr) = io::read_cgr_with(&c[..], ValidationMode::Deferred) {
+                    corrupt = Some(cgr);
+                    break 'search;
+                }
+            }
+        }
+    }
+    let corrupt = corrupt.expect("some payload flip is caught by validation only");
+
+    // A streaming session adopts the deferred graph as-is and validates
+    // partition by partition at first touch.
+    let incore = Session::builder().graph(g.clone()).build().expect("probe");
+    let budget =
+        (incore.footprint() - incore.structure_bytes()) + (incore.structure_bytes() / 4).max(1);
+    let session = Session::builder()
+        .graph_compressed(corrupt)
+        .memory_budget(budget)
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .build()
+        .expect("deferred corruption must not fail the streaming build");
+    assert!(session.is_streaming());
+
+    let prepared = session.prepared();
+    let queries = five_apps(g.num_nodes() as u32);
+    let first = ServePool::new(Arc::clone(&prepared), 2)
+        .expect("workers >= 1")
+        .serve(&queries);
+    // PageRank's all-nodes frontier must touch the corrupt partition: the
+    // failure is typed, not a pool-killing panic.
+    let corrupt_errors: Vec<&QueryError> = first
+        .outputs
+        .iter()
+        .filter_map(|o| o.as_ref().err())
+        .collect();
+    assert!(
+        corrupt_errors
+            .iter()
+            .all(|e| matches!(e, QueryError::CorruptGraph(_))),
+        "every failure must be typed corruption: {corrupt_errors:?}"
+    );
+    assert!(
+        matches!(&first.outputs[3], Err(QueryError::CorruptGraph(msg)) if msg.contains("corrupt CGR payload")),
+        "PageRank touches every partition: {:?}",
+        first.outputs[3]
+    );
+    for w in &first.workers {
+        assert_eq!(w.allocated, w.baseline, "worker {}", w.worker);
+    }
+    // Sticky: a second serve over the same prepared graph reports the very
+    // same outcomes (same partitions poisoned, same messages), and any
+    // query that avoided the bad partition still matches the oracle.
+    let second = ServePool::new(prepared, 2)
+        .expect("workers >= 1")
+        .serve(&queries);
+    assert_eq!(first.outputs, second.outputs);
+    let oracle = Session::builder()
+        .graph(g.clone())
+        .memory_budget(budget)
+        .engine(EngineKind::OutOfCore {
+            inner: Strategy::Full,
+        })
+        .build()
+        .expect("oracle build");
+    for (i, q) in queries.iter().enumerate() {
+        if let Ok(out) = &first.outputs[i] {
+            assert_eq!(out, &oracle.run(*q).output, "{q:?}");
+        }
+    }
+}

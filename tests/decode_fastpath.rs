@@ -263,7 +263,7 @@ fn pooled_streaming_answers_are_bitwise_serial_under_table_decode() {
         .serve(&queries);
     for (i, query) in queries.iter().enumerate() {
         let oracle = prepared.run(*query);
-        assert_eq!(report.outputs[i], oracle.output, "query {i}");
+        assert_eq!(report.outputs[i], Ok(oracle.output), "query {i}");
         assert_eq!(report.per_query[i], oracle.stats, "query {i} stats");
         assert!(
             oracle.stats.tally.issues[OpClass::TableDecode as usize] > 0,

@@ -255,7 +255,7 @@ fn serve_pool_workers_share_one_zero_copy_buffer() {
     let report = ServePool::new(prepared, 3).unwrap().serve(&queries);
     for (i, q) in queries.iter().enumerate() {
         let want = baseline.run(*q);
-        assert_eq!(report.outputs[i], want.output, "{q:?}");
+        assert_eq!(report.outputs[i], Ok(want.output), "{q:?}");
         assert_eq!(report.per_query[i], want.stats, "{q:?}");
     }
 }

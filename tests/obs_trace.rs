@@ -157,6 +157,9 @@ fn rs(est: f64, transfer: f64, exchange: f64) -> RunStats {
         exchange_ms: exchange,
         boundary_nodes: 0,
         sync_steps: 0,
+        faults_injected: 0,
+        retries: 0,
+        backoff_ms: 0.0,
     }
 }
 

@@ -306,7 +306,7 @@ proptest! {
         let mut transfer = 0.0f64;
         for (i, q) in queries.iter().enumerate() {
             let oracle = prepared.run(*q);
-            prop_assert_eq!(&report.outputs[i], &oracle.output);
+            prop_assert_eq!(report.outputs[i].as_ref(), Ok(&oracle.output));
             prop_assert_eq!(&report.per_query[i], &oracle.stats);
             work += oracle.stats.est_ms;
             transfer += oracle.stats.transfer_ms;

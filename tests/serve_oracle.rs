@@ -69,8 +69,16 @@ fn assert_pools_match_oracle(kind: EngineKind) {
         // Bitwise-identical outputs (depths, components, σ/δ, float ranks,
         // labels — `QueryOutput: PartialEq` compares them all, plus the
         // embedded per-run statistics).
-        assert_eq!(one.outputs[i], oracle.output, "{kind:?} query {i} (1w)");
-        assert_eq!(four.outputs[i], oracle.output, "{kind:?} query {i} (4w)");
+        assert_eq!(
+            one.outputs[i],
+            Ok(oracle.output.clone()),
+            "{kind:?} query {i} (1w)"
+        );
+        assert_eq!(
+            four.outputs[i],
+            Ok(oracle.output),
+            "{kind:?} query {i} (4w)"
+        );
         // Identical per-query RunStats: scheduling must not change
         // simulated work — launches, tallies, memory counters, est_ms,
         // faults, evictions, transfer_ms, residency.
@@ -159,8 +167,16 @@ fn direction_optimizing_pools_are_scheduling_independent() {
         let four = ServePool::new(prepared.clone(), 4).unwrap().serve(&queries);
         for (i, query) in queries.iter().enumerate() {
             let oracle = prepared.run(*query);
-            assert_eq!(one.outputs[i], oracle.output, "{kind:?} query {i} (1w)");
-            assert_eq!(four.outputs[i], oracle.output, "{kind:?} query {i} (4w)");
+            assert_eq!(
+                one.outputs[i],
+                Ok(oracle.output.clone()),
+                "{kind:?} query {i} (1w)"
+            );
+            assert_eq!(
+                four.outputs[i],
+                Ok(oracle.output),
+                "{kind:?} query {i} (4w)"
+            );
             assert_eq!(one.per_query[i], oracle.stats, "{kind:?} query {i} (1w)");
             assert_eq!(four.per_query[i], oracle.stats, "{kind:?} query {i} (4w)");
         }
@@ -197,7 +213,7 @@ fn reordered_prepared_graph_serves_in_original_ids() {
         .serve(&[Query::Bfs(17), Query::Bfs(17)]);
     for out in &report.outputs {
         match out {
-            QueryOutput::Bfs(run) => assert_eq!(run.depth, want.depth),
+            Ok(QueryOutput::Bfs(run)) => assert_eq!(run.depth, want.depth),
             other => panic!("expected Bfs output, got {other:?}"),
         }
     }

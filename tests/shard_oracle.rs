@@ -302,8 +302,8 @@ fn serve_pools_compose_with_sharding_bitwise() {
     let four = ServePool::new(prepared.clone(), 4).unwrap().serve(&queries);
     for (i, query) in queries.iter().enumerate() {
         let oracle = prepared.run(*query);
-        assert_eq!(one.outputs[i], oracle.output, "query {i} (1w)");
-        assert_eq!(four.outputs[i], oracle.output, "query {i} (4w)");
+        assert_eq!(one.outputs[i], Ok(oracle.output.clone()), "query {i} (1w)");
+        assert_eq!(four.outputs[i], Ok(oracle.output), "query {i} (4w)");
         assert_eq!(one.per_query[i], oracle.stats, "query {i} (1w)");
         assert_eq!(four.per_query[i], oracle.stats, "query {i} (4w)");
         assert!(four.per_query[i].exchange_ms > 0.0, "query {i}");
